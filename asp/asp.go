@@ -1,0 +1,70 @@
+// Package asp embeds the Application-Specific Protocols from the
+// paper's three experiments (§3), written in PLAN-P. These are the
+// programs whose code-generation times figure 3 reports and whose
+// behavior the benchmark harness reproduces.
+package asp
+
+import _ "embed"
+
+// AudioRouter is the router half of the audio bandwidth-adaptation
+// protocol (§3.1): degrade quality when the outgoing link is loaded.
+//
+//go:embed audio_router.planp
+var AudioRouter string
+
+// AudioClient is the client half (§3.1): restore degraded packets into
+// the container the unmodified audio application expects.
+//
+//go:embed audio_client.planp
+var AudioClient string
+
+// HTTPGateway is the load-balancing cluster gateway (§3.2, figure 2).
+// It is verified for single-node deployment.
+//
+//go:embed http_gateway.planp
+var HTTPGateway string
+
+// MPEGMonitor is the connection-registry monitor that turns the
+// point-to-point video server into a multipoint one (§3.3).
+//
+//go:embed mpeg_monitor.planp
+var MPEGMonitor string
+
+// MPEGClient is the per-client capture protocol (§3.3).
+//
+//go:embed mpeg_client.planp
+var MPEGClient string
+
+// HTTPGatewayRandom is the random-selection balancing policy (§5's
+// "several load-balancing algorithms", evaluated by swapping the ASP).
+//
+//go:embed http_gateway_random.planp
+var HTTPGatewayRandom string
+
+// HTTPGatewayLeastConn is the least-connections balancing policy.
+//
+//go:embed http_gateway_leastconn.planp
+var HTTPGatewayLeastConn string
+
+// HTTPGatewayFailover adds administrator-driven server removal and
+// automatic connection failover (§5's fault-tolerance extension).
+//
+//go:embed http_gateway_failover.planp
+var HTTPGatewayFailover string
+
+// BenchCompute is a compute-bound classification kernel used by the
+// engine benchmarks (no hash tables, no payload copies).
+//
+//go:embed bench_compute.planp
+var BenchCompute string
+
+// All maps the paper's program names to sources, in figure-3 order.
+func All() []struct{ Name, Source string } {
+	return []struct{ Name, Source string }{
+		{"audio-router", AudioRouter},
+		{"audio-client", AudioClient},
+		{"http-gateway", HTTPGateway},
+		{"mpeg-monitor", MPEGMonitor},
+		{"mpeg-client", MPEGClient},
+	}
+}

@@ -1,0 +1,75 @@
+package asp_test
+
+import (
+	"strings"
+	"testing"
+
+	"planp.dev/planp/asp"
+	"planp.dev/planp/internal/lang/parser"
+	"planp.dev/planp/internal/lang/typecheck"
+	"planp.dev/planp/internal/lang/verify"
+)
+
+// check parses and type-checks one embedded program.
+func check(t *testing.T, name, src string) *typecheck.Info {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("%s: parse: %v", name, err)
+	}
+	info, err := typecheck.Check(prog)
+	if err != nil {
+		t.Fatalf("%s: typecheck: %v", name, err)
+	}
+	return info
+}
+
+func TestAllProgramsCheck(t *testing.T) {
+	for _, p := range asp.All() {
+		check(t, p.Name, p.Source)
+	}
+}
+
+// TestVerification pins each program's late-checking outcome under its
+// intended deployment (§2.1, §3).
+func TestVerification(t *testing.T) {
+	cases := []struct {
+		name, src  string
+		singleNode bool
+	}{
+		{"audio-router", asp.AudioRouter, false}, // spread across routers
+		{"audio-client", asp.AudioClient, false},
+		{"http-gateway", asp.HTTPGateway, true}, // one gateway node
+		{"mpeg-monitor", asp.MPEGMonitor, false},
+		{"mpeg-client", asp.MPEGClient, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			info := check(t, tc.name, tc.src)
+			r := verify.VerifyWith(info, verify.Options{SingleNode: tc.singleNode})
+			if !r.AllOK() {
+				t.Errorf("%s must pass all safety analyses:\n%s", tc.name, r)
+			}
+		})
+	}
+}
+
+// TestProgramSizes keeps the programs in the same size class as the
+// paper's (figure 3: 68/28/91/161/53 lines) — conciseness is one of the
+// paper's claims ("the average size of the ASP is about 130 lines").
+func TestProgramSizes(t *testing.T) {
+	counts := map[string][2]int{ // name -> {min, max} source lines
+		"audio-router": {30, 110},
+		"audio-client": {10, 60},
+		"http-gateway": {40, 140},
+		"mpeg-monitor": {80, 220},
+		"mpeg-client":  {20, 90},
+	}
+	for _, p := range asp.All() {
+		lines := strings.Count(p.Source, "\n")
+		bounds := counts[p.Name]
+		if lines < bounds[0] || lines > bounds[1] {
+			t.Errorf("%s is %d lines, outside the paper's size class [%d,%d]", p.Name, lines, bounds[0], bounds[1])
+		}
+	}
+}

@@ -1,0 +1,308 @@
+// Benchmarks regenerating the paper's tables and figures. One benchmark
+// per figure/table plus the engine and design ablations;
+// `go test -bench=. -benchmem` prints the measurements, and cmd/aspbench
+// renders the same data as paper-style tables.
+//
+// Index:
+//
+//	BenchmarkCodegen*        figure 3 (code-generation time per ASP)
+//	BenchmarkFigure6*        figure 6 (stepped-load audio run)
+//	BenchmarkFigure7*        figure 7 (silent periods cell)
+//	BenchmarkFigure8*        figure 8 (HTTP saturation per variant)
+//	BenchmarkMPEGShare*      §3.3 (multipoint sharing run)
+//	BenchmarkEngine*         §2.2/§2.4 engine ablation (per-packet cost)
+//	BenchmarkVerify*         §2.1 late checking cost
+//	BenchmarkFrontEnd*       parser/checker throughput
+//	BenchmarkSimulator*      raw substrate cost (no PLAN-P)
+package planp
+
+import (
+	"testing"
+	"time"
+
+	"planp.dev/planp/asp"
+	"planp.dev/planp/internal/apps/audio"
+	"planp.dev/planp/internal/apps/httpd"
+	"planp.dev/planp/internal/apps/mpeg"
+	"planp.dev/planp/internal/lang/langtest"
+	"planp.dev/planp/internal/lang/parser"
+	"planp.dev/planp/internal/lang/typecheck"
+	"planp.dev/planp/internal/lang/value"
+	"planp.dev/planp/internal/lang/verify"
+	"planp.dev/planp/internal/netsim"
+	"planp.dev/planp/internal/planprt"
+)
+
+// ---------------------------------------------------------------------------
+// Figure 3: code-generation time
+
+func benchCodegen(b *testing.B, src string, eng planprt.EngineKind) {
+	b.Helper()
+	// Parse/check once; figure 3 times code GENERATION (the program
+	// arrives checked at the router in AST form, §2.4).
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := planprt.Load(src, planprt.Config{Engine: eng, Verify: planprt.VerifyPrivileged}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCodegenAudioRouter(b *testing.B) { benchCodegen(b, asp.AudioRouter, planprt.EngineJIT) }
+func BenchmarkCodegenAudioClient(b *testing.B) { benchCodegen(b, asp.AudioClient, planprt.EngineJIT) }
+func BenchmarkCodegenHTTPGateway(b *testing.B) { benchCodegen(b, asp.HTTPGateway, planprt.EngineJIT) }
+func BenchmarkCodegenMPEGMonitor(b *testing.B) { benchCodegen(b, asp.MPEGMonitor, planprt.EngineJIT) }
+func BenchmarkCodegenMPEGClient(b *testing.B)  { benchCodegen(b, asp.MPEGClient, planprt.EngineJIT) }
+
+func BenchmarkCodegenMPEGMonitorBytecode(b *testing.B) {
+	benchCodegen(b, asp.MPEGMonitor, planprt.EngineBytecode)
+}
+
+// ---------------------------------------------------------------------------
+// Figure 6: audio adaptation under stepped load
+
+func BenchmarkFigure6AudioAdaptation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tb, err := audio.NewTestbed(audio.Options{Adaptation: audio.AdaptASP})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res := tb.RunFigure6()
+		if res.LargeKbps > 60 || res.SmallKbps < 80 {
+			b.Fatalf("figure 6 shape broken: %+v", res)
+		}
+		b.ReportMetric(res.QuietKbps, "quiet-kbps")
+		b.ReportMetric(res.LargeKbps, "large-kbps")
+		b.ReportMetric(res.SmallKbps, "small-kbps")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Figure 7: silent periods (the over-capacity cell, adaptation on/off)
+
+func BenchmarkFigure7SilentPeriods(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		with, err := audio.RunFigure7(10_100_000, audio.AdaptASP, planprt.EngineJIT, 60*time.Second, 11)
+		if err != nil {
+			b.Fatal(err)
+		}
+		without, err := audio.RunFigure7(10_100_000, audio.AdaptNone, planprt.EngineJIT, 60*time.Second, 11)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(with.SilentPeriods), "gaps-adapted")
+		b.ReportMetric(float64(without.SilentPeriods), "gaps-unadapted")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Figure 8: HTTP cluster saturation per variant
+
+func benchFigure8(b *testing.B, variant httpd.Variant) {
+	for i := 0; i < b.N; i++ {
+		served, err := httpd.Saturation(httpd.Config{Variant: variant}, 15*time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(served, "req/s")
+	}
+}
+
+func BenchmarkFigure8SingleServer(b *testing.B)  { benchFigure8(b, httpd.VariantSingle) }
+func BenchmarkFigure8NativeGateway(b *testing.B) { benchFigure8(b, httpd.VariantNativeGW) }
+func BenchmarkFigure8ASPGateway(b *testing.B)    { benchFigure8(b, httpd.VariantASPGW) }
+func BenchmarkFigure8Disjoint(b *testing.B)      { benchFigure8(b, httpd.VariantDisjoint) }
+
+// ---------------------------------------------------------------------------
+// §3.3: MPEG sharing
+
+func BenchmarkMPEGShare4Viewers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := mpeg.Run(mpeg.Options{Viewers: 4, UseASPs: true}, 20*time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.ServerConnections != 1 {
+			b.Fatalf("sharing broken: %d connections", res.ServerConnections)
+		}
+		b.ReportMetric(float64(res.ServerFrames), "server-frames")
+	}
+}
+
+func BenchmarkMPEGPointToPoint4Viewers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := mpeg.Run(mpeg.Options{Viewers: 4, UseASPs: false}, 20*time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.ServerFrames), "server-frames")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Engine ablation: per-packet invocation cost (§2.2, §2.4)
+
+func benchInvoke(b *testing.B, eng planprt.EngineKind, src string, pkt value.Value) {
+	b.Helper()
+	p, err := planprt.Load(src, planprt.Config{Engine: eng, Verify: planprt.VerifyPrivileged})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := langtest.NewCtx()
+	inst, err := p.Compiled.NewInstance(ctx)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ci := p.Info.ChannelsByName("network")[0].Index
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx.Sent = ctx.Sent[:0]
+		if err := inst.Invoke(ci, ctx, pkt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func gatewayPkt() value.Value {
+	return langtest.TCPPacket("10.0.1.1", "10.0.0.100", 4001, 80, []byte("GET /index.html"))
+}
+
+func computePkt() value.Value {
+	return langtest.UDPPacket("10.0.1.1", "10.0.2.9", 4001, 9, []byte("abcdefgh"))
+}
+
+func BenchmarkEngineInterpGateway(b *testing.B) {
+	benchInvoke(b, planprt.EngineInterp, asp.HTTPGateway, gatewayPkt())
+}
+func BenchmarkEngineBytecodeGateway(b *testing.B) {
+	benchInvoke(b, planprt.EngineBytecode, asp.HTTPGateway, gatewayPkt())
+}
+func BenchmarkEngineJITGateway(b *testing.B) {
+	benchInvoke(b, planprt.EngineJIT, asp.HTTPGateway, gatewayPkt())
+}
+
+func BenchmarkEngineInterpCompute(b *testing.B) {
+	benchInvoke(b, planprt.EngineInterp, asp.BenchCompute, computePkt())
+}
+func BenchmarkEngineBytecodeCompute(b *testing.B) {
+	benchInvoke(b, planprt.EngineBytecode, asp.BenchCompute, computePkt())
+}
+func BenchmarkEngineJITCompute(b *testing.B) {
+	benchInvoke(b, planprt.EngineJIT, asp.BenchCompute, computePkt())
+}
+
+// BenchmarkEngineNativeGateway is the hand-written Go handler: the
+// paper's "built-in C" comparison point for the per-packet numbers.
+func BenchmarkEngineNativeGateway(b *testing.B) {
+	pkt := gatewayPkt()
+	ctx := langtest.NewCtx()
+	conns := map[string]value.Host{}
+	count := int64(0)
+	serverA := langtest.MustHost("10.0.0.81")
+	serverB := langtest.MustHost("10.0.0.109")
+	virtual := langtest.MustHost("10.0.0.100")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx.Sent = ctx.Sent[:0]
+		iph := pkt.Vs[0].AsIP()
+		tcph := pkt.Vs[1].AsTCP()
+		if iph.Dst == virtual && tcph.DstPort == 80 {
+			key := value.EncodeKey(value.TupleV(value.HostV(iph.Src), value.Int(int64(tcph.SrcPort))))
+			srv, ok := conns[key]
+			if !ok {
+				if count%2 == 0 {
+					srv = serverA
+				} else {
+					srv = serverB
+				}
+				conns[key] = srv
+			}
+			if tcph.Flags&value.TCPSyn != 0 {
+				count++
+			}
+			h := *iph
+			h.Dst = srv
+			ctx.OnRemote("network", value.TupleV(value.IP(&h), pkt.Vs[1], pkt.Vs[2]))
+		} else {
+			ctx.OnRemote("network", pkt)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// §2.1: late-checking cost
+
+func BenchmarkVerifyMPEGMonitor(b *testing.B) {
+	prog, err := parser.Parse(asp.MPEGMonitor)
+	if err != nil {
+		b.Fatal(err)
+	}
+	info, err := typecheck.Check(prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := verify.Verify(info); !r.AllOK() {
+			b.Fatal("monitor should verify")
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Front-end throughput
+
+func BenchmarkFrontEndParse(b *testing.B) {
+	b.SetBytes(int64(len(asp.MPEGMonitor)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := parser.Parse(asp.MPEGMonitor); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFrontEndTypecheck(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		prog, err := parser.Parse(asp.MPEGMonitor)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := typecheck.Check(prog); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Substrate: raw simulator forwarding (no PLAN-P), to separate the
+// simulator's cost from the language's in the figures above.
+
+func BenchmarkSimulatorForwarding(b *testing.B) {
+	sim := netsim.NewSimulator(1)
+	a := netsim.NewNode(sim, "a", netsim.MustAddr("10.0.0.1"))
+	r := netsim.NewNode(sim, "r", netsim.MustAddr("10.0.0.254"))
+	c := netsim.NewNode(sim, "c", netsim.MustAddr("10.0.1.1"))
+	r.Forwarding = true
+	l1 := netsim.Connect(sim, a, r, netsim.LinkConfig{Bandwidth: 1_000_000_000})
+	l2 := netsim.Connect(sim, r, c, netsim.LinkConfig{Bandwidth: 1_000_000_000})
+	a.SetDefaultRoute(l1.Ifaces()[0])
+	r.AddRoute(c.Addr, l2.Ifaces()[0])
+	c.SetDefaultRoute(l2.Ifaces()[1])
+	got := 0
+	c.BindUDP(9, func(*netsim.Packet) { got++ })
+	payload := make([]byte, 1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Send(netsim.NewUDP(a.Addr, c.Addr, 1, 9, payload))
+		sim.Run()
+	}
+	if got != b.N {
+		b.Fatalf("delivered %d of %d", got, b.N)
+	}
+}

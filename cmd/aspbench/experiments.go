@@ -1,0 +1,343 @@
+// The individual experiment drivers.
+package main
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"planp.dev/planp/asp"
+	"planp.dev/planp/internal/apps/audio"
+	"planp.dev/planp/internal/apps/httpd"
+	"planp.dev/planp/internal/apps/mpeg"
+	"planp.dev/planp/internal/lang/langtest"
+	"planp.dev/planp/internal/lang/parser"
+	"planp.dev/planp/internal/lang/typecheck"
+	"planp.dev/planp/internal/lang/value"
+	"planp.dev/planp/internal/planprt"
+	"planp.dev/planp/internal/trace"
+)
+
+// paperFig3 holds the paper's reported numbers for comparison columns.
+var paperFig3 = map[string]struct {
+	lines int
+	ms    float64
+}{
+	"audio-router": {68, 11.0},
+	"audio-client": {28, 6.2},
+	"http-gateway": {91, 15.3},
+	"mpeg-monitor": {161, 33.9},
+	"mpeg-client":  {53, 6.1},
+}
+
+// runFig3 measures code-generation time per program per engine. The
+// paper's absolute numbers are 1998 hardware with Tempo's template
+// assembly; what must hold is the ordering (more lines, more time) and
+// that generation is far below any per-download budget.
+func runFig3() error {
+	tbl := &trace.Table{
+		Title:   "Figure 3: code generation time",
+		Headers: []string{"program", "lines", "paper-lines", "paper-ms", "jit-us", "bytecode-us", "check-us"},
+	}
+	for _, p := range asp.All() {
+		prog, err := parser.Parse(p.Source)
+		if err != nil {
+			return err
+		}
+		checkStart := time.Now()
+		info, err := typecheck.Check(prog)
+		if err != nil {
+			return err
+		}
+		checkTime := time.Since(checkStart)
+
+		median := func(engine planprt.EngineKind) time.Duration {
+			const reps = 51
+			times := make([]time.Duration, 0, reps)
+			for i := 0; i < reps; i++ {
+				pl, err := planprt.Load(p.Source, planprt.Config{Engine: engine, Verify: planprt.VerifyPrivileged})
+				if err != nil {
+					panic(err)
+				}
+				times = append(times, pl.CodegenTime)
+			}
+			for i := 1; i < len(times); i++ {
+				for j := i; j > 0 && times[j] < times[j-1]; j-- {
+					times[j], times[j-1] = times[j-1], times[j]
+				}
+			}
+			return times[len(times)/2]
+		}
+		_ = info
+		ref := paperFig3[p.Name]
+		tbl.AddRow(p.Name, lineCount(p.Source), ref.lines, ref.ms,
+			float64(median(planprt.EngineJIT).Nanoseconds())/1000,
+			float64(median(planprt.EngineBytecode).Nanoseconds())/1000,
+			float64(checkTime.Nanoseconds())/1000)
+	}
+	fmt.Print(tbl)
+	fmt.Println("shape check: generation time grows with program size, and all times are")
+	fmt.Println("orders of magnitude below a per-download budget (the paper's point).")
+	return nil
+}
+
+func runFig6() error {
+	tb, err := audio.NewTestbed(audio.Options{Adaptation: audio.AdaptASP, Engine: engineKind})
+	if err != nil {
+		return err
+	}
+	res := tb.RunFigure6()
+	fmt.Println("audio data rate at the client, one sample per 10 s of virtual time:")
+	fmt.Print(res.Series.Render(10 * time.Second))
+	tbl := &trace.Table{
+		Title:   "Figure 6 phases (paper: 176 -> 44 -> oscillating 44-88 -> 88 kb/s)",
+		Headers: []string{"phase", "load", "measured kb/s", "paper kb/s"},
+	}
+	tbl.AddRow("0-100s", "none", res.QuietKbps, 176)
+	tbl.AddRow("100-220s", "large", res.LargeKbps, 44)
+	tbl.AddRow("220-340s", "medium", res.MediumKbps, "44-88 (oscillates)")
+	tbl.AddRow("340-460s", "small", res.SmallKbps, 88)
+	fmt.Print(tbl)
+	fmt.Printf("medium phase oscillates between 8- and 16-bit mono: %v\n", res.MediumOscillates)
+	return nil
+}
+
+func runFig7() error {
+	tbl := &trace.Table{
+		Title:   "Figure 7: silent periods during 60 s of playback",
+		Headers: []string{"background load", "adaptation", "silent periods", "lost packets", "stalls", "packets", "segment drops"},
+	}
+	for _, load := range audio.Figure7Loads {
+		for _, mode := range []audio.Adaptation{audio.AdaptNone, audio.AdaptASP} {
+			row, err := audio.RunFigure7(load, mode, engineKind, 60*time.Second, 11)
+			if err != nil {
+				return err
+			}
+			tbl.AddRow(fmt.Sprintf("%.1f Mb/s", float64(load)/1e6), mode.String(),
+				row.SilentPeriods, row.LostPackets, row.Stalls, row.Received, row.SegDrops)
+		}
+	}
+	fmt.Print(tbl)
+	fmt.Println("shape check: without adaptation, gaps appear once the segment saturates;")
+	fmt.Println("with the ASP the audio shrinks to fit and playback stays continuous.")
+	return nil
+}
+
+func runFig8() error {
+	variants := []httpd.Variant{httpd.VariantSingle, httpd.VariantNativeGW, httpd.VariantASPGW, httpd.VariantDisjoint}
+	tbl := &trace.Table{
+		Title:   "Figure 8: served throughput (req/s) vs offered load",
+		Headers: []string{"offered", "(d) single", "(b) native gw", "(c) ASP gw", "(a) 2 disjoint"},
+	}
+	results := map[httpd.Variant][]float64{}
+	for _, v := range variants {
+		for _, offered := range httpd.DefaultSweep {
+			pt, err := httpd.RunPoint(httpd.Config{Variant: v, Engine: engineKind}, offered, 12*time.Second, 3*time.Second)
+			if err != nil {
+				return err
+			}
+			results[v] = append(results[v], pt.ServedRPS)
+		}
+	}
+	for i, offered := range httpd.DefaultSweep {
+		tbl.AddRow(offered, results[httpd.VariantSingle][i], results[httpd.VariantNativeGW][i],
+			results[httpd.VariantASPGW][i], results[httpd.VariantDisjoint][i])
+	}
+	fmt.Print(tbl)
+
+	sat := map[httpd.Variant]float64{}
+	for _, v := range variants {
+		s, err := httpd.Saturation(httpd.Config{Variant: v, Engine: engineKind}, 20*time.Second)
+		if err != nil {
+			return err
+		}
+		sat[v] = s
+	}
+	fmt.Printf("\nsaturation: single=%.0f  native-gw=%.0f  asp-gw=%.0f  disjoint=%.0f req/s\n",
+		sat[httpd.VariantSingle], sat[httpd.VariantNativeGW], sat[httpd.VariantASPGW], sat[httpd.VariantDisjoint])
+	fmt.Printf("paper claims:  ASP==native: %.2fx   cluster/single: %.2fx (paper 1.75)   cluster/disjoint: %.2f (paper ~0.85)\n",
+		sat[httpd.VariantASPGW]/sat[httpd.VariantNativeGW],
+		sat[httpd.VariantASPGW]/sat[httpd.VariantSingle],
+		sat[httpd.VariantASPGW]/sat[httpd.VariantDisjoint])
+	return nil
+}
+
+func runMPEG() error {
+	tbl := &trace.Table{
+		Title:   "MPEG experiment (§3.3): server load vs viewers on one segment",
+		Headers: []string{"viewers", "ASPs", "server connections", "server frames", "min viewer frames"},
+	}
+	for _, viewers := range []int{1, 2, 4, 8} {
+		for _, useASPs := range []bool{false, true} {
+			res, err := mpeg.Run(mpeg.Options{Viewers: viewers, UseASPs: useASPs, Engine: engineKind}, 20*time.Second)
+			if err != nil {
+				return err
+			}
+			minFrames := res.ViewerFrames[0]
+			for _, f := range res.ViewerFrames {
+				if f < minFrames {
+					minFrames = f
+				}
+			}
+			tbl.AddRow(viewers, useASPs, res.ServerConnections, res.ServerFrames, minFrames)
+		}
+	}
+	fmt.Print(tbl)
+	fmt.Println("shape check: with the ASPs, server connections and frames stay flat as")
+	fmt.Println("viewers multiply; every viewer still receives the stream.")
+	return nil
+}
+
+// runEngines microbenchmarks the per-packet cost of one load-balancer
+// invocation under each engine plus a native Go handler — the §2.4
+// claim: the JIT removes interpretation overhead.
+func runEngines() error {
+	info, err := loadGatewayInfo()
+	if err != nil {
+		return err
+	}
+	pkt := langtest.TCPPacket("10.0.1.1", "10.0.0.100", 4001, 80, []byte("GET /index.html"))
+
+	tbl := &trace.Table{
+		Title:   "Per-packet channel invocation cost (load-balancer ASP)",
+		Headers: []string{"engine", "ns/op", "vs native", "allocs/op"},
+	}
+	var nativeNs float64
+	native := testing.Benchmark(func(b *testing.B) {
+		benchNative(b, pkt)
+	})
+	nativeNs = float64(native.NsPerOp())
+	for _, eng := range []planprt.EngineKind{planprt.EngineInterp, planprt.EngineBytecode, planprt.EngineJIT} {
+		r, err := benchEngine(eng, info, pkt)
+		if err != nil {
+			return err
+		}
+		tbl.AddRow(string(eng), r.NsPerOp(), float64(r.NsPerOp())/nativeNs, r.AllocsPerOp())
+	}
+	tbl.AddRow("native-go", native.NsPerOp(), 1.0, native.AllocsPerOp())
+	fmt.Print(tbl)
+	fmt.Println("note: the gateway's cost is dominated by hash-table primitives shared by")
+	fmt.Println("all engines, which compresses the spread. The kernel below isolates pure")
+	fmt.Println("language execution, where specialization pays in full:")
+	fmt.Println()
+
+	tbl2 := &trace.Table{
+		Title:   "Per-packet cost, compute-bound classification kernel",
+		Headers: []string{"engine", "ns/op", "vs jit", "allocs/op"},
+	}
+	pktU := langtest.UDPPacket("10.0.1.1", "10.0.2.9", 4001, 9, []byte("abcdefgh"))
+	type res struct {
+		eng string
+		r   testing.BenchmarkResult
+	}
+	var rows []res
+	for _, eng := range []planprt.EngineKind{planprt.EngineInterp, planprt.EngineBytecode, planprt.EngineJIT} {
+		r, err := benchProgram(eng, asp.BenchCompute, pktU)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, res{string(eng), r})
+	}
+	jitNs := float64(rows[2].r.NsPerOp())
+	for _, row := range rows {
+		tbl2.AddRow(row.eng, row.r.NsPerOp(), float64(row.r.NsPerOp())/jitNs, row.r.AllocsPerOp())
+	}
+	fmt.Print(tbl2)
+	fmt.Println("shape check: interp >> bytecode > jit (the paper: JIT output is as fast")
+	fmt.Println("as in-kernel C; here the jit engine approaches the hand-written handler).")
+	return nil
+}
+
+// benchProgram measures one engine's invoke cost on an arbitrary
+// protocol source.
+func benchProgram(eng planprt.EngineKind, src string, pkt value.Value) (testing.BenchmarkResult, error) {
+	p, err := planprt.Load(src, planprt.Config{Engine: eng, Verify: planprt.VerifyPrivileged})
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	ctx := langtest.NewCtx()
+	inst, err := p.Compiled.NewInstance(ctx)
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	ci := p.Info.ChannelsByName("network")[0].Index
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ctx.Sent = ctx.Sent[:0]
+			if err := inst.Invoke(ci, ctx, pkt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}), nil
+}
+
+// loadGatewayInfo type-checks the HTTP gateway for the microbench.
+func loadGatewayInfo() (*typecheck.Info, error) {
+	prog, err := parser.Parse(asp.HTTPGateway)
+	if err != nil {
+		return nil, err
+	}
+	return typecheck.Check(prog)
+}
+
+// benchEngine measures one engine's invoke cost.
+func benchEngine(eng planprt.EngineKind, info *typecheck.Info, pkt value.Value) (testing.BenchmarkResult, error) {
+	p, err := planprt.Load(asp.HTTPGateway, planprt.Config{Engine: eng, Verify: planprt.VerifyPrivileged})
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	ctx := langtest.NewCtx()
+	inst, err := p.Compiled.NewInstance(ctx)
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	ci := p.Info.ChannelsByName("network")[0].Index
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ctx.Sent = ctx.Sent[:0]
+			if err := inst.Invoke(ci, ctx, pkt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return res, nil
+}
+
+// benchNative measures the hand-written Go equivalent of the gateway's
+// per-packet work.
+func benchNative(b *testing.B, pkt value.Value) {
+	b.ReportAllocs()
+	ctx := langtest.NewCtx()
+	conns := map[string]value.Host{}
+	count := int64(0)
+	serverA := langtest.MustHost("10.0.0.81")
+	serverB := langtest.MustHost("10.0.0.109")
+	virtual := langtest.MustHost("10.0.0.100")
+	for i := 0; i < b.N; i++ {
+		ctx.Sent = ctx.Sent[:0]
+		iph := pkt.Vs[0].AsIP()
+		tcph := pkt.Vs[1].AsTCP()
+		if iph.Dst == virtual && tcph.DstPort == 80 {
+			key := value.EncodeKey(value.TupleV(value.HostV(iph.Src), value.Int(int64(tcph.SrcPort))))
+			srv, ok := conns[key]
+			if !ok {
+				if count%2 == 0 {
+					srv = serverA
+				} else {
+					srv = serverB
+				}
+				conns[key] = srv
+			}
+			if tcph.Flags&value.TCPSyn != 0 {
+				count++
+			}
+			h := *iph
+			h.Dst = srv
+			ctx.OnRemote("network", value.TupleV(value.IP(&h), pkt.Vs[1], pkt.Vs[2]))
+		} else {
+			ctx.OnRemote("network", pkt)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+// Command aspbench regenerates every table and figure of the paper's
+// evaluation (§3) against the simulated testbed, printing the same rows
+// and series the paper reports.
+//
+// Usage:
+//
+//	aspbench -exp fig3      code-generation time table
+//	aspbench -exp fig6      audio bandwidth vs time under stepped load
+//	aspbench -exp fig7      silent periods with/without adaptation
+//	aspbench -exp fig8      HTTP throughput vs offered load (4 configs)
+//	aspbench -exp mpeg      server load vs number of viewers
+//	aspbench -exp engines   per-packet cost: interp vs bytecode vs jit vs native
+//	aspbench -exp all       everything above
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"planp.dev/planp/internal/planprt"
+)
+
+var experiments = []struct {
+	name string
+	desc string
+	run  func() error
+}{
+	{"fig3", "code-generation time for the five ASPs (paper figure 3)", runFig3},
+	{"fig6", "audio bandwidth under stepped load (paper figure 6)", runFig6},
+	{"fig7", "silent periods with/without adaptation (paper figure 7)", runFig7},
+	{"fig8", "HTTP cluster throughput vs offered load (paper figure 8)", runFig8},
+	{"mpeg", "server load vs viewers for the MPEG experiment (§3.3)", runMPEG},
+	{"engines", "per-packet engine cost: interp/bytecode/jit/native (§2.4)", runEngines},
+	{"ablation-locus", "in-router vs end-to-end feedback adaptation (§3.1 claim)", runAblationLocus},
+	{"ablation-policy", "load-balancing policies: modulo/random/least-conn (§5)", runAblationPolicy},
+	{"failover", "gateway fault tolerance: server crash + admin removal (§5)", runFailover},
+}
+
+func main() {
+	exp := flag.String("exp", "", "experiment to run (or 'all')")
+	engine := flag.String("engine", "jit", "ASP engine for the experiments")
+	flag.Parse()
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "usage: aspbench -exp NAME")
+		for _, e := range experiments {
+			fmt.Fprintf(os.Stderr, "  %-16s %s\n", e.name, e.desc)
+		}
+		fmt.Fprintln(os.Stderr, "  all              run everything")
+		os.Exit(2)
+	}
+	engineKind = planprt.EngineKind(*engine)
+
+	start := time.Now()
+	ran := false
+	for _, e := range experiments {
+		if *exp != "all" && *exp != e.name {
+			continue
+		}
+		ran = true
+		fmt.Printf("==== %s: %s ====\n", e.name, e.desc)
+		if err := e.run(); err != nil {
+			fmt.Fprintf(os.Stderr, "aspbench %s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "aspbench: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+	fmt.Printf("(total wall time %v — the experiments above cover %s of virtual time)\n",
+		time.Since(start).Round(time.Millisecond), virtualTimeNote())
+}
+
+// engineKind is the ASP engine experiments run with.
+var engineKind = planprt.EngineJIT
+
+func virtualTimeNote() string {
+	return "minutes to hours"
+}
+
+// lineCount counts non-empty source lines.
+func lineCount(src string) int {
+	n := 0
+	for _, line := range strings.Split(src, "\n") {
+		if strings.TrimSpace(line) != "" {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,3 @@
+module planp.dev/planp
+
+go 1.22

@@ -1,0 +1,220 @@
+// Package audio implements the §3.1 experiment: an audio broadcasting
+// application (multicast PCM source + playout client), the figure-5
+// topology, the PLAN-P adaptation protocol downloads, and a native Go
+// baseline router for comparison.
+//
+// The source broadcasts CD-style PCM at the paper's rates: 16-bit
+// stereo = 176 kb/s of audio payload, degrading to 88 kb/s (16-bit
+// mono) and 44 kb/s (8-bit mono).
+package audio
+
+import (
+	"math"
+	"time"
+
+	"planp.dev/planp/internal/lang/prims"
+	"planp.dev/planp/internal/netsim"
+	"planp.dev/planp/internal/trace"
+)
+
+// Port is the UDP port audio traffic uses (matches asp/audio_router.planp).
+const Port = 5004
+
+// PacketInterval is the packetization period.
+const PacketInterval = 50 * time.Millisecond
+
+// FramesPerPacket gives 176 kb/s of 16-bit stereo payload at the packet
+// interval: 176000 b/s * 0.05 s / (32 bits per stereo frame) = 275.
+const FramesPerPacket = 275
+
+// Source broadcasts a deterministic PCM signal to a multicast group.
+type Source struct {
+	Node  *netsim.Node
+	Group netsim.Addr
+
+	seq     uint32
+	phase   float64
+	stopped bool
+}
+
+// Start schedules packet emission until end.
+func (s *Source) Start(sim *netsim.Simulator, end time.Duration) {
+	var tick func()
+	tick = func() {
+		if s.stopped || sim.Now() >= end {
+			return
+		}
+		s.Node.Send(netsim.NewUDP(s.Node.Addr, s.Group, Port, Port, s.nextPayload()))
+		sim.After(PacketInterval, tick)
+	}
+	sim.After(PacketInterval, tick)
+}
+
+// Stop halts emission.
+func (s *Source) Stop() { s.stopped = true }
+
+// nextPayload synthesizes one packet of 16-bit stereo PCM: a stereo
+// sine pair (different frequencies per channel so downmixing is
+// observable in tests).
+func (s *Source) nextPayload() []byte {
+	s.seq++
+	buf := make([]byte, prims.AudioHeaderLen+FramesPerPacket*4)
+	buf[0] = prims.AudioStereo16
+	buf[1], buf[2], buf[3], buf[4] = byte(s.seq>>24), byte(s.seq>>16), byte(s.seq>>8), byte(s.seq)
+	for f := 0; f < FramesPerPacket; f++ {
+		s.phase += 2 * math.Pi * 440 / 5500
+		l := int16(20000 * math.Sin(s.phase))
+		r := int16(20000 * math.Sin(s.phase*1.5))
+		o := prims.AudioHeaderLen + f*4
+		buf[o], buf[o+1] = byte(uint16(l)>>8), byte(uint16(l))
+		buf[o+2], buf[o+3] = byte(uint16(r)>>8), byte(uint16(r))
+	}
+	return buf
+}
+
+// Client is the unmodified audio application: it joins the group, plays
+// 16-bit stereo packets, and records playback gaps. Packets in any
+// other format are unplayable (the application was never taught about
+// degradation — that is the client ASP's job).
+type Client struct {
+	Node *netsim.Node
+
+	// Gaps detects long stalls (no playable audio for several packet
+	// intervals).
+	Gaps       *trace.GapDetector
+	Unplayable int    // packets whose format the app cannot decode
+	ByFormat   [4]int // packet counts indexed by format tag
+
+	// SilentPeriods counts audible dropouts: each run of consecutive
+	// lost packets (sequence discontinuity) is one silent period in
+	// playback — the y-axis of figure 7. LostPackets is the total
+	// missing.
+	SilentPeriods int
+	LostPackets   int
+	expectSeq     uint32
+}
+
+// NewClient binds the client app on node and joins group.
+func NewClient(node *netsim.Node, group netsim.Addr) *Client {
+	c := &Client{
+		Node: node,
+		Gaps: trace.NewGapDetector(3 * PacketInterval),
+	}
+	node.JoinGroup(group)
+	node.BindUDP(Port, c.onPacket)
+	return c
+}
+
+func (c *Client) onPacket(pkt *netsim.Packet) {
+	payload := pkt.Payload
+	if len(payload) < prims.AudioHeaderLen {
+		c.Unplayable++
+		return
+	}
+	format := int(payload[0])
+	if format >= 1 && format <= 3 {
+		c.ByFormat[format]++
+	}
+	seq := uint32(payload[1])<<24 | uint32(payload[2])<<16 | uint32(payload[3])<<8 | uint32(payload[4])
+	if c.expectSeq != 0 && seq > c.expectSeq {
+		c.SilentPeriods++
+		c.LostPackets += int(seq - c.expectSeq)
+	}
+	c.expectSeq = seq + 1
+	if format != prims.AudioStereo16 {
+		// The unmodified player only decodes its native format.
+		c.Unplayable++
+		return
+	}
+	c.Gaps.Packet(c.Node.Sim().Now())
+}
+
+// Finish flushes measurement state at the end of a run.
+func (c *Client) Finish(end time.Duration) { c.Gaps.Finish(end) }
+
+// wireMeter accumulates audio payload bits per one-second window.
+type wireMeter struct {
+	series      *trace.Series
+	window      time.Duration
+	windowBits  int64
+	windowStart time.Duration
+}
+
+// MeterAudio installs a tap on node measuring the on-wire audio data
+// rate as packets arrive, BEFORE any client ASP restores them — the
+// y-axis of figure 6 (176/88/44 kb/s per quality level), windowed per
+// second.
+func MeterAudio(node *netsim.Node) *trace.Series {
+	m := &wireMeter{series: &trace.Series{Name: "audio-wire-bps"}, window: time.Second}
+	node.Tap(func(pkt *netsim.Packet) {
+		if pkt.UDP == nil || pkt.UDP.DstPort != Port {
+			return
+		}
+		now := node.Sim().Now()
+		for now-m.windowStart >= m.window {
+			m.series.Add(m.windowStart+m.window, float64(m.windowBits)/m.window.Seconds())
+			m.windowStart += m.window
+			m.windowBits = 0
+		}
+		m.windowBits += int64(len(pkt.Payload)-prims.AudioHeaderLen) * 8
+	})
+	return m.series
+}
+
+// ---------------------------------------------------------------------------
+// Native baseline router (the "built-in C" comparator)
+
+// NativeAdapter is the audio-adaptation protocol hand-written in Go and
+// installed as the router's packet processor: the baseline the paper
+// compares PLAN-P against. Thresholds mirror asp/audio_router.planp.
+type NativeAdapter struct {
+	node *netsim.Node
+
+	Processed int64
+}
+
+// InstallNative installs the native adaptation on a router node.
+func InstallNative(node *netsim.Node) *NativeAdapter {
+	a := &NativeAdapter{node: node}
+	node.Processor = a
+	return a
+}
+
+// Process implements netsim.Processor.
+func (a *NativeAdapter) Process(pkt *netsim.Packet, in *netsim.Iface) bool {
+	if pkt.UDP == nil {
+		return false
+	}
+	if pkt.UDP.DstPort != Port {
+		// Forward other UDP traffic unchanged (same behavior as the
+		// ASP's else branch).
+		out := pkt.Clone()
+		if out.IP.TTL <= 1 {
+			return true
+		}
+		out.IP.TTL--
+		a.node.TransmitFrom(out, in)
+		return true
+	}
+	ifc := a.node.RouteTo(pkt.IP.Dst)
+	load := int64(0)
+	if ifc != nil {
+		load = ifc.Load()
+	}
+	out := pkt.Clone()
+	switch {
+	case load > 80:
+		out.Payload = prims.DegradeToMono8(out.Payload)
+	case load > 50:
+		out.Payload = prims.DegradeToMono16(out.Payload)
+	}
+	if out.IP.TTL <= 1 {
+		return true
+	}
+	out.IP.TTL--
+	a.Processed++
+	a.node.TransmitFrom(out, in)
+	return true
+}
+
+var _ netsim.Processor = (*NativeAdapter)(nil)

@@ -1,0 +1,262 @@
+// The §3.1 experiments: the figure-5 topology, the figure-6 stepped-load
+// bandwidth trace, and the figure-7 silent-period comparison.
+package audio
+
+import (
+	"fmt"
+	"time"
+
+	"planp.dev/planp/asp"
+	"planp.dev/planp/internal/netsim"
+	"planp.dev/planp/internal/netsim/loadgen"
+	"planp.dev/planp/internal/planprt"
+	"planp.dev/planp/internal/trace"
+)
+
+// Adaptation selects how the router treats audio traffic.
+type Adaptation int
+
+// Adaptation modes.
+const (
+	AdaptNone   Adaptation = iota // plain IP forwarding
+	AdaptASP                      // PLAN-P protocol download
+	AdaptNative                   // hand-written Go baseline ("built-in C")
+)
+
+// String names the mode.
+func (a Adaptation) String() string {
+	switch a {
+	case AdaptASP:
+		return "asp"
+	case AdaptNative:
+		return "native"
+	default:
+		return "none"
+	}
+}
+
+// Testbed is the figure-5 network: an audio source behind a router, and
+// a shared client segment carrying both the audio client and the load
+// generator.
+type Testbed struct {
+	Sim     *netsim.Simulator
+	Source  *Source
+	Router  *netsim.Node
+	Client  *Client
+	LoadGen *netsim.Node
+	Segment *netsim.Segment
+	Group   netsim.Addr
+
+	RouterRT *planprt.Runtime // nil unless AdaptASP
+	ClientRT *planprt.Runtime
+	Wire     *trace.Series // on-wire audio data rate at the client
+
+	// WireFormats counts audio packets by on-wire format tag as they
+	// reach the client (before any restoration).
+	WireFormats [4]int
+}
+
+// SegmentBandwidth is the client segment capacity (10 Mb/s Ethernet, as
+// in the paper).
+const SegmentBandwidth = 10_000_000
+
+// Engine used for ASP downloads in experiments; the benchmark harness
+// overrides it per run.
+type Options struct {
+	Adaptation Adaptation
+	Engine     planprt.EngineKind
+	Seed       int64
+}
+
+// NewTestbed builds the topology and installs the selected adaptation.
+func NewTestbed(opts Options) (*Testbed, error) {
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	sim := netsim.NewSimulator(opts.Seed)
+	src := netsim.NewNode(sim, "source", netsim.MustAddr("10.1.0.1"))
+	router := netsim.NewNode(sim, "router", netsim.MustAddr("10.1.0.254"))
+	client := netsim.NewNode(sim, "client", netsim.MustAddr("10.2.0.1"))
+	gen := netsim.NewNode(sim, "loadgen", netsim.MustAddr("10.2.0.2"))
+	sink := netsim.NewNode(sim, "sink", netsim.MustAddr("10.2.0.3"))
+	router.Forwarding = true
+
+	up := netsim.Connect(sim, src, router, netsim.LinkConfig{Bandwidth: 100_000_000})
+	seg := netsim.NewSegment(sim, "client-lan", netsim.LinkConfig{Bandwidth: SegmentBandwidth})
+	rSeg := seg.Attach(router)
+	cSeg := seg.Attach(client)
+	gSeg := seg.Attach(gen)
+	sSeg := seg.Attach(sink)
+
+	src.SetDefaultRoute(up.Ifaces()[0])
+	router.AddRoute(src.Addr, up.Ifaces()[1])
+	router.SetDefaultRoute(rSeg)
+	client.SetDefaultRoute(cSeg)
+	gen.SetDefaultRoute(gSeg)
+	sink.SetDefaultRoute(sSeg)
+
+	group := netsim.MustAddr("224.5.5.5")
+	router.AddMulticastRoute(group, rSeg)
+
+	tb := &Testbed{
+		Sim:     sim,
+		Source:  &Source{Node: src, Group: group},
+		Router:  router,
+		LoadGen: gen,
+		Segment: seg,
+		Group:   group,
+	}
+	tb.Wire = MeterAudio(client)
+	client.Tap(func(pkt *netsim.Packet) {
+		if pkt.UDP != nil && pkt.UDP.DstPort == Port && len(pkt.Payload) > 0 {
+			if f := int(pkt.Payload[0]); f >= 1 && f <= 3 {
+				tb.WireFormats[f]++
+			}
+		}
+	})
+	tb.Client = NewClient(client, group)
+
+	switch opts.Adaptation {
+	case AdaptASP:
+		rrt, err := planprt.Download(router, asp.AudioRouter, planprt.Config{Engine: opts.Engine})
+		if err != nil {
+			return nil, fmt.Errorf("audio: router download: %w", err)
+		}
+		crt, err := planprt.Download(client, asp.AudioClient, planprt.Config{Engine: opts.Engine})
+		if err != nil {
+			return nil, fmt.Errorf("audio: client download: %w", err)
+		}
+		tb.RouterRT, tb.ClientRT = rrt, crt
+	case AdaptNative:
+		InstallNative(router)
+		crt, err := planprt.Download(client, asp.AudioClient, planprt.Config{Engine: opts.Engine})
+		if err != nil {
+			return nil, fmt.Errorf("audio: client download: %w", err)
+		}
+		tb.ClientRT = crt
+	}
+	return tb, nil
+}
+
+// SinkAddr is where background load is addressed.
+func (tb *Testbed) SinkAddr() netsim.Addr { return netsim.MustAddr("10.2.0.3") }
+
+// Figure6Result is the stepped-load run's outcome.
+type Figure6Result struct {
+	Series *trace.Series // audio data rate per second (b/s)
+	// Phase means in kb/s over the stable tail of each phase.
+	QuietKbps, LargeKbps, MediumKbps, SmallKbps float64
+	// MediumOscillates reports whether the middle phase moved between
+	// quality levels, as in the paper's figure 6 at t in [220,340).
+	MediumOscillates bool
+}
+
+// Figure-6 load schedule (phase starts, as in the paper's time axis).
+const (
+	F6Quiet  = 0 * time.Second
+	F6Large  = 100 * time.Second
+	F6Medium = 220 * time.Second
+	F6Small  = 340 * time.Second
+	F6End    = 460 * time.Second
+)
+
+// Figure-6 background loads, chosen relative to the ASP's thresholds on
+// a 10 Mb/s segment: large pins the load above the 8-bit threshold,
+// medium sits at the 16-bit-mono boundary so quality oscillates, small
+// sits in the 16-bit-mono band.
+const (
+	F6LargeBps  = 9_300_000
+	F6MediumBps = 8_030_000
+	F6SmallBps  = 5_500_000
+)
+
+// RunFigure6 replays the paper's stepped-load timeline and returns the
+// measured audio bandwidth trace.
+func (tb *Testbed) RunFigure6() *Figure6Result {
+	gen := &loadgen.Generator{
+		Node: tb.LoadGen, Dst: tb.SinkAddr(), DstPort: 40000,
+		Steps: []loadgen.Step{
+			{At: F6Quiet, Bps: 0},
+			{At: F6Large, Bps: F6LargeBps},
+			{At: F6Medium, Bps: F6MediumBps},
+			{At: F6Small, Bps: F6SmallBps},
+		},
+	}
+	gen.Start(tb.Sim, F6End)
+	tb.Source.Start(tb.Sim, F6End)
+
+	// Snapshot the wire-format mix at the medium phase boundaries so
+	// the oscillation between 8- and 16-bit mono is observable.
+	var atMedium, atSmall [4]int
+	tb.Sim.At(F6Medium+10*time.Second, func() { atMedium = tb.WireFormats })
+	tb.Sim.At(F6Small, func() { atSmall = tb.WireFormats })
+
+	tb.Sim.RunUntil(F6End)
+	tb.Client.Finish(F6End)
+
+	res := &Figure6Result{Series: tb.Wire}
+	phaseMean := func(from, to time.Duration) float64 {
+		// Skip the first 10 s of each phase so the meter and the
+		// adaptation have settled.
+		return tb.Wire.Mean(from+10*time.Second, to) / 1000
+	}
+	res.QuietKbps = phaseMean(F6Quiet, F6Large)
+	res.LargeKbps = phaseMean(F6Large, F6Medium)
+	res.MediumKbps = phaseMean(F6Medium, F6Small)
+	res.SmallKbps = phaseMean(F6Small, F6End)
+	// Oscillation: during the stable part of the medium phase, both
+	// 8-bit and 16-bit mono packets crossed the wire.
+	mono16 := atSmall[2] - atMedium[2]
+	mono8 := atSmall[3] - atMedium[3]
+	res.MediumOscillates = mono16 > 0 && mono8 > 0
+	return res
+}
+
+// Figure7Row is one configuration of the silent-period comparison.
+type Figure7Row struct {
+	LoadBps       int64
+	Adaptation    Adaptation
+	SilentPeriods int // runs of lost packets — audible dropouts
+	LostPackets   int
+	Stalls        int // long stalls (no playable audio > 3 intervals)
+	Received      int
+	Unplayable    int
+	SegDrops      int64
+}
+
+// Figure7Loads are the background load levels swept for figure 7,
+// bracketing the segment capacity. The interesting band is where the
+// load plus full-quality audio exceeds capacity but the load plus
+// degraded audio fits — adaptation then eliminates loss entirely.
+var Figure7Loads = []int64{0, 9_000_000, 9_700_000, 9_900_000, 10_100_000}
+
+// RunFigure7 runs one (load, adaptation) cell for the given duration
+// using Poisson background traffic.
+func RunFigure7(loadBps int64, adaptation Adaptation, engine planprt.EngineKind, dur time.Duration, seed int64) (*Figure7Row, error) {
+	tb, err := NewTestbed(Options{Adaptation: adaptation, Engine: engine, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	if loadBps > 0 {
+		const payload = 1000
+		wire := int64(payload + netsim.IPHeaderLen + netsim.UDPHeaderLen)
+		rate := float64(loadBps) / float64(wire*8)
+		p := &loadgen.Poisson{Node: tb.LoadGen, Rate: rate, Emit: func() {
+			tb.LoadGen.Send(netsim.NewUDP(tb.LoadGen.Addr, tb.SinkAddr(), 40000, 40000, make([]byte, payload)))
+		}}
+		p.Start(tb.Sim, 0, dur)
+	}
+	tb.Source.Start(tb.Sim, dur)
+	tb.Sim.RunUntil(dur)
+	tb.Client.Finish(dur)
+	return &Figure7Row{
+		LoadBps:       loadBps,
+		Adaptation:    adaptation,
+		SilentPeriods: tb.Client.SilentPeriods,
+		LostPackets:   tb.Client.LostPackets,
+		Stalls:        tb.Client.Gaps.Gaps(),
+		Received:      tb.Client.Gaps.Received() + tb.Client.Unplayable,
+		Unplayable:    tb.Client.Unplayable,
+		SegDrops:      tb.Segment.Dropped(),
+	}, nil
+}

@@ -1,0 +1,109 @@
+// Trace-replaying HTTP clients: Poisson arrivals at a configured offered
+// rate, one simulated connection per request, completion counted on the
+// FIN packet (figure 8's y-axis).
+package httpd
+
+import (
+	"time"
+
+	"planp.dev/planp/internal/netsim"
+)
+
+// Client replays trace accesses against a target address at an offered
+// request rate.
+type Client struct {
+	Node   *netsim.Node
+	Target netsim.Addr
+	Rate   float64 // offered requests per second
+	Trace  *Trace
+
+	nextPort  uint16
+	inFlight  map[uint16]time.Duration // src port -> request start
+	Completed int64
+	Bytes     int64
+	Latency   time.Duration // cumulative completion latency
+	stopped   bool
+
+	// WarmedCompleted counts completions inside the measurement window
+	// [warmup, end) — excluding both warmup and the post-run drain.
+	warmupAt        time.Duration
+	endAt           time.Duration
+	WarmedCompleted int64
+}
+
+// NewClient binds a client app on node targeting target.
+func NewClient(node *netsim.Node, target netsim.Addr, rate float64, tr *Trace) *Client {
+	c := &Client{
+		Node: node, Target: target, Rate: rate, Trace: tr,
+		nextPort: 10000, inFlight: map[uint16]time.Duration{},
+	}
+	node.BindRaw(c.onPacket)
+	return c
+}
+
+// Start begins issuing requests until end; completions after warmup are
+// counted separately for steady-state throughput.
+func (c *Client) Start(end, warmup time.Duration) {
+	c.warmupAt = warmup
+	c.endAt = end
+	sim := c.Node.Sim()
+	var issue func()
+	issue = func() {
+		if c.stopped || sim.Now() >= end {
+			return
+		}
+		c.request()
+		gap := time.Duration(sim.Rand().ExpFloat64() / c.Rate * float64(time.Second))
+		if gap <= 0 {
+			gap = time.Microsecond
+		}
+		sim.After(gap, issue)
+	}
+	sim.After(time.Duration(sim.Rand().ExpFloat64()/c.Rate*float64(time.Second)), issue)
+}
+
+// Stop halts request issuance.
+func (c *Client) Stop() { c.stopped = true }
+
+func (c *Client) request() {
+	entry := c.Trace.Next()
+	port := c.nextPort
+	c.nextPort++
+	if c.nextPort < 10000 {
+		c.nextPort = 10000 // wrap far from ephemeral floor
+	}
+	c.inFlight[port] = c.Node.Sim().Now()
+	req := netsim.NewTCP(c.Node.Addr, c.Target, port, HTTPPort, 0, netsim.FlagSyn|netsim.FlagPsh, encodeRequest(entry.Size))
+	c.Node.Send(req)
+}
+
+// onPacket counts response data and completions.
+func (c *Client) onPacket(pkt *netsim.Packet) {
+	if pkt.TCP == nil || pkt.TCP.SrcPort != HTTPPort {
+		return
+	}
+	c.Bytes += int64(len(pkt.Payload))
+	if pkt.TCP.Flags&netsim.FlagFin == 0 {
+		return
+	}
+	port := pkt.TCP.DstPort
+	start, ok := c.inFlight[port]
+	if !ok {
+		return
+	}
+	delete(c.inFlight, port)
+	now := c.Node.Sim().Now()
+	c.Completed++
+	c.Latency += now - start
+	if now >= c.warmupAt && now < c.endAt {
+		c.WarmedCompleted++
+	}
+}
+
+// MeanLatency returns the average completion latency.
+func (c *Client) MeanLatency() time.Duration {
+	if c.Completed == 0 {
+		return 0
+	}
+	return c.Latency / time.Duration(c.Completed)
+}

@@ -1,0 +1,75 @@
+package httpd
+
+import (
+	"testing"
+	"time"
+
+	"planp.dev/planp/asp"
+	"planp.dev/planp/internal/planprt"
+)
+
+func TestFailoverASPVerifies(t *testing.T) {
+	p, err := planprt.Load(asp.HTTPGatewayFailover, planprt.Config{Verify: planprt.VerifySingleNode})
+	if err != nil {
+		t.Fatalf("failover gateway must verify for single-node deployment: %v", err)
+	}
+	if len(p.Info.ChannelsByName("network")) != 2 {
+		t.Errorf("expected 2 network channels (TCP + admin), got %d", len(p.Info.ChannelsByName("network")))
+	}
+}
+
+func TestFailoverTimeline(t *testing.T) {
+	res, err := RunFailover(planprt.EngineJIT, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Service ran normally before the crash.
+	if res.CompletedBefore < 600 {
+		t.Errorf("completed %d before crash at 100 req/s over 8s; want ~800", res.CompletedBefore)
+	}
+	// After the administrator marked A down, service continued on B.
+	if res.CompletedAfter < 700 {
+		t.Errorf("completed %d after failover; want ~1000 (10s at 100 req/s)", res.CompletedAfter)
+	}
+	// Both servers participated: A before the crash, B throughout.
+	if res.ServedByA == 0 || res.ServedByB == 0 {
+		t.Errorf("served A=%d B=%d", res.ServedByA, res.ServedByB)
+	}
+	// Losses are confined to the blackout window (2s at 100 req/s, about
+	// half of which were stuck to A).
+	if res.LostDuring > 260 {
+		t.Errorf("lost %d requests; blackout losses should be bounded by the window", res.LostDuring)
+	}
+	if res.LostDuring == 0 {
+		t.Error("expected some losses during the blackout (A's connections)")
+	}
+}
+
+func TestAdminReenable(t *testing.T) {
+	tb, err := NewTestbed(Config{Variant: VariantASPGW, GatewaySource: asp.HTTPGatewayFailover})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTrace(TraceConfig{Accesses: 5000, Documents: 500, ZipfS: 1.2, MeanSize: 4000, Seed: 4})
+	client := NewClient(tb.Clients[0], VirtualAddr, 100, tr)
+	client.Start(12*time.Second, 0)
+
+	// Mark A down from the start; all traffic must go to B.
+	MarkServer(tb.Clients[1], tb.Gateway.Addr, Server0Addr, true)
+	var servedByAAtReenable int64
+	tb.Sim.At(6*time.Second, func() {
+		servedByAAtReenable = tb.ServerA.Served
+		MarkServer(tb.Clients[1], tb.Gateway.Addr, Server0Addr, false)
+	})
+	tb.Sim.RunUntil(13 * time.Second)
+
+	if servedByAAtReenable != 0 {
+		t.Errorf("A served %d while marked down", servedByAAtReenable)
+	}
+	if tb.ServerA.Served == 0 {
+		t.Error("A served nothing after re-enable")
+	}
+	if tb.ServerB.Served == 0 {
+		t.Error("B never served")
+	}
+}

@@ -1,0 +1,111 @@
+// The native ("built-in C") gateway: the same load-balancing behavior as
+// asp/http_gateway.planp, hand-written in Go against the simulator API.
+// Figure 8's curve b; the ASP gateway is curve c.
+package httpd
+
+import (
+	"time"
+
+	"planp.dev/planp/internal/netsim"
+)
+
+// Cluster addressing, shared with asp/http_gateway.planp.
+var (
+	VirtualAddr = netsim.MustAddr("10.0.0.100")
+	Server0Addr = netsim.MustAddr("10.0.0.81")
+	Server1Addr = netsim.MustAddr("10.0.0.109")
+)
+
+// GatewayCPU is the gateway's per-packet processing cost with the
+// compiled engines (JIT or native — the paper's headline result is that
+// these are equal). Calibrated so the gateway saturates near 1.75x a
+// single server's throughput, the operating point figure 8 reports.
+const GatewayCPU = 272 * time.Microsecond
+
+// EngineCPUFactor scales GatewayCPU for the engine ablation: the
+// interpreter pays AST-walking dispatch on every packet, the bytecode VM
+// an instruction loop. Ratios follow the measured per-packet engine
+// microbenchmarks (see bench_test.go).
+func EngineCPUFactor(engine string) time.Duration {
+	switch engine {
+	case "interp":
+		return 8 * GatewayCPU
+	case "bytecode":
+		return 3 * GatewayCPU
+	default: // jit, native
+		return GatewayCPU
+	}
+}
+
+// connKey identifies a client connection.
+type connKey struct {
+	src  netsim.Addr
+	port uint16
+}
+
+// NativeGateway is the hand-written load balancer.
+type NativeGateway struct {
+	node  *netsim.Node
+	conns map[connKey]netsim.Addr
+	count int64
+
+	Requests  int64
+	Responses int64
+}
+
+var _ netsim.Processor = (*NativeGateway)(nil)
+
+// InstallNativeGateway installs the baseline on a node.
+func InstallNativeGateway(node *netsim.Node) *NativeGateway {
+	g := &NativeGateway{node: node, conns: map[connKey]netsim.Addr{}}
+	node.Processor = g
+	return g
+}
+
+// Process implements the request/response rewriting of §3.2.
+func (g *NativeGateway) Process(pkt *netsim.Packet, in *netsim.Iface) bool {
+	if pkt.TCP == nil {
+		return false
+	}
+	switch {
+	case pkt.IP.Dst == VirtualAddr && pkt.TCP.DstPort == HTTPPort:
+		key := connKey{src: pkt.IP.Src, port: pkt.TCP.SrcPort}
+		srv, ok := g.conns[key]
+		if !ok {
+			if g.count%2 == 0 {
+				srv = Server0Addr
+			} else {
+				srv = Server1Addr
+			}
+			g.conns[key] = srv
+		}
+		if pkt.TCP.Flags&netsim.FlagSyn != 0 {
+			g.count++
+		}
+		out := pkt.Clone()
+		out.IP.Dst = srv
+		g.Requests++
+		g.forward(out, in)
+		return true
+
+	case pkt.TCP.SrcPort == HTTPPort && (pkt.IP.Src == Server0Addr || pkt.IP.Src == Server1Addr):
+		out := pkt.Clone()
+		out.IP.Src = VirtualAddr
+		g.Responses++
+		g.forward(out, in)
+		return true
+
+	default:
+		out := pkt.Clone()
+		g.forward(out, in)
+		return true
+	}
+}
+
+func (g *NativeGateway) forward(pkt *netsim.Packet, in *netsim.Iface) {
+	if pkt.IP.TTL <= 1 {
+		return
+	}
+	pkt.IP.TTL--
+	g.node.TransmitFrom(pkt, in)
+}

@@ -1,0 +1,169 @@
+package httpd
+
+import (
+	"testing"
+	"time"
+
+	"planp.dev/planp/internal/netsim"
+	"planp.dev/planp/internal/planprt"
+)
+
+func TestTraceShape(t *testing.T) {
+	tr := NewTrace(DefaultTraceConfig())
+	if len(tr.Entries) != 80000 {
+		t.Fatalf("trace has %d accesses, want 80000", len(tr.Entries))
+	}
+	mean := tr.MeanSize()
+	if mean < 3000 || mean > 12000 {
+		t.Errorf("mean size = %.0f, want a few KB", mean)
+	}
+	// Zipf: the most popular document must dominate.
+	counts := map[int]int{}
+	for _, e := range tr.Entries {
+		counts[e.Doc]++
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < len(tr.Entries)/20 {
+		t.Errorf("most popular doc has %d accesses; expected a Zipf head", max)
+	}
+	// Determinism.
+	tr2 := NewTrace(DefaultTraceConfig())
+	for i := range tr.Entries {
+		if tr.Entries[i] != tr2.Entries[i] {
+			t.Fatal("trace generation is not deterministic")
+		}
+	}
+	// Cycling.
+	first := tr.Next()
+	for i := 1; i < len(tr.Entries); i++ {
+		tr.Next()
+	}
+	if got := tr.Next(); got != first {
+		t.Error("trace does not cycle back to the start")
+	}
+}
+
+func TestSingleServerServes(t *testing.T) {
+	tb, err := NewTestbed(Config{Variant: VariantSingle})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTrace(TraceConfig{Accesses: 1000, Documents: 100, ZipfS: 1.2, MeanSize: 6000, Seed: 3})
+	c := NewClient(tb.Clients[0], Server0Addr, 50, tr)
+	c.Start(5*time.Second, time.Second)
+	tb.Sim.RunUntil(6 * time.Second)
+	if c.Completed < 200 {
+		t.Errorf("completed %d requests at 50 rps over 5s; want ~250", c.Completed)
+	}
+	if c.MeanLatency() > 200*time.Millisecond {
+		t.Errorf("uncontended latency %v too high", c.MeanLatency())
+	}
+	if tb.ServerB.Served != 0 {
+		t.Errorf("single-server variant used server B (%d)", tb.ServerB.Served)
+	}
+}
+
+func TestGatewayBalances(t *testing.T) {
+	for _, variant := range []Variant{VariantASPGW, VariantNativeGW} {
+		t.Run(variant.String(), func(t *testing.T) {
+			tb, err := NewTestbed(Config{Variant: variant})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr := NewTrace(TraceConfig{Accesses: 1000, Documents: 100, ZipfS: 1.2, MeanSize: 6000, Seed: 3})
+			c := NewClient(tb.Clients[0], VirtualAddr, 100, tr)
+			c.Start(5*time.Second, time.Second)
+			tb.Sim.RunUntil(6 * time.Second)
+			if c.Completed < 300 {
+				t.Fatalf("completed %d via gateway, want ~450", c.Completed)
+			}
+			a, b := tb.ServerA.Served, tb.ServerB.Served
+			if a == 0 || b == 0 {
+				t.Errorf("load not balanced: A=%d B=%d", a, b)
+			}
+			ratio := float64(a) / float64(a+b)
+			if ratio < 0.4 || ratio > 0.6 {
+				t.Errorf("modulo policy should split evenly, got A=%d B=%d", a, b)
+			}
+		})
+	}
+}
+
+func TestSaturationOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long virtual runs")
+	}
+	sat := map[Variant]float64{}
+	for _, v := range []Variant{VariantSingle, VariantASPGW, VariantNativeGW, VariantDisjoint} {
+		s, err := Saturation(Config{Variant: v}, 20*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sat[v] = s
+	}
+	single, aspGW, natGW, disjoint := sat[VariantSingle], sat[VariantASPGW], sat[VariantNativeGW], sat[VariantDisjoint]
+	t.Logf("saturation: single=%.0f asp=%.0f native=%.0f disjoint=%.0f", single, aspGW, natGW, disjoint)
+
+	// Paper claims: (1) ASP == built-in C gateway.
+	if d := aspGW/natGW - 1; d < -0.05 || d > 0.05 {
+		t.Errorf("ASP (%.0f) vs native (%.0f) gateway differ by more than 5%%", aspGW, natGW)
+	}
+	// (2) Cluster serves ~1.75x a single server.
+	if r := aspGW / single; r < 1.5 || r > 1.95 {
+		t.Errorf("cluster/single = %.2f, want ~1.75", r)
+	}
+	// (3) Gateway reaches ~85% of two servers with disjoint clients.
+	if r := aspGW / disjoint; r < 0.72 || r > 0.95 {
+		t.Errorf("cluster/disjoint = %.2f, want ~0.85", r)
+	}
+	// (4) Disjoint clients double the single server.
+	if r := disjoint / single; r < 1.8 || r > 2.2 {
+		t.Errorf("disjoint/single = %.2f, want ~2", r)
+	}
+}
+
+func TestInterpreterGatewaySlower(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long virtual runs")
+	}
+	jit, err := Saturation(Config{Variant: VariantASPGW, Engine: planprt.EngineJIT}, 15*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	interp, err := Saturation(Config{Variant: VariantASPGW, Engine: planprt.EngineInterp}, 15*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if interp >= jit {
+		t.Errorf("interpreted gateway (%.0f) should saturate below the JIT gateway (%.0f)", interp, jit)
+	}
+}
+
+func TestResponsesCarryVirtualAddress(t *testing.T) {
+	tb, err := NewTestbed(Config{Variant: VariantASPGW})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTrace(TraceConfig{Accesses: 10, Documents: 5, ZipfS: 1.2, MeanSize: 2000, Seed: 9})
+	c := NewClient(tb.Clients[0], VirtualAddr, 10, tr)
+	sawPhysical := false
+	tb.Clients[0].Tap(func(pkt *netsim.Packet) {
+		if pkt.TCP != nil && pkt.TCP.SrcPort == HTTPPort &&
+			(pkt.IP.Src == Server0Addr || pkt.IP.Src == Server1Addr) {
+			sawPhysical = true
+		}
+	})
+	c.Start(2*time.Second, 0)
+	tb.Sim.RunUntil(3 * time.Second)
+	if c.Completed == 0 {
+		t.Fatal("no requests completed")
+	}
+	if sawPhysical {
+		t.Error("client saw a physical server address; the gateway must restore the virtual address")
+	}
+}

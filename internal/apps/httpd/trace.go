@@ -1,0 +1,90 @@
+// Synthetic access trace: the stand-in for the paper's replay of 80000
+// real accesses to the IRISA web server. Document popularity follows a
+// Zipf law and response sizes a heavy-tailed mixture, the standard
+// empirical shape of 1990s web traffic, so server work per request
+// varies the way the original trace made it vary.
+package httpd
+
+import (
+	"math"
+	"math/rand"
+)
+
+// TraceEntry is one access: a document id and its response size.
+type TraceEntry struct {
+	Doc  int
+	Size int // response bytes
+}
+
+// Trace is a reproducible synthetic access log.
+type Trace struct {
+	Entries []TraceEntry
+	next    int
+}
+
+// TraceConfig parameterizes trace synthesis.
+type TraceConfig struct {
+	Accesses  int     // total accesses (paper: 80000)
+	Documents int     // distinct documents
+	ZipfS     float64 // Zipf skew (>1)
+	MeanSize  int     // mean response size in bytes
+	Seed      int64
+}
+
+// DefaultTraceConfig mirrors the paper's replay scale.
+func DefaultTraceConfig() TraceConfig {
+	return TraceConfig{Accesses: 80000, Documents: 2000, ZipfS: 1.2, MeanSize: 6000, Seed: 1}
+}
+
+// NewTrace synthesizes a trace.
+func NewTrace(cfg TraceConfig) *Trace {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	zipf := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.Documents-1))
+
+	// Per-document sizes: lognormal body with a floor, scaled to the
+	// requested mean.
+	sizes := make([]int, cfg.Documents)
+	var total float64
+	for i := range sizes {
+		s := math.Exp(rng.NormFloat64()*1.0 + 8.0) // median ~3 KB, heavy tail
+		if s < 256 {
+			s = 256
+		}
+		if s > 200_000 {
+			s = 200_000
+		}
+		sizes[i] = int(s)
+		total += s
+	}
+	scale := float64(cfg.MeanSize) * float64(cfg.Documents) / total
+	for i := range sizes {
+		sizes[i] = int(float64(sizes[i]) * scale)
+		if sizes[i] < 128 {
+			sizes[i] = 128
+		}
+	}
+
+	t := &Trace{Entries: make([]TraceEntry, cfg.Accesses)}
+	for i := range t.Entries {
+		doc := int(zipf.Uint64())
+		t.Entries[i] = TraceEntry{Doc: doc, Size: sizes[doc]}
+	}
+	return t
+}
+
+// Next returns the next access, cycling when the trace is exhausted
+// (clients "continuously issue requests", §3.2).
+func (t *Trace) Next() TraceEntry {
+	e := t.Entries[t.next]
+	t.next = (t.next + 1) % len(t.Entries)
+	return e
+}
+
+// MeanSize returns the trace's observed mean response size.
+func (t *Trace) MeanSize() float64 {
+	var sum int64
+	for _, e := range t.Entries {
+		sum += int64(e.Size)
+	}
+	return float64(sum) / float64(len(t.Entries))
+}

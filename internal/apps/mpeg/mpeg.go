@@ -1,0 +1,290 @@
+// Package mpeg implements the §3.3 experiment: a point-to-point MPEG
+// video server (the OGI player stand-in), clients, and the monitor /
+// capture ASP deployment that turns one server connection into
+// multipoint delivery on a shared segment.
+//
+// Wire protocol (shared with asp/mpeg_monitor.planp and
+// asp/mpeg_client.planp):
+//
+//	request   TCP  client -> server:7000   'R' stream:int32
+//	setup     TCP  server:7000 -> client   'S' stream:int32 setup:blob
+//	teardown  TCP  client -> server:7000   'F' stream:int32
+//	data      UDP  server:7000 -> client:7001  'D' frame:byte seq:int32 payload
+//	query     UDP  client -> monitor:7002  'Q' stream:int32
+//	reply     tagged channel "mreply"      primary:host stream:int32 setup:blob
+package mpeg
+
+import (
+	"time"
+
+	"planp.dev/planp/internal/netsim"
+)
+
+// Protocol ports (shared with the ASP sources).
+const (
+	ServerPort = 7000
+	DataPort   = 7001
+	QueryPort  = 7002
+)
+
+// Message tags.
+const (
+	TagRequest  = 'R'
+	TagSetup    = 'S'
+	TagTeardown = 'F'
+	TagData     = 'D'
+	TagQuery    = 'Q'
+)
+
+// Stream parameters: a 1.5 Mb/s MPEG-1 stream at 25 frames/s with a
+// 12-frame GOP (IBBPBBPBBPBB).
+const (
+	FrameInterval = 40 * time.Millisecond
+	GOPPattern    = "IBBPBBPBBPBB"
+	IFrameBytes   = 12000
+	PFrameBytes   = 5000
+	BFrameBytes   = 2200
+)
+
+// frameSize returns the byte size for the GOP position.
+func frameSize(pos int) (byte, int) {
+	switch GOPPattern[pos%len(GOPPattern)] {
+	case 'I':
+		return 'I', IFrameBytes
+	case 'P':
+		return 'P', PFrameBytes
+	default:
+		return 'B', BFrameBytes
+	}
+}
+
+// putU32 appends a big-endian uint32.
+func putU32(b []byte, v uint32) []byte {
+	return append(b, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+// u32 reads a big-endian uint32 at offset i (caller checks bounds).
+func u32(b []byte, i int) uint32 {
+	return uint32(b[i])<<24 | uint32(b[i+1])<<16 | uint32(b[i+2])<<8 | uint32(b[i+3])
+}
+
+// controlMsg builds 'R'/'F'/'Q' payloads.
+func controlMsg(tag byte, stream uint32) []byte {
+	return putU32([]byte{tag}, stream)
+}
+
+// setupMsg builds the 'S' payload.
+func setupMsg(stream uint32, setup []byte) []byte {
+	return append(putU32([]byte{TagSetup}, stream), setup...)
+}
+
+// dataMsg builds a 'D' payload.
+func dataMsg(stream uint32, frame byte, seq uint32, size int) []byte {
+	b := putU32([]byte{TagData}, stream)
+	b = append(b, frame)
+	b = putU32(b, seq)
+	return append(b, make([]byte, size)...)
+}
+
+// connection is one active point-to-point stream at the server.
+type connection struct {
+	stream  uint32
+	client  netsim.Addr
+	port    uint16
+	seq     uint32
+	pos     int
+	stopped bool
+}
+
+// Server is the unmodified point-to-point video server: one stream per
+// requesting client, no awareness of sharing.
+type Server struct {
+	Node *netsim.Node
+
+	conns map[uint32]*connection // keyed by stream; one viewer each
+
+	// Connections counts every connection ever opened — the server
+	// load figure the experiment compares (§3.3: with the ASPs, it
+	// stays at 1 regardless of the number of viewers).
+	Connections int64
+	FramesSent  int64
+	BytesSent   int64
+}
+
+// NewServer binds the video server on node.
+func NewServer(node *netsim.Node) *Server {
+	s := &Server{Node: node, conns: map[uint32]*connection{}}
+	node.BindTCP(ServerPort, s.onControl)
+	return s
+}
+
+func (s *Server) onControl(pkt *netsim.Packet) {
+	b := pkt.Payload
+	if len(b) < 5 || pkt.TCP == nil {
+		return
+	}
+	stream := u32(b, 1)
+	switch b[0] {
+	case TagRequest:
+		// The point-to-point server serves each request with its own
+		// connection; a second request for the same stream replaces
+		// the first (the experiment never does this — sharing is the
+		// ASPs' job, invisible to the server).
+		conn := &connection{stream: stream, client: pkt.IP.Src, port: pkt.TCP.SrcPort}
+		s.conns[stream] = conn
+		s.Connections++
+		// Setup response: decoder initialization blob (opaque bytes
+		// derived from the stream id).
+		setup := []byte{byte(stream), 0xBE, 0xEF, byte(stream >> 8)}
+		resp := netsim.NewTCP(s.Node.Addr, pkt.IP.Src, ServerPort, pkt.TCP.SrcPort, 0, netsim.FlagAck, setupMsg(stream, setup))
+		s.Node.Send(resp)
+		s.stream(conn)
+	case TagTeardown:
+		if conn, ok := s.conns[stream]; ok && conn.client == pkt.IP.Src {
+			conn.stopped = true
+			delete(s.conns, stream)
+		}
+	}
+}
+
+// stream emits frames at the frame rate until torn down.
+func (s *Server) stream(conn *connection) {
+	var tick func()
+	tick = func() {
+		if conn.stopped {
+			return
+		}
+		frame, size := frameSize(conn.pos)
+		conn.pos++
+		conn.seq++
+		pkt := netsim.NewUDP(s.Node.Addr, conn.client, ServerPort, DataPort, dataMsg(conn.stream, frame, conn.seq, size))
+		s.Node.Send(pkt)
+		s.FramesSent++
+		s.BytesSent += int64(size)
+		s.Node.Sim().After(FrameInterval, tick)
+	}
+	s.Node.Sim().After(FrameInterval, tick)
+}
+
+// Client is the (slightly modified, as in the paper) video player: it
+// first asks the monitor whether the stream is already on the segment,
+// then either consumes captured traffic or opens its own connection.
+type Client struct {
+	Node    *netsim.Node
+	Server  netsim.Addr
+	Monitor netsim.Addr
+	Stream  uint32
+
+	// UseMonitor mirrors the paper's client modification; false gives
+	// the baseline client that always connects directly.
+	UseMonitor bool
+
+	Frames      int64
+	Bytes       int64
+	IFrames     int64
+	Setup       []byte
+	SharedWith  netsim.Addr // primary client when viewing a shared stream
+	Connected   bool        // opened its own server connection
+	QueryAnswer bool
+	ctrlPort    uint16
+}
+
+// NewClient binds a player on node.
+func NewClient(node *netsim.Node, server, monitor netsim.Addr, stream uint32, useMonitor bool) *Client {
+	c := &Client{Node: node, Server: server, Monitor: monitor, Stream: stream,
+		UseMonitor: useMonitor, ctrlPort: uint16(20000 + stream%1000)}
+	node.BindUDP(DataPort, c.onData)
+	node.BindUDP(QueryPort, c.onReply)
+	node.BindTCP(c.ctrlPort, c.onControl)
+	return c
+}
+
+// Start begins playback: query the monitor (if enabled) or connect.
+func (c *Client) Start() {
+	if c.UseMonitor {
+		q := netsim.NewUDP(c.Node.Addr, c.Monitor, QueryPort, QueryPort, controlMsg(TagQuery, c.Stream))
+		c.Node.Send(q)
+		// If the monitor does not answer promptly (no monitor on the
+		// segment), fall back to a direct connection.
+		c.Node.Sim().After(500*time.Millisecond, func() {
+			if !c.QueryAnswer && !c.Connected {
+				c.connect()
+			}
+		})
+		return
+	}
+	c.connect()
+}
+
+func (c *Client) connect() {
+	c.Connected = true
+	req := netsim.NewTCP(c.Node.Addr, c.Server, c.ctrlPort, ServerPort, 0, netsim.FlagSyn|netsim.FlagPsh, controlMsg(TagRequest, c.Stream))
+	c.Node.Send(req)
+}
+
+// Teardown closes the client's own connection (no-op for shared
+// viewers).
+func (c *Client) Teardown() {
+	if !c.Connected {
+		return
+	}
+	fin := netsim.NewTCP(c.Node.Addr, c.Server, c.ctrlPort, ServerPort, 1, netsim.FlagFin|netsim.FlagPsh, controlMsg(TagTeardown, c.Stream))
+	c.Node.Send(fin)
+}
+
+// onControl handles the server's setup response.
+func (c *Client) onControl(pkt *netsim.Packet) {
+	b := pkt.Payload
+	if len(b) >= 5 && b[0] == TagSetup && u32(b, 1) == c.Stream {
+		c.Setup = append([]byte(nil), b[5:]...)
+	}
+}
+
+// onData consumes stream data — whether addressed to us or captured off
+// the segment by the client ASP.
+func (c *Client) onData(pkt *netsim.Packet) {
+	b := pkt.Payload
+	if len(b) < 10 || b[0] != TagData || u32(b, 1) != c.Stream {
+		return
+	}
+	// Without a setup blob the decoder cannot start.
+	if c.Setup == nil {
+		return
+	}
+	c.Frames++
+	c.Bytes += int64(len(b) - 10)
+	if b[5] == 'I' {
+		c.IFrames++
+	}
+}
+
+// onReply handles the monitor's answer (delivered by the mreply channel
+// of the client ASP: payload host:4 stream:4 len-prefixed? — the reply
+// arrives as the raw encoded packet of the ASP's tuple).
+func (c *Client) onReply(pkt *netsim.Packet) {
+	// The capture ASP runs promiscuously and also delivers replies
+	// addressed to other clients on the segment; only ours counts.
+	if pkt.IP.Dst != c.Node.Addr {
+		return
+	}
+	b := pkt.Payload
+	// Encoded tuple payload: host(4) int(4) blob(rest).
+	if len(b) < 8 {
+		return
+	}
+	c.QueryAnswer = true
+	primary := netsim.Addr(u32(b, 0))
+	stream := u32(b, 4)
+	if stream != c.Stream {
+		return
+	}
+	if primary == 0 {
+		// Not on the segment: open our own connection.
+		if !c.Connected {
+			c.connect()
+		}
+		return
+	}
+	c.SharedWith = primary
+	c.Setup = append([]byte(nil), b[8:]...)
+}

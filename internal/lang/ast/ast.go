@@ -1,0 +1,463 @@
+// Package ast defines the abstract syntax tree for PLAN-P programs and
+// the syntax of PLAN-P types.
+//
+// A program is a sequence of declarations: top-level value bindings,
+// (non-recursive) function definitions, and channel definitions. Channel
+// functions receive the protocol state, the channel state, and the packet,
+// and must evaluate to the pair of new states (the paper's execution
+// model, §2).
+package ast
+
+import (
+	"fmt"
+	"strings"
+
+	"planp.dev/planp/internal/lang/token"
+)
+
+// ---------------------------------------------------------------------------
+// Types
+
+// Type is the syntax of a PLAN-P type. Types are structural: two types are
+// the same iff Equal reports true.
+type Type interface {
+	fmt.Stringer
+	typ()
+}
+
+// BaseKind enumerates the built-in scalar and header types.
+type BaseKind int
+
+// Base type kinds.
+const (
+	TInt BaseKind = iota + 1
+	TBool
+	TString
+	TChar
+	TUnit
+	THost
+	TBlob // uninterpreted packet payload
+	TIP   // IP header
+	TTCP  // TCP header
+	TUDP  // UDP header
+)
+
+var baseNames = map[BaseKind]string{
+	TInt:    "int",
+	TBool:   "bool",
+	TString: "string",
+	TChar:   "char",
+	TUnit:   "unit",
+	THost:   "host",
+	TBlob:   "blob",
+	TIP:     "ip",
+	TTCP:    "tcp",
+	TUDP:    "udp",
+}
+
+// BaseTypes maps type names as written in source to their kind.
+var BaseTypes = map[string]BaseKind{
+	"int": TInt, "bool": TBool, "string": TString, "char": TChar,
+	"unit": TUnit, "host": THost, "blob": TBlob,
+	"ip": TIP, "tcp": TTCP, "udp": TUDP,
+}
+
+// Base is a built-in type such as int or ip.
+type Base struct{ Kind BaseKind }
+
+func (Base) typ() {}
+
+func (b Base) String() string { return baseNames[b.Kind] }
+
+// Tuple is a product type t1*t2*...*tn with n >= 2.
+type Tuple struct{ Elems []Type }
+
+func (Tuple) typ() {}
+
+func (t Tuple) String() string {
+	parts := make([]string, len(t.Elems))
+	for i, e := range t.Elems {
+		if _, ok := e.(Tuple); ok {
+			parts[i] = "(" + e.String() + ")"
+		} else {
+			parts[i] = e.String()
+		}
+	}
+	return strings.Join(parts, "*")
+}
+
+// Table is a hash table type "(elem) hash_table". Keys are any equality
+// type; the element type is the type of stored values.
+type Table struct{ Elem Type }
+
+func (Table) typ() {}
+
+func (t Table) String() string { return "(" + t.Elem.String() + ") hash_table" }
+
+// List is a homogeneous list type "(elem) list".
+type List struct{ Elem Type }
+
+func (List) typ() {}
+
+func (t List) String() string { return "(" + t.Elem.String() + ") list" }
+
+// Convenience singletons for the base types.
+var (
+	IntT    = Base{Kind: TInt}
+	BoolT   = Base{Kind: TBool}
+	StringT = Base{Kind: TString}
+	CharT   = Base{Kind: TChar}
+	UnitT   = Base{Kind: TUnit}
+	HostT   = Base{Kind: THost}
+	BlobT   = Base{Kind: TBlob}
+	IPT     = Base{Kind: TIP}
+	TCPT    = Base{Kind: TTCP}
+	UDPT    = Base{Kind: TUDP}
+)
+
+// Equal reports whether two types are structurally identical.
+func Equal(a, b Type) bool {
+	switch a := a.(type) {
+	case Base:
+		b, ok := b.(Base)
+		return ok && a.Kind == b.Kind
+	case Tuple:
+		b, ok := b.(Tuple)
+		if !ok || len(a.Elems) != len(b.Elems) {
+			return false
+		}
+		for i := range a.Elems {
+			if !Equal(a.Elems[i], b.Elems[i]) {
+				return false
+			}
+		}
+		return true
+	case Table:
+		b, ok := b.(Table)
+		return ok && Equal(a.Elem, b.Elem)
+	case List:
+		b, ok := b.(List)
+		return ok && Equal(a.Elem, b.Elem)
+	default:
+		return false
+	}
+}
+
+// IsEquality reports whether values of type t may be compared with = / <>
+// and used as hash-table keys. Tables are mutable references and are not
+// equality types; blobs and headers are compared by content.
+func IsEquality(t Type) bool {
+	switch t := t.(type) {
+	case Base:
+		return true // all base types (including headers and blobs) support equality
+	case Tuple:
+		for _, e := range t.Elems {
+			if !IsEquality(e) {
+				return false
+			}
+		}
+		return true
+	case List:
+		return IsEquality(t.Elem)
+	case Table:
+		return false
+	default:
+		return false
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+// Expr is a PLAN-P expression node.
+type Expr interface {
+	Pos() token.Pos
+	expr()
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Value int64
+	At    token.Pos
+}
+
+// BoolLit is true or false.
+type BoolLit struct {
+	Value bool
+	At    token.Pos
+}
+
+// StringLit is a double-quoted string literal.
+type StringLit struct {
+	Value string
+	At    token.Pos
+}
+
+// CharLit is a character literal.
+type CharLit struct {
+	Value byte
+	At    token.Pos
+}
+
+// UnitLit is the value (), written as an empty parenthesis pair.
+type UnitLit struct {
+	At token.Pos
+}
+
+// HostLit is a dotted-quad IP address literal such as 131.254.60.81.
+type HostLit struct {
+	Addr uint32 // big-endian packed IPv4 address
+	Text string
+	At   token.Pos
+}
+
+// Var is an identifier reference.
+type Var struct {
+	Name string
+	At   token.Pos
+
+	// Slot is filled by the type checker: the resolved lexical slot in
+	// the flat frame layout, used by the compiled engines. -1 for
+	// top-level bindings (resolved through Global).
+	Slot   int
+	Global int // index into program globals when Slot == -1
+}
+
+// Proj is tuple projection "#n e" (1-based, per ML convention).
+type Proj struct {
+	Index int // 1-based
+	Tuple Expr
+	At    token.Pos
+}
+
+// Call is a call to a primitive, a user fun, or a channel-valued argument
+// position (OnRemote's first argument is a channel name and is treated
+// specially by the checker).
+type Call struct {
+	Name string
+	Args []Expr
+	At   token.Pos
+
+	// Resolution, filled by the type checker.
+	PrimIndex int // >= 0 when calling a primitive
+	FunIndex  int // >= 0 when calling a user fun
+}
+
+// ChanRef is a channel name used as an argument to OnRemote/OnNeighbor.
+type ChanRef struct {
+	Name string
+	At   token.Pos
+}
+
+// Let is "let val x1 : t1 = e1 ... in body end".
+type Let struct {
+	Binds []LetBind
+	Body  Expr
+	At    token.Pos
+}
+
+// LetBind is one "val x : t = e" binding inside a let.
+type LetBind struct {
+	Name string
+	Type Type
+	Init Expr
+	Slot int // filled by the checker
+}
+
+// If is "if cond then a else b". Both arms are mandatory (expressions,
+// not statements).
+type If struct {
+	Cond Expr
+	Then Expr
+	Else Expr
+	At   token.Pos
+}
+
+// Seq is "(e1; e2; ...; en)" — evaluates all, yields the last.
+type Seq struct {
+	Exprs []Expr
+	At    token.Pos
+}
+
+// TupleExpr is "(e1, e2, ..., en)" with n >= 2.
+type TupleExpr struct {
+	Elems []Expr
+	At    token.Pos
+}
+
+// Unary is "not e" or unary minus.
+type Unary struct {
+	Op string // "not" | "-"
+	X  Expr
+	At token.Pos
+}
+
+// Binary is a binary operation. Op is the source operator: one of
+// = <> < <= > >= + - * / mod ^ andalso orelse.
+type Binary struct {
+	Op   string
+	L, R Expr
+	At   token.Pos
+
+	// OperandType is filled by the checker for = and <> so the engines
+	// can pick a comparison routine.
+	OperandType Type
+}
+
+// Try is "try e handle h end": evaluates e; if any PLAN-P exception is
+// raised, evaluates h instead. Both must have the same type.
+type Try struct {
+	Body    Expr
+	Handler Expr
+	At      token.Pos
+}
+
+// Raise is "raise s": raises a PLAN-P exception carrying message s.
+// A raise expression has any type required by context.
+type Raise struct {
+	Msg Expr // must be string
+	At  token.Pos
+}
+
+func (e *IntLit) Pos() token.Pos    { return e.At }
+func (e *BoolLit) Pos() token.Pos   { return e.At }
+func (e *StringLit) Pos() token.Pos { return e.At }
+func (e *CharLit) Pos() token.Pos   { return e.At }
+func (e *UnitLit) Pos() token.Pos   { return e.At }
+func (e *HostLit) Pos() token.Pos   { return e.At }
+func (e *Var) Pos() token.Pos       { return e.At }
+func (e *Proj) Pos() token.Pos      { return e.At }
+func (e *Call) Pos() token.Pos      { return e.At }
+func (e *ChanRef) Pos() token.Pos   { return e.At }
+func (e *Let) Pos() token.Pos       { return e.At }
+func (e *If) Pos() token.Pos        { return e.At }
+func (e *Seq) Pos() token.Pos       { return e.At }
+func (e *TupleExpr) Pos() token.Pos { return e.At }
+func (e *Unary) Pos() token.Pos     { return e.At }
+func (e *Binary) Pos() token.Pos    { return e.At }
+func (e *Try) Pos() token.Pos       { return e.At }
+func (e *Raise) Pos() token.Pos     { return e.At }
+
+func (*IntLit) expr()    {}
+func (*BoolLit) expr()   {}
+func (*StringLit) expr() {}
+func (*CharLit) expr()   {}
+func (*UnitLit) expr()   {}
+func (*HostLit) expr()   {}
+func (*Var) expr()       {}
+func (*Proj) expr()      {}
+func (*Call) expr()      {}
+func (*ChanRef) expr()   {}
+func (*Let) expr()       {}
+func (*If) expr()        {}
+func (*Seq) expr()       {}
+func (*TupleExpr) expr() {}
+func (*Unary) expr()     {}
+func (*Binary) expr()    {}
+func (*Try) expr()       {}
+func (*Raise) expr()     {}
+
+// ---------------------------------------------------------------------------
+// Declarations
+
+// Param is a named, typed parameter.
+type Param struct {
+	Name string
+	Type Type
+}
+
+// ValDecl is a top-level "val name : type = expr".
+type ValDecl struct {
+	Name string
+	Type Type
+	Init Expr
+	At   token.Pos
+}
+
+// FunDecl is "fun name(p1 : t1, ...) : ret = body". Functions are not
+// recursive: the body may reference only primitives, previously declared
+// vals/funs, and the parameters. This restriction gives PLAN-P local
+// termination by construction (§2.1).
+type FunDecl struct {
+	Name   string
+	Params []Param
+	Ret    Type
+	Body   Expr
+	At     token.Pos
+}
+
+// ChannelDecl is a channel function:
+//
+//	channel name(ps : PT, ss : ST, p : PKT) initstate e is body
+//
+// Channels named "network" apply to all packets whose decoded form matches
+// PKT (overloaded channels are multiple network declarations with distinct
+// PKT). The body must have type PT*ST.
+type ChannelDecl struct {
+	Name      string
+	Params    []Param // exactly: protocol state, channel state, packet
+	InitState Expr    // optional; nil means zero value of ST
+	Body      Expr
+	At        token.Pos
+}
+
+// ProtoState returns the declared protocol-state type.
+func (c *ChannelDecl) ProtoState() Type { return c.Params[0].Type }
+
+// ChanState returns the declared channel-state type.
+func (c *ChannelDecl) ChanState() Type { return c.Params[1].Type }
+
+// PacketType returns the declared packet type.
+func (c *ChannelDecl) PacketType() Type { return c.Params[2].Type }
+
+// Decl is any top-level declaration.
+type Decl interface {
+	DeclName() string
+	DeclPos() token.Pos
+}
+
+func (d *ValDecl) DeclName() string     { return d.Name }
+func (d *FunDecl) DeclName() string     { return d.Name }
+func (d *ChannelDecl) DeclName() string { return d.Name }
+
+func (d *ValDecl) DeclPos() token.Pos     { return d.At }
+func (d *FunDecl) DeclPos() token.Pos     { return d.At }
+func (d *ChannelDecl) DeclPos() token.Pos { return d.At }
+
+// Program is a parsed PLAN-P protocol: an ordered list of declarations.
+type Program struct {
+	Decls []Decl
+}
+
+// Channels returns the channel declarations in order.
+func (p *Program) Channels() []*ChannelDecl {
+	var out []*ChannelDecl
+	for _, d := range p.Decls {
+		if c, ok := d.(*ChannelDecl); ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Funs returns the function declarations in order.
+func (p *Program) Funs() []*FunDecl {
+	var out []*FunDecl
+	for _, d := range p.Decls {
+		if f, ok := d.(*FunDecl); ok {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Vals returns the top-level value declarations in order.
+func (p *Program) Vals() []*ValDecl {
+	var out []*ValDecl
+	for _, d := range p.Decls {
+		if v, ok := d.(*ValDecl); ok {
+			out = append(out, v)
+		}
+	}
+	return out
+}

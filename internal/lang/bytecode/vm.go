@@ -1,0 +1,219 @@
+// The bytecode VM: a register machine with an explicit handler stack for
+// try/handle. PLAN-P exceptions raised inside primitives arrive as Go
+// panics carrying value.Exception; the VM converts them into transfers
+// to the innermost handler, or returns them as errors from the invoke
+// boundary.
+package bytecode
+
+import (
+	"fmt"
+
+	"planp.dev/planp/internal/lang/ast"
+	"planp.dev/planp/internal/lang/engine"
+	"planp.dev/planp/internal/lang/prims"
+	"planp.dev/planp/internal/lang/value"
+)
+
+// vm executes code objects for one instance.
+type vm struct {
+	c       *compiled
+	ctx     prims.Context
+	globals []value.Value
+}
+
+func (c *compiled) NewInstance(ctx prims.Context) (*engine.Instance, error) {
+	m := &vm{c: c, ctx: ctx}
+	for i, fn := range c.globals {
+		v, err := m.exec(fn, make([]value.Value, fn.NumRegs))
+		if err != nil {
+			return nil, fmt.Errorf("val %s: %w", c.info.Globals[i].Decl.Name, err)
+		}
+		m.globals = append(m.globals, v)
+	}
+	initIdx := 0
+	proto, chans, err := engine.InitStates(c.info, func(_ ast.Expr, _ int) (value.Value, error) {
+		for c.initStates[initIdx] == nil {
+			initIdx++
+		}
+		fn := c.initStates[initIdx]
+		initIdx++
+		return m.exec(fn, make([]value.Value, fn.NumRegs))
+	})
+	if err != nil {
+		return nil, err
+	}
+	invoke := func(ci int, ctx prims.Context, ps, ss, pkt value.Value) (value.Value, value.Value, error) {
+		fn := c.bodies[ci]
+		frame := make([]value.Value, fn.NumRegs)
+		frame[0], frame[1], frame[2] = ps, ss, pkt
+		res, err := (&vm{c: c, ctx: ctx, globals: m.globals}).exec(fn, frame)
+		if err != nil {
+			return value.Unit, value.Unit, err
+		}
+		return res.Vs[0], res.Vs[1], nil
+	}
+	return engine.NewInstance(c, proto, chans, invoke), nil
+}
+
+// exec runs fn to completion, converting an unhandled PLAN-P exception
+// into an error.
+func (m *vm) exec(fn *Fn, regs []value.Value) (value.Value, error) {
+	pc := 0
+	var handlers []int
+	for {
+		res, newPC, err := m.run(fn, regs, pc, &handlers)
+		if err == nil && newPC < 0 {
+			return res, nil
+		}
+		if err != nil {
+			// Exception: transfer to the innermost handler if any.
+			if n := len(handlers); n > 0 {
+				pc = handlers[n-1]
+				handlers = handlers[:n-1]
+				continue
+			}
+			return value.Unit, err
+		}
+		pc = newPC
+	}
+}
+
+// run executes instructions from pc until OpReturn (newPC = -1) or a
+// PLAN-P exception (err != nil). It recovers panics carrying
+// value.Exception; other panics propagate (they are engine bugs).
+func (m *vm) run(fn *Fn, r []value.Value, pc int, handlers *[]int) (res value.Value, newPC int, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			if ex, ok := rec.(value.Exception); ok {
+				err = ex
+				return
+			}
+			panic(rec)
+		}
+	}()
+	code := fn.Code
+	for {
+		in := code[pc]
+		pc++
+		switch in.Op {
+		case OpNop:
+
+		case OpConst:
+			r[in.A] = fn.Consts[in.B]
+		case OpMove:
+			r[in.A] = r[in.B]
+		case OpGlobal:
+			r[in.A] = m.globals[in.B]
+
+		case OpProj:
+			r[in.A] = r[in.B].Vs[in.C]
+		case OpTuple:
+			elems := make([]value.Value, in.C)
+			copy(elems, r[in.B:in.B+in.C])
+			r[in.A] = value.TupleV(elems...)
+
+		case OpJump:
+			pc = in.A
+		case OpJumpIfF:
+			if r[in.A].I == 0 {
+				pc = in.B
+			}
+		case OpJumpIfT:
+			if r[in.A].I != 0 {
+				pc = in.B
+			}
+
+		case OpAdd:
+			r[in.A] = value.Int(r[in.B].I + r[in.C].I)
+		case OpSub:
+			r[in.A] = value.Int(r[in.B].I - r[in.C].I)
+		case OpMul:
+			r[in.A] = value.Int(r[in.B].I * r[in.C].I)
+		case OpDiv:
+			if r[in.C].I == 0 {
+				value.Raise("division by zero")
+			}
+			r[in.A] = value.Int(r[in.B].I / r[in.C].I)
+		case OpMod:
+			if r[in.C].I == 0 {
+				value.Raise("mod by zero")
+			}
+			r[in.A] = value.Int(r[in.B].I % r[in.C].I)
+		case OpNeg:
+			r[in.A] = value.Int(-r[in.B].I)
+		case OpNot:
+			r[in.A] = value.Bool(r[in.B].I == 0)
+		case OpConcat:
+			r[in.A] = value.Str(r[in.B].S + r[in.C].S)
+
+		case OpEqI:
+			r[in.A] = value.Bool(r[in.B].I == r[in.C].I)
+		case OpNeI:
+			r[in.A] = value.Bool(r[in.B].I != r[in.C].I)
+		case OpEqS:
+			r[in.A] = value.Bool(r[in.B].S == r[in.C].S)
+		case OpNeS:
+			r[in.A] = value.Bool(r[in.B].S != r[in.C].S)
+		case OpEqV:
+			r[in.A] = value.Bool(value.Equal(r[in.B], r[in.C]))
+		case OpNeV:
+			r[in.A] = value.Bool(!value.Equal(r[in.B], r[in.C]))
+		case OpLtI:
+			r[in.A] = value.Bool(r[in.B].I < r[in.C].I)
+		case OpLeI:
+			r[in.A] = value.Bool(r[in.B].I <= r[in.C].I)
+		case OpGtI:
+			r[in.A] = value.Bool(r[in.B].I > r[in.C].I)
+		case OpGeI:
+			r[in.A] = value.Bool(r[in.B].I >= r[in.C].I)
+		case OpLtS:
+			r[in.A] = value.Bool(r[in.B].S < r[in.C].S)
+		case OpLeS:
+			r[in.A] = value.Bool(r[in.B].S <= r[in.C].S)
+		case OpGtS:
+			r[in.A] = value.Bool(r[in.B].S > r[in.C].S)
+		case OpGeS:
+			r[in.A] = value.Bool(r[in.B].S >= r[in.C].S)
+
+		case OpCallPrim:
+			fnp := prims.Get(in.B).Fn
+			r[in.A] = fnp(m.ctx, r[in.C:in.C+in.Aux])
+
+		case OpCallFun:
+			callee := m.c.funs[in.B]
+			cframe := make([]value.Value, callee.NumRegs)
+			copy(cframe, r[in.C:in.C+in.Aux])
+			v, cerr := m.exec(callee, cframe)
+			if cerr != nil {
+				// Re-panic the original exception so the caller's
+				// handler stack sees it unchanged.
+				if ex, ok := cerr.(value.Exception); ok {
+					panic(ex)
+				}
+				panic(cerr)
+			}
+			r[in.A] = v
+
+		case OpSend:
+			if in.C == 0 {
+				m.ctx.OnRemote(fn.ChanNames[in.A], r[in.B])
+			} else {
+				m.ctx.OnNeighbor(fn.ChanNames[in.A], r[in.B])
+			}
+
+		case OpRaise:
+			value.Raise("%s", r[in.A].S)
+
+		case OpTryPush:
+			*handlers = append(*handlers, in.A)
+		case OpTryPop:
+			*handlers = (*handlers)[:len(*handlers)-1]
+
+		case OpReturn:
+			return r[in.A], -1, nil
+
+		default:
+			panic(fmt.Sprintf("planp/bytecode: unknown opcode %s", in.Op))
+		}
+	}
+}

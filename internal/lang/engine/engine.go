@@ -1,0 +1,181 @@
+// Package engine defines the common execution interface implemented by
+// the three PLAN-P execution engines — the portable tree-walking
+// interpreter (internal/lang/interp), the register bytecode VM
+// (internal/lang/bytecode), and the closure-specializing JIT
+// (internal/lang/jit) — and the shared state model for downloaded
+// protocols.
+//
+// The paper's run-time system pairs a portable interpreter with a JIT
+// generated from it by partial evaluation (§2.2); keeping all engines
+// behind one interface is what lets the benchmarks swap them under an
+// unchanged runtime, and lets new primitives be debugged in the
+// interpreter before "regenerating the specializer" (here: keeping the
+// JIT's closure compiler in sync).
+package engine
+
+import (
+	"fmt"
+
+	"planp.dev/planp/internal/lang/ast"
+	"planp.dev/planp/internal/lang/prims"
+	"planp.dev/planp/internal/lang/typecheck"
+	"planp.dev/planp/internal/lang/value"
+)
+
+// InvokeFunc executes channel index ci on the given protocol state,
+// channel state, and decoded packet, returning the new states. A PLAN-P
+// exception that escapes the channel body is returned as an error of
+// type value.Exception.
+type InvokeFunc func(ci int, ctx prims.Context, ps, ss, pkt value.Value) (value.Value, value.Value, error)
+
+// Compiled is a protocol prepared for execution by some engine.
+type Compiled interface {
+	// EngineName identifies the engine ("interp", "bytecode", "jit").
+	EngineName() string
+	// Info returns the checked program this was compiled from.
+	Info() *typecheck.Info
+	// NewInstance evaluates the top-level vals and every channel's
+	// initstate, returning the mutable per-download state. Each
+	// download of a protocol onto a node gets its own instance.
+	NewInstance(ctx prims.Context) (*Instance, error)
+}
+
+// Instance is a downloaded protocol's mutable state: the shared protocol
+// state plus one channel state per channel definition. Instances are not
+// safe for concurrent use; the runtime serializes packet processing per
+// node.
+type Instance struct {
+	compiled Compiled
+	invoke   InvokeFunc
+
+	// Proto is the protocol state shared by all channels (§2).
+	Proto value.Value
+	// Chans holds one channel state per channel, indexed like
+	// Info().Channels.
+	Chans []value.Value
+}
+
+// NewInstance assembles an instance; used by engine implementations.
+func NewInstance(c Compiled, proto value.Value, chans []value.Value, invoke InvokeFunc) *Instance {
+	return &Instance{compiled: c, invoke: invoke, Proto: proto, Chans: chans}
+}
+
+// Compiled returns the program this instance was created from.
+func (in *Instance) Compiled() Compiled { return in.compiled }
+
+// Invoke runs channel ci on pkt. On success the protocol and channel
+// states are replaced by the channel's result; on an unhandled PLAN-P
+// exception the states are left unchanged and the error is returned
+// (matching the paper's model where the verifier, not the runtime,
+// guards against state corruption).
+func (in *Instance) Invoke(ci int, ctx prims.Context, pkt value.Value) error {
+	if ci < 0 || ci >= len(in.Chans) {
+		return fmt.Errorf("planp/engine: channel index %d out of range", ci)
+	}
+	ps, ss, err := in.invoke(ci, ctx, in.Proto, in.Chans[ci], pkt)
+	if err != nil {
+		return err
+	}
+	in.Proto, in.Chans[ci] = ps, ss
+	return nil
+}
+
+// ZeroValue returns the canonical initial value of a PLAN-P type: the
+// value a protocol state starts from before the first packet. Tables
+// have no zero value — channel states of table type must declare an
+// initstate (enforced by the checker); table-typed protocol states are
+// rejected here.
+func ZeroValue(t ast.Type) (value.Value, error) {
+	switch t := t.(type) {
+	case ast.Base:
+		switch t.Kind {
+		case ast.TInt:
+			return value.Int(0), nil
+		case ast.TBool:
+			return value.Bool(false), nil
+		case ast.TString:
+			return value.Str(""), nil
+		case ast.TChar:
+			return value.Char(0), nil
+		case ast.TUnit:
+			return value.Unit, nil
+		case ast.THost:
+			return value.HostV(0), nil
+		case ast.TBlob:
+			return value.Blob(nil), nil
+		case ast.TIP:
+			return value.IP(&value.IPHeader{TTL: 64}), nil
+		case ast.TTCP:
+			return value.TCP(&value.TCPHeader{}), nil
+		case ast.TUDP:
+			return value.UDP(&value.UDPHeader{}), nil
+		}
+	case ast.Tuple:
+		elems := make([]value.Value, len(t.Elems))
+		for i, et := range t.Elems {
+			v, err := ZeroValue(et)
+			if err != nil {
+				return value.Unit, err
+			}
+			elems[i] = v
+		}
+		return value.TupleV(elems...), nil
+	case ast.List:
+		return value.ListV(nil), nil
+	case ast.Table:
+		return value.Unit, fmt.Errorf("type %s has no zero value; use an initstate clause", t)
+	}
+	return value.Unit, fmt.Errorf("type %s has no zero value", t)
+}
+
+// DefaultProtoState returns the initial protocol state for a type.
+// Unlike channel states (which use initstate clauses), the protocol
+// state has no initializer syntax, so table-typed protocol states start
+// as empty tables — which is what lets channels of one protocol share a
+// table (the MPEG monitor's connection registry, §3.3).
+func DefaultProtoState(t ast.Type) (value.Value, error) {
+	switch t := t.(type) {
+	case ast.Table:
+		return value.TableV(value.NewTable(64)), nil
+	case ast.Tuple:
+		elems := make([]value.Value, len(t.Elems))
+		for i, et := range t.Elems {
+			v, err := DefaultProtoState(et)
+			if err != nil {
+				return value.Unit, err
+			}
+			elems[i] = v
+		}
+		return value.TupleV(elems...), nil
+	default:
+		return ZeroValue(t)
+	}
+}
+
+// InitStates computes the initial protocol state and channel states for
+// a checked program, evaluating initstate expressions with evalInit
+// (which receives the frame size of the owning channel). Engine
+// implementations share this in their NewInstance.
+func InitStates(info *typecheck.Info, evalInit func(e ast.Expr, frameSize int) (value.Value, error)) (value.Value, []value.Value, error) {
+	proto, err := DefaultProtoState(info.ProtoState)
+	if err != nil {
+		return value.Unit, nil, fmt.Errorf("protocol state: %w", err)
+	}
+	chans := make([]value.Value, len(info.Channels))
+	for i, ch := range info.Channels {
+		if ch.Decl.InitState != nil {
+			v, err := evalInit(ch.Decl.InitState, ch.FrameSize)
+			if err != nil {
+				return value.Unit, nil, fmt.Errorf("channel %s initstate: %w", ch.Decl.Name, err)
+			}
+			chans[i] = v
+			continue
+		}
+		v, err := ZeroValue(ch.Decl.ChanState())
+		if err != nil {
+			return value.Unit, nil, fmt.Errorf("channel %s state: %w", ch.Decl.Name, err)
+		}
+		chans[i] = v
+	}
+	return proto, chans, nil
+}

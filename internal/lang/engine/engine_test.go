@@ -1,0 +1,279 @@
+package engine_test
+
+import (
+	"testing"
+
+	"planp.dev/planp/internal/lang/ast"
+	"planp.dev/planp/internal/lang/engine"
+	"planp.dev/planp/internal/lang/langtest"
+	"planp.dev/planp/internal/lang/value"
+)
+
+// gateway is a condensed version of the paper's figure-2 load-balancing
+// fragment: HTTP requests are redirected to one of two physical servers,
+// all other traffic is passed through.
+const gateway = `
+val serverA : host = 10.0.0.2
+val serverB : host = 10.0.0.3
+
+fun pick(n : int) : host =
+  if n mod 2 = 0 then serverA else serverB
+
+channel network(ps : int, ss : (host) hash_table, p : ip*tcp*blob)
+initstate mkTable(256) is
+  let
+    val iph : ip = #1 p
+    val tcph : tcp = #2 p
+  in
+    if tcpDst(tcph) = 80 then
+      let
+        val key : host*int = (ipSrc(iph), tcpSrc(tcph))
+        val srv : host =
+          if tmem(ss, key) then tget(ss, key)
+          else pick(ps)
+      in
+        (tput(ss, key, srv);
+         OnRemote(network, (ipDestSet(iph, srv), tcph, #3 p));
+         (ps+1, ss))
+      end
+    else
+      (OnRemote(network, p); (ps, ss))
+  end
+`
+
+func TestGatewayAcrossEngines(t *testing.T) {
+	compiled := langtest.CompileAll(t, gateway)
+	for name, c := range compiled {
+		t.Run(name, func(t *testing.T) {
+			ctx := langtest.NewCtx()
+			inst, err := c.NewInstance(ctx)
+			if err != nil {
+				t.Fatalf("NewInstance: %v", err)
+			}
+			ci := langtest.FindChannel(t, c.Info(), "network")
+
+			// First HTTP request from client 1: even counter -> serverA.
+			pkt := langtest.TCPPacket("10.0.1.1", "10.0.0.100", 4001, 80, []byte("GET /"))
+			if err := inst.Invoke(ci, ctx, pkt); err != nil {
+				t.Fatalf("invoke: %v", err)
+			}
+			if got := inst.Proto.AsInt(); got != 1 {
+				t.Errorf("protocol state after 1 request = %d, want 1", got)
+			}
+			if len(ctx.Sent) != 1 {
+				t.Fatalf("sent %d packets, want 1", len(ctx.Sent))
+			}
+			dst := ctx.Sent[0].Pkt.Vs[0].AsIP().Dst
+			if want := langtest.MustHost("10.0.0.2"); dst != want {
+				t.Errorf("first request routed to %s, want %s", dst, want)
+			}
+
+			// Second request from a different client: odd counter -> serverB.
+			pkt2 := langtest.TCPPacket("10.0.1.2", "10.0.0.100", 4002, 80, []byte("GET /"))
+			if err := inst.Invoke(ci, ctx, pkt2); err != nil {
+				t.Fatalf("invoke: %v", err)
+			}
+			dst2 := ctx.Sent[1].Pkt.Vs[0].AsIP().Dst
+			if want := langtest.MustHost("10.0.0.3"); dst2 != want {
+				t.Errorf("second request routed to %s, want %s", dst2, want)
+			}
+
+			// Follow-up packet on connection 1 sticks to serverA via the table.
+			pkt3 := langtest.TCPPacket("10.0.1.1", "10.0.0.100", 4001, 80, []byte("more"))
+			if err := inst.Invoke(ci, ctx, pkt3); err != nil {
+				t.Fatalf("invoke: %v", err)
+			}
+			dst3 := ctx.Sent[2].Pkt.Vs[0].AsIP().Dst
+			if want := langtest.MustHost("10.0.0.2"); dst3 != want {
+				t.Errorf("follow-up packet routed to %s, want %s (sticky connection)", dst3, want)
+			}
+
+			// Non-HTTP traffic passes through unmodified.
+			pkt4 := langtest.TCPPacket("10.0.1.1", "10.0.0.100", 4001, 22, []byte("ssh"))
+			if err := inst.Invoke(ci, ctx, pkt4); err != nil {
+				t.Fatalf("invoke: %v", err)
+			}
+			dst4 := ctx.Sent[3].Pkt.Vs[0].AsIP().Dst
+			if want := langtest.MustHost("10.0.0.100"); dst4 != want {
+				t.Errorf("ssh packet routed to %s, want %s (pass-through)", dst4, want)
+			}
+			if got := inst.Proto.AsInt(); got != 3 {
+				t.Errorf("protocol state counts HTTP requests: got %d, want 3", got)
+			}
+		})
+	}
+}
+
+// TestEnginesAgree replays a packet sequence through every engine and
+// requires identical protocol state, sends, and output.
+func TestEnginesAgree(t *testing.T) {
+	const src = `
+val greeting : string = "hi " ^ "there"
+
+channel network(ps : string, ss : int, p : ip*udp*blob)
+is
+  let
+    val n : int = blobLen(#3 p)
+    val tag : string = if n > 4 then "big" else "small"
+  in
+    (println(greeting ^ ":" ^ tag ^ ":" ^ itos(n + ss));
+     OnRemote(network, p);
+     (tag, ss + n))
+  end
+`
+	type result struct {
+		proto string
+		out   string
+		sent  int
+	}
+	results := map[string]result{}
+	for name, c := range langtest.CompileAll(t, src) {
+		ctx := langtest.NewCtx()
+		inst, err := c.NewInstance(ctx)
+		if err != nil {
+			t.Fatalf("%s: NewInstance: %v", name, err)
+		}
+		ci := langtest.FindChannel(t, c.Info(), "network")
+		for _, payload := range []string{"abc", "abcdefgh", "x"} {
+			pkt := langtest.UDPPacket("10.0.1.1", "10.0.1.2", 100, 200, []byte(payload))
+			if err := inst.Invoke(ci, ctx, pkt); err != nil {
+				t.Fatalf("%s: invoke: %v", name, err)
+			}
+		}
+		results[name] = result{proto: inst.Proto.AsStr(), out: ctx.Out.String(), sent: len(ctx.Sent)}
+	}
+	ref := results["interp"]
+	for name, r := range results {
+		if r != ref {
+			t.Errorf("%s diverges from interp:\n  %+v\nvs\n  %+v", name, r, ref)
+		}
+	}
+	if ref.proto != "small" || ref.sent != 3 {
+		t.Errorf("unexpected reference result: %+v", ref)
+	}
+}
+
+// TestExceptionSemantics checks try/handle, raise, and the invoke
+// boundary across engines.
+func TestExceptionSemantics(t *testing.T) {
+	const src = `
+channel network(ps : int, ss : int, p : ip*udp*blob)
+is
+  let
+    val safe : int = try blobByte(#3 p, 100) handle 0 - 1 end
+  in
+    if safe = 0 - 1 then
+      (ps + 1, ss)
+    else
+      raise "unexpected in-range byte"
+  end
+`
+	for name, c := range langtest.CompileAll(t, src) {
+		t.Run(name, func(t *testing.T) {
+			ctx := langtest.NewCtx()
+			inst, err := c.NewInstance(ctx)
+			if err != nil {
+				t.Fatalf("NewInstance: %v", err)
+			}
+			ci := langtest.FindChannel(t, c.Info(), "network")
+
+			// Short payload: blobByte raises, handler yields -1.
+			pkt := langtest.UDPPacket("10.0.1.1", "10.0.1.2", 1, 2, []byte("ab"))
+			if err := inst.Invoke(ci, ctx, pkt); err != nil {
+				t.Fatalf("invoke: %v", err)
+			}
+			if got := inst.Proto.AsInt(); got != 1 {
+				t.Errorf("proto state = %d, want 1", got)
+			}
+
+			// Long payload: byte 100 exists, the raise escapes and the
+			// state must not change.
+			big := make([]byte, 200)
+			pkt2 := langtest.UDPPacket("10.0.1.1", "10.0.1.2", 1, 2, big)
+			err = inst.Invoke(ci, ctx, pkt2)
+			if err == nil {
+				t.Fatal("expected unhandled exception error")
+			}
+			if _, ok := err.(value.Exception); !ok {
+				t.Errorf("error type %T, want value.Exception", err)
+			}
+			if got := inst.Proto.AsInt(); got != 1 {
+				t.Errorf("proto state after failed invoke = %d, want unchanged 1", got)
+			}
+		})
+	}
+}
+
+func TestZeroValue(t *testing.T) {
+	cases := []struct {
+		typ  ast.Type
+		want string
+	}{
+		{ast.IntT, "0"},
+		{ast.BoolT, "false"},
+		{ast.StringT, ""},
+		{ast.UnitT, "()"},
+		{ast.HostT, "0.0.0.0"},
+		{ast.Tuple{Elems: []ast.Type{ast.IntT, ast.BoolT}}, "(0,false)"},
+		{ast.List{Elem: ast.IntT}, "[]"},
+	}
+	for _, tc := range cases {
+		v, err := engine.ZeroValue(tc.typ)
+		if err != nil {
+			t.Errorf("ZeroValue(%s): %v", tc.typ, err)
+			continue
+		}
+		if v.String() != tc.want {
+			t.Errorf("ZeroValue(%s) = %s, want %s", tc.typ, v, tc.want)
+		}
+	}
+	if _, err := engine.ZeroValue(ast.Table{Elem: ast.IntT}); err == nil {
+		t.Error("ZeroValue(hash_table) should fail")
+	}
+}
+
+// TestOverloadedChannels exercises the figure-4 style dispatch: two
+// network channels with different payload signatures.
+func TestOverloadedChannels(t *testing.T) {
+	const src = `
+val CmdA : int = 65
+
+channel network(ps : unit, ss : unit, p : ip*tcp*char*int)
+is
+  if charPos(#3 p) = CmdA then
+    (print("CmdA: "); println(#4 p); (ps, ss))
+  else
+    (ps, ss)
+
+channel network(ps : unit, ss : unit, p : ip*tcp*char*bool)
+is
+  (print("CmdB: "); println(#4 p); (ps, ss))
+`
+	for name, c := range langtest.CompileAll(t, src) {
+		t.Run(name, func(t *testing.T) {
+			ctx := langtest.NewCtx()
+			inst, err := c.NewInstance(ctx)
+			if err != nil {
+				t.Fatalf("NewInstance: %v", err)
+			}
+			chans := c.Info().ChannelsByName("network")
+			if len(chans) != 2 {
+				t.Fatalf("expected 2 overloaded channels, got %d", len(chans))
+			}
+			ip := &value.IPHeader{Src: langtest.MustHost("10.0.0.1"), Dst: langtest.MustHost("10.0.0.2"), Proto: 6, TTL: 64}
+			tcp := &value.TCPHeader{SrcPort: 1, DstPort: 2}
+			pktInt := value.TupleV(value.IP(ip), value.TCP(tcp), value.Char('A'), value.Int(42))
+			if err := inst.Invoke(chans[0].Index, ctx, pktInt); err != nil {
+				t.Fatalf("invoke int variant: %v", err)
+			}
+			pktBool := value.TupleV(value.IP(ip), value.TCP(tcp), value.Char('B'), value.Bool(true))
+			if err := inst.Invoke(chans[1].Index, ctx, pktBool); err != nil {
+				t.Fatalf("invoke bool variant: %v", err)
+			}
+			want := "CmdA: 42\nCmdB: true\n"
+			if got := ctx.Out.String(); got != want {
+				t.Errorf("output %q, want %q", got, want)
+			}
+		})
+	}
+}

@@ -1,0 +1,551 @@
+// Package jit is the PLAN-P specializing compiler: the Go analogue of
+// the paper's Tempo-generated JIT (§2.2).
+//
+// The paper derives a run-time code generator from the portable C
+// interpreter by partial evaluation: specializing the interpreter with
+// respect to a program removes AST dispatch, environment lookup, and
+// repeated type tests, leaving straight-line machine code assembled from
+// templates. Go cannot portably emit machine code at run time, so this
+// package performs the same transformation at the closure level — each
+// AST node is compiled ONCE into a Go closure with every decision that
+// depends only on the program text (node kind, operator, slot index,
+// primitive identity, operand types) resolved at compile time. What runs
+// per packet is a tree of direct closure calls, exactly the residue
+// partial evaluation would leave.
+//
+// The structural correspondence with internal/lang/interp is deliberate
+// and load-bearing: every eval case there has a compile case here, so
+// extending the language is the paper's two-step process — add the
+// interpreter case, then mirror it here ("regenerate the specializer").
+package jit
+
+import (
+	"fmt"
+
+	"planp.dev/planp/internal/lang/ast"
+	"planp.dev/planp/internal/lang/engine"
+	"planp.dev/planp/internal/lang/prims"
+	"planp.dev/planp/internal/lang/typecheck"
+	"planp.dev/planp/internal/lang/value"
+)
+
+// machine is the per-invocation execution context threaded through
+// compiled code.
+type machine struct {
+	ctx     prims.Context
+	globals []value.Value
+}
+
+// code is a compiled expression: the specialization residue.
+type code func(m *machine, frame []value.Value) value.Value
+
+// compiled implements engine.Compiled.
+type compiled struct {
+	info *typecheck.Info
+
+	globalInit []code // compiled top-level val initializers
+	globalFS   []int
+	initStates []code // compiled channel initstates (nil entries allowed)
+	bodies     []code // compiled channel bodies
+	frameSizes []int
+	funBodies  []code // compiled fun bodies, indexed like info.Funs
+}
+
+var _ engine.Compiled = (*compiled)(nil)
+
+// Compile specializes a checked program into closure code. This is the
+// operation Figure 3 of the paper times ("code generation time").
+func Compile(info *typecheck.Info) (engine.Compiled, error) {
+	c := &compiled{info: info}
+	cc := &compiler{info: info, funs: make([]code, len(info.Funs))}
+	// Funs compile first: calls reference earlier funs only (the
+	// checker enforces declaration order), so each slot is filled
+	// before any caller is compiled.
+	for i := range info.Funs {
+		f := &info.Funs[i]
+		cc.enterFrame(f.FrameSize, paramTypes(f.Decl.Params))
+		cc.funs[i] = cc.compile(f.Decl.Body)
+	}
+	c.funBodies = cc.funs
+	for _, g := range info.Globals {
+		cc.enterFrame(g.FrameSize, nil)
+		c.globalInit = append(c.globalInit, cc.compile(g.Decl.Init))
+		c.globalFS = append(c.globalFS, g.FrameSize)
+	}
+	for i := range info.Channels {
+		ch := &info.Channels[i]
+		var init code
+		if ch.Decl.InitState != nil {
+			cc.enterFrame(ch.FrameSize, nil)
+			init = cc.compile(ch.Decl.InitState)
+		}
+		c.initStates = append(c.initStates, init)
+		cc.enterFrame(ch.FrameSize, paramTypes(ch.Decl.Params))
+		c.bodies = append(c.bodies, cc.compile(ch.Decl.Body))
+		c.frameSizes = append(c.frameSizes, ch.FrameSize)
+	}
+	return c, nil
+}
+
+func paramTypes(params []ast.Param) []ast.Type {
+	out := make([]ast.Type, len(params))
+	for i, p := range params {
+		out[i] = p.Type
+	}
+	return out
+}
+
+func (c *compiled) EngineName() string    { return "jit" }
+func (c *compiled) Info() *typecheck.Info { return c.info }
+
+func (c *compiled) NewInstance(ctx prims.Context) (inst *engine.Instance, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if ex, ok := r.(value.Exception); ok {
+				inst, err = nil, ex
+				return
+			}
+			panic(r)
+		}
+	}()
+	m := &machine{ctx: ctx}
+	for i, g := range c.globalInit {
+		frame := make([]value.Value, c.globalFS[i])
+		m.globals = append(m.globals, g(m, frame))
+	}
+	initIdx := 0
+	proto, chans, err := engine.InitStates(c.info, func(_ ast.Expr, frameSize int) (value.Value, error) {
+		// InitStates walks channels in order; consume our compiled
+		// initstates in the same order.
+		for c.initStates[initIdx] == nil {
+			initIdx++
+		}
+		g := c.initStates[initIdx]
+		initIdx++
+		frame := make([]value.Value, frameSize)
+		return g(m, frame), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Per-instance scratch state, reused across invocations: frames are
+	// safe to reuse because the checker guarantees definite assignment
+	// (every slot is written before it is read), and instances are
+	// serialized by the runtime. This is part of the specialization
+	// story — the interpreter allocates afresh on every packet, the
+	// compiled code does not.
+	rm := &machine{globals: m.globals}
+	frames := make([][]value.Value, len(c.frameSizes))
+	for i, fs := range c.frameSizes {
+		frames[i] = make([]value.Value, fs)
+	}
+	invoke := func(ci int, ctx prims.Context, ps, ss, pkt value.Value) (psOut, ssOut value.Value, ierr error) {
+		defer func() {
+			if r := recover(); r != nil {
+				if ex, ok := r.(value.Exception); ok {
+					ierr = ex
+					return
+				}
+				panic(r)
+			}
+		}()
+		frame := frames[ci]
+		frame[0], frame[1], frame[2] = ps, ss, pkt
+		rm.ctx = ctx
+		res := c.bodies[ci](rm, frame)
+		return res.Vs[0], res.Vs[1], nil
+	}
+	return engine.NewInstance(c, proto, chans, invoke), nil
+}
+
+// compiler holds compile-time state. slots tracks the static type of
+// each frame slot in the compilation context, which drives the unboxed
+// specialization layer (unbox.go).
+type compiler struct {
+	info  *typecheck.Info
+	funs  []code
+	slots []ast.Type
+}
+
+// compile specializes one expression: int- and bool-typed compound
+// expressions take the unboxed fast path (boxing once at the boundary),
+// everything else the generic node compiler. This split is the deepest
+// part of the Tempo analogy — types known at compile time erase runtime
+// representation work.
+func (cc *compiler) compile(e ast.Expr) code {
+	if ic, ok := cc.tryCompileInt(e); ok {
+		return func(m *machine, frame []value.Value) value.Value {
+			return value.Int(ic(m, frame))
+		}
+	}
+	if bc, ok := cc.tryCompileBool(e); ok {
+		return func(m *machine, frame []value.Value) value.Value {
+			return value.Bool(bc(m, frame))
+		}
+	}
+	return cc.compileNode(e)
+}
+
+// compileNode is the generic (boxed) per-node compiler.
+func (cc *compiler) compileNode(e ast.Expr) code {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		v := value.Int(e.Value)
+		return func(*machine, []value.Value) value.Value { return v }
+	case *ast.BoolLit:
+		v := value.Bool(e.Value)
+		return func(*machine, []value.Value) value.Value { return v }
+	case *ast.StringLit:
+		v := value.Str(e.Value)
+		return func(*machine, []value.Value) value.Value { return v }
+	case *ast.CharLit:
+		v := value.Char(e.Value)
+		return func(*machine, []value.Value) value.Value { return v }
+	case *ast.UnitLit:
+		return func(*machine, []value.Value) value.Value { return value.Unit }
+	case *ast.HostLit:
+		v := value.HostV(value.Host(e.Addr))
+		return func(*machine, []value.Value) value.Value { return v }
+
+	case *ast.Var:
+		if e.Slot >= 0 {
+			slot := e.Slot
+			return func(_ *machine, frame []value.Value) value.Value { return frame[slot] }
+		}
+		gi := e.Global
+		return func(m *machine, _ []value.Value) value.Value { return m.globals[gi] }
+
+	case *ast.Proj:
+		tuple := cc.compile(e.Tuple)
+		idx := e.Index - 1
+		// Specialize the common #n-of-variable case to skip a call.
+		if v, ok := e.Tuple.(*ast.Var); ok && v.Slot >= 0 {
+			slot := v.Slot
+			return func(_ *machine, frame []value.Value) value.Value { return frame[slot].Vs[idx] }
+		}
+		return func(m *machine, frame []value.Value) value.Value { return tuple(m, frame).Vs[idx] }
+
+	case *ast.Let:
+		type bind struct {
+			slot int
+			init code
+		}
+		binds := make([]bind, len(e.Binds))
+		for i, b := range e.Binds {
+			binds[i] = bind{slot: b.Slot, init: cc.compile(b.Init)}
+			cc.setSlot(b.Slot, b.Type)
+		}
+		body := cc.compile(e.Body)
+		if len(binds) == 1 {
+			b := binds[0]
+			return func(m *machine, frame []value.Value) value.Value {
+				frame[b.slot] = b.init(m, frame)
+				return body(m, frame)
+			}
+		}
+		return func(m *machine, frame []value.Value) value.Value {
+			for _, b := range binds {
+				frame[b.slot] = b.init(m, frame)
+			}
+			return body(m, frame)
+		}
+
+	case *ast.If:
+		cond := cc.compile(e.Cond)
+		thenC := cc.compile(e.Then)
+		elseC := cc.compile(e.Else)
+		return func(m *machine, frame []value.Value) value.Value {
+			if cond(m, frame).I != 0 {
+				return thenC(m, frame)
+			}
+			return elseC(m, frame)
+		}
+
+	case *ast.Seq:
+		codes := make([]code, len(e.Exprs))
+		for i, sub := range e.Exprs {
+			codes[i] = cc.compile(sub)
+		}
+		last := codes[len(codes)-1]
+		head := codes[:len(codes)-1]
+		if len(head) == 1 {
+			h := head[0]
+			return func(m *machine, frame []value.Value) value.Value {
+				h(m, frame)
+				return last(m, frame)
+			}
+		}
+		return func(m *machine, frame []value.Value) value.Value {
+			for _, h := range head {
+				h(m, frame)
+			}
+			return last(m, frame)
+		}
+
+	case *ast.TupleExpr:
+		codes := make([]code, len(e.Elems))
+		for i, sub := range e.Elems {
+			codes[i] = cc.compile(sub)
+		}
+		if len(codes) == 2 { // the (ps, ss) result pair — hot path
+			a, b := codes[0], codes[1]
+			return func(m *machine, frame []value.Value) value.Value {
+				x := a(m, frame)
+				y := b(m, frame)
+				return value.TupleV(x, y)
+			}
+		}
+		return func(m *machine, frame []value.Value) value.Value {
+			elems := make([]value.Value, len(codes))
+			for i, sub := range codes {
+				elems[i] = sub(m, frame)
+			}
+			return value.TupleV(elems...)
+		}
+
+	case *ast.Unary:
+		x := cc.compile(e.X)
+		if e.Op == "not" {
+			return func(m *machine, frame []value.Value) value.Value {
+				return value.Bool(x(m, frame).I == 0)
+			}
+		}
+		return func(m *machine, frame []value.Value) value.Value {
+			return value.Int(-x(m, frame).I)
+		}
+
+	case *ast.Binary:
+		return cc.compileBinary(e)
+
+	case *ast.Try:
+		body := cc.compile(e.Body)
+		handler := cc.compile(e.Handler)
+		return func(m *machine, frame []value.Value) (res value.Value) {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(value.Exception); ok {
+						res = handler(m, frame)
+						return
+					}
+					panic(r)
+				}
+			}()
+			return body(m, frame)
+		}
+
+	case *ast.Raise:
+		msg := cc.compile(e.Msg)
+		return func(m *machine, frame []value.Value) value.Value {
+			panic(value.Exception{Msg: msg(m, frame).S})
+		}
+
+	case *ast.Call:
+		return cc.compileCall(e)
+
+	default:
+		panic(fmt.Sprintf("planp/jit: unhandled expression %T", e))
+	}
+}
+
+// compileBinary specializes each operator — and for = / <> the operand
+// type — into a dedicated closure. This is the specialization the paper
+// highlights: the interpreter's per-evaluation operator dispatch becomes
+// a compile-time decision.
+func (cc *compiler) compileBinary(e *ast.Binary) code {
+	l := cc.compile(e.L)
+	r := cc.compile(e.R)
+	switch e.Op {
+	case "andalso":
+		return func(m *machine, frame []value.Value) value.Value {
+			if l(m, frame).I == 0 {
+				return value.Bool(false)
+			}
+			return r(m, frame)
+		}
+	case "orelse":
+		return func(m *machine, frame []value.Value) value.Value {
+			if l(m, frame).I != 0 {
+				return value.Bool(true)
+			}
+			return r(m, frame)
+		}
+	case "+":
+		return func(m *machine, frame []value.Value) value.Value {
+			return value.Int(l(m, frame).I + r(m, frame).I)
+		}
+	case "-":
+		return func(m *machine, frame []value.Value) value.Value {
+			return value.Int(l(m, frame).I - r(m, frame).I)
+		}
+	case "*":
+		return func(m *machine, frame []value.Value) value.Value {
+			return value.Int(l(m, frame).I * r(m, frame).I)
+		}
+	case "/":
+		return func(m *machine, frame []value.Value) value.Value {
+			// Operands evaluate left to right (the differential fuzz
+			// test pins exception order across engines).
+			n := l(m, frame).I
+			d := r(m, frame).I
+			if d == 0 {
+				value.Raise("division by zero")
+			}
+			return value.Int(n / d)
+		}
+	case "mod":
+		return func(m *machine, frame []value.Value) value.Value {
+			n := l(m, frame).I
+			d := r(m, frame).I
+			if d == 0 {
+				value.Raise("mod by zero")
+			}
+			return value.Int(n % d)
+		}
+	case "^":
+		return func(m *machine, frame []value.Value) value.Value {
+			return value.Str(l(m, frame).S + r(m, frame).S)
+		}
+	case "=", "<>":
+		neg := e.Op == "<>"
+		// Specialize on the statically known operand type.
+		switch t := e.OperandType.(type) {
+		case ast.Base:
+			switch t.Kind {
+			case ast.TInt, ast.TBool, ast.TChar, ast.THost:
+				return func(m *machine, frame []value.Value) value.Value {
+					return value.Bool((l(m, frame).I == r(m, frame).I) != neg)
+				}
+			case ast.TString:
+				return func(m *machine, frame []value.Value) value.Value {
+					return value.Bool((l(m, frame).S == r(m, frame).S) != neg)
+				}
+			}
+		}
+		return func(m *machine, frame []value.Value) value.Value {
+			return value.Bool(value.Equal(l(m, frame), r(m, frame)) != neg)
+		}
+	case "<", "<=", ">", ">=":
+		return cc.compileOrd(e, l, r)
+	default:
+		panic(fmt.Sprintf("planp/jit: unhandled operator %s", e.Op))
+	}
+}
+
+func (cc *compiler) compileOrd(e *ast.Binary, l, r code) code {
+	isString := ast.Equal(e.OperandType, ast.StringT)
+	switch e.Op {
+	case "<":
+		if isString {
+			return func(m *machine, frame []value.Value) value.Value {
+				return value.Bool(l(m, frame).S < r(m, frame).S)
+			}
+		}
+		return func(m *machine, frame []value.Value) value.Value {
+			return value.Bool(l(m, frame).I < r(m, frame).I)
+		}
+	case "<=":
+		if isString {
+			return func(m *machine, frame []value.Value) value.Value {
+				return value.Bool(l(m, frame).S <= r(m, frame).S)
+			}
+		}
+		return func(m *machine, frame []value.Value) value.Value {
+			return value.Bool(l(m, frame).I <= r(m, frame).I)
+		}
+	case ">":
+		if isString {
+			return func(m *machine, frame []value.Value) value.Value {
+				return value.Bool(l(m, frame).S > r(m, frame).S)
+			}
+		}
+		return func(m *machine, frame []value.Value) value.Value {
+			return value.Bool(l(m, frame).I > r(m, frame).I)
+		}
+	default:
+		if isString {
+			return func(m *machine, frame []value.Value) value.Value {
+				return value.Bool(l(m, frame).S >= r(m, frame).S)
+			}
+		}
+		return func(m *machine, frame []value.Value) value.Value {
+			return value.Bool(l(m, frame).I >= r(m, frame).I)
+		}
+	}
+}
+
+func (cc *compiler) compileCall(e *ast.Call) code {
+	// Network sends.
+	if e.Name == "OnRemote" || e.Name == "OnNeighbor" {
+		cref := e.Args[0].(*ast.ChanRef)
+		name := cref.Name
+		pkt := cc.compile(e.Args[1])
+		if e.Name == "OnRemote" {
+			return func(m *machine, frame []value.Value) value.Value {
+				m.ctx.OnRemote(name, pkt(m, frame))
+				return value.Unit
+			}
+		}
+		return func(m *machine, frame []value.Value) value.Value {
+			m.ctx.OnNeighbor(name, pkt(m, frame))
+			return value.Unit
+		}
+	}
+
+	args := make([]code, len(e.Args))
+	for i, a := range e.Args {
+		args[i] = cc.compile(a)
+	}
+
+	// User fun: the callee is already compiled (declaration order), and
+	// its frame is a per-call-site buffer — safe for the same reason as
+	// the argument buffers below (no recursion means a site is never
+	// active twice).
+	if e.FunIndex >= 0 {
+		body := cc.funs[e.FunIndex]
+		callee := make([]value.Value, cc.info.Funs[e.FunIndex].FrameSize)
+		return func(m *machine, frame []value.Value) value.Value {
+			for i, a := range args {
+				callee[i] = a(m, frame)
+			}
+			return body(m, callee)
+		}
+	}
+
+	// Primitive: the implementation pointer is captured at compile
+	// time; arity-specialized paths reuse a per-call-site argument
+	// buffer. Reuse is safe because the language has no recursion (a
+	// call site can never be active twice on one stack) and primitives
+	// do not retain their argument slice. The cost is that compiled
+	// programs are single-threaded, which the runtime guarantees.
+	fn := prims.Get(e.PrimIndex).Fn
+	switch len(args) {
+	case 0:
+		return func(m *machine, frame []value.Value) value.Value {
+			return fn(m.ctx, nil)
+		}
+	case 1:
+		a0 := args[0]
+		buf := make([]value.Value, 1)
+		return func(m *machine, frame []value.Value) value.Value {
+			buf[0] = a0(m, frame)
+			return fn(m.ctx, buf)
+		}
+	case 2:
+		a0, a1 := args[0], args[1]
+		buf := make([]value.Value, 2)
+		return func(m *machine, frame []value.Value) value.Value {
+			x := a0(m, frame)
+			buf[1] = a1(m, frame)
+			buf[0] = x
+			return fn(m.ctx, buf)
+		}
+	default:
+		buf := make([]value.Value, len(args))
+		return func(m *machine, frame []value.Value) value.Value {
+			for i, a := range args {
+				buf[i] = a(m, frame)
+			}
+			return fn(m.ctx, buf)
+		}
+	}
+}

@@ -1,0 +1,209 @@
+package jit
+
+import (
+	"testing"
+
+	"planp.dev/planp/internal/lang/ast"
+	"planp.dev/planp/internal/lang/parser"
+	"planp.dev/planp/internal/lang/prims"
+	"planp.dev/planp/internal/lang/typecheck"
+	"planp.dev/planp/internal/lang/value"
+)
+
+type ctx struct{ sent int }
+
+func (c *ctx) OnRemote(string, value.Value)     { c.sent++ }
+func (c *ctx) OnNeighbor(string, value.Value)   { c.sent++ }
+func (c *ctx) Deliver(value.Value)              {}
+func (c *ctx) Print(string)                     {}
+func (c *ctx) ThisHost() value.Host             { return 1 }
+func (c *ctx) Now() int64                       { return 0 }
+func (c *ctx) Rand(int64) int64                 { return 0 }
+func (c *ctx) LinkLoadTo(value.Host) int64      { return 0 }
+func (c *ctx) LinkBandwidthTo(value.Host) int64 { return 0 }
+
+var _ prims.Context = (*ctx)(nil)
+
+func compileSrc(t *testing.T, src string) *compiled {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := typecheck.Check(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compile(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c.(*compiled)
+}
+
+func pkt(payload string) value.Value {
+	return value.TupleV(
+		value.IP(&value.IPHeader{Src: 0x0A000001, Dst: 0x0A000002, Proto: 17, TTL: 64}),
+		value.UDP(&value.UDPHeader{SrcPort: 5, DstPort: 9}),
+		value.Blob([]byte(payload)),
+	)
+}
+
+func TestUnboxedArithmeticCorrect(t *testing.T) {
+	c := compileSrc(t, `
+channel network(ps : int, ss : int, p : ip*udp*blob) is
+  let
+    val n : int = blobLen(#3 p)
+    val mixed : int = (ps * 31 + n) mod 97
+    val branchy : int = if mixed > 50 then mixed - 50 else mixed + ss
+  in
+    (deliver(p); (branchy, mixed))
+  end
+`)
+	cx := &ctx{}
+	inst, err := c.NewInstance(cx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drive several rounds and model the arithmetic in Go.
+	var ps, ss int64
+	for i := 0; i < 20; i++ {
+		if err := inst.Invoke(0, cx, pkt("abcdefg")); err != nil {
+			t.Fatal(err)
+		}
+		n := int64(7)
+		mixed := (ps*31 + n) % 97
+		var branchy int64
+		if mixed > 50 {
+			branchy = mixed - 50
+		} else {
+			branchy = mixed + ss
+		}
+		ps, ss = branchy, mixed
+		if inst.Proto.AsInt() != ps || inst.Chans[0].AsInt() != ss {
+			t.Fatalf("round %d: state (%d,%d), want (%d,%d)",
+				i, inst.Proto.AsInt(), inst.Chans[0].AsInt(), ps, ss)
+		}
+	}
+}
+
+func TestFrameReuseDoesNotLeakAcrossInvocations(t *testing.T) {
+	// The channel writes a let slot only on one branch; on the other
+	// branch the slot must not resurrect the previous packet's value.
+	// (Definite assignment means slots are always written before read,
+	// so this also documents why reuse is safe.)
+	c := compileSrc(t, `
+channel network(ps : int, ss : int, p : ip*udp*blob) is
+  if blobLen(#3 p) > 3 then
+    let val big : int = blobLen(#3 p) * 100
+    in (deliver(p); (big, ss)) end
+  else
+    (deliver(p); (blobLen(#3 p), ss))
+`)
+	cx := &ctx{}
+	inst, err := c.NewInstance(cx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Invoke(0, cx, pkt("abcdef")); err != nil {
+		t.Fatal(err)
+	}
+	if inst.Proto.AsInt() != 600 {
+		t.Fatalf("first invoke = %d", inst.Proto.AsInt())
+	}
+	if err := inst.Invoke(0, cx, pkt("xy")); err != nil {
+		t.Fatal(err)
+	}
+	if inst.Proto.AsInt() != 2 {
+		t.Errorf("second invoke = %d (leaked state?)", inst.Proto.AsInt())
+	}
+}
+
+func TestExceptionLeavesInstanceUsable(t *testing.T) {
+	c := compileSrc(t, `
+channel network(ps : int, ss : int, p : ip*udp*blob) is
+  (deliver(p); (ps + 100 / blobLen(#3 p), ss))
+`)
+	cx := &ctx{}
+	inst, err := c.NewInstance(cx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Invoke(0, cx, pkt("")); err == nil {
+		t.Fatal("empty blob should divide by zero")
+	}
+	if inst.Proto.AsInt() != 0 {
+		t.Errorf("state after exception = %d, want unchanged", inst.Proto.AsInt())
+	}
+	if err := inst.Invoke(0, cx, pkt("abcd")); err != nil {
+		t.Fatalf("instance unusable after exception: %v", err)
+	}
+	if inst.Proto.AsInt() != 25 {
+		t.Errorf("state = %d, want 25", inst.Proto.AsInt())
+	}
+}
+
+func TestTypeReconstruction(t *testing.T) {
+	prog, err := parser.Parse(`
+val g : string = "hi"
+fun f(x : int) : bool = x > 0
+channel network(ps : int, ss : (int) hash_table, p : ip*udp*blob)
+initstate mkTable(4) is
+  let
+    val a : int = 1 + 2
+    val b : bool = f(a)
+    val s : string = g ^ "x"
+    val tup : int*string = (a, s)
+  in
+    (deliver(p); (if b then #1 tup else 0, ss))
+  end
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := typecheck.Check(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := info.Channels[0]
+	cc := &compiler{info: info}
+	cc.enterFrame(ch.FrameSize, paramTypes(ch.Decl.Params))
+
+	// Probe typeOf on representative subexpressions.
+	let := ch.Decl.Body.(*ast.Let)
+	if got := cc.typeOf(let); !ast.Equal(got, ast.Tuple{Elems: []ast.Type{ast.IntT, ast.Table{Elem: ast.IntT}}}) {
+		t.Errorf("typeOf(body) = %v", got)
+	}
+	for _, b := range let.Binds {
+		if got := cc.typeOf(b.Init); !ast.Equal(got, b.Type) {
+			t.Errorf("typeOf(%s init) = %v, want %v", b.Name, got, b.Type)
+		}
+	}
+}
+
+func TestInstancesShareCompiledCodeButNotState(t *testing.T) {
+	c := compileSrc(t, `
+channel network(ps : int, ss : int, p : ip*udp*blob) is
+  (deliver(p); (ps + 1, ss))
+`)
+	cx := &ctx{}
+	i1, err := c.NewInstance(cx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i2, err := c.NewInstance(cx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 3; j++ {
+		if err := i1.Invoke(0, cx, pkt("a")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := i2.Invoke(0, cx, pkt("a")); err != nil {
+		t.Fatal(err)
+	}
+	if i1.Proto.AsInt() != 3 || i2.Proto.AsInt() != 1 {
+		t.Errorf("instance states %d/%d, want 3/1", i1.Proto.AsInt(), i2.Proto.AsInt())
+	}
+}

@@ -1,0 +1,337 @@
+// Package lexer tokenizes PLAN-P source text.
+//
+// Lexical notes:
+//   - "--" starts a line comment (as used throughout the paper's listings);
+//     "(*" ... "*)" block comments are also accepted (SML heritage) and nest.
+//   - Dotted-quad IPv4 addresses such as 131.254.60.81 are scanned as a
+//     single host literal so protocols can name concrete machines.
+//   - Character literals are written 'a' (with the usual escapes); the SML
+//     form #"a" is also accepted.
+package lexer
+
+import (
+	"fmt"
+	"strconv"
+
+	"planp.dev/planp/internal/lang/token"
+)
+
+// Error is a lexical error with its source position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Lexer scans a source buffer into tokens.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+// New returns a lexer over src.
+func New(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Scan tokenizes the whole input. It returns the token stream, always
+// terminated by an EOF token, or the first lexical error.
+func Scan(src string) ([]token.Token, error) {
+	lx := New(src)
+	var toks []token.Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == token.EOF {
+			return toks, nil
+		}
+	}
+}
+
+func (lx *Lexer) pos() token.Pos { return token.Pos{Line: lx.line, Col: lx.col} }
+
+func (lx *Lexer) peek() byte {
+	if lx.off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off]
+}
+
+func (lx *Lexer) peek2() byte {
+	if lx.off+1 >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off+1]
+}
+
+func (lx *Lexer) advance() byte {
+	c := lx.src[lx.off]
+	lx.off++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func (lx *Lexer) errorf(pos token.Pos, format string, args ...any) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// skipSpace consumes whitespace and comments. It returns an error only for
+// unterminated block comments.
+func (lx *Lexer) skipSpace() error {
+	for lx.off < len(lx.src) {
+		c := lx.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance()
+		case c == '-' && lx.peek2() == '-':
+			for lx.off < len(lx.src) && lx.peek() != '\n' {
+				lx.advance()
+			}
+		case c == '(' && lx.peek2() == '*':
+			start := lx.pos()
+			lx.advance()
+			lx.advance()
+			depth := 1
+			for depth > 0 {
+				if lx.off >= len(lx.src) {
+					return lx.errorf(start, "unterminated block comment")
+				}
+				if lx.peek() == '(' && lx.peek2() == '*' {
+					lx.advance()
+					lx.advance()
+					depth++
+				} else if lx.peek() == '*' && lx.peek2() == ')' {
+					lx.advance()
+					lx.advance()
+					depth--
+				} else {
+					lx.advance()
+				}
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentCont(c byte) bool { return isIdentStart(c) || isDigit(c) || c == '\'' }
+
+// Next returns the next token.
+func (lx *Lexer) Next() (token.Token, error) {
+	if err := lx.skipSpace(); err != nil {
+		return token.Token{}, err
+	}
+	pos := lx.pos()
+	if lx.off >= len(lx.src) {
+		return token.Token{Kind: token.EOF, Pos: pos}, nil
+	}
+	c := lx.peek()
+	switch {
+	case isDigit(c):
+		return lx.scanNumber(pos)
+	case isIdentStart(c):
+		return lx.scanIdent(pos)
+	case c == '"':
+		return lx.scanString(pos)
+	case c == '\'':
+		return lx.scanChar(pos)
+	case c == '#':
+		lx.advance()
+		if lx.peek() == '"' { // SML char literal #"a"
+			t, err := lx.scanString(pos)
+			if err != nil {
+				return token.Token{}, err
+			}
+			if len(t.Text) != 1 {
+				return token.Token{}, lx.errorf(pos, "char literal must contain exactly one character")
+			}
+			return token.Token{Kind: token.Char, Text: t.Text, Pos: pos}, nil
+		}
+		return token.Token{Kind: token.Hash, Pos: pos}, nil
+	}
+
+	lx.advance()
+	simple := func(k token.Kind) (token.Token, error) {
+		return token.Token{Kind: k, Pos: pos}, nil
+	}
+	switch c {
+	case '(':
+		return simple(token.LParen)
+	case ')':
+		return simple(token.RParen)
+	case ',':
+		return simple(token.Comma)
+	case ';':
+		return simple(token.Semi)
+	case ':':
+		return simple(token.Colon)
+	case '*':
+		return simple(token.Star)
+	case '+':
+		return simple(token.Plus)
+	case '-':
+		return simple(token.Minus)
+	case '/':
+		return simple(token.Slash)
+	case '^':
+		return simple(token.Caret)
+	case '=':
+		if lx.peek() == '>' {
+			lx.advance()
+			return simple(token.Arrow)
+		}
+		return simple(token.Eq)
+	case '<':
+		if lx.peek() == '>' {
+			lx.advance()
+			return simple(token.NotEq)
+		}
+		if lx.peek() == '=' {
+			lx.advance()
+			return simple(token.LessEq)
+		}
+		return simple(token.Less)
+	case '>':
+		if lx.peek() == '=' {
+			lx.advance()
+			return simple(token.GreaterEq)
+		}
+		return simple(token.Greater)
+	}
+	return token.Token{}, lx.errorf(pos, "unexpected character %q", string(rune(c)))
+}
+
+// scanNumber scans an integer or a dotted-quad host literal.
+func (lx *Lexer) scanNumber(pos token.Pos) (token.Token, error) {
+	digits := func() string {
+		start := lx.off
+		for lx.off < len(lx.src) && isDigit(lx.peek()) {
+			lx.advance()
+		}
+		return lx.src[start:lx.off]
+	}
+	first := digits()
+	// A '.' directly followed by a digit begins a dotted quad.
+	if lx.peek() == '.' && isDigit(lx.peek2()) {
+		parts := []string{first}
+		for lx.peek() == '.' && isDigit(lx.peek2()) {
+			lx.advance() // '.'
+			parts = append(parts, digits())
+		}
+		if len(parts) != 4 {
+			return token.Token{}, lx.errorf(pos, "malformed host literal: expected 4 octets, got %d", len(parts))
+		}
+		text := parts[0] + "." + parts[1] + "." + parts[2] + "." + parts[3]
+		for _, p := range parts {
+			n, err := strconv.Atoi(p)
+			if err != nil || n > 255 {
+				return token.Token{}, lx.errorf(pos, "malformed host literal %s: octet %q out of range", text, p)
+			}
+		}
+		return token.Token{Kind: token.HostLit, Text: text, Pos: pos}, nil
+	}
+	if _, err := strconv.ParseInt(first, 10, 64); err != nil {
+		return token.Token{}, lx.errorf(pos, "integer literal %s out of range", first)
+	}
+	return token.Token{Kind: token.Int, Text: first, Pos: pos}, nil
+}
+
+func (lx *Lexer) scanIdent(pos token.Pos) (token.Token, error) {
+	start := lx.off
+	for lx.off < len(lx.src) && isIdentCont(lx.peek()) {
+		lx.advance()
+	}
+	text := lx.src[start:lx.off]
+	if kw, ok := token.Keywords[text]; ok {
+		return token.Token{Kind: kw, Text: text, Pos: pos}, nil
+	}
+	return token.Token{Kind: token.Ident, Text: text, Pos: pos}, nil
+}
+
+func (lx *Lexer) scanString(pos token.Pos) (token.Token, error) {
+	lx.advance() // opening quote
+	var out []byte
+	for {
+		if lx.off >= len(lx.src) {
+			return token.Token{}, lx.errorf(pos, "unterminated string literal")
+		}
+		c := lx.advance()
+		switch c {
+		case '"':
+			return token.Token{Kind: token.String, Text: string(out), Pos: pos}, nil
+		case '\n':
+			return token.Token{}, lx.errorf(pos, "newline in string literal")
+		case '\\':
+			if lx.off >= len(lx.src) {
+				return token.Token{}, lx.errorf(pos, "unterminated string literal")
+			}
+			e := lx.advance()
+			switch e {
+			case 'n':
+				out = append(out, '\n')
+			case 't':
+				out = append(out, '\t')
+			case 'r':
+				out = append(out, '\r')
+			case '\\', '"', '\'':
+				out = append(out, e)
+			case '0':
+				out = append(out, 0)
+			default:
+				return token.Token{}, lx.errorf(pos, "unknown escape \\%c", e)
+			}
+		default:
+			out = append(out, c)
+		}
+	}
+}
+
+func (lx *Lexer) scanChar(pos token.Pos) (token.Token, error) {
+	lx.advance() // opening quote
+	if lx.off >= len(lx.src) {
+		return token.Token{}, lx.errorf(pos, "unterminated char literal")
+	}
+	c := lx.advance()
+	if c == '\\' {
+		if lx.off >= len(lx.src) {
+			return token.Token{}, lx.errorf(pos, "unterminated char literal")
+		}
+		e := lx.advance()
+		switch e {
+		case 'n':
+			c = '\n'
+		case 't':
+			c = '\t'
+		case 'r':
+			c = '\r'
+		case '\\', '\'', '"':
+			c = e
+		case '0':
+			c = 0
+		default:
+			return token.Token{}, lx.errorf(pos, "unknown escape \\%c", e)
+		}
+	}
+	if lx.off >= len(lx.src) || lx.advance() != '\'' {
+		return token.Token{}, lx.errorf(pos, "char literal must be closed with '")
+	}
+	return token.Token{Kind: token.Char, Text: string(c), Pos: pos}, nil
+}

@@ -1,0 +1,653 @@
+// Package parser implements a recursive-descent parser for PLAN-P.
+//
+// The grammar follows the SML-like surface syntax used in the paper's
+// listings (figures 2 and 4): top-level val/fun/channel declarations,
+// let/in/end blocks, if/then/else expressions, parenthesized sequences
+// (e1; e2), tuples (e1, e2), and #n tuple projection. Operator
+// precedences follow SML: {* / mod} > {+ - ^} > comparisons >
+// andalso > orelse.
+package parser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"planp.dev/planp/internal/lang/ast"
+	"planp.dev/planp/internal/lang/lexer"
+	"planp.dev/planp/internal/lang/token"
+)
+
+// Error is a syntax error with position information.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: syntax error: %s", e.Pos, e.Msg) }
+
+type parser struct {
+	toks []token.Token
+	pos  int
+}
+
+// Parse scans and parses a complete PLAN-P program.
+func Parse(src string) (*ast.Program, error) {
+	toks, err := lexer.Scan(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &ast.Program{}
+	for p.peek().Kind != token.EOF {
+		d, err := p.parseDecl()
+		if err != nil {
+			return nil, err
+		}
+		prog.Decls = append(prog.Decls, d)
+	}
+	if len(prog.Decls) == 0 {
+		return nil, &Error{Pos: token.Pos{Line: 1, Col: 1}, Msg: "empty program"}
+	}
+	return prog, nil
+}
+
+// ParseExpr parses a single expression (used by tests and the REPL-style
+// tooling in cmd/planp).
+func ParseExpr(src string) (ast.Expr, error) {
+	toks, err := lexer.Scan(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().Kind != token.EOF {
+		return nil, p.errorf(p.peek().Pos, "unexpected %s after expression", p.peek())
+	}
+	return e, nil
+}
+
+func (p *parser) peek() token.Token { return p.toks[p.pos] }
+func (p *parser) peekN(n int) token.Token {
+	if p.pos+n >= len(p.toks) {
+		return p.toks[len(p.toks)-1]
+	}
+	return p.toks[p.pos+n]
+}
+
+func (p *parser) next() token.Token {
+	t := p.toks[p.pos]
+	if t.Kind != token.EOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errorf(pos token.Pos, format string, args ...any) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) expect(k token.Kind) (token.Token, error) {
+	t := p.peek()
+	if t.Kind != k {
+		return t, p.errorf(t.Pos, "expected %s, got %s", k, t)
+	}
+	return p.next(), nil
+}
+
+// ---------------------------------------------------------------------------
+// Declarations
+
+func (p *parser) parseDecl() (ast.Decl, error) {
+	t := p.peek()
+	switch t.Kind {
+	case token.KwVal:
+		return p.parseValDecl()
+	case token.KwFun:
+		return p.parseFunDecl()
+	case token.KwChannel:
+		return p.parseChannelDecl()
+	default:
+		return nil, p.errorf(t.Pos, "expected declaration (val, fun, or channel), got %s", t)
+	}
+}
+
+func (p *parser) parseValDecl() (*ast.ValDecl, error) {
+	at := p.next().Pos // val
+	name, err := p.expect(token.Ident)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.Colon); err != nil {
+		return nil, err
+	}
+	ty, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.Eq); err != nil {
+		return nil, err
+	}
+	init, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &ast.ValDecl{Name: name.Text, Type: ty, Init: init, At: at}, nil
+}
+
+func (p *parser) parseFunDecl() (*ast.FunDecl, error) {
+	at := p.next().Pos // fun
+	name, err := p.expect(token.Ident)
+	if err != nil {
+		return nil, err
+	}
+	params, err := p.parseParams()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.Colon); err != nil {
+		return nil, err
+	}
+	ret, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.Eq); err != nil {
+		return nil, err
+	}
+	body, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &ast.FunDecl{Name: name.Text, Params: params, Ret: ret, Body: body, At: at}, nil
+}
+
+func (p *parser) parseChannelDecl() (*ast.ChannelDecl, error) {
+	at := p.next().Pos // channel
+	name, err := p.expect(token.Ident)
+	if err != nil {
+		return nil, err
+	}
+	params, err := p.parseParams()
+	if err != nil {
+		return nil, err
+	}
+	if len(params) != 3 {
+		return nil, p.errorf(at, "channel %s must declare exactly 3 parameters (protocol state, channel state, packet); got %d", name.Text, len(params))
+	}
+	var initState ast.Expr
+	if p.peek().Kind == token.KwInitstate {
+		p.next()
+		initState, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(token.KwIs); err != nil {
+		return nil, err
+	}
+	body, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &ast.ChannelDecl{Name: name.Text, Params: params, InitState: initState, Body: body, At: at}, nil
+}
+
+func (p *parser) parseParams() ([]ast.Param, error) {
+	if _, err := p.expect(token.LParen); err != nil {
+		return nil, err
+	}
+	var params []ast.Param
+	if p.peek().Kind == token.RParen {
+		p.next()
+		return params, nil
+	}
+	for {
+		name, err := p.expect(token.Ident)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.Colon); err != nil {
+			return nil, err
+		}
+		ty, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		params = append(params, ast.Param{Name: name.Text, Type: ty})
+		if p.peek().Kind != token.Comma {
+			break
+		}
+		p.next()
+	}
+	if _, err := p.expect(token.RParen); err != nil {
+		return nil, err
+	}
+	return params, nil
+}
+
+// ---------------------------------------------------------------------------
+// Types
+
+// parseType parses a (possibly tuple) type: atom {"*" atom}.
+func (p *parser) parseType() (ast.Type, error) {
+	first, err := p.parseTypeAtom()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().Kind != token.Star {
+		return first, nil
+	}
+	elems := []ast.Type{first}
+	for p.peek().Kind == token.Star {
+		p.next()
+		t, err := p.parseTypeAtom()
+		if err != nil {
+			return nil, err
+		}
+		elems = append(elems, t)
+	}
+	return ast.Tuple{Elems: elems}, nil
+}
+
+// parseTypeAtom parses a base type name or a parenthesized type, possibly
+// followed by postfix constructors "hash_table" / "list".
+func (p *parser) parseTypeAtom() (ast.Type, error) {
+	var t ast.Type
+	switch tk := p.peek(); tk.Kind {
+	case token.Ident:
+		kind, ok := ast.BaseTypes[tk.Text]
+		if !ok {
+			return nil, p.errorf(tk.Pos, "unknown type %q", tk.Text)
+		}
+		p.next()
+		t = ast.Base{Kind: kind}
+	case token.LParen:
+		p.next()
+		inner, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.RParen); err != nil {
+			return nil, err
+		}
+		t = inner
+	default:
+		return nil, p.errorf(tk.Pos, "expected type, got %s", tk)
+	}
+	// Postfix type constructors.
+	for p.peek().Kind == token.Ident {
+		switch p.peek().Text {
+		case "hash_table":
+			p.next()
+			t = ast.Table{Elem: t}
+		case "list":
+			p.next()
+			t = ast.List{Elem: t}
+		default:
+			return t, nil
+		}
+	}
+	return t, nil
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+// Binary operator precedence levels, loosest first.
+var precLevels = [][]string{
+	{"orelse"},
+	{"andalso"},
+	{"=", "<>", "<", "<=", ">", ">="},
+	{"+", "-", "^"},
+	{"*", "/", "mod"},
+}
+
+// opFor maps the current token to a binary operator string at the given
+// precedence level, or "" if it does not participate.
+func opFor(t token.Token, level int) string {
+	var name string
+	switch t.Kind {
+	case token.KwOrelse:
+		name = "orelse"
+	case token.KwAndalso:
+		name = "andalso"
+	case token.Eq:
+		name = "="
+	case token.NotEq:
+		name = "<>"
+	case token.Less:
+		name = "<"
+	case token.LessEq:
+		name = "<="
+	case token.Greater:
+		name = ">"
+	case token.GreaterEq:
+		name = ">="
+	case token.Plus:
+		name = "+"
+	case token.Minus:
+		name = "-"
+	case token.Caret:
+		name = "^"
+	case token.Star:
+		name = "*"
+	case token.Slash:
+		name = "/"
+	case token.KwMod:
+		name = "mod"
+	default:
+		return ""
+	}
+	for _, op := range precLevels[level] {
+		if op == name {
+			return name
+		}
+	}
+	return ""
+}
+
+func (p *parser) parseExpr() (ast.Expr, error) { return p.parseBinary(0) }
+
+func (p *parser) parseBinary(level int) (ast.Expr, error) {
+	if level >= len(precLevels) {
+		return p.parseUnary()
+	}
+	left, err := p.parseBinary(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		op := opFor(t, level)
+		if op == "" {
+			return left, nil
+		}
+		p.next()
+		right, err := p.parseBinary(level + 1)
+		if err != nil {
+			return nil, err
+		}
+		left = &ast.Binary{Op: op, L: left, R: right, At: t.Pos}
+	}
+}
+
+func (p *parser) parseUnary() (ast.Expr, error) {
+	t := p.peek()
+	switch t.Kind {
+	case token.KwNot:
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.Unary{Op: "not", X: x, At: t.Pos}, nil
+	case token.Minus:
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		// Fold -literal immediately for cleaner ASTs.
+		if lit, ok := x.(*ast.IntLit); ok {
+			return &ast.IntLit{Value: -lit.Value, At: t.Pos}, nil
+		}
+		return &ast.Unary{Op: "-", X: x, At: t.Pos}, nil
+	case token.KwRaise:
+		p.next()
+		msg, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.Raise{Msg: msg, At: t.Pos}, nil
+	}
+	return p.parseProj()
+}
+
+// parseProj handles "#n atom" projection chains.
+func (p *parser) parseProj() (ast.Expr, error) {
+	t := p.peek()
+	if t.Kind == token.Hash {
+		p.next()
+		idxTok, err := p.expect(token.Int)
+		if err != nil {
+			return nil, err
+		}
+		idx, err := strconv.Atoi(idxTok.Text)
+		if err != nil || idx < 1 {
+			return nil, p.errorf(idxTok.Pos, "projection index must be a positive integer")
+		}
+		tuple, err := p.parseProj()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.Proj{Index: idx, Tuple: tuple, At: t.Pos}, nil
+	}
+	return p.parseAtom()
+}
+
+func (p *parser) parseAtom() (ast.Expr, error) {
+	t := p.peek()
+	switch t.Kind {
+	case token.Int:
+		p.next()
+		v, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, p.errorf(t.Pos, "integer literal %s out of range", t.Text)
+		}
+		return &ast.IntLit{Value: v, At: t.Pos}, nil
+	case token.String:
+		p.next()
+		return &ast.StringLit{Value: t.Text, At: t.Pos}, nil
+	case token.Char:
+		p.next()
+		return &ast.CharLit{Value: t.Text[0], At: t.Pos}, nil
+	case token.KwTrue:
+		p.next()
+		return &ast.BoolLit{Value: true, At: t.Pos}, nil
+	case token.KwFalse:
+		p.next()
+		return &ast.BoolLit{Value: false, At: t.Pos}, nil
+	case token.HostLit:
+		p.next()
+		addr, err := ParseHost(t.Text)
+		if err != nil {
+			return nil, p.errorf(t.Pos, "%v", err)
+		}
+		return &ast.HostLit{Addr: addr, Text: t.Text, At: t.Pos}, nil
+	case token.Ident:
+		p.next()
+		if p.peek().Kind == token.LParen {
+			return p.parseCallArgs(t)
+		}
+		return &ast.Var{Name: t.Text, At: t.Pos, Slot: -1, Global: -1}, nil
+	case token.KwLet:
+		return p.parseLet()
+	case token.KwIf:
+		return p.parseIf()
+	case token.KwTry:
+		return p.parseTry()
+	case token.LParen:
+		return p.parseParen()
+	default:
+		return nil, p.errorf(t.Pos, "expected expression, got %s", t)
+	}
+}
+
+func (p *parser) parseCallArgs(name token.Token) (ast.Expr, error) {
+	p.next() // (
+	call := &ast.Call{Name: name.Text, At: name.Pos, PrimIndex: -1, FunIndex: -1}
+	if p.peek().Kind == token.RParen {
+		p.next()
+		return call, nil
+	}
+	for {
+		arg, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		call.Args = append(call.Args, arg)
+		if p.peek().Kind != token.Comma {
+			break
+		}
+		p.next()
+	}
+	if _, err := p.expect(token.RParen); err != nil {
+		return nil, err
+	}
+	return call, nil
+}
+
+func (p *parser) parseLet() (ast.Expr, error) {
+	at := p.next().Pos // let
+	var binds []ast.LetBind
+	for p.peek().Kind == token.KwVal {
+		p.next()
+		name, err := p.expect(token.Ident)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.Colon); err != nil {
+			return nil, err
+		}
+		ty, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.Eq); err != nil {
+			return nil, err
+		}
+		init, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		binds = append(binds, ast.LetBind{Name: name.Text, Type: ty, Init: init, Slot: -1})
+	}
+	if len(binds) == 0 {
+		return nil, p.errorf(at, "let requires at least one val binding")
+	}
+	if _, err := p.expect(token.KwIn); err != nil {
+		return nil, err
+	}
+	body, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.KwEnd); err != nil {
+		return nil, err
+	}
+	return &ast.Let{Binds: binds, Body: body, At: at}, nil
+}
+
+func (p *parser) parseIf() (ast.Expr, error) {
+	at := p.next().Pos // if
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.KwThen); err != nil {
+		return nil, err
+	}
+	thenE, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.KwElse); err != nil {
+		return nil, err
+	}
+	elseE, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &ast.If{Cond: cond, Then: thenE, Else: elseE, At: at}, nil
+}
+
+func (p *parser) parseTry() (ast.Expr, error) {
+	at := p.next().Pos // try
+	body, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.KwHandle); err != nil {
+		return nil, err
+	}
+	handler, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.KwEnd); err != nil {
+		return nil, err
+	}
+	return &ast.Try{Body: body, Handler: handler, At: at}, nil
+}
+
+// parseParen disambiguates between unit (), a parenthesized expression
+// (e), a sequence (e1; e2; ...), and a tuple (e1, e2, ...).
+func (p *parser) parseParen() (ast.Expr, error) {
+	at := p.next().Pos // (
+	if p.peek().Kind == token.RParen {
+		p.next()
+		return &ast.UnitLit{At: at}, nil
+	}
+	first, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	switch p.peek().Kind {
+	case token.RParen:
+		p.next()
+		return first, nil
+	case token.Semi:
+		exprs := []ast.Expr{first}
+		for p.peek().Kind == token.Semi {
+			p.next()
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			exprs = append(exprs, e)
+		}
+		if _, err := p.expect(token.RParen); err != nil {
+			return nil, err
+		}
+		return &ast.Seq{Exprs: exprs, At: at}, nil
+	case token.Comma:
+		elems := []ast.Expr{first}
+		for p.peek().Kind == token.Comma {
+			p.next()
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			elems = append(elems, e)
+		}
+		if _, err := p.expect(token.RParen); err != nil {
+			return nil, err
+		}
+		return &ast.TupleExpr{Elems: elems, At: at}, nil
+	default:
+		return nil, p.errorf(p.peek().Pos, "expected ')', ';' or ',' in parenthesized expression, got %s", p.peek())
+	}
+}
+
+// ParseHost converts a dotted-quad string to a packed big-endian IPv4
+// address. It is exported because host literals also appear in scenario
+// configuration files.
+func ParseHost(s string) (uint32, error) {
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return 0, fmt.Errorf("malformed host %q", s)
+	}
+	var addr uint32
+	for _, part := range parts {
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 0 || n > 255 {
+			return 0, fmt.Errorf("malformed host %q", s)
+		}
+		addr = addr<<8 | uint32(n)
+	}
+	return addr, nil
+}

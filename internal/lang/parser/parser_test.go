@@ -1,0 +1,218 @@
+package parser
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"planp.dev/planp/asp"
+	"planp.dev/planp/internal/lang/ast"
+)
+
+func parseOK(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return p
+}
+
+func exprOK(t *testing.T, src string) ast.Expr {
+	t.Helper()
+	e, err := ParseExpr(src)
+	if err != nil {
+		t.Fatalf("ParseExpr(%q): %v", src, err)
+	}
+	return e
+}
+
+func TestDeclarations(t *testing.T) {
+	p := parseOK(t, `
+val a : int = 3
+fun f(x : int, y : bool) : int = if y then x else 0
+channel network(ps : unit, ss : unit, p : ip*udp*blob) is (deliver(p); (ps, ss))
+channel c2(ps : unit, ss : (int) hash_table, p : ip*tcp*blob)
+initstate mkTable(4) is (deliver(p); (ps, ss))
+`)
+	if len(p.Decls) != 4 {
+		t.Fatalf("got %d decls", len(p.Decls))
+	}
+	if len(p.Vals()) != 1 || len(p.Funs()) != 1 || len(p.Channels()) != 2 {
+		t.Errorf("vals/funs/channels = %d/%d/%d", len(p.Vals()), len(p.Funs()), len(p.Channels()))
+	}
+	ch := p.Channels()[1]
+	if ch.InitState == nil {
+		t.Error("c2 should have an initstate")
+	}
+	if ch.PacketType().String() != "ip*tcp*blob" {
+		t.Errorf("packet type %s", ch.PacketType())
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	cases := map[string]string{
+		"1 + 2 * 3":            "1 + (2 * 3)",
+		"1 * 2 + 3":            "(1 * 2) + 3",
+		"1 + 2 = 3":            "(1 + 2) = 3",
+		"a andalso b orelse c": "(a andalso b) orelse c",
+		"a = b andalso c = d":  "(a = b) andalso (c = d)",
+		"1 - 2 - 3":            "(1 - 2) - 3",
+		`"a" ^ "b" ^ "c"`:      `("a" ^ "b") ^ "c"`,
+		"not a andalso b":      "(not a) andalso b",
+		"1 + 2 mod 3":          "1 + (2 mod 3)",
+		"#1 p = #2 p":          "(#1 p) = (#2 p)",
+	}
+	for src, expect := range cases {
+		a := exprOK(t, src)
+		b := exprOK(t, expect)
+		if !equalIgnoringPos(a, b) {
+			t.Errorf("%q parsed as %s, want %s", src, ast.ExprString(a), ast.ExprString(b))
+		}
+	}
+}
+
+// equalIgnoringPos compares ASTs structurally, ignoring positions and
+// resolution fields.
+func equalIgnoringPos(a, b ast.Expr) bool {
+	return ast.ExprString(a) == ast.ExprString(b) &&
+		reflect.TypeOf(a) == reflect.TypeOf(b)
+}
+
+func TestParenDisambiguation(t *testing.T) {
+	if _, ok := exprOK(t, "()").(*ast.UnitLit); !ok {
+		t.Error("() should be unit")
+	}
+	if _, ok := exprOK(t, "(1)").(*ast.IntLit); !ok {
+		t.Error("(1) should unwrap to the inner expression")
+	}
+	if e, ok := exprOK(t, "(1, 2, 3)").(*ast.TupleExpr); !ok || len(e.Elems) != 3 {
+		t.Error("(1,2,3) should be a 3-tuple")
+	}
+	if e, ok := exprOK(t, "(f(); g(); 3)").(*ast.Seq); !ok || len(e.Exprs) != 3 {
+		t.Error("(a;b;c) should be a 3-sequence")
+	}
+}
+
+func TestNegativeLiteralFold(t *testing.T) {
+	e := exprOK(t, "-42")
+	lit, ok := e.(*ast.IntLit)
+	if !ok || lit.Value != -42 {
+		t.Errorf("got %s", ast.ExprString(e))
+	}
+	// Unary minus on a non-literal stays unary.
+	if _, ok := exprOK(t, "- x").(*ast.Unary); !ok {
+		t.Error("- x should be unary")
+	}
+}
+
+func TestProjChain(t *testing.T) {
+	e := exprOK(t, "#1 #2 p")
+	outer, ok := e.(*ast.Proj)
+	if !ok || outer.Index != 1 {
+		t.Fatalf("got %s", ast.ExprString(e))
+	}
+	inner, ok := outer.Tuple.(*ast.Proj)
+	if !ok || inner.Index != 2 {
+		t.Fatalf("inner not a projection: %s", ast.ExprString(e))
+	}
+}
+
+func TestTypeSyntax(t *testing.T) {
+	p := parseOK(t, `
+channel network(ps : (int*host) hash_table,
+                ss : ((int) list) hash_table,
+                p : ip*tcp*char*int*blob) is (deliver(p); (ps, ss))
+`)
+	ch := p.Channels()[0]
+	if got := ch.ProtoState().String(); got != "(int*host) hash_table" {
+		t.Errorf("proto state %s", got)
+	}
+	if got := ch.ChanState().String(); got != "((int) list) hash_table" {
+		t.Errorf("chan state %s", got)
+	}
+}
+
+func TestSyntaxErrors(t *testing.T) {
+	cases := []string{
+		"",                                // empty program
+		"val x : int",                     // missing initializer
+		"val x = 3",                       // missing type
+		"fun f() = 3",                     // missing return type
+		"channel c(ps : int) is (ps, ps)", // wrong arity
+		"channel c(a : int, b : int, c : int, d : int) is 0", // wrong arity
+		"val x : int = let in 3 end",                         // let without binding
+		"val x : int = if 1 then 2",                          // missing else
+		"val x : int = (1; 2,3)",                             // mixed seq/tuple
+		"val x : int = try 1 handle 2",                       // missing end
+		"val x : unknowntype = 3",                            // bad type
+		"val x : int = #0 p",                                 // zero projection
+		"garbage",                                            // not a decl
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestErrorsCarryPositions(t *testing.T) {
+	_, err := Parse("val x : int =\n  if true then 1")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "2:") {
+		t.Errorf("error should point at line 2: %v", err)
+	}
+}
+
+// TestRoundTrip pins parse ∘ print ∘ parse = parse on every embedded
+// ASP program (the pretty printer must emit re-parseable source with
+// identical structure).
+func TestRoundTrip(t *testing.T) {
+	sources := map[string]string{}
+	for _, p := range asp.All() {
+		sources[p.Name] = p.Source
+	}
+	sources["random-policy"] = asp.HTTPGatewayRandom
+	sources["leastconn-policy"] = asp.HTTPGatewayLeastConn
+	sources["bench-compute"] = asp.BenchCompute
+
+	for name, src := range sources {
+		t.Run(name, func(t *testing.T) {
+			orig, err := Parse(src)
+			if err != nil {
+				t.Fatalf("parse original: %v", err)
+			}
+			printed := ast.Print(orig)
+			back, err := Parse(printed)
+			if err != nil {
+				t.Fatalf("re-parse printed source: %v\n--- printed ---\n%s", err, printed)
+			}
+			if got, want := ast.Print(back), printed; got != want {
+				t.Errorf("print is not a fixed point:\n--- first ---\n%s\n--- second ---\n%s", want, got)
+			}
+			if len(back.Decls) != len(orig.Decls) {
+				t.Errorf("declaration count changed: %d -> %d", len(orig.Decls), len(back.Decls))
+			}
+		})
+	}
+}
+
+func TestParseExprTrailingGarbage(t *testing.T) {
+	if _, err := ParseExpr("1 + 2 extra"); err == nil {
+		t.Error("trailing tokens should fail")
+	}
+}
+
+func TestParseHost(t *testing.T) {
+	h, err := ParseHost("10.0.0.1")
+	if err != nil || h != 0x0A000001 {
+		t.Errorf("ParseHost = %x, %v", h, err)
+	}
+	for _, bad := range []string{"1.2.3", "a.b.c.d", "1.2.3.256", ""} {
+		if _, err := ParseHost(bad); err == nil {
+			t.Errorf("ParseHost(%q) should fail", bad)
+		}
+	}
+}

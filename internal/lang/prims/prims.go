@@ -1,0 +1,142 @@
+// Package prims defines the PLAN-P primitive library: the built-in
+// functions available to protocols. The paper extends the original
+// routing-oriented primitive set with data-manipulation primitives
+// (audio degradation, payload access, hash tables) that make ASPs
+// possible (§2.3); this package contains both generations.
+//
+// Primitives are registered in a global, immutable registry built at
+// package init. The type checker resolves calls to registry indices;
+// engines invoke primitives through those indices, so adding a primitive
+// is exactly the two-step process the paper describes: one function for
+// the computation, one for the result type.
+package prims
+
+import (
+	"fmt"
+
+	"planp.dev/planp/internal/lang/ast"
+	"planp.dev/planp/internal/lang/value"
+)
+
+// Context is the runtime environment a primitive executes in. The ASP
+// runtime (internal/planprt) provides the real implementation; tests use
+// lightweight fakes.
+type Context interface {
+	// OnRemote enqueues pkt for transmission, routed by the IP
+	// destination in its header tuple, to be processed by channel
+	// chanName at the next PLAN-P hop.
+	OnRemote(chanName string, pkt value.Value)
+	// OnNeighbor transmits pkt one hop to every directly connected
+	// neighbor (link-local flooding), processed by chanName there.
+	OnNeighbor(chanName string, pkt value.Value)
+	// Deliver passes pkt up to the local application, terminating
+	// PLAN-P processing for it.
+	Deliver(pkt value.Value)
+	// Print emits program output (the print/println primitives).
+	Print(s string)
+	// ThisHost is the address of the executing node.
+	ThisHost() value.Host
+	// Now is the current virtual time in milliseconds.
+	Now() int64
+	// Rand returns a deterministic pseudo-random integer in [0, n).
+	Rand(n int64) int64
+	// LinkLoadTo returns the utilization (percent, 0-100) of the
+	// outgoing link toward dst, averaged over the monitor window.
+	LinkLoadTo(dst value.Host) int64
+	// LinkBandwidthTo returns the capacity in bits/s of the outgoing
+	// link toward dst.
+	LinkBandwidthTo(dst value.Host) int64
+}
+
+// Prim is one primitive: its signature and implementation.
+type Prim struct {
+	Name string
+
+	// Params/Ret describe a monomorphic signature. For primitives whose
+	// type depends on arguments or on the expected type (mkTable, tget,
+	// print, ...), TypeFn is set instead and Params is nil.
+	Params []ast.Type
+	Ret    ast.Type
+
+	// TypeFn computes the result type from argument types and the
+	// expected type at the call site (nil when unconstrained). It
+	// returns an error for ill-typed calls.
+	TypeFn func(args []ast.Type, expected ast.Type) (ast.Type, error)
+
+	// Fn executes the primitive. It may raise a PLAN-P exception via
+	// value.Raise.
+	Fn func(ctx Context, args []value.Value) value.Value
+
+	// Effectful primitives may not be considered pure by analyses.
+	Effectful bool
+}
+
+var (
+	registry []Prim
+	byName   = map[string]int{}
+)
+
+// register appends a primitive at package init. Duplicate names are a
+// programming error and panic immediately.
+func register(p Prim) {
+	if _, dup := byName[p.Name]; dup {
+		panic("planp/prims: duplicate primitive " + p.Name)
+	}
+	byName[p.Name] = len(registry)
+	registry = append(registry, p)
+}
+
+// Lookup returns the registry index for name, or -1.
+func Lookup(name string) int {
+	if i, ok := byName[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Get returns the primitive at index i.
+func Get(i int) *Prim { return &registry[i] }
+
+// Count returns the number of registered primitives.
+func Count() int { return len(registry) }
+
+// Names returns all primitive names (for documentation and tooling).
+func Names() []string {
+	out := make([]string, len(registry))
+	for i, p := range registry {
+		out[i] = p.Name
+	}
+	return out
+}
+
+// TypeOf computes the result type of calling primitive i with the given
+// argument types under the given expected type.
+func TypeOf(i int, args []ast.Type, expected ast.Type) (ast.Type, error) {
+	p := &registry[i]
+	if p.TypeFn != nil {
+		return p.TypeFn(args, expected)
+	}
+	if len(args) != len(p.Params) {
+		return nil, fmt.Errorf("%s expects %d argument(s), got %d", p.Name, len(p.Params), len(args))
+	}
+	for j, want := range p.Params {
+		if !ast.Equal(args[j], want) {
+			return nil, fmt.Errorf("%s argument %d: expected %s, got %s", p.Name, j+1, want, args[j])
+		}
+	}
+	return p.Ret, nil
+}
+
+// mono registers a primitive with a fixed signature.
+func mono(name string, params []ast.Type, ret ast.Type, effectful bool,
+	fn func(ctx Context, args []value.Value) value.Value) {
+	register(Prim{Name: name, Params: params, Ret: ret, Fn: fn, Effectful: effectful})
+}
+
+// poly registers a primitive whose typing needs a TypeFn.
+func poly(name string, typeFn func(args []ast.Type, expected ast.Type) (ast.Type, error),
+	effectful bool, fn func(ctx Context, args []value.Value) value.Value) {
+	register(Prim{Name: name, TypeFn: typeFn, Fn: fn, Effectful: effectful})
+}
+
+func types(ts ...ast.Type) []ast.Type { return ts }

@@ -1,0 +1,57 @@
+package token
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestKindStrings(t *testing.T) {
+	if KwVal.String() != "'val'" || Ident.String() != "identifier" {
+		t.Error("kind names")
+	}
+	if !strings.Contains(Kind(999).String(), "999") {
+		t.Error("unknown kinds render numerically")
+	}
+}
+
+func TestKeywordsTableMatchesKinds(t *testing.T) {
+	// Every keyword maps to a Kw* kind with a quoted name equal to the
+	// source spelling.
+	for word, kind := range Keywords {
+		if got := kind.String(); got != "'"+word+"'" {
+			t.Errorf("keyword %q has kind name %s", word, got)
+		}
+	}
+	if len(Keywords) < 15 {
+		t.Errorf("keyword table suspiciously small: %d", len(Keywords))
+	}
+}
+
+func TestPos(t *testing.T) {
+	var zero Pos
+	if zero.IsValid() {
+		t.Error("zero Pos should be invalid")
+	}
+	if zero.String() != "-" {
+		t.Errorf("zero Pos renders %q", zero.String())
+	}
+	p := Pos{Line: 3, Col: 14}
+	if !p.IsValid() || p.String() != "3:14" {
+		t.Errorf("Pos renders %q", p.String())
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	cases := map[string]Token{
+		`identifier "getSetS"`: {Kind: Ident, Text: "getSetS"},
+		`string "hi"`:          {Kind: String, Text: "hi"},
+		`integer "42"`:         {Kind: Int, Text: "42"},
+		`'('`:                  {Kind: LParen},
+		`'val'`:                {Kind: KwVal, Text: "val"},
+	}
+	for want, tok := range cases {
+		if got := tok.String(); got != want {
+			t.Errorf("Token.String() = %q, want %q", got, want)
+		}
+	}
+}

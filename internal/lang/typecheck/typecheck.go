@@ -1,0 +1,749 @@
+// Package typecheck implements the PLAN-P static checker.
+//
+// Beyond classic monomorphic type checking it performs the structural
+// duties the engines rely on: resolving every variable to a frame slot or
+// global index, resolving calls to primitive or user-function indices,
+// validating packet-type signatures for channel dispatch, and enforcing
+// the language restrictions that give PLAN-P its safety properties —
+// no recursion, no loops, channels as the only packet-sending context,
+// and one shared protocol-state type across all channels (§2, §2.1).
+//
+// The checker is bidirectional in a limited way: an expected type is
+// pushed down through let bindings, if branches, sequence tails, and call
+// arguments, which is what lets mkTable(256) and listNew() determine
+// their element types exactly as in the paper's listings.
+package typecheck
+
+import (
+	"fmt"
+
+	"planp.dev/planp/internal/lang/ast"
+	"planp.dev/planp/internal/lang/prims"
+	"planp.dev/planp/internal/lang/token"
+)
+
+// Error is a type error with its source position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: type error: %s", e.Pos, e.Msg) }
+
+// Fun is a checked user function.
+type Fun struct {
+	Decl      *ast.FunDecl
+	Index     int // position in Info.Funs
+	FrameSize int // number of local slots (params + lets)
+}
+
+// Channel is a checked channel definition.
+type Channel struct {
+	Decl      *ast.ChannelDecl
+	Index     int // position in Info.Channels
+	FrameSize int
+}
+
+// Global is a checked top-level val binding.
+type Global struct {
+	Decl      *ast.ValDecl
+	Index     int
+	FrameSize int // scratch slots needed to evaluate the initializer
+}
+
+// Info is the result of checking a program: the typed program plus the
+// resolution tables used by every engine and by the verifier.
+type Info struct {
+	Prog     *ast.Program
+	Globals  []Global
+	Funs     []Fun
+	Channels []Channel
+
+	// ProtoState is the protocol-state type shared by all channels.
+	ProtoState ast.Type
+
+	globalIdx map[string]int
+	funIdx    map[string]int
+	// chanIdx maps a channel name to the indices of its (possibly
+	// overloaded) definitions, in declaration order.
+	chanIdx map[string][]int
+}
+
+// FunByName returns the checked function with the given name.
+func (in *Info) FunByName(name string) (*Fun, bool) {
+	i, ok := in.funIdx[name]
+	if !ok {
+		return nil, false
+	}
+	return &in.Funs[i], true
+}
+
+// ChannelsByName returns all checked channels sharing name, in
+// declaration order (overloaded channels, §2.3).
+func (in *Info) ChannelsByName(name string) []*Channel {
+	idxs := in.chanIdx[name]
+	out := make([]*Channel, len(idxs))
+	for i, ix := range idxs {
+		out[i] = &in.Channels[ix]
+	}
+	return out
+}
+
+// checker carries the state of one Check run.
+type checker struct {
+	info *Info
+
+	// Current declaration context.
+	scope     *scope
+	nextSlot  int
+	frameMax  int
+	inChannel bool // OnRemote/OnNeighbor only legal inside channel bodies
+}
+
+type scope struct {
+	parent *scope
+	names  map[string]binding
+}
+
+type binding struct {
+	slot int
+	typ  ast.Type
+}
+
+func (c *checker) push() { c.scope = &scope{parent: c.scope, names: map[string]binding{}} }
+func (c *checker) pop()  { c.scope = c.scope.parent }
+
+func (c *checker) bind(name string, t ast.Type) int {
+	slot := c.nextSlot
+	c.nextSlot++
+	if c.nextSlot > c.frameMax {
+		c.frameMax = c.nextSlot
+	}
+	c.scope.names[name] = binding{slot: slot, typ: t}
+	return slot
+}
+
+func (c *checker) lookup(name string) (binding, bool) {
+	for s := c.scope; s != nil; s = s.parent {
+		if b, ok := s.names[name]; ok {
+			return b, true
+		}
+	}
+	return binding{}, false
+}
+
+func errf(pos token.Pos, format string, args ...any) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Check type-checks a parsed program and returns the resolution info.
+// The input AST is annotated in place (slots, indices, operand types).
+func Check(prog *ast.Program) (*Info, error) {
+	info := &Info{
+		Prog:      prog,
+		globalIdx: map[string]int{},
+		funIdx:    map[string]int{},
+		chanIdx:   map[string][]int{},
+	}
+	c := &checker{info: info}
+
+	// Pass 1: register every channel's signature so bodies can send to
+	// any channel, including the one being defined (OnRemote is a
+	// recursive call on a remote machine, §2.1) and channels declared
+	// later (the MPEG monitor forwards to the client channel).
+	for _, d := range prog.Decls {
+		ch, ok := d.(*ast.ChannelDecl)
+		if !ok {
+			continue
+		}
+		if err := c.registerChannel(ch); err != nil {
+			return nil, err
+		}
+	}
+
+	// Pass 2: check declarations in order. Vals and funs may only
+	// reference names declared before them (no recursion — local
+	// termination by construction).
+	for _, d := range prog.Decls {
+		switch d := d.(type) {
+		case *ast.ValDecl:
+			if err := c.checkValDecl(d); err != nil {
+				return nil, err
+			}
+		case *ast.FunDecl:
+			if err := c.checkFunDecl(d); err != nil {
+				return nil, err
+			}
+		case *ast.ChannelDecl:
+			if err := c.checkChannelDecl(d); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, errf(d.DeclPos(), "unknown declaration kind")
+		}
+	}
+	if len(info.Channels) == 0 {
+		return nil, errf(prog.Decls[0].DeclPos(), "program defines no channels")
+	}
+	return info, nil
+}
+
+func (c *checker) declared(name string, pos token.Pos) error {
+	if _, ok := c.info.globalIdx[name]; ok {
+		return errf(pos, "%s redeclares a top-level val", name)
+	}
+	if _, ok := c.info.funIdx[name]; ok {
+		return errf(pos, "%s redeclares a fun", name)
+	}
+	if prims.Lookup(name) >= 0 {
+		return errf(pos, "%s shadows a primitive", name)
+	}
+	if len(c.info.chanIdx[name]) > 0 {
+		return errf(pos, "%s conflicts with a channel of the same name", name)
+	}
+	return nil
+}
+
+func (c *checker) checkValDecl(d *ast.ValDecl) error {
+	if err := c.declared(d.Name, d.At); err != nil {
+		return err
+	}
+	c.resetFrame()
+	got, err := c.checkExpr(d.Init, d.Type)
+	if err != nil {
+		return err
+	}
+	if !ast.Equal(got, d.Type) {
+		return errf(d.At, "val %s declared %s but initializer has type %s", d.Name, d.Type, got)
+	}
+	c.info.globalIdx[d.Name] = len(c.info.Globals)
+	c.info.Globals = append(c.info.Globals, Global{Decl: d, Index: len(c.info.Globals), FrameSize: c.frameMax})
+	return nil
+}
+
+func (c *checker) checkFunDecl(d *ast.FunDecl) error {
+	if err := c.declared(d.Name, d.At); err != nil {
+		return err
+	}
+	if _, ok := c.info.chanIdx[d.Name]; ok {
+		return errf(d.At, "fun %s conflicts with a channel of the same name", d.Name)
+	}
+	c.resetFrame()
+	c.push()
+	seen := map[string]bool{}
+	for _, p := range d.Params {
+		if seen[p.Name] {
+			c.pop()
+			return errf(d.At, "fun %s: duplicate parameter %s", d.Name, p.Name)
+		}
+		seen[p.Name] = true
+		c.bind(p.Name, p.Type)
+	}
+	got, err := c.checkExpr(d.Body, d.Ret)
+	c.pop()
+	if err != nil {
+		return err
+	}
+	if !ast.Equal(got, d.Ret) {
+		return errf(d.At, "fun %s declared to return %s but body has type %s", d.Name, d.Ret, got)
+	}
+	idx := len(c.info.Funs)
+	c.info.funIdx[d.Name] = idx
+	c.info.Funs = append(c.info.Funs, Fun{Decl: d, Index: idx, FrameSize: c.frameMax})
+	return nil
+}
+
+// registerChannel records a channel's signature (pass 1) so sends can
+// resolve it before its body is checked.
+func (c *checker) registerChannel(d *ast.ChannelDecl) error {
+	if prims.Lookup(d.Name) >= 0 {
+		return errf(d.At, "channel %s shadows a primitive", d.Name)
+	}
+	pktType := d.PacketType()
+	if err := ValidatePacketType(pktType); err != nil {
+		return errf(d.At, "channel %s: %v", d.Name, err)
+	}
+	// Overloads of the same channel name must have distinct packet types
+	// (otherwise dispatch is ambiguous).
+	for _, prev := range c.info.chanIdx[d.Name] {
+		if ast.Equal(c.info.Channels[prev].Decl.PacketType(), pktType) {
+			return errf(d.At, "channel %s redefined with the same packet type %s", d.Name, pktType)
+		}
+	}
+	// The protocol state is shared between all channels (§2): every
+	// channel must declare the identical protocol-state type.
+	if c.info.ProtoState == nil {
+		c.info.ProtoState = d.ProtoState()
+	} else if !ast.Equal(c.info.ProtoState, d.ProtoState()) {
+		return errf(d.At, "channel %s declares protocol state %s but earlier channels declared %s (the protocol state is shared)",
+			d.Name, d.ProtoState(), c.info.ProtoState)
+	}
+	idx := len(c.info.Channels)
+	c.info.chanIdx[d.Name] = append(c.info.chanIdx[d.Name], idx)
+	c.info.Channels = append(c.info.Channels, Channel{Decl: d, Index: idx})
+	return nil
+}
+
+func (c *checker) checkChannelDecl(d *ast.ChannelDecl) error {
+	if _, ok := c.info.funIdx[d.Name]; ok {
+		return errf(d.At, "channel %s conflicts with a fun of the same name", d.Name)
+	}
+	c.resetFrame()
+	c.push()
+	seen := map[string]bool{}
+	for _, p := range d.Params {
+		if seen[p.Name] {
+			c.pop()
+			return errf(d.At, "channel %s: duplicate parameter %s", d.Name, p.Name)
+		}
+		seen[p.Name] = true
+		c.bind(p.Name, p.Type)
+	}
+
+	// initstate is evaluated outside the channel frame, but it may use
+	// globals; it must produce the channel-state type.
+	if d.InitState != nil {
+		save := c.scope
+		c.scope = nil
+		got, err := c.checkExpr(d.InitState, d.ChanState())
+		c.scope = save
+		if err != nil {
+			return err
+		}
+		if !ast.Equal(got, d.ChanState()) {
+			c.pop()
+			return errf(d.At, "channel %s: initstate has type %s, want channel state type %s", d.Name, got, d.ChanState())
+		}
+	} else if _, isTable := d.ChanState().(ast.Table); isTable {
+		c.pop()
+		return errf(d.At, "channel %s: hash_table channel state requires an initstate clause", d.Name)
+	}
+
+	want := ast.Tuple{Elems: []ast.Type{d.ProtoState(), d.ChanState()}}
+	c.inChannel = true
+	got, err := c.checkExpr(d.Body, want)
+	c.inChannel = false
+	c.pop()
+	if err != nil {
+		return err
+	}
+	if !ast.Equal(got, want) {
+		return errf(d.At, "channel %s: body has type %s, want %s (new protocol state, new channel state)", d.Name, got, want)
+	}
+	// Fill in the frame size on the entry registered in pass 1.
+	for i := range c.info.Channels {
+		if c.info.Channels[i].Decl == d {
+			c.info.Channels[i].FrameSize = c.frameMax
+			break
+		}
+	}
+	return nil
+}
+
+func (c *checker) resetFrame() {
+	c.scope = nil
+	c.nextSlot = 0
+	c.frameMax = 0
+}
+
+// ValidatePacketType checks that t is a legal channel packet type: a
+// tuple beginning with an ip header, optionally followed by a tcp or udp
+// header, followed by payload components — scalars decodable from bytes,
+// with blob allowed only in the final position (it absorbs the rest of
+// the payload).
+func ValidatePacketType(t ast.Type) error {
+	tup, ok := t.(ast.Tuple)
+	if !ok {
+		return fmt.Errorf("packet type must be a tuple starting with ip, got %s", t)
+	}
+	if !ast.Equal(tup.Elems[0], ast.IPT) {
+		return fmt.Errorf("packet type must start with ip, got %s", t)
+	}
+	rest := tup.Elems[1:]
+	if len(rest) > 0 && (ast.Equal(rest[0], ast.TCPT) || ast.Equal(rest[0], ast.UDPT)) {
+		rest = rest[1:]
+	}
+	for i, e := range rest {
+		switch e := e.(type) {
+		case ast.Base:
+			switch e.Kind {
+			case ast.TBlob:
+				if i != len(rest)-1 {
+					return fmt.Errorf("blob may only appear as the final payload component in %s", t)
+				}
+			case ast.TChar, ast.TInt, ast.TBool, ast.THost, ast.TString:
+				// decodable scalar
+			default:
+				return fmt.Errorf("%s is not a decodable payload component in packet type %s", e, t)
+			}
+		default:
+			return fmt.Errorf("%s is not a decodable payload component in packet type %s", e, t)
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+// checkExpr type-checks e, with expected as the (possibly nil) type
+// required by context, and returns e's type.
+func (c *checker) checkExpr(e ast.Expr, expected ast.Type) (ast.Type, error) {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		return ast.IntT, nil
+	case *ast.BoolLit:
+		return ast.BoolT, nil
+	case *ast.StringLit:
+		return ast.StringT, nil
+	case *ast.CharLit:
+		return ast.CharT, nil
+	case *ast.UnitLit:
+		return ast.UnitT, nil
+	case *ast.HostLit:
+		return ast.HostT, nil
+
+	case *ast.Var:
+		if b, ok := c.lookup(e.Name); ok {
+			e.Slot, e.Global = b.slot, -1
+			return b.typ, nil
+		}
+		if gi, ok := c.info.globalIdx[e.Name]; ok {
+			e.Slot, e.Global = -1, gi
+			return c.info.Globals[gi].Decl.Type, nil
+		}
+		if _, ok := c.info.funIdx[e.Name]; ok {
+			return nil, errf(e.At, "%s is a fun; funs are not first-class values", e.Name)
+		}
+		if len(c.info.chanIdx[e.Name]) > 0 {
+			return nil, errf(e.At, "%s is a channel; channels may only appear as the first argument of OnRemote/OnNeighbor", e.Name)
+		}
+		return nil, errf(e.At, "undefined name %s", e.Name)
+
+	case *ast.Proj:
+		tt, err := c.checkExpr(e.Tuple, nil)
+		if err != nil {
+			return nil, err
+		}
+		tup, ok := tt.(ast.Tuple)
+		if !ok {
+			return nil, errf(e.At, "#%d applied to non-tuple type %s", e.Index, tt)
+		}
+		if e.Index > len(tup.Elems) {
+			return nil, errf(e.At, "#%d out of range for %d-tuple %s", e.Index, len(tup.Elems), tup)
+		}
+		return tup.Elems[e.Index-1], nil
+
+	case *ast.Let:
+		c.push()
+		defer c.pop()
+		for i := range e.Binds {
+			b := &e.Binds[i]
+			got, err := c.checkExpr(b.Init, b.Type)
+			if err != nil {
+				return nil, err
+			}
+			if !ast.Equal(got, b.Type) {
+				return nil, errf(e.At, "val %s declared %s but initializer has type %s", b.Name, b.Type, got)
+			}
+			b.Slot = c.bind(b.Name, b.Type)
+		}
+		return c.checkExpr(e.Body, expected)
+
+	case *ast.If:
+		ct, err := c.checkExpr(e.Cond, ast.BoolT)
+		if err != nil {
+			return nil, err
+		}
+		if !ast.Equal(ct, ast.BoolT) {
+			return nil, errf(e.At, "if condition has type %s, want bool", ct)
+		}
+		tt, err := c.checkExpr(e.Then, expected)
+		if err != nil {
+			return nil, err
+		}
+		et, err := c.checkExpr(e.Else, tt)
+		if err != nil {
+			return nil, err
+		}
+		if !ast.Equal(tt, et) {
+			return nil, errf(e.At, "if branches have different types: %s vs %s", tt, et)
+		}
+		return tt, nil
+
+	case *ast.Seq:
+		for i, sub := range e.Exprs[:len(e.Exprs)-1] {
+			if _, err := c.checkExpr(sub, nil); err != nil {
+				return nil, err
+			}
+			_ = i
+		}
+		return c.checkExpr(e.Exprs[len(e.Exprs)-1], expected)
+
+	case *ast.TupleExpr:
+		var expectedElems []ast.Type
+		if tup, ok := expected.(ast.Tuple); ok && len(tup.Elems) == len(e.Elems) {
+			expectedElems = tup.Elems
+		}
+		elems := make([]ast.Type, len(e.Elems))
+		for i, sub := range e.Elems {
+			var exp ast.Type
+			if expectedElems != nil {
+				exp = expectedElems[i]
+			}
+			t, err := c.checkExpr(sub, exp)
+			if err != nil {
+				return nil, err
+			}
+			elems[i] = t
+		}
+		return ast.Tuple{Elems: elems}, nil
+
+	case *ast.Unary:
+		xt, err := c.checkExpr(e.X, nil)
+		if err != nil {
+			return nil, err
+		}
+		switch e.Op {
+		case "not":
+			if !ast.Equal(xt, ast.BoolT) {
+				return nil, errf(e.At, "not applied to %s, want bool", xt)
+			}
+			return ast.BoolT, nil
+		case "-":
+			if !ast.Equal(xt, ast.IntT) {
+				return nil, errf(e.At, "unary - applied to %s, want int", xt)
+			}
+			return ast.IntT, nil
+		default:
+			return nil, errf(e.At, "unknown unary operator %s", e.Op)
+		}
+
+	case *ast.Binary:
+		return c.checkBinary(e)
+
+	case *ast.Try:
+		bt, err := c.checkExpr(e.Body, expected)
+		if err != nil {
+			return nil, err
+		}
+		ht, err := c.checkExpr(e.Handler, bt)
+		if err != nil {
+			return nil, err
+		}
+		if !ast.Equal(bt, ht) {
+			return nil, errf(e.At, "try body has type %s but handler has type %s", bt, ht)
+		}
+		return bt, nil
+
+	case *ast.Raise:
+		mt, err := c.checkExpr(e.Msg, ast.StringT)
+		if err != nil {
+			return nil, err
+		}
+		if !ast.Equal(mt, ast.StringT) {
+			return nil, errf(e.At, "raise takes a string message, got %s", mt)
+		}
+		if expected != nil {
+			return expected, nil
+		}
+		return ast.UnitT, nil
+
+	case *ast.Call:
+		return c.checkCall(e, expected)
+
+	case *ast.ChanRef:
+		return nil, errf(e.At, "channel reference %s outside OnRemote/OnNeighbor", e.Name)
+
+	default:
+		return nil, errf(e.Pos(), "unhandled expression kind %T", e)
+	}
+}
+
+func (c *checker) checkBinary(e *ast.Binary) (ast.Type, error) {
+	switch e.Op {
+	case "andalso", "orelse":
+		lt, err := c.checkExpr(e.L, ast.BoolT)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := c.checkExpr(e.R, ast.BoolT)
+		if err != nil {
+			return nil, err
+		}
+		if !ast.Equal(lt, ast.BoolT) || !ast.Equal(rt, ast.BoolT) {
+			return nil, errf(e.At, "%s requires bool operands, got %s and %s", e.Op, lt, rt)
+		}
+		return ast.BoolT, nil
+
+	case "+", "-", "*", "/", "mod":
+		lt, err := c.checkExpr(e.L, ast.IntT)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := c.checkExpr(e.R, ast.IntT)
+		if err != nil {
+			return nil, err
+		}
+		if !ast.Equal(lt, ast.IntT) || !ast.Equal(rt, ast.IntT) {
+			return nil, errf(e.At, "%s requires int operands, got %s and %s", e.Op, lt, rt)
+		}
+		return ast.IntT, nil
+
+	case "^":
+		lt, err := c.checkExpr(e.L, ast.StringT)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := c.checkExpr(e.R, ast.StringT)
+		if err != nil {
+			return nil, err
+		}
+		if !ast.Equal(lt, ast.StringT) || !ast.Equal(rt, ast.StringT) {
+			return nil, errf(e.At, "^ requires string operands, got %s and %s", lt, rt)
+		}
+		return ast.StringT, nil
+
+	case "<", "<=", ">", ">=":
+		lt, err := c.checkExpr(e.L, nil)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := c.checkExpr(e.R, lt)
+		if err != nil {
+			return nil, err
+		}
+		if !ast.Equal(lt, rt) {
+			return nil, errf(e.At, "%s requires operands of the same type, got %s and %s", e.Op, lt, rt)
+		}
+		if !ast.Equal(lt, ast.IntT) && !ast.Equal(lt, ast.StringT) && !ast.Equal(lt, ast.CharT) {
+			return nil, errf(e.At, "%s is not defined on %s", e.Op, lt)
+		}
+		e.OperandType = lt
+		return ast.BoolT, nil
+
+	case "=", "<>":
+		lt, err := c.checkExpr(e.L, nil)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := c.checkExpr(e.R, lt)
+		if err != nil {
+			return nil, err
+		}
+		if !ast.Equal(lt, rt) {
+			return nil, errf(e.At, "%s compares operands of different types: %s vs %s", e.Op, lt, rt)
+		}
+		if !ast.IsEquality(lt) {
+			if _, isTable := lt.(ast.Table); isTable {
+				return nil, errf(e.At, "hash tables cannot be compared with %s", e.Op)
+			}
+		}
+		e.OperandType = lt
+		return ast.BoolT, nil
+
+	default:
+		return nil, errf(e.At, "unknown operator %s", e.Op)
+	}
+}
+
+// sendPrims are the network-effecting pseudo-primitives handled directly
+// by the checker and the engines.
+var sendPrims = map[string]bool{"OnRemote": true, "OnNeighbor": true}
+
+func (c *checker) checkCall(e *ast.Call, expected ast.Type) (ast.Type, error) {
+	if sendPrims[e.Name] {
+		return c.checkSend(e)
+	}
+
+	// User function?
+	if fi, ok := c.info.funIdx[e.Name]; ok {
+		f := c.info.Funs[fi]
+		if len(e.Args) != len(f.Decl.Params) {
+			return nil, errf(e.At, "%s expects %d argument(s), got %d", e.Name, len(f.Decl.Params), len(e.Args))
+		}
+		for i, arg := range e.Args {
+			want := f.Decl.Params[i].Type
+			got, err := c.checkExpr(arg, want)
+			if err != nil {
+				return nil, err
+			}
+			if !ast.Equal(got, want) {
+				return nil, errf(e.At, "%s argument %d: expected %s, got %s", e.Name, i+1, want, got)
+			}
+		}
+		e.FunIndex, e.PrimIndex = fi, -1
+		return f.Decl.Ret, nil
+	}
+
+	// Primitive?
+	pi := prims.Lookup(e.Name)
+	if pi < 0 {
+		if len(c.info.chanIdx[e.Name]) > 0 {
+			return nil, errf(e.At, "channel %s cannot be called directly; use OnRemote(%s, pkt)", e.Name, e.Name)
+		}
+		return nil, errf(e.At, "undefined function %s", e.Name)
+	}
+	p := prims.Get(pi)
+	argTypes := make([]ast.Type, len(e.Args))
+	for i, arg := range e.Args {
+		var want ast.Type
+		if p.TypeFn == nil && i < len(p.Params) {
+			want = p.Params[i]
+		}
+		got, err := c.checkExpr(arg, want)
+		if err != nil {
+			return nil, err
+		}
+		argTypes[i] = got
+	}
+	ret, err := prims.TypeOf(pi, argTypes, expected)
+	if err != nil {
+		return nil, errf(e.At, "%v", err)
+	}
+	e.PrimIndex, e.FunIndex = pi, -1
+	return ret, nil
+}
+
+// checkSend validates OnRemote(chan, pkt) / OnNeighbor(chan, pkt): the
+// first argument must name a channel and the packet expression's type
+// must match the packet type of (one of) the channel's definitions.
+func (c *checker) checkSend(e *ast.Call) (ast.Type, error) {
+	if !c.inChannel {
+		return nil, errf(e.At, "%s may only be used inside a channel body", e.Name)
+	}
+	if len(e.Args) != 2 {
+		return nil, errf(e.At, "%s expects (channel, packet)", e.Name)
+	}
+	v, ok := e.Args[0].(*ast.Var)
+	var cref *ast.ChanRef
+	if ok {
+		cref = &ast.ChanRef{Name: v.Name, At: v.At}
+	} else if r, isRef := e.Args[0].(*ast.ChanRef); isRef {
+		cref = r
+	} else {
+		return nil, errf(e.At, "%s: first argument must be a channel name", e.Name)
+	}
+	cands := c.info.chanIdx[cref.Name]
+	if len(cands) == 0 {
+		return nil, errf(e.At, "%s: %s is not a declared channel", e.Name, cref.Name)
+	}
+	e.Args[0] = cref
+
+	pktT, err := c.checkExpr(e.Args[1], c.info.Channels[cands[0]].Decl.PacketType())
+	if err != nil {
+		return nil, err
+	}
+	matched := false
+	for _, ci := range cands {
+		if ast.Equal(pktT, c.info.Channels[ci].Decl.PacketType()) {
+			matched = true
+			break
+		}
+	}
+	if !matched {
+		return nil, errf(e.At, "%s: packet type %s matches no definition of channel %s", e.Name, pktT, cref.Name)
+	}
+	e.PrimIndex, e.FunIndex = -1, -1
+	return ast.UnitT, nil
+}

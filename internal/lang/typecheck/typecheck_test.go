@@ -1,0 +1,309 @@
+package typecheck_test
+
+import (
+	"strings"
+	"testing"
+
+	"planp.dev/planp/internal/lang/ast"
+	"planp.dev/planp/internal/lang/parser"
+	"planp.dev/planp/internal/lang/typecheck"
+)
+
+// wrap embeds an expression into a minimal channel so it checks in
+// context; %s is the expression, typed as the channel-state type int.
+func wrap(expr string) string {
+	return `
+channel network(ps : int, ss : int, p : ip*udp*blob) is
+  (deliver(p); (ps, ` + expr + `))
+`
+}
+
+func check(t *testing.T, src string) (*typecheck.Info, error) {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return typecheck.Check(prog)
+}
+
+func mustCheck(t *testing.T, src string) *typecheck.Info {
+	t.Helper()
+	info, err := check(t, src)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return info
+}
+
+func mustFail(t *testing.T, src, wantSubstr string) {
+	t.Helper()
+	_, err := check(t, src)
+	if err == nil {
+		t.Fatalf("expected type error containing %q", wantSubstr)
+	}
+	if !strings.Contains(err.Error(), wantSubstr) {
+		t.Fatalf("error %q does not mention %q", err, wantSubstr)
+	}
+}
+
+func TestWellTypedExpressions(t *testing.T) {
+	goods := []string{
+		"1 + 2 * 3 mod 4",
+		"if true then 1 else 2",
+		"strLen(\"abc\" ^ \"def\")",
+		"blobLen(#3 p)",
+		"udpDst(#2 p)",
+		"hostToInt(ipSrc(#1 p))",
+		"(let val x : int = 3 in x + x end)",
+		"try 1 / 0 handle 0 end",
+		"abs(min(1, max(2, 3)))",
+		"charPos('x')",
+		"if ipSrc(#1 p) = ipDst(#1 p) then 1 else 0",
+	}
+	for _, g := range goods {
+		if _, err := check(t, wrap(g)); err != nil {
+			t.Errorf("%s: unexpected error %v", g, err)
+		}
+	}
+}
+
+func TestTypeErrors(t *testing.T) {
+	cases := []struct{ expr, want string }{
+		{`1 + true`, "int"},
+		{`"a" + "b"`, "int"},
+		{`1 ^ 2`, "string"},
+		{`if 1 then 2 else 3`, "bool"},
+		{`if true then 1 else "x"`, "different types"},
+		{`not 3`, "bool"},
+		{`#1 3`, "non-tuple"},
+		{`#5 (1, 2)`, "out of range"},
+		{`undefinedName`, "undefined"},
+		{`undefinedFn(3)`, "undefined"},
+		{`strLen(3)`, "strLen"},
+		{`1 < true`, "same type"},
+		{`"a" < 1`, "same type"},
+		{`(1,2) < (1,2)`, "not defined"},
+		{`try 1 handle "x" end`, "handler"},
+		{`raise 42`, "string"},
+	}
+	for _, tc := range cases {
+		mustFail(t, wrap(tc.expr), tc.want)
+	}
+}
+
+func TestDeclarationErrors(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{`val x : int = 1
+val x : int = 2
+channel network(ps : unit, ss : unit, p : ip*udp*blob) is (deliver(p); (ps, ss))`, "redeclares"},
+		{`val strLen : int = 1
+channel network(ps : unit, ss : unit, p : ip*udp*blob) is (deliver(p); (ps, ss))`, "shadows a primitive"},
+		{`fun f(x : int) : int = f(x)
+channel network(ps : unit, ss : unit, p : ip*udp*blob) is (deliver(p); (ps, ss))`, "undefined"},
+		{`fun f(x : int) : bool = x
+channel network(ps : unit, ss : unit, p : ip*udp*blob) is (deliver(p); (ps, ss))`, "return"},
+		{`fun f(x : int, x : int) : int = x
+channel network(ps : unit, ss : unit, p : ip*udp*blob) is (deliver(p); (ps, ss))`, "duplicate parameter"},
+		{`val a : int = 1`, "no channels"},
+		{`channel network(ps : int, ss : unit, p : ip*udp*blob) is (deliver(p); (ps, ss))
+channel network(ps : bool, ss : unit, p : ip*tcp*blob) is (deliver(p); (ps, ss))`, "shared"},
+		{`channel network(ps : int, ss : unit, p : ip*udp*blob) is (deliver(p); (ps, ss))
+channel network(ps : int, ss : unit, p : ip*udp*blob) is (deliver(p); (ps, ss))`, "same packet type"},
+		{`channel network(ps : int, ss : unit, p : blob) is (deliver(p); (ps, ss))`, "must be a tuple"},
+		{`channel network(ps : int, ss : unit, p : ip*blob*int) is (deliver(p); (ps, ss))`, "final payload"},
+		{`channel network(ps : int, ss : (int) hash_table, p : ip*udp*blob) is (deliver(p); (ps, ss))`, "initstate"},
+		{`channel network(ps : int, ss : unit, p : ip*udp*blob) is (deliver(p); ps)`, "body has type"},
+		{`fun network(x : int) : int = x
+channel network(ps : int, ss : unit, p : ip*udp*blob) is (deliver(p); (ps, ss))`, "conflicts"},
+	}
+	for _, tc := range cases {
+		mustFail(t, tc.src, tc.want)
+	}
+}
+
+func TestFunsAreNotFirstClass(t *testing.T) {
+	mustFail(t, `
+fun f(x : int) : int = x
+channel network(ps : int, ss : int, p : ip*udp*blob) is
+  (deliver(p); (ps, f))
+`, "not first-class")
+}
+
+func TestChannelsNotCallable(t *testing.T) {
+	mustFail(t, `
+channel other(ps : int, ss : int, p : ip*udp*blob) is (deliver(p); (ps, ss))
+channel network(ps : int, ss : int, p : ip*udp*blob) is
+  (deliver(p); (ps, other(ps, ss, p)))
+`, "OnRemote")
+}
+
+func TestSendValidation(t *testing.T) {
+	// OnRemote outside a channel body.
+	mustFail(t, `
+fun f(p : ip*udp*blob) : unit = OnRemote(network, p)
+channel network(ps : int, ss : int, p : ip*udp*blob) is (deliver(p); (ps, ss))
+`, "channel body")
+	// Unknown channel.
+	mustFail(t, wrap(`(OnRemote(nosuch, p); 1)`), "not a declared channel")
+	// Wrong packet type.
+	mustFail(t, `
+channel network(ps : int, ss : int, p : ip*udp*blob) is
+  (OnRemote(network, (#1 p, #3 p)); (ps, ss))
+`, "matches no definition")
+}
+
+func TestForwardChannelReference(t *testing.T) {
+	// A channel may send to a channel declared later (the MPEG monitor
+	// forwards to the client channel).
+	mustCheck(t, `
+channel network(ps : int, ss : int, p : ip*udp*blob) is
+  (OnRemote(later, p); (ps, ss))
+channel later(ps : int, ss : int, p : ip*udp*blob) is
+  (deliver(p); (ps, ss))
+`)
+}
+
+func TestBidirectionalTableInference(t *testing.T) {
+	info := mustCheck(t, `
+channel network(ps : int, ss : (int*host) hash_table, p : ip*udp*blob)
+initstate mkTable(32) is
+  (tput(ss, udpSrc(#2 p), (1, ipSrc(#1 p)));
+   deliver(p);
+   (ps, ss))
+`)
+	ch := info.Channels[0]
+	want := ast.Table{Elem: ast.Tuple{Elems: []ast.Type{ast.IntT, ast.HostT}}}
+	if !ast.Equal(ch.Decl.ChanState(), want) {
+		t.Errorf("channel state %s", ch.Decl.ChanState())
+	}
+	// mkTable without a table context cannot infer its element type.
+	mustFail(t, wrap("(mkTable(3); 1)"), "infer")
+}
+
+func TestTableTypeRules(t *testing.T) {
+	// A table cannot key a table (not an equality type); blobs can.
+	mustFail(t, `
+channel network(ps : int, ss : (int) hash_table, p : ip*udp*blob)
+initstate mkTable(8) is
+  (tput(ss, ss, 1); deliver(p); (ps, ss))
+`, "not an equality type")
+	mustCheck(t, `
+channel network(ps : int, ss : (int) hash_table, p : ip*udp*blob)
+initstate mkTable(8) is
+  (tput(ss, #3 p, 1); deliver(p); (ps, ss))
+`)
+	mustFail(t, `
+channel network(ps : int, ss : (int) hash_table, p : ip*udp*blob)
+initstate mkTable(8) is
+  (tput(ss, 1, "x"); deliver(p); (ps, ss))
+`, "element type")
+	mustFail(t, wrap(`(tget(3, 4); 1)`), "hash_table")
+}
+
+func TestSlotResolution(t *testing.T) {
+	info := mustCheck(t, `
+channel network(ps : int, ss : int, p : ip*udp*blob) is
+  let
+    val a : int = ps + 1
+    val b : int = a + ss
+  in
+    (deliver(p); (b, a))
+  end
+`)
+	ch := info.Channels[0]
+	if ch.FrameSize < 5 {
+		t.Errorf("frame size %d, want at least 5 (3 params + 2 lets)", ch.FrameSize)
+	}
+}
+
+func TestGlobalResolution(t *testing.T) {
+	info := mustCheck(t, `
+val threshold : int = 80
+val name : string = "x"
+channel network(ps : int, ss : int, p : ip*udp*blob) is
+  (deliver(p); (if ps > threshold then 0 else ps, ss))
+`)
+	if len(info.Globals) != 2 {
+		t.Fatalf("globals = %d", len(info.Globals))
+	}
+	if info.Globals[0].Decl.Name != "threshold" || info.Globals[0].Index != 0 {
+		t.Errorf("global 0 = %+v", info.Globals[0])
+	}
+}
+
+func TestShadowing(t *testing.T) {
+	// Inner let shadows outer binding; both resolve to distinct slots.
+	mustCheck(t, `
+channel network(ps : int, ss : int, p : ip*udp*blob) is
+  let val x : int = 1
+  in
+    let val x : string = "s"
+    in (deliver(p); (strLen(x), ss)) end
+  end
+`)
+	// After the inner scope ends, the outer binding is visible again.
+	mustCheck(t, `
+channel network(ps : int, ss : int, p : ip*udp*blob) is
+  let
+    val x : int = 1
+    val y : int = let val x : string = "s" in strLen(x) end
+  in (deliver(p); (x + y, ss)) end
+`)
+}
+
+func TestEqualityOnBlobAndHeaders(t *testing.T) {
+	mustCheck(t, wrap(`(if #3 p = #3 p then 1 else 0)`))
+	mustCheck(t, wrap(`(if #1 p = #1 p then 1 else 0)`))
+	mustFail(t, `
+channel network(ps : int, ss : (int) hash_table, p : ip*udp*blob)
+initstate mkTable(2) is
+  (deliver(p); (if ss = ss then 1 else 0, ss))
+`, "compared")
+}
+
+func TestChannelsByName(t *testing.T) {
+	info := mustCheck(t, `
+channel network(ps : int, ss : int, p : ip*udp*blob) is (deliver(p); (ps, ss))
+channel network(ps : int, ss : int, p : ip*tcp*blob) is (deliver(p); (ps, ss))
+channel aux(ps : int, ss : int, p : ip*udp*char*int) is (deliver(p); (ps, ss))
+`)
+	if got := len(info.ChannelsByName("network")); got != 2 {
+		t.Errorf("network overloads = %d", got)
+	}
+	if got := len(info.ChannelsByName("aux")); got != 1 {
+		t.Errorf("aux channels = %d", got)
+	}
+	if got := len(info.ChannelsByName("nosuch")); got != 0 {
+		t.Errorf("nosuch channels = %d", got)
+	}
+	if _, ok := info.FunByName("nosuch"); ok {
+		t.Error("FunByName on missing name should report false")
+	}
+}
+
+func TestValidatePacketType(t *testing.T) {
+	goods := []ast.Type{
+		ast.Tuple{Elems: []ast.Type{ast.IPT, ast.BlobT}},
+		ast.Tuple{Elems: []ast.Type{ast.IPT, ast.TCPT, ast.BlobT}},
+		ast.Tuple{Elems: []ast.Type{ast.IPT, ast.UDPT, ast.CharT, ast.IntT}},
+		ast.Tuple{Elems: []ast.Type{ast.IPT, ast.UDPT, ast.StringT, ast.BoolT, ast.HostT, ast.BlobT}},
+	}
+	for _, g := range goods {
+		if err := typecheck.ValidatePacketType(g); err != nil {
+			t.Errorf("%s: %v", g, err)
+		}
+	}
+	bads := []ast.Type{
+		ast.IntT,
+		ast.Tuple{Elems: []ast.Type{ast.TCPT, ast.BlobT}},
+		ast.Tuple{Elems: []ast.Type{ast.IPT, ast.BlobT, ast.IntT}},
+		ast.Tuple{Elems: []ast.Type{ast.IPT, ast.UDPT, ast.Table{Elem: ast.IntT}}},
+		ast.Tuple{Elems: []ast.Type{ast.IPT, ast.UDPT, ast.UnitT}},
+	}
+	for _, b := range bads {
+		if err := typecheck.ValidatePacketType(b); err == nil {
+			t.Errorf("%s should be invalid", b)
+		}
+	}
+}

@@ -1,0 +1,438 @@
+// Package value defines the run-time representation of PLAN-P values
+// shared by the interpreter, the bytecode VM, and the JIT-specialized
+// engine.
+//
+// Values use a compact tagged struct rather than a Go interface so that
+// integers, booleans, characters, and hosts never allocate. Packet headers
+// are immutable: primitives such as ipDestSet return a fresh header, which
+// lets engines share header structs between packets without defensive
+// copies.
+package value
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind tags the dynamic type of a Value.
+type Kind uint8
+
+// Value kinds.
+const (
+	KindUnit Kind = iota + 1
+	KindInt
+	KindBool
+	KindString
+	KindChar
+	KindHost
+	KindBlob
+	KindTuple
+	KindList
+	KindTable
+	KindIP
+	KindTCP
+	KindUDP
+)
+
+var kindNames = map[Kind]string{
+	KindUnit: "unit", KindInt: "int", KindBool: "bool", KindString: "string",
+	KindChar: "char", KindHost: "host", KindBlob: "blob", KindTuple: "tuple",
+	KindList: "list", KindTable: "hash_table", KindIP: "ip", KindTCP: "tcp",
+	KindUDP: "udp",
+}
+
+// String returns the kind's type name.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Host is a packed big-endian IPv4 address.
+type Host uint32
+
+// String renders the host as a dotted quad.
+func (h Host) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(h>>24), byte(h>>16), byte(h>>8), byte(h))
+}
+
+// IPHeader mirrors the fields of an IP header that PLAN-P programs can
+// observe and rewrite. Values are immutable once constructed.
+type IPHeader struct {
+	Src   Host
+	Dst   Host
+	Proto uint8 // 6 = TCP, 17 = UDP
+	TTL   uint8
+	Len   int // total length including payload, bytes
+	ID    uint32
+}
+
+// TCPHeader mirrors the TCP header fields visible to PLAN-P programs.
+type TCPHeader struct {
+	SrcPort uint16
+	DstPort uint16
+	Seq     uint32
+	Ack     uint32
+	Flags   uint8 // bit 0 SYN, bit 1 ACK, bit 2 FIN, bit 3 RST, bit 4 PSH
+	Window  uint16
+}
+
+// TCP header flag bits.
+const (
+	TCPSyn = 1 << iota
+	TCPAck
+	TCPFin
+	TCPRst
+	TCPPsh
+)
+
+// UDPHeader mirrors the UDP header fields visible to PLAN-P programs.
+type UDPHeader struct {
+	SrcPort uint16
+	DstPort uint16
+	Len     int
+}
+
+// Table is a mutable PLAN-P hash table. It is keyed by the canonical
+// encoding of any equality value. Tables are reference values: copying a
+// Value that holds a Table aliases the same table (matching the paper's
+// use of tables as per-channel mutable state).
+//
+// Tables are not safe for concurrent use; the runtime serializes all
+// channel executions on a node.
+type Table struct {
+	m   map[string]Value
+	cap int
+}
+
+// NewTable returns an empty table with a capacity hint (the paper's
+// mkTable(256) idiom).
+func NewTable(capacity int) *Table {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Table{m: make(map[string]Value, capacity), cap: capacity}
+}
+
+// Put stores v under key k, replacing any previous value.
+func (t *Table) Put(k Value, v Value) { t.m[EncodeKey(k)] = v }
+
+// Get returns the value stored under k and whether it was present.
+func (t *Table) Get(k Value) (Value, bool) {
+	v, ok := t.m[EncodeKey(k)]
+	return v, ok
+}
+
+// Delete removes k from the table (a no-op if absent).
+func (t *Table) Delete(k Value) { delete(t.m, EncodeKey(k)) }
+
+// Len returns the number of entries.
+func (t *Table) Len() int { return len(t.m) }
+
+// Value is a PLAN-P runtime value.
+type Value struct {
+	Kind Kind
+	I    int64   // int, bool (0/1), char, host
+	S    string  // string payload
+	B    []byte  // blob payload
+	Vs   []Value // tuple or list elements
+	Ref  any     // *Table, *IPHeader, *TCPHeader, *UDPHeader
+}
+
+// Constructors.
+
+// Unit is the unit value ().
+var Unit = Value{Kind: KindUnit}
+
+// Int returns an integer value.
+func Int(v int64) Value { return Value{Kind: KindInt, I: v} }
+
+// Bool returns a boolean value.
+func Bool(v bool) Value {
+	var i int64
+	if v {
+		i = 1
+	}
+	return Value{Kind: KindBool, I: i}
+}
+
+// Str returns a string value.
+func Str(s string) Value { return Value{Kind: KindString, S: s} }
+
+// Char returns a character value.
+func Char(c byte) Value { return Value{Kind: KindChar, I: int64(c)} }
+
+// HostV returns a host value.
+func HostV(h Host) Value { return Value{Kind: KindHost, I: int64(h)} }
+
+// Blob returns a blob value wrapping b (not copied).
+func Blob(b []byte) Value { return Value{Kind: KindBlob, B: b} }
+
+// TupleV returns a tuple of the given elements (not copied).
+func TupleV(elems ...Value) Value { return Value{Kind: KindTuple, Vs: elems} }
+
+// ListV returns a list of the given elements (not copied).
+func ListV(elems []Value) Value { return Value{Kind: KindList, Vs: elems} }
+
+// TableV wraps a table reference.
+func TableV(t *Table) Value { return Value{Kind: KindTable, Ref: t} }
+
+// IP wraps an IP header.
+func IP(h *IPHeader) Value { return Value{Kind: KindIP, Ref: h} }
+
+// TCP wraps a TCP header.
+func TCP(h *TCPHeader) Value { return Value{Kind: KindTCP, Ref: h} }
+
+// UDP wraps a UDP header.
+func UDP(h *UDPHeader) Value { return Value{Kind: KindUDP, Ref: h} }
+
+// Accessors. These trust the type checker: calling them on a value of the
+// wrong kind is a bug in an engine, and they panic with a diagnostic.
+
+// AsInt returns the integer payload.
+func (v Value) AsInt() int64 {
+	if v.Kind != KindInt {
+		panic(fmt.Sprintf("planp/value: AsInt on %s", v.Kind))
+	}
+	return v.I
+}
+
+// AsBool returns the boolean payload.
+func (v Value) AsBool() bool {
+	if v.Kind != KindBool {
+		panic(fmt.Sprintf("planp/value: AsBool on %s", v.Kind))
+	}
+	return v.I != 0
+}
+
+// AsStr returns the string payload.
+func (v Value) AsStr() string {
+	if v.Kind != KindString {
+		panic(fmt.Sprintf("planp/value: AsStr on %s", v.Kind))
+	}
+	return v.S
+}
+
+// AsChar returns the character payload.
+func (v Value) AsChar() byte {
+	if v.Kind != KindChar {
+		panic(fmt.Sprintf("planp/value: AsChar on %s", v.Kind))
+	}
+	return byte(v.I)
+}
+
+// AsHost returns the host payload.
+func (v Value) AsHost() Host {
+	if v.Kind != KindHost {
+		panic(fmt.Sprintf("planp/value: AsHost on %s", v.Kind))
+	}
+	return Host(v.I)
+}
+
+// AsBlob returns the blob payload.
+func (v Value) AsBlob() []byte {
+	if v.Kind != KindBlob {
+		panic(fmt.Sprintf("planp/value: AsBlob on %s", v.Kind))
+	}
+	return v.B
+}
+
+// AsTable returns the table reference.
+func (v Value) AsTable() *Table {
+	t, ok := v.Ref.(*Table)
+	if v.Kind != KindTable || !ok {
+		panic(fmt.Sprintf("planp/value: AsTable on %s", v.Kind))
+	}
+	return t
+}
+
+// AsIP returns the IP header.
+func (v Value) AsIP() *IPHeader {
+	h, ok := v.Ref.(*IPHeader)
+	if v.Kind != KindIP || !ok {
+		panic(fmt.Sprintf("planp/value: AsIP on %s", v.Kind))
+	}
+	return h
+}
+
+// AsTCP returns the TCP header.
+func (v Value) AsTCP() *TCPHeader {
+	h, ok := v.Ref.(*TCPHeader)
+	if v.Kind != KindTCP || !ok {
+		panic(fmt.Sprintf("planp/value: AsTCP on %s", v.Kind))
+	}
+	return h
+}
+
+// AsUDP returns the UDP header.
+func (v Value) AsUDP() *UDPHeader {
+	h, ok := v.Ref.(*UDPHeader)
+	if v.Kind != KindUDP || !ok {
+		panic(fmt.Sprintf("planp/value: AsUDP on %s", v.Kind))
+	}
+	return h
+}
+
+// Equal reports deep structural equality between two values of the same
+// (equality) type. Header values compare by field contents; blobs by
+// bytes. Tables are not equality values (rejected by the checker).
+func Equal(a, b Value) bool {
+	if a.Kind != b.Kind {
+		return false
+	}
+	switch a.Kind {
+	case KindUnit:
+		return true
+	case KindInt, KindBool, KindChar, KindHost:
+		return a.I == b.I
+	case KindString:
+		return a.S == b.S
+	case KindBlob:
+		return string(a.B) == string(b.B)
+	case KindTuple, KindList:
+		if len(a.Vs) != len(b.Vs) {
+			return false
+		}
+		for i := range a.Vs {
+			if !Equal(a.Vs[i], b.Vs[i]) {
+				return false
+			}
+		}
+		return true
+	case KindIP:
+		x, y := a.AsIP(), b.AsIP()
+		return *x == *y
+	case KindTCP:
+		x, y := a.AsTCP(), b.AsTCP()
+		return *x == *y
+	case KindUDP:
+		x, y := a.AsUDP(), b.AsUDP()
+		return *x == *y
+	default:
+		return false
+	}
+}
+
+// EncodeKey renders v as a canonical string usable as a hash-table key.
+// Distinct values of the same type never collide: each component is
+// length- or tag-delimited.
+func EncodeKey(v Value) string {
+	var sb strings.Builder
+	encodeKey(&sb, v)
+	return sb.String()
+}
+
+func encodeKey(sb *strings.Builder, v Value) {
+	switch v.Kind {
+	case KindUnit:
+		sb.WriteByte('u')
+	case KindInt:
+		sb.WriteByte('i')
+		sb.WriteString(strconv.FormatInt(v.I, 10))
+	case KindBool:
+		sb.WriteByte('b')
+		sb.WriteString(strconv.FormatInt(v.I, 10))
+	case KindChar:
+		sb.WriteByte('c')
+		sb.WriteString(strconv.FormatInt(v.I, 10))
+	case KindHost:
+		sb.WriteByte('h')
+		sb.WriteString(strconv.FormatInt(v.I, 10))
+	case KindString:
+		sb.WriteByte('s')
+		sb.WriteString(strconv.Itoa(len(v.S)))
+		sb.WriteByte(':')
+		sb.WriteString(v.S)
+	case KindBlob:
+		sb.WriteByte('B')
+		sb.WriteString(strconv.Itoa(len(v.B)))
+		sb.WriteByte(':')
+		sb.Write(v.B)
+	case KindTuple, KindList:
+		sb.WriteByte('t')
+		sb.WriteString(strconv.Itoa(len(v.Vs)))
+		for _, e := range v.Vs {
+			sb.WriteByte(',')
+			encodeKey(sb, e)
+		}
+	case KindIP:
+		h := v.AsIP()
+		fmt.Fprintf(sb, "I%d,%d,%d", uint32(h.Src), uint32(h.Dst), h.Proto)
+	case KindTCP:
+		h := v.AsTCP()
+		fmt.Fprintf(sb, "T%d,%d,%d", h.SrcPort, h.DstPort, h.Seq)
+	case KindUDP:
+		h := v.AsUDP()
+		fmt.Fprintf(sb, "U%d,%d", h.SrcPort, h.DstPort)
+	default:
+		sb.WriteByte('?')
+	}
+}
+
+// String renders the value for diagnostics and the print/println
+// primitives, in an SML-flavoured notation.
+func (v Value) String() string {
+	switch v.Kind {
+	case KindUnit:
+		return "()"
+	case KindInt:
+		return strconv.FormatInt(v.I, 10)
+	case KindBool:
+		if v.I != 0 {
+			return "true"
+		}
+		return "false"
+	case KindChar:
+		return "'" + string(byte(v.I)) + "'"
+	case KindHost:
+		return Host(v.I).String()
+	case KindString:
+		return v.S
+	case KindBlob:
+		return fmt.Sprintf("<blob %dB>", len(v.B))
+	case KindTuple:
+		parts := make([]string, len(v.Vs))
+		for i, e := range v.Vs {
+			parts[i] = e.String()
+		}
+		return "(" + strings.Join(parts, ",") + ")"
+	case KindList:
+		parts := make([]string, len(v.Vs))
+		for i, e := range v.Vs {
+			parts[i] = e.String()
+		}
+		return "[" + strings.Join(parts, ",") + "]"
+	case KindTable:
+		return fmt.Sprintf("<hash_table %d entries>", v.AsTable().Len())
+	case KindIP:
+		h := v.AsIP()
+		return fmt.Sprintf("<ip %s->%s proto=%d len=%d>", h.Src, h.Dst, h.Proto, h.Len)
+	case KindTCP:
+		h := v.AsTCP()
+		return fmt.Sprintf("<tcp %d->%d seq=%d>", h.SrcPort, h.DstPort, h.Seq)
+	case KindUDP:
+		h := v.AsUDP()
+		return fmt.Sprintf("<udp %d->%d>", h.SrcPort, h.DstPort)
+	default:
+		return "<invalid>"
+	}
+}
+
+// Exception is a PLAN-P-level exception. Engines raise it with panic and
+// recover it at try/handle boundaries and at the channel-invocation
+// boundary, where it is converted to an error. It never crosses the
+// public API as a panic.
+type Exception struct {
+	Msg string
+}
+
+// Error implements error so unhandled exceptions surface cleanly.
+func (e Exception) Error() string { return "planp exception: " + e.Msg }
+
+// Raise panics with a PLAN-P exception. It is the single raising point
+// used by all engines and primitives.
+func Raise(format string, args ...any) {
+	panic(Exception{Msg: fmt.Sprintf(format, args...)})
+}

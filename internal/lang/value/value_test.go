@@ -1,0 +1,309 @@
+package value
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstructorsAndAccessors(t *testing.T) {
+	if Int(42).AsInt() != 42 {
+		t.Error("int")
+	}
+	if !Bool(true).AsBool() || Bool(false).AsBool() {
+		t.Error("bool")
+	}
+	if Str("hi").AsStr() != "hi" {
+		t.Error("string")
+	}
+	if Char('x').AsChar() != 'x' {
+		t.Error("char")
+	}
+	if HostV(0x0A000001).AsHost().String() != "10.0.0.1" {
+		t.Error("host")
+	}
+	if string(Blob([]byte("ab")).AsBlob()) != "ab" {
+		t.Error("blob")
+	}
+	tup := TupleV(Int(1), Str("a"))
+	if len(tup.Vs) != 2 || tup.Vs[1].AsStr() != "a" {
+		t.Error("tuple")
+	}
+}
+
+func TestAccessorPanicsOnWrongKind(t *testing.T) {
+	cases := []func(){
+		func() { Int(1).AsStr() },
+		func() { Str("x").AsInt() },
+		func() { Unit.AsBool() },
+		func() { Int(1).AsTable() },
+		func() { Str("x").AsIP() },
+		func() { Int(1).AsTCP() },
+		func() { Int(1).AsUDP() },
+		func() { Str("x").AsBlob() },
+		func() { Int(1).AsChar() },
+		func() { Int(1).AsHost() },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestEqual(t *testing.T) {
+	ip1 := IP(&IPHeader{Src: 1, Dst: 2, Proto: 6, TTL: 64, Len: 40})
+	ip2 := IP(&IPHeader{Src: 1, Dst: 2, Proto: 6, TTL: 64, Len: 40})
+	ip3 := IP(&IPHeader{Src: 1, Dst: 3, Proto: 6, TTL: 64, Len: 40})
+	cases := []struct {
+		a, b Value
+		want bool
+	}{
+		{Int(1), Int(1), true},
+		{Int(1), Int(2), false},
+		{Int(1), Str("1"), false},
+		{Unit, Unit, true},
+		{Str("a"), Str("a"), true},
+		{Blob([]byte("xy")), Blob([]byte("xy")), true},
+		{Blob([]byte("xy")), Blob([]byte("xz")), false},
+		{TupleV(Int(1), Str("a")), TupleV(Int(1), Str("a")), true},
+		{TupleV(Int(1)), TupleV(Int(1), Int(2)), false},
+		{ListV([]Value{Int(1)}), ListV([]Value{Int(1)}), true},
+		{ip1, ip2, true},
+		{ip1, ip3, false},
+		{TCP(&TCPHeader{SrcPort: 1}), TCP(&TCPHeader{SrcPort: 1}), true},
+		{TCP(&TCPHeader{SrcPort: 1}), TCP(&TCPHeader{SrcPort: 2}), false},
+		{UDP(&UDPHeader{DstPort: 5}), UDP(&UDPHeader{DstPort: 5}), true},
+	}
+	for i, tc := range cases {
+		if got := Equal(tc.a, tc.b); got != tc.want {
+			t.Errorf("case %d: Equal(%s, %s) = %v", i, tc.a, tc.b, got)
+		}
+	}
+}
+
+// TestEncodeKeyInjective property-checks that distinct scalar values get
+// distinct keys and equal values get equal keys.
+func TestEncodeKeyInjective(t *testing.T) {
+	f := func(a, b int64, s1, s2 string) bool {
+		ka := EncodeKey(TupleV(Int(a), Str(s1)))
+		kb := EncodeKey(TupleV(Int(b), Str(s2)))
+		same := a == b && s1 == s2
+		return (ka == kb) == same
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEncodeKeyNoConcatCollision guards the classic length-prefix bug:
+// ("ab","c") must differ from ("a","bc").
+func TestEncodeKeyNoConcatCollision(t *testing.T) {
+	k1 := EncodeKey(TupleV(Str("ab"), Str("c")))
+	k2 := EncodeKey(TupleV(Str("a"), Str("bc")))
+	if k1 == k2 {
+		t.Error("length-prefix collision")
+	}
+	k3 := EncodeKey(TupleV(Int(12), Int(3)))
+	k4 := EncodeKey(TupleV(Int(1), Int(23)))
+	if k3 == k4 {
+		t.Error("integer concatenation collision")
+	}
+	// Different kinds with the same rendering must differ.
+	if EncodeKey(Int(1)) == EncodeKey(Bool(true)) {
+		t.Error("kind tag collision")
+	}
+	if EncodeKey(Str("u")) == EncodeKey(Unit) {
+		t.Error("unit/string collision")
+	}
+}
+
+// TestEqualImpliesEqualKeys: Equal values must share a key (soundness of
+// table lookups).
+func TestEqualImpliesEqualKeys(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 300; i++ {
+		v := randValue(rng, 3)
+		w := deepCopy(v)
+		if !Equal(v, w) {
+			t.Fatalf("deep copy not Equal: %s", v)
+		}
+		if EncodeKey(v) != EncodeKey(w) {
+			t.Fatalf("equal values, different keys: %s", v)
+		}
+	}
+}
+
+// randValue builds a random equality value of bounded depth.
+func randValue(rng *rand.Rand, depth int) Value {
+	choices := 6
+	if depth > 0 {
+		choices = 8
+	}
+	switch rng.Intn(choices) {
+	case 0:
+		return Int(rng.Int63n(1000) - 500)
+	case 1:
+		return Bool(rng.Intn(2) == 0)
+	case 2:
+		return Str(randString(rng))
+	case 3:
+		return Char(byte(rng.Intn(256)))
+	case 4:
+		return HostV(Host(rng.Uint32()))
+	case 5:
+		b := make([]byte, rng.Intn(6))
+		rng.Read(b)
+		return Blob(b)
+	case 6:
+		n := 1 + rng.Intn(3)
+		elems := make([]Value, n)
+		for i := range elems {
+			elems[i] = randValue(rng, depth-1)
+		}
+		return TupleV(elems...)
+	default:
+		n := rng.Intn(3)
+		elems := make([]Value, n)
+		for i := range elems {
+			elems[i] = randValue(rng, depth-1)
+		}
+		return ListV(elems)
+	}
+}
+
+func randString(rng *rand.Rand) string {
+	b := make([]byte, rng.Intn(6))
+	for i := range b {
+		b[i] = byte('a' + rng.Intn(26))
+	}
+	return string(b)
+}
+
+func deepCopy(v Value) Value {
+	switch v.Kind {
+	case KindBlob:
+		return Blob(append([]byte(nil), v.B...))
+	case KindTuple, KindList:
+		elems := make([]Value, len(v.Vs))
+		for i, e := range v.Vs {
+			elems[i] = deepCopy(e)
+		}
+		if v.Kind == KindTuple {
+			return TupleV(elems...)
+		}
+		return ListV(elems)
+	default:
+		return v
+	}
+}
+
+func TestTableOps(t *testing.T) {
+	tbl := NewTable(4)
+	k1 := TupleV(HostV(1), Int(80))
+	k2 := TupleV(HostV(2), Int(80))
+	if _, ok := tbl.Get(k1); ok {
+		t.Error("empty table lookup succeeded")
+	}
+	tbl.Put(k1, Str("a"))
+	tbl.Put(k2, Str("b"))
+	if v, ok := tbl.Get(k1); !ok || v.AsStr() != "a" {
+		t.Error("get after put")
+	}
+	tbl.Put(k1, Str("a2"))
+	if v, _ := tbl.Get(k1); v.AsStr() != "a2" {
+		t.Error("overwrite")
+	}
+	if tbl.Len() != 2 {
+		t.Errorf("len = %d", tbl.Len())
+	}
+	tbl.Delete(k1)
+	if _, ok := tbl.Get(k1); ok {
+		t.Error("delete did not remove")
+	}
+	tbl.Delete(k1) // idempotent
+	if tbl.Len() != 1 {
+		t.Errorf("len after delete = %d", tbl.Len())
+	}
+	if NewTable(-5).Len() != 0 {
+		t.Error("negative capacity should clamp")
+	}
+}
+
+func TestTableIsReference(t *testing.T) {
+	tbl := NewTable(1)
+	v1 := TableV(tbl)
+	v2 := v1 // copying the Value aliases the table
+	v2.AsTable().Put(Int(1), Int(2))
+	if got, ok := v1.AsTable().Get(Int(1)); !ok || got.AsInt() != 2 {
+		t.Error("table copy does not alias")
+	}
+}
+
+func TestString(t *testing.T) {
+	cases := map[string]Value{
+		"()":        Unit,
+		"42":        Int(42),
+		"-7":        Int(-7),
+		"true":      Bool(true),
+		"'z'":       Char('z'),
+		"10.0.0.1":  HostV(0x0A000001),
+		"hello":     Str("hello"),
+		"<blob 3B>": Blob([]byte{1, 2, 3}),
+		"(1,two)":   TupleV(Int(1), Str("two")),
+		"[1,2]":     ListV([]Value{Int(1), Int(2)}),
+	}
+	for want, v := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("String(%v) = %q, want %q", v.Kind, got, want)
+		}
+	}
+	if !strings.Contains(TableV(NewTable(1)).String(), "hash_table") {
+		t.Error("table rendering")
+	}
+	if !strings.Contains(IP(&IPHeader{Src: 1, Dst: 2}).String(), "->") {
+		t.Error("ip rendering")
+	}
+}
+
+func TestExceptionAndRaise(t *testing.T) {
+	defer func() {
+		r := recover()
+		ex, ok := r.(Exception)
+		if !ok {
+			t.Fatalf("recovered %T", r)
+		}
+		if ex.Msg != "bad index 7" {
+			t.Errorf("msg %q", ex.Msg)
+		}
+		if !strings.Contains(ex.Error(), "planp exception") {
+			t.Errorf("Error() = %q", ex.Error())
+		}
+	}()
+	Raise("bad index %d", 7)
+}
+
+func TestKindString(t *testing.T) {
+	if KindInt.String() != "int" || KindTable.String() != "hash_table" {
+		t.Error("kind names")
+	}
+	if !strings.Contains(Kind(200).String(), "200") {
+		t.Error("unknown kind should render numerically")
+	}
+}
+
+var sinkKey string
+
+func BenchmarkEncodeKeyTuple(b *testing.B) {
+	v := TupleV(HostV(0x0A000001), Int(4321))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sinkKey = EncodeKey(v)
+	}
+}

@@ -1,0 +1,493 @@
+// Global termination: exhaustive exploration of an abstract transition
+// system, following §2.1's sketch (state space of order r·d^2d, with r
+// the number of sends and d the number of destinations available to the
+// program — typically just the packet's source and destination).
+//
+// Abstract hosts track where an address came from: the original packet's
+// source (S0) or destination (D0), a program literal, the executing
+// node, or unknown (e.g. a hash-table lookup). A send edge "makes
+// progress" when the destination is provably the same concrete address
+// as before — a pure forward, or a rewrite to the same literal — because
+// under acyclic IP routing a packet heading to a fixed destination
+// arrives in finitely many hops. A reachable cycle containing any
+// non-progress edge means the program may route packets forever, so it
+// is rejected.
+package verify
+
+import (
+	"fmt"
+
+	"planp.dev/planp/internal/lang/ast"
+	"planp.dev/planp/internal/lang/typecheck"
+	"planp.dev/planp/internal/lang/value"
+)
+
+// ahKind classifies an abstract host.
+type ahKind uint8
+
+const (
+	ahPSrc    ahKind = iota + 1 // the incoming packet's source
+	ahPDst                      // the incoming packet's destination
+	ahLit                       // a program literal
+	ahThis                      // the executing node's address
+	ahUnknown                   // anything (table lookups, arithmetic, ...)
+)
+
+// ahost is an abstract host value.
+type ahost struct {
+	kind ahKind
+	lit  value.Host // valid when kind == ahLit
+}
+
+func (a ahost) String() string {
+	switch a.kind {
+	case ahPSrc:
+		return "src"
+	case ahPDst:
+		return "dst"
+	case ahLit:
+		return a.lit.String()
+	case ahThis:
+		return "this"
+	default:
+		return "?"
+	}
+}
+
+// aIP abstracts an IP header: its source and destination.
+type aIP struct{ src, dst ahost }
+
+// aval is the abstract value lattice for expressions. Only hosts, IP
+// headers, and tuples containing them are tracked; everything else is
+// aOther.
+type aval struct {
+	kind  uint8 // 0 other, 1 host, 2 ip, 3 tuple
+	host  ahost
+	ip    aIP
+	elems []aval
+}
+
+const (
+	avOther = iota
+	avHost
+	avIP
+	avTuple
+)
+
+var unknownHost = ahost{kind: ahUnknown}
+
+func joinHost(a, b ahost) ahost {
+	if a == b {
+		return a
+	}
+	return unknownHost
+}
+
+func joinVal(a, b aval) aval {
+	if a.kind != b.kind {
+		return aval{kind: avOther}
+	}
+	switch a.kind {
+	case avHost:
+		return aval{kind: avHost, host: joinHost(a.host, b.host)}
+	case avIP:
+		return aval{kind: avIP, ip: aIP{src: joinHost(a.ip.src, b.ip.src), dst: joinHost(a.ip.dst, b.ip.dst)}}
+	case avTuple:
+		if len(a.elems) != len(b.elems) {
+			return aval{kind: avOther}
+		}
+		elems := make([]aval, len(a.elems))
+		for i := range elems {
+			elems[i] = joinVal(a.elems[i], b.elems[i])
+		}
+		return aval{kind: avTuple, elems: elems}
+	default:
+		return aval{kind: avOther}
+	}
+}
+
+// send records one abstract OnRemote/OnNeighbor site found in a channel.
+type send struct {
+	targetName string
+	ip         aIP // in terms of the incoming packet (pre-substitution)
+}
+
+// collectSends abstractly evaluates a channel body and returns its send
+// sites. Path-insensitive: sends on both branches of an if are both
+// reported (conservative).
+func collectSends(info *typecheck.Info, ch *typecheck.Channel) []send {
+	ae := &absEval{info: info, frame: make([]aval, ch.FrameSize)}
+	// Parameters: protocol state (other), channel state (other), packet.
+	ae.frame[2] = abstractPacket(ch.Decl.PacketType())
+	ae.eval(ch.Decl.Body)
+	return ae.sends
+}
+
+// abstractPacket builds the abstract value of an incoming packet: a
+// tuple whose ip component carries the S0/D0 markers.
+func abstractPacket(t ast.Type) aval {
+	tup, ok := t.(ast.Tuple)
+	if !ok {
+		return aval{kind: avOther}
+	}
+	elems := make([]aval, len(tup.Elems))
+	elems[0] = aval{kind: avIP, ip: aIP{src: ahost{kind: ahPSrc}, dst: ahost{kind: ahPDst}}}
+	for i := 1; i < len(elems); i++ {
+		elems[i] = aval{kind: avOther}
+	}
+	return aval{kind: avTuple, elems: elems}
+}
+
+type absEval struct {
+	info  *typecheck.Info
+	frame []aval
+	sends []send
+}
+
+// eval abstractly evaluates e, recording sends as a side effect.
+func (ae *absEval) eval(e ast.Expr) aval {
+	switch e := e.(type) {
+	case *ast.HostLit:
+		return aval{kind: avHost, host: ahost{kind: ahLit, lit: value.Host(e.Addr)}}
+
+	case *ast.Var:
+		if e.Slot >= 0 {
+			return ae.frame[e.Slot]
+		}
+		// Top-level host literals flow through globals.
+		g := ae.info.Globals[e.Global]
+		if hl, ok := g.Decl.Init.(*ast.HostLit); ok {
+			return aval{kind: avHost, host: ahost{kind: ahLit, lit: value.Host(hl.Addr)}}
+		}
+		return aval{kind: avOther}
+
+	case *ast.Proj:
+		t := ae.eval(e.Tuple)
+		if t.kind == avTuple && e.Index-1 < len(t.elems) {
+			return t.elems[e.Index-1]
+		}
+		return aval{kind: avOther}
+
+	case *ast.Let:
+		for i := range e.Binds {
+			b := &e.Binds[i]
+			ae.frame[b.Slot] = ae.eval(b.Init)
+		}
+		return ae.eval(e.Body)
+
+	case *ast.If:
+		ae.eval(e.Cond)
+		// Evaluate both branches on copies of the frame, then join.
+		save := make([]aval, len(ae.frame))
+		copy(save, ae.frame)
+		tv := ae.eval(e.Then)
+		thenFrame := ae.frame
+		ae.frame = save
+		ev := ae.eval(e.Else)
+		for i := range ae.frame {
+			ae.frame[i] = joinVal(thenFrame[i], ae.frame[i])
+		}
+		return joinVal(tv, ev)
+
+	case *ast.Seq:
+		var last aval
+		for _, sub := range e.Exprs {
+			last = ae.eval(sub)
+		}
+		return last
+
+	case *ast.TupleExpr:
+		elems := make([]aval, len(e.Elems))
+		for i, sub := range e.Elems {
+			elems[i] = ae.eval(sub)
+		}
+		return aval{kind: avTuple, elems: elems}
+
+	case *ast.Unary:
+		ae.eval(e.X)
+		return aval{kind: avOther}
+
+	case *ast.Binary:
+		ae.eval(e.L)
+		ae.eval(e.R)
+		return aval{kind: avOther}
+
+	case *ast.Try:
+		bv := ae.eval(e.Body)
+		hv := ae.eval(e.Handler)
+		return joinVal(bv, hv)
+
+	case *ast.Raise:
+		ae.eval(e.Msg)
+		return aval{kind: avOther}
+
+	case *ast.Call:
+		return ae.evalCall(e)
+
+	default:
+		return aval{kind: avOther}
+	}
+}
+
+func (ae *absEval) evalCall(e *ast.Call) aval {
+	// Sends: record the packet's abstract IP.
+	if e.Name == "OnRemote" || e.Name == "OnNeighbor" {
+		cref := e.Args[0].(*ast.ChanRef)
+		pv := ae.eval(e.Args[1])
+		ip := aIP{src: unknownHost, dst: unknownHost}
+		if pv.kind == avTuple && len(pv.elems) > 0 && pv.elems[0].kind == avIP {
+			ip = pv.elems[0].ip
+		}
+		if e.Name == "OnNeighbor" {
+			// Link-local flood: the destination header is not used for
+			// routing, each neighbor processes it once; treat as a
+			// rewrite to unknown so cycles through floods are caught.
+			ip.dst = unknownHost
+		}
+		ae.sends = append(ae.sends, send{targetName: cref.Name, ip: ip})
+		return aval{kind: avOther}
+	}
+
+	args := make([]aval, len(e.Args))
+	for i, a := range e.Args {
+		args[i] = ae.eval(a)
+	}
+
+	// Header-flow primitives.
+	switch e.Name {
+	case "ipSrc":
+		if args[0].kind == avIP {
+			return aval{kind: avHost, host: args[0].ip.src}
+		}
+	case "ipDst":
+		if args[0].kind == avIP {
+			return aval{kind: avHost, host: args[0].ip.dst}
+		}
+	case "ipSrcSet":
+		if args[0].kind == avIP {
+			ip := args[0].ip
+			ip.src = hostOf(args[1])
+			return aval{kind: avIP, ip: ip}
+		}
+	case "ipDestSet":
+		if args[0].kind == avIP {
+			ip := args[0].ip
+			ip.dst = hostOf(args[1])
+			return aval{kind: avIP, ip: ip}
+		}
+	case "ipTTLSet", "ipLenSet":
+		return args[0] // header otherwise unchanged
+	case "mkIP":
+		return aval{kind: avIP, ip: aIP{src: hostOf(args[0]), dst: hostOf(args[1])}}
+	case "thisHost":
+		return aval{kind: avHost, host: ahost{kind: ahThis}}
+	}
+
+	// User funs: abstractly inline (non-recursive by construction).
+	if e.FunIndex >= 0 {
+		f := &ae.info.Funs[e.FunIndex]
+		inner := &absEval{info: ae.info, frame: make([]aval, f.FrameSize)}
+		copy(inner.frame, args)
+		res := inner.eval(f.Decl.Body)
+		// Funs cannot send (checker-enforced), so no send merging needed.
+		return res
+	}
+
+	// Any other primitive: result unknown; an ip-typed result would be
+	// fully unknown, which hostOf/ip handling already encode as avOther.
+	return aval{kind: avOther}
+}
+
+func hostOf(v aval) ahost {
+	if v.kind == avHost {
+		return v.host
+	}
+	return unknownHost
+}
+
+// ---------------------------------------------------------------------------
+// State exploration
+
+// token is a concrete abstract address in the explored state space.
+type token struct {
+	kind ahKind // ahPSrc = original source, ahPDst = original destination, ahLit, ahUnknown
+	lit  value.Host
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case ahPSrc:
+		return "S0"
+	case ahPDst:
+		return "D0"
+	case ahLit:
+		return t.lit.String()
+	default:
+		return "?"
+	}
+}
+
+// state is one node of the abstract transition system.
+type state struct {
+	chanIdx  int
+	src, dst token
+}
+
+// substitute resolves an abstract host (in terms of the incoming packet)
+// against the current state, returning the concrete token and whether
+// the result is a local delivery (dst == this node) rather than a
+// transmission.
+func substitute(a ahost, st state) (token, bool) {
+	switch a.kind {
+	case ahPSrc:
+		return st.src, false
+	case ahPDst:
+		return st.dst, false
+	case ahLit:
+		return token{kind: ahLit, lit: a.lit}, false
+	case ahThis:
+		// A destination equal to the sending node is delivered locally
+		// and never transmitted; as a source it is an address the
+		// exploration cannot name.
+		return token{kind: ahUnknown}, true
+	default:
+		return token{kind: ahUnknown}, false
+	}
+}
+
+// exploreStates builds and explores the transition system. It returns
+// the number of states visited and, when a fatal cycle exists, a
+// human-readable description (empty string means proven cycle-free).
+func exploreStates(info *typecheck.Info) (int, string) {
+	// Per-channel abstract send sites.
+	sendsOf := make([][]send, len(info.Channels))
+	for i := range info.Channels {
+		sendsOf[i] = collectSends(info, &info.Channels[i])
+	}
+
+	type edge struct {
+		to       int
+		changing bool
+	}
+	states := []state{}
+	index := map[state]int{}
+	adj := [][]edge{}
+
+	intern := func(st state) int {
+		if i, ok := index[st]; ok {
+			return i
+		}
+		i := len(states)
+		index[st] = i
+		states = append(states, st)
+		adj = append(adj, nil)
+		return i
+	}
+
+	// Initial states: every channel can receive a fresh packet whose
+	// source and destination are the opaque originals.
+	work := []int{}
+	for ci := range info.Channels {
+		work = append(work, intern(state{chanIdx: ci, src: token{kind: ahPSrc}, dst: token{kind: ahPDst}}))
+	}
+
+	for len(work) > 0 {
+		si := work[len(work)-1]
+		work = work[:len(work)-1]
+		st := states[si]
+		if adj[si] != nil {
+			continue // already expanded
+		}
+		expanded := []edge{}
+		for _, s := range sendsOf[st.chanIdx] {
+			dstTok, dstIsLocal := substitute(s.ip.dst, st)
+			if dstIsLocal {
+				continue // delivered to self, journey ends
+			}
+			srcTok, _ := substitute(s.ip.src, st)
+			// Progress: a pure forward (destination component flows
+			// from the incoming destination unchanged), or a rewrite
+			// that provably produces the same concrete address.
+			progress := s.ip.dst.kind == ahPDst ||
+				(dstTok == st.dst && dstTok.kind != ahUnknown)
+			for _, target := range info.ChannelsByName(s.targetName) {
+				next := state{chanIdx: target.Index, src: srcTok, dst: dstTok}
+				ni := intern(next)
+				expanded = append(expanded, edge{to: ni, changing: !progress})
+				if adj[ni] == nil {
+					work = append(work, ni)
+				}
+			}
+		}
+		if expanded == nil {
+			expanded = []edge{} // mark expanded
+		}
+		adj[si] = expanded
+	}
+
+	// Tarjan SCC; a changing edge inside an SCC (including self-loops)
+	// is a potential infinite journey.
+	n := len(states)
+	sccOf := make([]int, n)
+	for i := range sccOf {
+		sccOf[i] = -1
+	}
+	idx := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range idx {
+		idx[i] = -1
+	}
+	var stack []int
+	counter := 0
+	sccCount := 0
+	var strongconnect func(v int)
+	strongconnect = func(v int) {
+		idx[v] = counter
+		low[v] = counter
+		counter++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, e := range adj[v] {
+			if idx[e.to] == -1 {
+				strongconnect(e.to)
+				if low[e.to] < low[v] {
+					low[v] = low[e.to]
+				}
+			} else if onStack[e.to] && idx[e.to] < low[v] {
+				low[v] = idx[e.to]
+			}
+		}
+		if low[v] == idx[v] {
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				sccOf[w] = sccCount
+				if w == v {
+					break
+				}
+			}
+			sccCount++
+		}
+	}
+	for v := 0; v < n; v++ {
+		if idx[v] == -1 {
+			strongconnect(v)
+		}
+	}
+
+	for v := 0; v < n; v++ {
+		for _, e := range adj[v] {
+			if sccOf[v] != sccOf[e.to] || !e.changing {
+				continue
+			}
+			from, to := states[v], states[e.to]
+			return n, fmt.Sprintf(
+				"packet may cycle: channel %s (dst=%s) re-sends via channel %s with rewritten destination %s inside a loop",
+				info.Channels[from.chanIdx].Decl.Name, from.dst,
+				info.Channels[to.chanIdx].Decl.Name, to.dst)
+		}
+	}
+	return n, ""
+}

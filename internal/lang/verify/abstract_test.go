@@ -1,0 +1,148 @@
+package verify_test
+
+import (
+	"testing"
+
+	"planp.dev/planp/internal/lang/langtest"
+	"planp.dev/planp/internal/lang/verify"
+)
+
+// Edge cases of the global-termination state exploration.
+
+func global(t *testing.T, src string) verify.Check {
+	t.Helper()
+	return verify.Verify(langtest.CheckSrc(t, src)).GlobalTermination
+}
+
+func TestRewriteToSelfIsTerminal(t *testing.T) {
+	// dst := thisHost() means local delivery: the journey ends, so even
+	// a send loop through this rewrite is safe.
+	c := global(t, `
+channel network(ps : unit, ss : unit, p : ip*udp*blob) is
+  if udpDst(#2 p) = 9 then
+    (OnRemote(network, (ipDestSet(#1 p, thisHost()), #2 p, #3 p)); (ps, ss))
+  else
+    (OnRemote(network, p); (ps, ss))
+`)
+	if !c.OK {
+		t.Errorf("rewrite-to-self should terminate: %s", c.Detail)
+	}
+}
+
+func TestLiteralFlowsThroughGlobals(t *testing.T) {
+	// The abstract evaluator resolves top-level host vals, so a rewrite
+	// to a global literal behaves like a rewrite to the literal itself:
+	// reaching a fixed point (same literal) is progress, and the
+	// program terminates.
+	c := global(t, `
+val target : host = 10.0.0.9
+channel network(ps : unit, ss : unit, p : ip*udp*blob) is
+  (OnRemote(network, (ipDestSet(#1 p, target), #2 p, #3 p)); (ps, ss))
+`)
+	if !c.OK {
+		t.Errorf("constant rewrite should terminate: %s", c.Detail)
+	}
+}
+
+func TestAlternatingLiteralsCycle(t *testing.T) {
+	// Bouncing between two literals never converges: rejected.
+	c := global(t, `
+channel network(ps : unit, ss : unit, p : ip*udp*blob) is
+  if ipDst(#1 p) = 10.0.0.1 then
+    (OnRemote(network, (ipDestSet(#1 p, 10.0.0.2), #2 p, #3 p)); (ps, ss))
+  else
+    (OnRemote(network, (ipDestSet(#1 p, 10.0.0.1), #2 p, #3 p)); (ps, ss))
+`)
+	if c.OK {
+		t.Error("alternating literal rewrite must be rejected")
+	}
+}
+
+func TestHandoffChainTerminates(t *testing.T) {
+	// a -> b -> c with unchanged destinations: plain forwarding down a
+	// channel chain, accepted.
+	c := global(t, `
+channel a(ps : unit, ss : unit, p : ip*udp*blob) is
+  (OnRemote(b, p); (ps, ss))
+channel b(ps : unit, ss : unit, p : ip*udp*blob) is
+  (OnRemote(c, p); (ps, ss))
+channel c(ps : unit, ss : unit, p : ip*udp*blob) is
+  (deliver(p); (ps, ss))
+`)
+	if !c.OK {
+		t.Errorf("forwarding chain should pass: %s", c.Detail)
+	}
+}
+
+func TestChannelCycleWithUnchangedDstAccepted(t *testing.T) {
+	// a -> b -> a with pure forwards: the packet still progresses
+	// toward its fixed destination at every hop.
+	c := global(t, `
+channel a(ps : unit, ss : unit, p : ip*udp*blob) is
+  (OnRemote(b, p); (ps, ss))
+channel b(ps : unit, ss : unit, p : ip*udp*blob) is
+  (OnRemote(a, p); (ps, ss))
+`)
+	if !c.OK {
+		t.Errorf("mutual pure forwarding should pass: %s", c.Detail)
+	}
+}
+
+func TestSwapThroughFunRejected(t *testing.T) {
+	// The reply address flows through a fun: the abstract evaluator
+	// inlines funs, so the ping-pong is still caught.
+	c := global(t, `
+fun replyTo(iph : ip) : ip =
+  ipDestSet(ipSrcSet(iph, ipDst(iph)), ipSrc(iph))
+channel network(ps : unit, ss : unit, p : ip*udp*blob) is
+  (OnRemote(network, (replyTo(#1 p), #2 p, #3 p)); (ps, ss))
+`)
+	if c.OK {
+		t.Error("fun-mediated ping-pong must be rejected")
+	}
+}
+
+func TestJoinOverBranchesIsConservative(t *testing.T) {
+	// One branch forwards, the other swaps: the swap path must still be
+	// found even though a join could blur it.
+	c := global(t, `
+channel network(ps : unit, ss : unit, p : ip*udp*blob) is
+  let
+    val iph : ip =
+      if udpDst(#2 p) = 9 then #1 p
+      else ipDestSet(#1 p, ipSrc(#1 p))
+  in
+    (OnRemote(network, (iph, #2 p, #3 p)); (ps, ss))
+  end
+`)
+	if c.OK {
+		t.Error("the swapping branch must be detected through the join")
+	}
+}
+
+func TestTryJoinInAbstractEval(t *testing.T) {
+	// The destination differs between try body and handler; the join
+	// must account for both (here: both are pure forwards, so OK).
+	c := global(t, `
+channel network(ps : unit, ss : (host) hash_table, p : ip*udp*blob)
+initstate mkTable(4) is
+  let
+    val iph : ip = try (if tmem(ss, 1) then #1 p else #1 p) handle #1 p end
+  in
+    (OnRemote(network, (iph, #2 p, #3 p)); (ps, ss))
+  end
+`)
+	if !c.OK {
+		t.Errorf("identical forwards through try should pass: %s", c.Detail)
+	}
+}
+
+func TestStateCountReported(t *testing.T) {
+	c := global(t, `
+channel network(ps : unit, ss : unit, p : ip*udp*blob) is
+  (OnRemote(network, p); (ps, ss))
+`)
+	if !c.OK || c.Detail == "" {
+		t.Errorf("expected a state-count detail, got %q", c.Detail)
+	}
+}

@@ -1,0 +1,267 @@
+// Links and segments: the two transmission media. A Link is a duplex
+// point-to-point wire (router uplinks); a Segment is a shared Ethernet
+// broadcast domain (the client LAN of figure 5, where the load generator
+// competes with audio traffic, and the MPEG experiment's shared medium).
+package netsim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Medium is the transmission substrate an interface attaches to.
+type Medium interface {
+	// Transmit sends pkt from the given interface.
+	Transmit(from *Iface, pkt *Packet)
+	// Bandwidth is the medium capacity in bits/s (per direction for
+	// links, shared for segments).
+	Bandwidth() int64
+	// MeterFor returns the meter measuring from's outgoing direction.
+	MeterFor(from *Iface) *RateMeter
+}
+
+// Iface attaches a node to a medium.
+type Iface struct {
+	Node   *Node
+	Name   string
+	medium Medium
+
+	// Promisc delivers frames addressed to other hosts up to the node
+	// (needed by capture ASPs such as the MPEG client, §3.3).
+	Promisc bool
+
+	// peer is the other endpoint for point-to-point links (nil on
+	// segments).
+	peer *Iface
+}
+
+// Peer returns the interface at the other end of a point-to-point link,
+// or nil for segment attachments.
+func (i *Iface) Peer() *Iface { return i.peer }
+
+// Bandwidth returns the attached medium's capacity.
+func (i *Iface) Bandwidth() int64 { return i.medium.Bandwidth() }
+
+// Load returns the utilization percentage of this interface's outgoing
+// direction.
+func (i *Iface) Load() int64 {
+	m := i.medium.MeterFor(i)
+	return m.Utilization(i.Node.sim.Now(), i.medium.Bandwidth())
+}
+
+// Send transmits pkt out this interface.
+func (i *Iface) Send(pkt *Packet) { i.medium.Transmit(i, pkt) }
+
+// ---------------------------------------------------------------------------
+// Point-to-point link
+
+// direction models one direction of a duplex link.
+type direction struct {
+	busyUntil time.Duration
+	meter     *RateMeter
+	dropped   int64
+}
+
+// Link is a full-duplex point-to-point link with serialization delay,
+// propagation delay, and a drop-tail queue bounded in bytes.
+type Link struct {
+	sim        *Simulator
+	bandwidth  int64 // bits/s per direction
+	delay      time.Duration
+	queueLimit int64 // bytes of backlog before tail drop
+
+	a, b *Iface
+	dirs [2]direction // 0: a->b, 1: b->a
+}
+
+var _ Medium = (*Link)(nil)
+
+// LinkConfig configures a point-to-point link.
+type LinkConfig struct {
+	Bandwidth  int64         // bits/s; required
+	Delay      time.Duration // propagation delay (default 1ms)
+	QueueLimit int64         // bytes (default 64 KiB)
+	Window     time.Duration // meter window (default DefaultMeterWindow)
+}
+
+func (c *LinkConfig) fill() {
+	if c.Delay == 0 {
+		c.Delay = time.Millisecond
+	}
+	if c.QueueLimit == 0 {
+		c.QueueLimit = 64 << 10
+	}
+}
+
+// Connect wires two nodes with a duplex link and returns it. Interface
+// names are derived from the peer node's name.
+func Connect(sim *Simulator, a, b *Node, cfg LinkConfig) *Link {
+	cfg.fill()
+	l := &Link{sim: sim, bandwidth: cfg.Bandwidth, delay: cfg.Delay, queueLimit: cfg.QueueLimit}
+	l.dirs[0].meter = NewRateMeter(cfg.Window)
+	l.dirs[1].meter = NewRateMeter(cfg.Window)
+	l.a = &Iface{Node: a, Name: fmt.Sprintf("%s->%s", a.Name, b.Name), medium: l}
+	l.b = &Iface{Node: b, Name: fmt.Sprintf("%s->%s", b.Name, a.Name), medium: l}
+	l.a.peer, l.b.peer = l.b, l.a
+	a.addIface(l.a)
+	b.addIface(l.b)
+	return l
+}
+
+// Bandwidth implements Medium.
+func (l *Link) Bandwidth() int64 { return l.bandwidth }
+
+// Ifaces returns the link's two interfaces in Connect argument order.
+func (l *Link) Ifaces() [2]*Iface { return [2]*Iface{l.a, l.b} }
+
+// MeterFor implements Medium.
+func (l *Link) MeterFor(from *Iface) *RateMeter {
+	if from == l.a {
+		return l.dirs[0].meter
+	}
+	return l.dirs[1].meter
+}
+
+// Dropped returns the packets dropped in the direction out of from.
+func (l *Link) Dropped(from *Iface) int64 {
+	if from == l.a {
+		return l.dirs[0].dropped
+	}
+	return l.dirs[1].dropped
+}
+
+// Transmit implements Medium: serialize (queueing behind earlier
+// traffic), propagate, deliver to the peer.
+func (l *Link) Transmit(from *Iface, pkt *Packet) {
+	di := 0
+	dst := l.b
+	if from == l.b {
+		di = 1
+		dst = l.a
+	}
+	dir := &l.dirs[di]
+	now := l.sim.Now()
+
+	// Backlog is whatever is still waiting to finish serialization.
+	backlogBits := int64(0)
+	if dir.busyUntil > now {
+		backlogBits = int64(dir.busyUntil-now) * l.bandwidth / int64(time.Second)
+	}
+	if backlogBits/8 > l.queueLimit {
+		dir.dropped++
+		return
+	}
+
+	start := now
+	if dir.busyUntil > start {
+		start = dir.busyUntil
+	}
+	txTime := time.Duration(int64(pkt.Size()) * 8 * int64(time.Second) / l.bandwidth)
+	dir.busyUntil = start + txTime
+	dir.meter.Add(now, int64(pkt.Size()))
+
+	arrive := dir.busyUntil + l.delay
+	l.sim.At(arrive, func() { dst.Node.Receive(pkt, dst) })
+}
+
+// ---------------------------------------------------------------------------
+// Shared segment
+
+// Segment is a shared broadcast domain: every transmitted frame reaches
+// every other attached interface; all senders share the capacity. Frames
+// addressed to other hosts reach a node only if its interface is
+// promiscuous or the node forwards traffic (routers).
+type Segment struct {
+	sim        *Simulator
+	Name       string
+	bandwidth  int64
+	delay      time.Duration
+	queueLimit int64
+
+	busyUntil time.Duration
+	meter     *RateMeter
+	dropped   int64
+	ifaces    []*Iface
+}
+
+var _ Medium = (*Segment)(nil)
+
+// NewSegment creates a shared segment with the given capacity.
+func NewSegment(sim *Simulator, name string, cfg LinkConfig) *Segment {
+	cfg.fill()
+	return &Segment{
+		sim: sim, Name: name, bandwidth: cfg.Bandwidth, delay: cfg.Delay,
+		queueLimit: cfg.QueueLimit, meter: NewRateMeter(cfg.Window),
+	}
+}
+
+// Attach connects a node to the segment and returns the new interface.
+func (s *Segment) Attach(n *Node) *Iface {
+	ifc := &Iface{Node: n, Name: fmt.Sprintf("%s@%s", n.Name, s.Name), medium: s}
+	s.ifaces = append(s.ifaces, ifc)
+	n.addIface(ifc)
+	return ifc
+}
+
+// Bandwidth implements Medium.
+func (s *Segment) Bandwidth() int64 { return s.bandwidth }
+
+// MeterFor implements Medium: segment load is shared, so every attached
+// interface observes the same meter.
+func (s *Segment) MeterFor(*Iface) *RateMeter { return s.meter }
+
+// Dropped returns frames dropped due to backlog on the shared medium.
+func (s *Segment) Dropped() int64 { return s.dropped }
+
+// Transmit implements Medium: one shared serialization resource
+// (approximating CSMA/CD without collisions), then broadcast delivery.
+func (s *Segment) Transmit(from *Iface, pkt *Packet) {
+	now := s.sim.Now()
+	backlogBits := int64(0)
+	if s.busyUntil > now {
+		backlogBits = int64(s.busyUntil-now) * s.bandwidth / int64(time.Second)
+	}
+	if backlogBits/8 > s.queueLimit {
+		s.dropped++
+		return
+	}
+	start := now
+	if s.busyUntil > start {
+		start = s.busyUntil
+	}
+	txTime := time.Duration(int64(pkt.Size()) * 8 * int64(time.Second) / s.bandwidth)
+	s.busyUntil = start + txTime
+	s.meter.Add(now, int64(pkt.Size()))
+
+	arrive := s.busyUntil + s.delay
+	for _, ifc := range s.ifaces {
+		if ifc == from {
+			continue
+		}
+		dst := ifc
+		if !dst.wantsFrame(pkt) {
+			continue
+		}
+		s.sim.At(arrive, func() { dst.Node.Receive(pkt, dst) })
+	}
+}
+
+// wantsFrame is the NIC filter: promiscuous interfaces and forwarding
+// nodes accept everything; hosts accept frames addressed to them,
+// multicast for joined groups, and broadcast.
+func (i *Iface) wantsFrame(pkt *Packet) bool {
+	if i.Promisc || i.Node.Forwarding {
+		return true
+	}
+	dst := pkt.IP.Dst
+	switch {
+	case dst == i.Node.Addr:
+		return true
+	case dst.IsMulticast():
+		return i.Node.joined[dst]
+	case dst == 0xFFFFFFFF:
+		return true
+	default:
+		return false
+	}
+}

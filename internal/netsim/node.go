@@ -1,0 +1,305 @@
+// Nodes: hosts and routers. A node owns interfaces, a static routing
+// table, multicast group state, local application bindings, and an
+// optional PLAN-P processing hook (the IP/PLAN-P layer of figure 1,
+// provided by internal/planprt).
+package netsim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Processor is the PLAN-P layer hook. Process sees every packet the node
+// receives from the network, before standard IP processing. Returning
+// true means the program handled the packet (forwarded, delivered, or
+// dropped it); false falls through to standard behavior.
+type Processor interface {
+	Process(pkt *Packet, in *Iface) bool
+}
+
+// AppFunc receives packets delivered to a local application binding.
+type AppFunc func(pkt *Packet)
+
+// appKey identifies a local transport binding.
+type appKey struct {
+	proto uint8
+	port  uint16
+}
+
+// Stats counts a node's traffic.
+type Stats struct {
+	ReceivedPkts  int64
+	ReceivedBytes int64
+	SentPkts      int64
+	SentBytes     int64
+	ForwardedPkts int64
+	DeliveredPkts int64
+	DroppedPkts   int64 // TTL expiry, no route, no binding
+}
+
+// Node is a host or router.
+type Node struct {
+	Name string
+	Addr Addr
+	sim  *Simulator
+
+	// Forwarding enables router behavior: packets addressed elsewhere
+	// are forwarded instead of dropped.
+	Forwarding bool
+
+	// PerPacketCPU, when nonzero, serializes received-packet processing
+	// through the node's CPU at this cost per packet. This is how the
+	// HTTP experiment models the gateway as a contention point (§3.2):
+	// throughput caps at 1/PerPacketCPU packets per second.
+	PerPacketCPU time.Duration
+	cpuBusyUntil time.Duration
+
+	// Processor, when set, is the downloaded PLAN-P layer.
+	Processor Processor
+
+	ifaces    []*Iface
+	routes    map[Addr]*Iface   // host routes
+	defaultIf *Iface            // default route
+	mroutes   map[Addr][]*Iface // multicast forwarding: group -> out ifaces
+	joined    map[Addr]bool     // locally joined multicast groups
+	apps      map[appKey]AppFunc
+	rawApps   []AppFunc // receive every locally delivered packet
+	taps      []AppFunc // observe every packet seen by the node
+
+	Stats Stats
+
+	ipID uint32
+}
+
+// NewNode registers a node with the simulator. Names and addresses must
+// be unique.
+func NewNode(sim *Simulator, name string, addr Addr) *Node {
+	if sim.nodes[addr] != nil {
+		panic(fmt.Sprintf("netsim: duplicate node address %s", addr))
+	}
+	if sim.nameIx[name] != nil {
+		panic(fmt.Sprintf("netsim: duplicate node name %q", name))
+	}
+	n := &Node{
+		Name: name, Addr: addr, sim: sim,
+		routes:  map[Addr]*Iface{},
+		mroutes: map[Addr][]*Iface{},
+		joined:  map[Addr]bool{},
+		apps:    map[appKey]AppFunc{},
+	}
+	sim.nodes[addr] = n
+	sim.nameIx[name] = n
+	return n
+}
+
+// Sim returns the owning simulator.
+func (n *Node) Sim() *Simulator { return n.sim }
+
+func (n *Node) addIface(i *Iface) { n.ifaces = append(n.ifaces, i) }
+
+// Ifaces returns the node's interfaces.
+func (n *Node) Ifaces() []*Iface { return n.ifaces }
+
+// AddRoute installs a host route: traffic to dst leaves via ifc.
+func (n *Node) AddRoute(dst Addr, ifc *Iface) { n.routes[dst] = ifc }
+
+// SetDefaultRoute installs the default route.
+func (n *Node) SetDefaultRoute(ifc *Iface) { n.defaultIf = ifc }
+
+// RouteTo resolves the outgoing interface for dst (nil if unroutable).
+// For multicast groups it returns the first multicast route, which is
+// the interface whose load the adaptation primitives measure.
+func (n *Node) RouteTo(dst Addr) *Iface {
+	if dst.IsMulticast() {
+		if m := n.mroutes[dst]; len(m) > 0 {
+			return m[0]
+		}
+		return n.defaultIf
+	}
+	if ifc, ok := n.routes[dst]; ok {
+		return ifc
+	}
+	return n.defaultIf
+}
+
+// TransmitFrom routes pkt out of any interface except in, reporting
+// whether it was sent. It is the PLAN-P layer's OnRemote transmission
+// path: the program has already decided the packet's fate, so no TTL
+// handling happens here.
+func (n *Node) TransmitFrom(pkt *Packet, in *Iface) bool { return n.transmit(pkt, in) }
+
+// AddMulticastRoute makes this node forward group traffic out ifc
+// (routers on the multicast tree).
+func (n *Node) AddMulticastRoute(group Addr, ifc *Iface) {
+	n.mroutes[group] = append(n.mroutes[group], ifc)
+}
+
+// JoinGroup subscribes the node to a multicast group for local delivery.
+func (n *Node) JoinGroup(group Addr) { n.joined[group] = true }
+
+// LeaveGroup unsubscribes the node.
+func (n *Node) LeaveGroup(group Addr) { delete(n.joined, group) }
+
+// BindUDP delivers local UDP traffic for port to fn.
+func (n *Node) BindUDP(port uint16, fn AppFunc) { n.apps[appKey{ProtoUDP, port}] = fn }
+
+// BindTCP delivers local TCP traffic for port to fn.
+func (n *Node) BindTCP(port uint16, fn AppFunc) { n.apps[appKey{ProtoTCP, port}] = fn }
+
+// BindRaw receives every packet delivered locally regardless of port
+// (after specific bindings).
+func (n *Node) BindRaw(fn AppFunc) { n.rawApps = append(n.rawApps, fn) }
+
+// Tap observes every packet the node receives from the network,
+// including transit traffic (monitoring tools; PLAN-P programs should
+// use Processor instead).
+func (n *Node) Tap(fn AppFunc) { n.taps = append(n.taps, fn) }
+
+// NextIPID returns a fresh IP identification value for originated
+// packets.
+func (n *Node) NextIPID() uint32 {
+	n.ipID++
+	return n.ipID
+}
+
+// Send originates pkt from this node: local destinations deliver
+// directly, everything else routes out an interface. Locally originated
+// packets do not pass through the local PLAN-P layer (the layer
+// processes network traffic, figure 1).
+func (n *Node) Send(pkt *Packet) {
+	if pkt.IP.ID == 0 {
+		pkt.IP.ID = n.NextIPID()
+	}
+	n.Stats.SentPkts++
+	n.Stats.SentBytes += int64(pkt.Size())
+	if pkt.IP.Dst == n.Addr {
+		n.deliverLocal(pkt)
+		return
+	}
+	if !n.transmit(pkt, nil) {
+		n.Stats.DroppedPkts++
+	}
+}
+
+// transmit routes pkt out (excluding the incoming interface for
+// multicast and split-horizon suppression) and reports whether the
+// packet was sent anywhere.
+func (n *Node) transmit(pkt *Packet, in *Iface) bool {
+	if pkt.IP.Dst.IsMulticast() {
+		sent := false
+		for _, ifc := range n.mroutes[pkt.IP.Dst] {
+			if ifc == in {
+				continue
+			}
+			ifc.Send(pkt)
+			sent = true
+		}
+		// Hosts originating multicast without mroutes use the default
+		// interface.
+		if !sent && in == nil {
+			if ifc := n.defaultIf; ifc != nil {
+				ifc.Send(pkt)
+				sent = true
+			}
+		}
+		return sent
+	}
+	ifc := n.RouteTo(pkt.IP.Dst)
+	if ifc == nil || ifc == in {
+		return false
+	}
+	ifc.Send(pkt)
+	return true
+}
+
+// Receive is called by media when a packet arrives on ifc. When the
+// node models CPU cost, processing is serialized behind earlier packets.
+func (n *Node) Receive(pkt *Packet, in *Iface) {
+	if n.PerPacketCPU > 0 {
+		start := n.sim.Now()
+		if n.cpuBusyUntil > start {
+			start = n.cpuBusyUntil
+		}
+		n.cpuBusyUntil = start + n.PerPacketCPU
+		n.sim.At(n.cpuBusyUntil, func() { n.receiveNow(pkt, in) })
+		return
+	}
+	n.receiveNow(pkt, in)
+}
+
+func (n *Node) receiveNow(pkt *Packet, in *Iface) {
+	n.Stats.ReceivedPkts++
+	n.Stats.ReceivedBytes += int64(pkt.Size())
+	for _, tap := range n.taps {
+		tap(pkt)
+	}
+	if n.Processor != nil && n.Processor.Process(pkt, in) {
+		return
+	}
+	n.defaultProcess(pkt, in)
+}
+
+// defaultProcess is standard IP behavior: deliver locally, forward if a
+// router, drop otherwise.
+func (n *Node) defaultProcess(pkt *Packet, in *Iface) {
+	dst := pkt.IP.Dst
+	switch {
+	case dst == n.Addr || dst == 0xFFFFFFFF:
+		n.deliverLocal(pkt)
+	case dst.IsMulticast():
+		if n.joined[dst] {
+			n.deliverLocal(pkt)
+		}
+		if n.Forwarding {
+			n.forward(pkt, in)
+		}
+	case n.Forwarding:
+		n.forward(pkt, in)
+	default:
+		n.Stats.DroppedPkts++
+	}
+}
+
+// DeliverLocal passes pkt up to local applications; used by the PLAN-P
+// layer's deliver primitive as well as default processing.
+func (n *Node) DeliverLocal(pkt *Packet) { n.deliverLocal(pkt) }
+
+func (n *Node) deliverLocal(pkt *Packet) {
+	n.Stats.DeliveredPkts++
+	var fn AppFunc
+	switch {
+	case pkt.TCP != nil:
+		fn = n.apps[appKey{ProtoTCP, pkt.TCP.DstPort}]
+	case pkt.UDP != nil:
+		fn = n.apps[appKey{ProtoUDP, pkt.UDP.DstPort}]
+	}
+	if fn != nil {
+		fn(pkt)
+		return
+	}
+	if len(n.rawApps) > 0 {
+		for _, raw := range n.rawApps {
+			raw(pkt)
+		}
+		return
+	}
+	n.Stats.DroppedPkts++ // no binding: port unreachable
+}
+
+// Forward applies router forwarding to pkt (TTL decrement and route
+// lookup); exported for the PLAN-P layer's fall-through path.
+func (n *Node) Forward(pkt *Packet, in *Iface) { n.forward(pkt, in) }
+
+func (n *Node) forward(pkt *Packet, in *Iface) {
+	if pkt.IP.TTL <= 1 {
+		n.Stats.DroppedPkts++
+		return
+	}
+	fwd := pkt.Clone()
+	fwd.IP.TTL--
+	if n.transmit(fwd, in) {
+		n.Stats.ForwardedPkts++
+	} else {
+		n.Stats.DroppedPkts++
+	}
+}

@@ -1,0 +1,135 @@
+// Packet model: an IP-flavoured header with optional TCP/UDP transport
+// headers and a raw payload. PLAN-P operates on existing packet formats
+// unchanged (§2), so these mirror the fields the primitive library
+// exposes; internal/planprt converts between this wire form and the
+// language's header values.
+package netsim
+
+import "fmt"
+
+// IP protocol numbers used by the simulator.
+const (
+	ProtoTCP = 6
+	ProtoUDP = 17
+)
+
+// Header byte sizes used for Packet.Size accounting.
+const (
+	IPHeaderLen  = 20
+	TCPHeaderLen = 20
+	UDPHeaderLen = 8
+)
+
+// TCP flag bits (mirrors value.TCPSyn etc. in the language layer).
+const (
+	FlagSyn = 1 << iota
+	FlagAck
+	FlagFin
+	FlagRst
+	FlagPsh
+)
+
+// IPHeader is the network-layer header.
+type IPHeader struct {
+	Src   Addr
+	Dst   Addr
+	Proto uint8
+	TTL   uint8
+	ID    uint32
+}
+
+// TCPHeader is the (simplified) TCP transport header.
+type TCPHeader struct {
+	SrcPort uint16
+	DstPort uint16
+	Seq     uint32
+	Ack     uint32
+	Flags   uint8
+	Window  uint16
+}
+
+// UDPHeader is the UDP transport header.
+type UDPHeader struct {
+	SrcPort uint16
+	DstPort uint16
+}
+
+// Packet is one datagram in flight. Packets are passed by pointer but
+// treated as immutable once transmitted; rewriting protocols build a
+// modified Clone.
+type Packet struct {
+	IP      IPHeader
+	TCP     *TCPHeader // exactly one of TCP/UDP is set for transport traffic
+	UDP     *UDPHeader
+	Payload []byte
+
+	// ChanTag identifies the user-defined PLAN-P channel this packet
+	// was sent on; empty for ordinary traffic (handled by "network"
+	// channels, §2).
+	ChanTag string
+}
+
+// Size returns the on-wire size in bytes (headers + payload).
+func (p *Packet) Size() int {
+	n := IPHeaderLen + len(p.Payload)
+	if p.TCP != nil {
+		n += TCPHeaderLen
+	}
+	if p.UDP != nil {
+		n += UDPHeaderLen
+	}
+	if p.ChanTag != "" {
+		n += 2 + len(p.ChanTag) // tag option
+	}
+	return n
+}
+
+// Clone returns a deep copy (headers and payload).
+func (p *Packet) Clone() *Packet {
+	q := &Packet{IP: p.IP, ChanTag: p.ChanTag}
+	if p.TCP != nil {
+		tcp := *p.TCP
+		q.TCP = &tcp
+	}
+	if p.UDP != nil {
+		udp := *p.UDP
+		q.UDP = &udp
+	}
+	if p.Payload != nil {
+		q.Payload = make([]byte, len(p.Payload))
+		copy(q.Payload, p.Payload)
+	}
+	return q
+}
+
+// String renders the packet for diagnostics.
+func (p *Packet) String() string {
+	switch {
+	case p.TCP != nil:
+		return fmt.Sprintf("tcp %s:%d->%s:%d seq=%d flags=%#x len=%d",
+			p.IP.Src, p.TCP.SrcPort, p.IP.Dst, p.TCP.DstPort, p.TCP.Seq, p.TCP.Flags, len(p.Payload))
+	case p.UDP != nil:
+		return fmt.Sprintf("udp %s:%d->%s:%d len=%d",
+			p.IP.Src, p.UDP.SrcPort, p.IP.Dst, p.UDP.DstPort, len(p.Payload))
+	default:
+		return fmt.Sprintf("ip %s->%s proto=%d len=%d", p.IP.Src, p.IP.Dst, p.IP.Proto, len(p.Payload))
+	}
+}
+
+// NewUDP builds a UDP packet.
+func NewUDP(src, dst Addr, srcPort, dstPort uint16, payload []byte) *Packet {
+	return &Packet{
+		IP:      IPHeader{Src: src, Dst: dst, Proto: ProtoUDP, TTL: 64},
+		UDP:     &UDPHeader{SrcPort: srcPort, DstPort: dstPort},
+		Payload: payload,
+	}
+}
+
+// NewTCP builds a TCP packet.
+func NewTCP(src, dst Addr, srcPort, dstPort uint16, seq uint32, flags uint8, payload []byte) *Packet {
+	return &Packet{
+		IP:      IPHeader{Src: src, Dst: dst, Proto: ProtoTCP, TTL: 64},
+		TCP:     &TCPHeader{SrcPort: srcPort, DstPort: dstPort, Seq: seq, Flags: flags, Window: 65535},
+		Payload: payload,
+	}
+}

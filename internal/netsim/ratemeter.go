@@ -1,0 +1,84 @@
+// RateMeter: sliding-window throughput measurement. Routers running the
+// audio-adaptation ASP read link utilization through this (the
+// linkLoadTo primitive); §3.1's claim that in-router adaptation reacts
+// "immediately" is a claim about this window being short and local.
+package netsim
+
+import "time"
+
+// DefaultMeterWindow is the default measurement window. 250 ms is short
+// enough to react within a few audio packets and long enough to smooth
+// packet-scale burstiness.
+const DefaultMeterWindow = 250 * time.Millisecond
+
+const meterBuckets = 10
+
+// RateMeter measures bytes per second over a sliding window using a
+// bucket ring. The zero value is unusable; use NewRateMeter.
+type RateMeter struct {
+	window   time.Duration
+	bucket   time.Duration
+	counts   [meterBuckets]int64
+	current  int // index of the bucket covering curStart
+	curStart time.Duration
+}
+
+// NewRateMeter returns a meter with the given window (DefaultMeterWindow
+// if zero).
+func NewRateMeter(window time.Duration) *RateMeter {
+	if window <= 0 {
+		window = DefaultMeterWindow
+	}
+	return &RateMeter{window: window, bucket: window / meterBuckets}
+}
+
+// advance rotates buckets so that the current bucket covers now.
+func (m *RateMeter) advance(now time.Duration) {
+	for now >= m.curStart+m.bucket {
+		m.curStart += m.bucket
+		m.current = (m.current + 1) % meterBuckets
+		m.counts[m.current] = 0
+		if now-m.curStart > m.window {
+			// Long idle gap: clear everything and re-anchor.
+			for i := range m.counts {
+				m.counts[i] = 0
+			}
+			m.curStart = now - (now % m.bucket)
+		}
+	}
+}
+
+// Add records n bytes transmitted at virtual time now.
+func (m *RateMeter) Add(now time.Duration, n int64) {
+	m.advance(now)
+	m.counts[m.current] += n
+}
+
+// BitsPerSecond returns the windowed throughput at virtual time now.
+// The current (partially elapsed) bucket is excluded so that steady
+// traffic measures without systematic underestimation; the effective
+// window is the last window−bucket of completed time.
+func (m *RateMeter) BitsPerSecond(now time.Duration) int64 {
+	m.advance(now)
+	var total int64
+	for i, c := range m.counts {
+		if i == m.current {
+			continue
+		}
+		total += c
+	}
+	return total * 8 * int64(time.Second) / int64(m.window-m.bucket)
+}
+
+// Utilization returns the load as a percentage of capacity (0-100+,
+// clamped at 100).
+func (m *RateMeter) Utilization(now time.Duration, capacityBps int64) int64 {
+	if capacityBps <= 0 {
+		return 0
+	}
+	pct := m.BitsPerSecond(now) * 100 / capacityBps
+	if pct > 100 {
+		pct = 100
+	}
+	return pct
+}

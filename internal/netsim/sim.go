@@ -1,0 +1,164 @@
+// Package netsim is a deterministic discrete-event network simulator:
+// the execution substrate standing in for the paper's LAN of SUN
+// workstations with the PLAN-P Solaris kernel module (§3).
+//
+// It models hosts and routers (Node), point-to-point duplex links with
+// bandwidth, propagation delay, and drop-tail queues (Link), shared
+// Ethernet segments as broadcast domains (Segment), an IPv4-flavoured
+// address/routing layer with static routes and multicast groups, and
+// windowed per-interface load measurement (RateMeter) — everything the
+// three ASP experiments exercise.
+//
+// The simulator is single-threaded and fully virtual-time: experiments
+// that ran for 500 wall-clock seconds in the paper replay in
+// milliseconds, identically on every run.
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Simulator owns virtual time and the event queue. The zero value is not
+// usable; call NewSimulator.
+type Simulator struct {
+	now    time.Duration
+	queue  eventQueue
+	seq    uint64
+	rng    *rand.Rand
+	nodes  map[Addr]*Node
+	nameIx map[string]*Node
+}
+
+// NewSimulator returns a simulator with the given RNG seed. All
+// randomness in a simulation flows from this seed, making runs
+// reproducible.
+func NewSimulator(seed int64) *Simulator {
+	return &Simulator{
+		rng:    rand.New(rand.NewSource(seed)),
+		nodes:  map[Addr]*Node{},
+		nameIx: map[string]*Node{},
+	}
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() time.Duration { return s.now }
+
+// Rand returns the simulation's deterministic RNG.
+func (s *Simulator) Rand() *rand.Rand { return s.rng }
+
+// At schedules fn at absolute virtual time t (clamped to now).
+func (s *Simulator) At(t time.Duration, fn func()) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	heap.Push(&s.queue, &event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn d after the current time.
+func (s *Simulator) After(d time.Duration, fn func()) { s.At(s.now+d, fn) }
+
+// RunUntil processes events in timestamp order until the queue is empty
+// or the next event is after deadline. It returns the number of events
+// processed.
+func (s *Simulator) RunUntil(deadline time.Duration) int {
+	n := 0
+	for len(s.queue) > 0 {
+		ev := s.queue[0]
+		if ev.at > deadline {
+			break
+		}
+		heap.Pop(&s.queue)
+		s.now = ev.at
+		ev.fn()
+		n++
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+	return n
+}
+
+// Run processes all pending events (useful for tests with naturally
+// finite traffic).
+func (s *Simulator) Run() int {
+	n := 0
+	for len(s.queue) > 0 {
+		ev := heap.Pop(&s.queue).(*event)
+		s.now = ev.at
+		ev.fn()
+		n++
+	}
+	return n
+}
+
+// Node returns the node with the given address, or nil.
+func (s *Simulator) Node(a Addr) *Node { return s.nodes[a] }
+
+// NodeByName returns the node with the given name, or nil.
+func (s *Simulator) NodeByName(name string) *Node { return s.nameIx[name] }
+
+// event is one scheduled callback; seq breaks timestamp ties FIFO.
+type event struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// Addr is a packed big-endian IPv4-style address.
+type Addr uint32
+
+// ParseAddr converts a dotted quad to an Addr.
+func ParseAddr(s string) (Addr, error) {
+	var a, b, c, d int
+	if _, err := fmt.Sscanf(s, "%d.%d.%d.%d", &a, &b, &c, &d); err != nil {
+		return 0, fmt.Errorf("netsim: malformed address %q", s)
+	}
+	for _, o := range []int{a, b, c, d} {
+		if o < 0 || o > 255 {
+			return 0, fmt.Errorf("netsim: malformed address %q", s)
+		}
+	}
+	return Addr(a)<<24 | Addr(b)<<16 | Addr(c)<<8 | Addr(d), nil
+}
+
+// MustAddr is ParseAddr that panics on malformed input (for literals in
+// scenario setup code).
+func MustAddr(s string) Addr {
+	a, err := ParseAddr(s)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// String renders the address as a dotted quad.
+func (a Addr) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(a>>24), byte(a>>16), byte(a>>8), byte(a))
+}
+
+// IsMulticast reports whether a is in the 224.0.0.0/4 group range.
+func (a Addr) IsMulticast() bool { return a>>28 == 0xE }

@@ -1,0 +1,203 @@
+// Packet codec: conversion between simulator packets and the typed
+// packet tuples channel functions receive. Decoding implements the
+// dispatch rule of §2/§2.3 — a packet matches a channel iff its headers
+// and payload decode under the channel's declared packet type — which is
+// what makes overloaded channels work on untagged traffic.
+//
+// Payload component encodings:
+//
+//	char   1 byte
+//	bool   1 byte (0 or 1; anything else fails to decode)
+//	int    4 bytes big-endian two's complement
+//	host   4 bytes big-endian
+//	string 2-byte big-endian length prefix + bytes
+//	blob   all remaining bytes (only legal in final position)
+//
+// A packet matches only if the payload is consumed exactly (strict
+// decoding), so overloads with different scalar shapes are disjoint.
+package planprt
+
+import (
+	"fmt"
+
+	"planp.dev/planp/internal/lang/ast"
+	"planp.dev/planp/internal/lang/value"
+	"planp.dev/planp/internal/netsim"
+)
+
+// Decode attempts to decode pkt as a value of packet type t. The boolean
+// reports whether the packet matches; errors are impossible (mismatch is
+// the only failure mode).
+func Decode(pkt *netsim.Packet, t ast.Type) (value.Value, bool) {
+	tup, ok := t.(ast.Tuple)
+	if !ok {
+		return value.Unit, false
+	}
+	elems := make([]value.Value, 0, len(tup.Elems))
+
+	ipLen := netsim.IPHeaderLen + len(pkt.Payload)
+	switch {
+	case pkt.TCP != nil:
+		ipLen += netsim.TCPHeaderLen
+	case pkt.UDP != nil:
+		ipLen += netsim.UDPHeaderLen
+	}
+	elems = append(elems, value.IP(&value.IPHeader{
+		Src:   value.Host(pkt.IP.Src),
+		Dst:   value.Host(pkt.IP.Dst),
+		Proto: pkt.IP.Proto,
+		TTL:   pkt.IP.TTL,
+		Len:   ipLen,
+		ID:    pkt.IP.ID,
+	}))
+
+	rest := tup.Elems[1:]
+	if len(rest) > 0 && ast.Equal(rest[0], ast.TCPT) {
+		if pkt.TCP == nil {
+			return value.Unit, false
+		}
+		h := *pkt.TCP
+		elems = append(elems, value.TCP(&value.TCPHeader{
+			SrcPort: h.SrcPort, DstPort: h.DstPort, Seq: h.Seq, Ack: h.Ack,
+			Flags: h.Flags, Window: h.Window,
+		}))
+		rest = rest[1:]
+	} else if len(rest) > 0 && ast.Equal(rest[0], ast.UDPT) {
+		if pkt.UDP == nil {
+			return value.Unit, false
+		}
+		h := *pkt.UDP
+		elems = append(elems, value.UDP(&value.UDPHeader{
+			SrcPort: h.SrcPort, DstPort: h.DstPort, Len: netsim.UDPHeaderLen + len(pkt.Payload),
+		}))
+		rest = rest[1:]
+	}
+
+	buf := pkt.Payload
+	for i, et := range rest {
+		base, ok := et.(ast.Base)
+		if !ok {
+			return value.Unit, false
+		}
+		switch base.Kind {
+		case ast.TBlob:
+			if i != len(rest)-1 {
+				return value.Unit, false
+			}
+			elems = append(elems, value.Blob(buf))
+			buf = nil
+		case ast.TChar:
+			if len(buf) < 1 {
+				return value.Unit, false
+			}
+			elems = append(elems, value.Char(buf[0]))
+			buf = buf[1:]
+		case ast.TBool:
+			if len(buf) < 1 || buf[0] > 1 {
+				return value.Unit, false
+			}
+			elems = append(elems, value.Bool(buf[0] == 1))
+			buf = buf[1:]
+		case ast.TInt:
+			if len(buf) < 4 {
+				return value.Unit, false
+			}
+			v := int32(uint32(buf[0])<<24 | uint32(buf[1])<<16 | uint32(buf[2])<<8 | uint32(buf[3]))
+			elems = append(elems, value.Int(int64(v)))
+			buf = buf[4:]
+		case ast.THost:
+			if len(buf) < 4 {
+				return value.Unit, false
+			}
+			h := value.Host(uint32(buf[0])<<24 | uint32(buf[1])<<16 | uint32(buf[2])<<8 | uint32(buf[3]))
+			elems = append(elems, value.HostV(h))
+			buf = buf[4:]
+		case ast.TString:
+			if len(buf) < 2 {
+				return value.Unit, false
+			}
+			n := int(buf[0])<<8 | int(buf[1])
+			if len(buf) < 2+n {
+				return value.Unit, false
+			}
+			elems = append(elems, value.Str(string(buf[2:2+n])))
+			buf = buf[2+n:]
+		default:
+			return value.Unit, false
+		}
+	}
+	if len(buf) != 0 {
+		return value.Unit, false // strict: payload must be consumed
+	}
+	return value.TupleV(elems...), true
+}
+
+// Encode converts a packet tuple value back to a simulator packet. The
+// value must have been produced by Decode or constructed under a packet
+// type the checker validated; malformed shapes return an error (engine
+// bug or adversarial program, never silent corruption).
+func Encode(v value.Value) (*netsim.Packet, error) {
+	if v.Kind != value.KindTuple || len(v.Vs) == 0 {
+		return nil, fmt.Errorf("planprt: packet value must be a tuple, got %s", v.Kind)
+	}
+	if v.Vs[0].Kind != value.KindIP {
+		return nil, fmt.Errorf("planprt: packet tuple must start with an ip header, got %s", v.Vs[0].Kind)
+	}
+	iph := v.Vs[0].AsIP()
+	pkt := &netsim.Packet{IP: netsim.IPHeader{
+		Src:   netsim.Addr(iph.Src),
+		Dst:   netsim.Addr(iph.Dst),
+		Proto: iph.Proto,
+		TTL:   iph.TTL,
+		ID:    iph.ID,
+	}}
+
+	rest := v.Vs[1:]
+	if len(rest) > 0 && rest[0].Kind == value.KindTCP {
+		h := rest[0].AsTCP()
+		pkt.TCP = &netsim.TCPHeader{
+			SrcPort: h.SrcPort, DstPort: h.DstPort, Seq: h.Seq, Ack: h.Ack,
+			Flags: h.Flags, Window: h.Window,
+		}
+		pkt.IP.Proto = netsim.ProtoTCP
+		rest = rest[1:]
+	} else if len(rest) > 0 && rest[0].Kind == value.KindUDP {
+		h := rest[0].AsUDP()
+		pkt.UDP = &netsim.UDPHeader{SrcPort: h.SrcPort, DstPort: h.DstPort}
+		pkt.IP.Proto = netsim.ProtoUDP
+		rest = rest[1:]
+	}
+
+	var buf []byte
+	for _, ev := range rest {
+		switch ev.Kind {
+		case value.KindBlob:
+			buf = append(buf, ev.AsBlob()...)
+		case value.KindChar:
+			buf = append(buf, ev.AsChar())
+		case value.KindBool:
+			b := byte(0)
+			if ev.AsBool() {
+				b = 1
+			}
+			buf = append(buf, b)
+		case value.KindInt:
+			u := uint32(int32(ev.AsInt()))
+			buf = append(buf, byte(u>>24), byte(u>>16), byte(u>>8), byte(u))
+		case value.KindHost:
+			u := uint32(ev.AsHost())
+			buf = append(buf, byte(u>>24), byte(u>>16), byte(u>>8), byte(u))
+		case value.KindString:
+			s := ev.AsStr()
+			if len(s) > 0xFFFF {
+				return nil, fmt.Errorf("planprt: string payload component exceeds 64KiB")
+			}
+			buf = append(buf, byte(len(s)>>8), byte(len(s)))
+			buf = append(buf, s...)
+		default:
+			return nil, fmt.Errorf("planprt: %s is not encodable as a payload component", ev.Kind)
+		}
+	}
+	pkt.Payload = buf
+	return pkt, nil
+}

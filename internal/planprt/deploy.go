@@ -1,0 +1,78 @@
+// Protocol deployment management — §5's "protocol management
+// functionalities, such as ASP deployment". A Deployment installs one
+// loaded program across a node set atomically (all nodes or none) and
+// can be withdrawn as a unit, which is how the audio experiment pushes
+// the router protocol onto every router of the multicast tree.
+package planprt
+
+import (
+	"fmt"
+	"io"
+
+	"planp.dev/planp/internal/netsim"
+)
+
+// Uninstall removes this runtime from its node, restoring standard
+// packet processing. Idempotent.
+func (rt *Runtime) Uninstall() {
+	if rt.node.Processor == netsim.Processor(rt) {
+		rt.node.Processor = nil
+		rt.prog.installs--
+	}
+}
+
+// Deployment tracks one program installed across a set of nodes.
+type Deployment struct {
+	prog     *Program
+	runtimes []*Runtime
+}
+
+// Deploy installs p on every node, rolling back already-installed nodes
+// if any installation fails (a node already running another protocol,
+// or a single-node program offered several nodes).
+func Deploy(p *Program, out io.Writer, nodes ...*netsim.Node) (*Deployment, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("planprt: deployment needs at least one node")
+	}
+	d := &Deployment{prog: p}
+	for _, node := range nodes {
+		if node.Processor != nil {
+			d.Undeploy()
+			return nil, fmt.Errorf("planprt: node %s already runs a protocol", node.Name)
+		}
+		rt, err := Install(node, p, out)
+		if err != nil {
+			d.Undeploy()
+			return nil, fmt.Errorf("planprt: deploying to %s: %w", node.Name, err)
+		}
+		d.runtimes = append(d.runtimes, rt)
+	}
+	return d, nil
+}
+
+// Undeploy withdraws the protocol from every node it reached.
+func (d *Deployment) Undeploy() {
+	for _, rt := range d.runtimes {
+		rt.Uninstall()
+	}
+	d.runtimes = nil
+}
+
+// Runtimes returns the per-node runtimes in deployment order.
+func (d *Deployment) Runtimes() []*Runtime { return d.runtimes }
+
+// TotalStats aggregates runtime statistics across the deployment.
+func (d *Deployment) TotalStats() Stats {
+	var total Stats
+	for _, rt := range d.runtimes {
+		total.Processed += rt.Stats.Processed
+		total.Unmatched += rt.Stats.Unmatched
+		total.Errors += rt.Stats.Errors
+		total.SentRemote += rt.Stats.SentRemote
+		total.SentLocal += rt.Stats.SentLocal
+		total.SentFlood += rt.Stats.SentFlood
+		total.Delivered += rt.Stats.Delivered
+		total.InvokeTime += rt.Stats.InvokeTime
+	}
+	return total
+}

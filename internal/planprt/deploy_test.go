@@ -1,0 +1,162 @@
+package planprt
+
+import (
+	"testing"
+
+	"planp.dev/planp/internal/netsim"
+)
+
+const forwarder = `
+channel network(ps : int, ss : unit, p : ip*udp*blob) is
+  (OnRemote(network, p); (ps + 1, ss))
+`
+
+func chain(t *testing.T) (*netsim.Simulator, []*netsim.Node) {
+	t.Helper()
+	sim := netsim.NewSimulator(1)
+	var nodes []*netsim.Node
+	for i, name := range []string{"a", "r1", "r2", "b"} {
+		n := netsim.NewNode(sim, name, netsim.Addr(0x0A000001+uint32(i)))
+		if name[0] == 'r' {
+			n.Forwarding = true
+		}
+		nodes = append(nodes, n)
+	}
+	for i := 0; i < 3; i++ {
+		l := netsim.Connect(sim, nodes[i], nodes[i+1], netsim.LinkConfig{Bandwidth: 10_000_000})
+		nodes[i].AddRoute(nodes[3].Addr, l.Ifaces()[0])
+		nodes[i+1].AddRoute(nodes[0].Addr, l.Ifaces()[1])
+		if i == 0 {
+			nodes[i].SetDefaultRoute(l.Ifaces()[0])
+		}
+	}
+	nodes[1].AddRoute(nodes[3].Addr, nodes[1].Ifaces()[1])
+	nodes[2].AddRoute(nodes[3].Addr, nodes[2].Ifaces()[1])
+	nodes[3].SetDefaultRoute(nodes[3].Ifaces()[0])
+	return sim, nodes
+}
+
+func TestDeployAcrossRouters(t *testing.T) {
+	sim, nodes := chain(t)
+	p, err := Load(forwarder, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Deploy(p, nil, nodes[1], nodes[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	nodes[3].BindUDP(9, func(*netsim.Packet) { got++ })
+	for i := 0; i < 4; i++ {
+		nodes[0].Send(netsim.NewUDP(nodes[0].Addr, nodes[3].Addr, 1, 9, []byte("x")))
+	}
+	sim.Run()
+	if got != 4 {
+		t.Fatalf("delivered %d, want 4", got)
+	}
+	total := d.TotalStats()
+	if total.Processed != 8 { // 4 packets x 2 routers
+		t.Errorf("deployment processed %d, want 8", total.Processed)
+	}
+	// Each runtime has independent state.
+	for i, rt := range d.Runtimes() {
+		if got := rt.Instance().Proto.AsInt(); got != 4 {
+			t.Errorf("router %d state = %d, want 4", i, got)
+		}
+	}
+
+	d.Undeploy()
+	if nodes[1].Processor != nil || nodes[2].Processor != nil {
+		t.Error("undeploy left processors installed")
+	}
+	// Traffic still flows via standard forwarding after withdrawal.
+	nodes[0].Send(netsim.NewUDP(nodes[0].Addr, nodes[3].Addr, 1, 9, []byte("y")))
+	sim.Run()
+	if got != 5 {
+		t.Errorf("post-undeploy delivery failed: %d", got)
+	}
+}
+
+func TestDeployRollsBackOnConflict(t *testing.T) {
+	_, nodes := chain(t)
+	p, err := Load(forwarder, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Occupy r2 with another protocol.
+	if _, err := Download(nodes[2], forwarder, Config{}); err != nil {
+		t.Fatal(err)
+	}
+	occupied := nodes[2].Processor
+	if _, err := Deploy(p, nil, nodes[1], nodes[2]); err == nil {
+		t.Fatal("deploy over an occupied node must fail")
+	}
+	if nodes[1].Processor != nil {
+		t.Error("failed deploy left a runtime on r1 (no rollback)")
+	}
+	if nodes[2].Processor != occupied {
+		t.Error("failed deploy disturbed the existing protocol on r2")
+	}
+}
+
+func TestDeploySingleNodeProgramRefusesFanOut(t *testing.T) {
+	_, nodes := chain(t)
+	p, err := Load(`
+channel network(ps : int, ss : unit, p : ip*tcp*blob) is
+  (OnRemote(network, (ipDestSet(#1 p, 10.0.0.99), #2 p, #3 p)); (ps, ss))
+`, Config{Verify: VerifySingleNode})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Deploy(p, nil, nodes[1], nodes[2]); err == nil {
+		t.Fatal("single-node program must not deploy to two nodes")
+	}
+	if nodes[1].Processor != nil || nodes[2].Processor != nil {
+		t.Error("rollback failed")
+	}
+	// One node is fine.
+	if _, err := Deploy(p, nil, nodes[1]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeployEmptyNodeSet(t *testing.T) {
+	p, err := Load(forwarder, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Deploy(p, nil); err == nil {
+		t.Error("empty deployment should fail")
+	}
+}
+
+func TestUninstallIdempotent(t *testing.T) {
+	_, nodes := chain(t)
+	rt, err := Download(nodes[1], forwarder, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Uninstall()
+	rt.Uninstall()
+	if nodes[1].Processor != nil {
+		t.Error("uninstall failed")
+	}
+	// Reinstalling a single-node program after uninstall works (the
+	// install count was released).
+	p, err := Load(`
+channel network(ps : int, ss : unit, p : ip*tcp*blob) is
+  (OnRemote(network, (ipDestSet(#1 p, 10.0.0.99), #2 p, #3 p)); (ps, ss))
+`, Config{Verify: VerifySingleNode})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt2, err := Install(nodes[1], p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt2.Uninstall()
+	if _, err := Install(nodes[2], p, nil); err != nil {
+		t.Errorf("reinstall after uninstall should succeed: %v", err)
+	}
+}

@@ -1,0 +1,354 @@
+// Package planprt is the ASP runtime: the IP/PLAN-P layer of figure 1,
+// implemented against the network simulator.
+//
+// A Program is a protocol that has been parsed, type-checked, verified
+// (late checking, §2.1), and compiled by one of the engines; Download
+// installs it on a node, where it intercepts the node's packet
+// processing. The runtime provides the primitive context — OnRemote /
+// OnNeighbor routing, local delivery, link-load measurement, virtual
+// time — and dispatches incoming packets to channel definitions by tag
+// and packet-type decoding.
+package planprt
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"planp.dev/planp/internal/lang/bytecode"
+	"planp.dev/planp/internal/lang/engine"
+	"planp.dev/planp/internal/lang/interp"
+	"planp.dev/planp/internal/lang/jit"
+	"planp.dev/planp/internal/lang/parser"
+	"planp.dev/planp/internal/lang/prims"
+	"planp.dev/planp/internal/lang/typecheck"
+	"planp.dev/planp/internal/lang/value"
+	"planp.dev/planp/internal/lang/verify"
+	"planp.dev/planp/internal/netsim"
+)
+
+// EngineKind selects an execution engine.
+type EngineKind string
+
+// Engine kinds.
+const (
+	EngineInterp   EngineKind = "interp"
+	EngineBytecode EngineKind = "bytecode"
+	EngineJIT      EngineKind = "jit"
+)
+
+// VerifyPolicy controls late checking at download time.
+type VerifyPolicy int
+
+const (
+	// VerifyNetwork requires the full network-wide analyses (protocols
+	// that may be installed on any number of nodes).
+	VerifyNetwork VerifyPolicy = iota
+	// VerifySingleNode verifies under the single-node deployment
+	// assumption; the runtime then refuses to install the program on
+	// more than one node.
+	VerifySingleNode
+	// VerifyPrivileged skips rejection (the paper's authenticated
+	// download path for protocols like multicast that legitimately fail
+	// the conservative analyses). The analyses still run; results are
+	// recorded on the Program.
+	VerifyPrivileged
+)
+
+// Config configures compilation and installation.
+type Config struct {
+	Engine EngineKind   // default EngineJIT
+	Verify VerifyPolicy // default VerifyNetwork
+	Output io.Writer    // print/println destination; default io.Discard
+}
+
+func (c *Config) fill() {
+	if c.Engine == "" {
+		c.Engine = EngineJIT
+	}
+	if c.Output == nil {
+		c.Output = io.Discard
+	}
+}
+
+// Program is a protocol ready for download: checked, verified, and
+// compiled.
+type Program struct {
+	Source   string
+	Info     *typecheck.Info
+	Compiled engine.Compiled
+	Verify   *verify.Result
+	Policy   VerifyPolicy
+
+	// CodegenTime is the wall-clock time the engine spent compiling
+	// (the paper's figure-3 measurement).
+	CodegenTime time.Duration
+
+	installs int
+}
+
+// compileWith returns the engine's compile function.
+func compileWith(kind EngineKind) (func(*typecheck.Info) (engine.Compiled, error), error) {
+	switch kind {
+	case EngineInterp:
+		return interp.Compile, nil
+	case EngineBytecode:
+		return bytecode.Compile, nil
+	case EngineJIT, "":
+		return jit.Compile, nil
+	default:
+		return nil, fmt.Errorf("planprt: unknown engine %q", kind)
+	}
+}
+
+// Load parses, checks, verifies, and compiles a protocol source text.
+func Load(src string, cfg Config) (*Program, error) {
+	cfg.fill()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	info, err := typecheck.Check(prog)
+	if err != nil {
+		return nil, err
+	}
+	var vres *verify.Result
+	switch cfg.Verify {
+	case VerifySingleNode:
+		vres = verify.VerifyWith(info, verify.Options{SingleNode: true})
+	default:
+		vres = verify.Verify(info)
+	}
+	if cfg.Verify != VerifyPrivileged {
+		if err := vres.Err(); err != nil {
+			return nil, fmt.Errorf("planprt: program rejected by late checking: %w", err)
+		}
+	}
+	compile, err := compileWith(cfg.Engine)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	compiled, err := compile(info)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{
+		Source:      src,
+		Info:        info,
+		Compiled:    compiled,
+		Verify:      vres,
+		Policy:      cfg.Verify,
+		CodegenTime: time.Since(start),
+	}, nil
+}
+
+// Download loads src and installs it on node in one step.
+func Download(node *netsim.Node, src string, cfg Config) (*Runtime, error) {
+	cfg.fill()
+	p, err := Load(src, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return Install(node, p, cfg.Output)
+}
+
+// Install places a loaded program onto a node, replacing the node's
+// standard packet processing (figure 1). Each installation gets its own
+// protocol/channel state instance.
+func Install(node *netsim.Node, p *Program, output io.Writer) (*Runtime, error) {
+	if p.Policy == VerifySingleNode && p.installs >= 1 {
+		return nil, fmt.Errorf("planprt: program was verified for single-node deployment and is already installed")
+	}
+	if output == nil {
+		output = io.Discard
+	}
+	rt := &Runtime{node: node, prog: p, out: output}
+	inst, err := p.Compiled.NewInstance(rt)
+	if err != nil {
+		return nil, err
+	}
+	rt.inst = inst
+	node.Processor = rt
+	p.installs++
+	return rt, nil
+}
+
+// Stats counts runtime activity on one node.
+type Stats struct {
+	Processed  int64 // packets handled by a channel
+	Unmatched  int64 // packets that matched no channel (default path)
+	Errors     int64 // channel invocations ending in an exception
+	SentRemote int64
+	SentLocal  int64 // OnRemote to self (local delivery)
+	SentFlood  int64 // OnNeighbor transmissions
+	Delivered  int64 // deliver primitive
+	InvokeTime time.Duration
+}
+
+// Runtime is one installed protocol on one node. It implements both the
+// simulator's Processor hook and the language's primitive context.
+type Runtime struct {
+	node *netsim.Node
+	prog *Program
+	inst *engine.Instance
+	out  io.Writer
+
+	// curIn is the interface the packet being processed arrived on and
+	// curDst its original destination (split-horizon for OnRemote
+	// pass-through forwarding).
+	curIn  *netsim.Iface
+	curDst netsim.Addr
+
+	Stats Stats
+}
+
+var (
+	_ netsim.Processor = (*Runtime)(nil)
+	_ prims.Context    = (*Runtime)(nil)
+)
+
+// Node returns the node this runtime is installed on.
+func (rt *Runtime) Node() *netsim.Node { return rt.node }
+
+// Program returns the installed program.
+func (rt *Runtime) Program() *Program { return rt.prog }
+
+// Instance exposes the protocol state (tests and monitoring tools).
+func (rt *Runtime) Instance() *engine.Instance { return rt.inst }
+
+// Process implements netsim.Processor: dispatch the packet to the first
+// matching channel. Untagged packets go to "network" channels; tagged
+// packets to channels with the tag's name (§2).
+func (rt *Runtime) Process(pkt *netsim.Packet, in *netsim.Iface) bool {
+	name := pkt.ChanTag
+	if name == "" {
+		name = "network"
+	}
+	for _, ch := range rt.prog.Info.ChannelsByName(name) {
+		v, ok := Decode(pkt, ch.Decl.PacketType())
+		if !ok {
+			continue
+		}
+		rt.curIn, rt.curDst = in, pkt.IP.Dst
+		start := time.Now()
+		err := rt.inst.Invoke(ch.Index, rt, v)
+		rt.Stats.InvokeTime += time.Since(start)
+		rt.curIn, rt.curDst = nil, 0
+		if err != nil {
+			// An unhandled exception drops the packet (the verifier
+			// exists to prevent this for checked programs).
+			rt.Stats.Errors++
+			return true
+		}
+		rt.Stats.Processed++
+		return true
+	}
+	rt.Stats.Unmatched++
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// prims.Context
+
+// OnRemote implements the send primitive: the packet is routed by its
+// (possibly rewritten) destination. Sends addressed to this node are
+// delivered locally — the IP rule that a packet addressed to yourself
+// does not hit the wire — which is also what makes self-forwarding
+// protocols terminate.
+func (rt *Runtime) OnRemote(chanName string, pktVal value.Value) {
+	pkt, err := Encode(pktVal)
+	if err != nil {
+		value.Raise("OnRemote: %v", err)
+	}
+	if chanName != "network" {
+		pkt.ChanTag = chanName
+	}
+	if pkt.IP.Dst == rt.node.Addr {
+		rt.Stats.SentLocal++
+		rt.node.DeliverLocal(pkt)
+		return
+	}
+	if pkt.IP.TTL <= 1 {
+		return // resource backstop, mirrors IP
+	}
+	pkt.IP.TTL--
+	if pkt.IP.ID == 0 {
+		pkt.IP.ID = rt.node.NextIPID()
+	}
+	rt.Stats.SentRemote++
+	// Split horizon applies to pass-through forwarding (unchanged
+	// destination): never re-transmit a packet onto the segment it
+	// arrived from. A program that REWROTE the destination started a
+	// new journey, which may legitimately leave the way it came (the
+	// MPEG monitor answering queries on its own segment, §3.3).
+	in := rt.curIn
+	if pkt.IP.Dst != rt.curDst {
+		in = nil
+	}
+	rt.node.TransmitFrom(pkt, in)
+}
+
+// OnNeighbor implements link-local flooding: one copy out every
+// interface except the one the packet arrived on.
+func (rt *Runtime) OnNeighbor(chanName string, pktVal value.Value) {
+	pkt, err := Encode(pktVal)
+	if err != nil {
+		value.Raise("OnNeighbor: %v", err)
+	}
+	if chanName != "network" {
+		pkt.ChanTag = chanName
+	}
+	if pkt.IP.TTL <= 1 {
+		return
+	}
+	pkt.IP.TTL--
+	for _, ifc := range rt.node.Ifaces() {
+		if ifc == rt.curIn {
+			continue
+		}
+		rt.Stats.SentFlood++
+		ifc.Send(pkt)
+	}
+}
+
+// Deliver implements the deliver primitive.
+func (rt *Runtime) Deliver(pktVal value.Value) {
+	pkt, err := Encode(pktVal)
+	if err != nil {
+		value.Raise("deliver: %v", err)
+	}
+	rt.Stats.Delivered++
+	rt.node.DeliverLocal(pkt)
+}
+
+// Print implements program output.
+func (rt *Runtime) Print(s string) { io.WriteString(rt.out, s) }
+
+// ThisHost returns the node address.
+func (rt *Runtime) ThisHost() value.Host { return value.Host(rt.node.Addr) }
+
+// Now returns virtual time in milliseconds.
+func (rt *Runtime) Now() int64 { return rt.node.Sim().Now().Milliseconds() }
+
+// Rand draws from the simulation RNG.
+func (rt *Runtime) Rand(n int64) int64 { return rt.node.Sim().Rand().Int63n(n) }
+
+// LinkLoadTo reports the utilization of the interface a packet to dst
+// would leave through.
+func (rt *Runtime) LinkLoadTo(dst value.Host) int64 {
+	ifc := rt.node.RouteTo(netsim.Addr(dst))
+	if ifc == nil {
+		return 0
+	}
+	return ifc.Load()
+}
+
+// LinkBandwidthTo reports the capacity of the route to dst.
+func (rt *Runtime) LinkBandwidthTo(dst value.Host) int64 {
+	ifc := rt.node.RouteTo(netsim.Addr(dst))
+	if ifc == nil {
+		return 0
+	}
+	return ifc.Bandwidth()
+}

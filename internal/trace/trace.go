@@ -1,0 +1,190 @@
+// Package trace collects experiment measurements: time series (figure 6
+// bandwidth curves), counters, playback-gap detection (figure 7), and
+// fixed-width table rendering for the benchmark harness's paper-style
+// output.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Point is one sample of a time series.
+type Point struct {
+	At    time.Duration
+	Value float64
+}
+
+// Series is a named time series.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Add appends a sample.
+func (s *Series) Add(at time.Duration, v float64) {
+	s.Points = append(s.Points, Point{At: at, Value: v})
+}
+
+// At returns the last sample value at or before t (0 if none).
+func (s *Series) At(t time.Duration) float64 {
+	idx := sort.Search(len(s.Points), func(i int) bool { return s.Points[i].At > t })
+	if idx == 0 {
+		return 0
+	}
+	return s.Points[idx-1].Value
+}
+
+// Mean returns the mean value of samples in [from, to).
+func (s *Series) Mean(from, to time.Duration) float64 {
+	var sum float64
+	var n int
+	for _, p := range s.Points {
+		if p.At >= from && p.At < to {
+			sum += p.Value
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Max returns the maximum sample value in [from, to).
+func (s *Series) Max(from, to time.Duration) float64 {
+	var m float64
+	for _, p := range s.Points {
+		if p.At >= from && p.At < to && p.Value > m {
+			m = p.Value
+		}
+	}
+	return m
+}
+
+// Render prints the series as "t value" rows with the given sample
+// stride, the same shape as the paper's figures.
+func (s *Series) Render(stride time.Duration) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "# %s\n", s.Name)
+	if len(s.Points) == 0 {
+		return sb.String()
+	}
+	end := s.Points[len(s.Points)-1].At
+	for t := time.Duration(0); t <= end; t += stride {
+		fmt.Fprintf(&sb, "%8.1f  %10.1f\n", t.Seconds(), s.At(t))
+	}
+	return sb.String()
+}
+
+// GapDetector counts playback gaps ("silent periods", figure 7): spans
+// where the inter-arrival time of audio packets exceeds the playout
+// budget, or packets are lost.
+type GapDetector struct {
+	// Budget is the playout slack: a gap is declared when the time
+	// since the previous packet exceeds Budget.
+	Budget time.Duration
+
+	last     time.Duration
+	started  bool
+	gaps     int
+	gapTime  time.Duration
+	received int
+}
+
+// NewGapDetector returns a detector with the given playout budget.
+func NewGapDetector(budget time.Duration) *GapDetector {
+	return &GapDetector{Budget: budget}
+}
+
+// Packet records an audio packet arrival at virtual time now.
+func (g *GapDetector) Packet(now time.Duration) {
+	g.received++
+	if g.started && now-g.last > g.Budget {
+		g.gaps++
+		g.gapTime += now - g.last - g.Budget
+	}
+	g.last = now
+	g.started = true
+}
+
+// Finish closes the stream at virtual time end, accounting a trailing
+// gap if the stream went silent early.
+func (g *GapDetector) Finish(end time.Duration) {
+	if g.started && end-g.last > g.Budget {
+		g.gaps++
+		g.gapTime += end - g.last - g.Budget
+	}
+}
+
+// Gaps returns the number of silent periods detected.
+func (g *GapDetector) Gaps() int { return g.gaps }
+
+// GapTime returns the total silent time.
+func (g *GapDetector) GapTime() time.Duration { return g.gapTime }
+
+// Received returns the number of packets seen.
+func (g *GapDetector) Received() int { return g.received }
+
+// Table renders fixed-width result tables in the style of the paper.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of cells (stringified with %v).
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch c := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", c)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&sb, "== %s ==\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	for i, w := range widths {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", w))
+	}
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return sb.String()
+}

@@ -1,0 +1,110 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSeriesAtAndMean(t *testing.T) {
+	s := &Series{Name: "x"}
+	s.Add(1*time.Second, 10)
+	s.Add(2*time.Second, 20)
+	s.Add(4*time.Second, 40)
+	if got := s.At(0); got != 0 {
+		t.Errorf("At(0) = %v", got)
+	}
+	if got := s.At(1 * time.Second); got != 10 {
+		t.Errorf("At(1s) = %v", got)
+	}
+	if got := s.At(3 * time.Second); got != 20 {
+		t.Errorf("At(3s) = %v (step function holds last value)", got)
+	}
+	if got := s.At(10 * time.Second); got != 40 {
+		t.Errorf("At(10s) = %v", got)
+	}
+	if got := s.Mean(1*time.Second, 3*time.Second); got != 15 {
+		t.Errorf("Mean = %v, want 15", got)
+	}
+	if got := s.Mean(10*time.Second, 20*time.Second); got != 0 {
+		t.Errorf("Mean of empty window = %v", got)
+	}
+	if got := s.Max(0, 5*time.Second); got != 40 {
+		t.Errorf("Max = %v", got)
+	}
+}
+
+func TestSeriesRender(t *testing.T) {
+	s := &Series{Name: "bw"}
+	s.Add(1*time.Second, 100)
+	s.Add(2*time.Second, 200)
+	out := s.Render(time.Second)
+	if !strings.Contains(out, "# bw") {
+		t.Error("missing header")
+	}
+	if lines := strings.Count(out, "\n"); lines != 4 { // header + t=0,1,2
+		t.Errorf("render lines = %d:\n%s", lines, out)
+	}
+	empty := &Series{Name: "e"}
+	if out := empty.Render(time.Second); !strings.Contains(out, "# e") {
+		t.Error("empty render")
+	}
+}
+
+func TestGapDetector(t *testing.T) {
+	g := NewGapDetector(100 * time.Millisecond)
+	// Regular arrivals at 50ms: no gaps.
+	for i := 1; i <= 5; i++ {
+		g.Packet(time.Duration(i) * 50 * time.Millisecond)
+	}
+	if g.Gaps() != 0 {
+		t.Errorf("gaps = %d", g.Gaps())
+	}
+	// A 300ms silence: one gap of 200ms over budget.
+	g.Packet(550 * time.Millisecond)
+	if g.Gaps() != 1 {
+		t.Errorf("gaps = %d, want 1", g.Gaps())
+	}
+	if g.GapTime() != 200*time.Millisecond {
+		t.Errorf("gap time = %v", g.GapTime())
+	}
+	// Trailing silence counted by Finish.
+	g.Finish(time.Second)
+	if g.Gaps() != 2 {
+		t.Errorf("gaps after finish = %d, want 2", g.Gaps())
+	}
+	if g.Received() != 6 {
+		t.Errorf("received = %d", g.Received())
+	}
+	// Finish on an empty stream is a no-op.
+	g2 := NewGapDetector(time.Millisecond)
+	g2.Finish(time.Hour)
+	if g2.Gaps() != 0 {
+		t.Error("empty stream should have no gaps")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{
+		Title:   "demo",
+		Headers: []string{"name", "value"},
+	}
+	tbl.AddRow("alpha", 1)
+	tbl.AddRow("b", 2.5)
+	out := tbl.String()
+	if !strings.Contains(out, "== demo ==") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "2.50") {
+		t.Errorf("missing cells:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title, header, separator, two rows.
+	if len(lines) != 5 {
+		t.Errorf("line count %d:\n%s", len(lines), out)
+	}
+	// Columns align: header and rows share the separator width.
+	if len(lines[1]) > len(lines[2])+2 {
+		t.Errorf("alignment off:\n%s", out)
+	}
+}

@@ -1,0 +1,117 @@
+// Network construction: a thin façade over the discrete-event simulator
+// so examples and downstream users can build topologies without touching
+// internal packages.
+package planp
+
+import (
+	"time"
+
+	"planp.dev/planp/internal/netsim"
+)
+
+// Re-exported simulator types. The simulator is deterministic: all
+// timing is virtual and all randomness flows from the seed.
+type (
+	// Node is a host or router in the simulated network.
+	Node = netsim.Node
+	// Packet is one datagram.
+	Packet = netsim.Packet
+	// Iface attaches a node to a link or segment.
+	Iface = netsim.Iface
+	// Link is a duplex point-to-point link.
+	Link = netsim.Link
+	// Segment is a shared Ethernet broadcast domain.
+	Segment = netsim.Segment
+	// LinkConfig sets bandwidth, delay, and queue limits.
+	LinkConfig = netsim.LinkConfig
+	// Addr is an IPv4-style address.
+	Addr = netsim.Addr
+)
+
+// Packet constructors and address parsing.
+var (
+	// NewUDP builds a UDP packet.
+	NewUDP = netsim.NewUDP
+	// NewTCP builds a TCP packet.
+	NewTCP = netsim.NewTCP
+	// ParseAddr parses a dotted quad.
+	ParseAddr = netsim.ParseAddr
+	// MustAddr parses a dotted quad or panics.
+	MustAddr = netsim.MustAddr
+)
+
+// Network owns a simulation: virtual clock, nodes, and media.
+type Network struct {
+	sim *netsim.Simulator
+}
+
+// NewNetwork creates an empty network; seed drives all randomness.
+func NewNetwork(seed int64) *Network {
+	return &Network{sim: netsim.NewSimulator(seed)}
+}
+
+// Sim exposes the underlying simulator (scheduling, time, RNG).
+func (n *Network) Sim() *netsim.Simulator { return n.sim }
+
+// Now returns the current virtual time.
+func (n *Network) Now() time.Duration { return n.sim.Now() }
+
+// At schedules fn at absolute virtual time t.
+func (n *Network) At(t time.Duration, fn func()) { n.sim.At(t, fn) }
+
+// After schedules fn after delay d.
+func (n *Network) After(d time.Duration, fn func()) { n.sim.After(d, fn) }
+
+// Run processes all pending events and returns the count.
+func (n *Network) Run() int { return n.sim.Run() }
+
+// RunFor advances the simulation by d.
+func (n *Network) RunFor(d time.Duration) int { return n.sim.RunUntil(n.sim.Now() + d) }
+
+// RunUntil advances the simulation to absolute time t.
+func (n *Network) RunUntil(t time.Duration) int { return n.sim.RunUntil(t) }
+
+// NewHost adds a host node.
+func (n *Network) NewHost(name, addr string) *Node {
+	return netsim.NewNode(n.sim, name, netsim.MustAddr(addr))
+}
+
+// NewRouter adds a forwarding node.
+func (n *Network) NewRouter(name, addr string) *Node {
+	r := netsim.NewNode(n.sim, name, netsim.MustAddr(addr))
+	r.Forwarding = true
+	return r
+}
+
+// Wire connects two nodes with a duplex link and installs default/host
+// routes so traffic between them flows without further configuration:
+// each endpoint gets a host route to the other; endpoints without a
+// default route adopt this link.
+func (n *Network) Wire(a, b *Node, cfg LinkConfig) *Link {
+	l := netsim.Connect(n.sim, a, b, cfg)
+	ifs := l.Ifaces()
+	a.AddRoute(b.Addr, ifs[0])
+	b.AddRoute(a.Addr, ifs[1])
+	if a.RouteTo(0) == nil {
+		a.SetDefaultRoute(ifs[0])
+	}
+	if b.RouteTo(0) == nil {
+		b.SetDefaultRoute(ifs[1])
+	}
+	return l
+}
+
+// NewSegment creates a shared broadcast segment.
+func (n *Network) NewSegment(name string, cfg LinkConfig) *Segment {
+	return netsim.NewSegment(n.sim, name, cfg)
+}
+
+// Attach connects a node to a segment, defaulting its route onto the
+// segment if it has none.
+func (n *Network) Attach(seg *Segment, node *Node) *Iface {
+	ifc := seg.Attach(node)
+	if node.RouteTo(0) == nil {
+		node.SetDefaultRoute(ifc)
+	}
+	return ifc
+}

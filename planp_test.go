@@ -1,0 +1,195 @@
+package planp_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	planp "planp.dev/planp"
+	"planp.dev/planp/asp"
+)
+
+const forwardCounter = `
+channel network(ps : int, ss : unit, p : ip*udp*blob) is
+  (OnRemote(network, p); (ps + 1, ss))
+`
+
+func TestCompileDefaults(t *testing.T) {
+	proto, err := planp.Compile(forwardCounter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proto.EngineName() != "jit" {
+		t.Errorf("default engine %s", proto.EngineName())
+	}
+	if !proto.Report().AllOK() {
+		t.Errorf("report:\n%s", proto.Report())
+	}
+	if proto.CodegenTime() <= 0 {
+		t.Error("codegen time not recorded")
+	}
+}
+
+func TestCompileEngineOption(t *testing.T) {
+	for _, eng := range []planp.Engine{planp.Interp, planp.Bytecode, planp.JIT} {
+		proto, err := planp.Compile(forwardCounter, planp.WithEngine(eng))
+		if err != nil {
+			t.Fatalf("%s: %v", eng, err)
+		}
+		if planp.Engine(proto.EngineName()) != eng {
+			t.Errorf("engine %s, want %s", proto.EngineName(), eng)
+		}
+	}
+	if _, err := planp.Compile(forwardCounter, planp.WithEngine("nonesuch")); err == nil {
+		t.Error("unknown engine should fail")
+	}
+}
+
+func TestCompileRejectsUnsafe(t *testing.T) {
+	dropper := `
+channel network(ps : unit, ss : unit, p : ip*udp*blob) is (ps, ss)
+`
+	if _, err := planp.Compile(dropper); err == nil {
+		t.Fatal("packet dropper must be rejected")
+	}
+	proto, err := planp.Compile(dropper, planp.WithVerification(planp.VerifyPrivileged))
+	if err != nil {
+		t.Fatalf("privileged compile: %v", err)
+	}
+	if proto.Report().AllOK() {
+		t.Error("privileged compile should still record the failure")
+	}
+}
+
+func TestCompileSyntaxAndTypeErrors(t *testing.T) {
+	if _, err := planp.Compile("val x ="); err == nil {
+		t.Error("syntax error not reported")
+	}
+	if _, err := planp.Compile(`
+channel network(ps : int, ss : unit, p : ip*udp*blob) is
+  (OnRemote(network, p); (ps + "x", ss))
+`); err == nil {
+		t.Error("type error not reported")
+	}
+}
+
+func TestCheckEntryPoint(t *testing.T) {
+	info, err := planp.Check(asp.MPEGMonitor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Channels) != 4 {
+		t.Errorf("channels = %d", len(info.Channels))
+	}
+}
+
+func TestEndToEndThroughPublicAPI(t *testing.T) {
+	net := planp.NewNetwork(9)
+	client := net.NewHost("client", "10.0.1.1")
+	router := net.NewRouter("router", "10.0.0.254")
+	server := net.NewHost("server", "10.0.2.1")
+	net.Wire(client, router, planp.LinkConfig{Bandwidth: 10_000_000})
+	net.Wire(router, server, planp.LinkConfig{Bandwidth: 10_000_000})
+	client.SetDefaultRoute(client.Ifaces()[0])
+
+	var out bytes.Buffer
+	proto, err := planp.Compile(`
+channel network(ps : int, ss : unit, p : ip*udp*blob) is
+  (println("forwarding " ^ itos(blobLen(#3 p)) ^ " bytes");
+   OnRemote(network, p);
+   (ps + 1, ss))
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := proto.DownloadTo(router, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got := 0
+	server.BindUDP(7, func(*planp.Packet) { got++ })
+	for i := 0; i < 3; i++ {
+		client.Send(planp.NewUDP(client.Addr, server.Addr, 1000, 7, []byte("abc")))
+	}
+	net.Run()
+
+	if got != 3 {
+		t.Errorf("server received %d, want 3", got)
+	}
+	if rt.Stats.Processed != 3 {
+		t.Errorf("processed %d", rt.Stats.Processed)
+	}
+	if strings.Count(out.String(), "forwarding 3 bytes") != 3 {
+		t.Errorf("output %q", out.String())
+	}
+	if got := rt.Instance().Proto.AsInt(); got != 3 {
+		t.Errorf("protocol state %d", got)
+	}
+}
+
+func TestSegmentHelpers(t *testing.T) {
+	net := planp.NewNetwork(1)
+	a := net.NewHost("a", "10.0.0.1")
+	b := net.NewHost("b", "10.0.0.2")
+	seg := net.NewSegment("lan", planp.LinkConfig{Bandwidth: 10_000_000})
+	net.Attach(seg, a)
+	net.Attach(seg, b)
+	got := 0
+	b.BindUDP(5, func(*planp.Packet) { got++ })
+	a.Send(planp.NewUDP(a.Addr, b.Addr, 1, 5, nil))
+	net.Run()
+	if got != 1 {
+		t.Errorf("segment delivery = %d", got)
+	}
+}
+
+func TestNetworkClock(t *testing.T) {
+	net := planp.NewNetwork(1)
+	fired := []time.Duration{}
+	net.At(5*time.Millisecond, func() { fired = append(fired, net.Now()) })
+	net.After(10*time.Millisecond, func() { fired = append(fired, net.Now()) })
+	net.RunFor(7 * time.Millisecond)
+	if len(fired) != 1 || fired[0] != 5*time.Millisecond {
+		t.Errorf("fired %v after 7ms", fired)
+	}
+	net.RunUntil(20 * time.Millisecond)
+	if len(fired) != 2 || fired[1] != 10*time.Millisecond {
+		t.Errorf("fired %v after 20ms", fired)
+	}
+	if net.Now() != 20*time.Millisecond {
+		t.Errorf("now = %v", net.Now())
+	}
+}
+
+func TestSingleNodeDownloadLimitThroughAPI(t *testing.T) {
+	net := planp.NewNetwork(1)
+	a := net.NewHost("a", "10.0.0.1")
+	b := net.NewHost("b", "10.0.0.2")
+	proto, err := planp.Compile(asp.HTTPGateway, planp.WithVerification(planp.VerifySingleNode))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := proto.DownloadTo(a, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := proto.DownloadTo(b, nil); err == nil {
+		t.Error("second download of a single-node protocol must fail")
+	}
+}
+
+func TestAllPaperASPsCompileThroughAPI(t *testing.T) {
+	policies := map[string]planp.VerifyPolicy{
+		"audio-router": planp.VerifyNetwork,
+		"audio-client": planp.VerifyNetwork,
+		"http-gateway": planp.VerifySingleNode,
+		"mpeg-monitor": planp.VerifyNetwork,
+		"mpeg-client":  planp.VerifyNetwork,
+	}
+	for _, p := range asp.All() {
+		if _, err := planp.Compile(p.Source, planp.WithVerification(policies[p.Name])); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
