@@ -1,0 +1,36 @@
+# Tier-1 verification: everything `make verify` runs must pass before a
+# change lands. `go vet` and the race detector are part of the gate —
+# the metrics registry promises race-clean concurrent reads, so the
+# -race run is what keeps that promise honest.
+
+GO ?= go
+
+.PHONY: all build test vet race verify bench experiments clean
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+verify: build vet test race
+
+# Hot-path benchmarks, including the observed-vs-unobserved forwarding
+# pair that bounds the event bus's no-op overhead.
+bench:
+	$(GO) test -run xxx -bench 'BenchmarkSimulatorForwarding' -benchmem -count=3 .
+
+# Regenerate every paper figure/table.
+experiments:
+	$(GO) run ./cmd/aspbench -exp all
+
+clean:
+	$(GO) clean ./...

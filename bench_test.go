@@ -30,6 +30,7 @@ import (
 	"planp.dev/planp/internal/lang/value"
 	"planp.dev/planp/internal/lang/verify"
 	"planp.dev/planp/internal/netsim"
+	"planp.dev/planp/internal/obs"
 	"planp.dev/planp/internal/planprt"
 )
 
@@ -282,7 +283,11 @@ func BenchmarkFrontEndTypecheck(b *testing.B) {
 // Substrate: raw simulator forwarding (no PLAN-P), to separate the
 // simulator's cost from the language's in the figures above.
 
-func BenchmarkSimulatorForwarding(b *testing.B) {
+// benchForwarding is the shared body for the forwarding benchmarks:
+// observe hooks the simulator's event bus (nil = unobserved, the no-op
+// fast path the acceptance criteria bound to ±5% of the seed).
+func benchForwarding(b *testing.B, observe func(*netsim.Simulator)) {
+	b.Helper()
 	sim := netsim.NewSimulator(1)
 	a := netsim.NewNode(sim, "a", netsim.MustAddr("10.0.0.1"))
 	r := netsim.NewNode(sim, "r", netsim.MustAddr("10.0.0.254"))
@@ -293,6 +298,9 @@ func BenchmarkSimulatorForwarding(b *testing.B) {
 	a.SetDefaultRoute(l1.Ifaces()[0])
 	r.AddRoute(c.Addr, l2.Ifaces()[0])
 	c.SetDefaultRoute(l2.Ifaces()[1])
+	if observe != nil {
+		observe(sim)
+	}
 	got := 0
 	c.BindUDP(9, func(*netsim.Packet) { got++ })
 	payload := make([]byte, 1000)
@@ -304,5 +312,25 @@ func BenchmarkSimulatorForwarding(b *testing.B) {
 	}
 	if got != b.N {
 		b.Fatalf("delivered %d of %d", got, b.N)
+	}
+}
+
+// BenchmarkSimulatorForwarding is the unobserved hot path: no event-bus
+// subscribers, so publish sites are a nil/len check and no Event values
+// are built.
+func BenchmarkSimulatorForwarding(b *testing.B) {
+	benchForwarding(b, nil)
+}
+
+// BenchmarkSimulatorForwardingObserved pays for observability: a
+// counting sink subscribed to the bus, so every enqueue/forward/deliver
+// builds and fans out an Event.
+func BenchmarkSimulatorForwardingObserved(b *testing.B) {
+	var counts obs.CountingSink
+	benchForwarding(b, func(sim *netsim.Simulator) {
+		sim.Events().Subscribe(&counts)
+	})
+	if counts.Total() == 0 {
+		b.Fatal("observer saw no events")
 	}
 }

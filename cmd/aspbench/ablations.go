@@ -8,14 +8,14 @@ import (
 	"planp.dev/planp/asp"
 	"planp.dev/planp/internal/apps/audio"
 	"planp.dev/planp/internal/apps/httpd"
-	"planp.dev/planp/internal/trace"
+	"planp.dev/planp/internal/obs"
 )
 
 // runAblationLocus compares in-router adaptation against end-to-end
 // feedback: §3.1's argument that router-local measurement reacts
 // immediately while feedback waits for a distributed computation.
 func runAblationLocus() error {
-	tbl := &trace.Table{
+	tbl := &obs.Table{
 		Title:   "Adaptation locus: reaction to a heavy load step",
 		Headers: []string{"mechanism", "reaction time", "gaps in transition", "segment drops after step"},
 	}
@@ -46,7 +46,7 @@ func runFailover() error {
 	if err != nil {
 		return err
 	}
-	tbl := &trace.Table{
+	tbl := &obs.Table{
 		Title:   "Gateway failover: A crashes at t=8s, admin removes it at t=10s",
 		Headers: []string{"metric", "value"},
 	}
@@ -75,7 +75,7 @@ func runAblationPolicy() error {
 	}
 	slowB := httpd.ServerConfig{Workers: 4} // half the workers of server A
 
-	tbl := &trace.Table{
+	tbl := &obs.Table{
 		Title:   "Load-balancing policy on a heterogeneous cluster (B at half capacity)",
 		Headers: []string{"policy", "served req/s @400 offered", "A served", "B served", "mean latency"},
 	}

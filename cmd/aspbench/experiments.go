@@ -15,7 +15,7 @@ import (
 	"planp.dev/planp/internal/lang/typecheck"
 	"planp.dev/planp/internal/lang/value"
 	"planp.dev/planp/internal/planprt"
-	"planp.dev/planp/internal/trace"
+	"planp.dev/planp/internal/obs"
 )
 
 // paperFig3 holds the paper's reported numbers for comparison columns.
@@ -35,7 +35,7 @@ var paperFig3 = map[string]struct {
 // assembly; what must hold is the ordering (more lines, more time) and
 // that generation is far below any per-download budget.
 func runFig3() error {
-	tbl := &trace.Table{
+	tbl := &obs.Table{
 		Title:   "Figure 3: code generation time",
 		Headers: []string{"program", "lines", "paper-lines", "paper-ms", "jit-us", "bytecode-us", "check-us"},
 	}
@@ -89,7 +89,7 @@ func runFig6() error {
 	res := tb.RunFigure6()
 	fmt.Println("audio data rate at the client, one sample per 10 s of virtual time:")
 	fmt.Print(res.Series.Render(10 * time.Second))
-	tbl := &trace.Table{
+	tbl := &obs.Table{
 		Title:   "Figure 6 phases (paper: 176 -> 44 -> oscillating 44-88 -> 88 kb/s)",
 		Headers: []string{"phase", "load", "measured kb/s", "paper kb/s"},
 	}
@@ -103,7 +103,7 @@ func runFig6() error {
 }
 
 func runFig7() error {
-	tbl := &trace.Table{
+	tbl := &obs.Table{
 		Title:   "Figure 7: silent periods during 60 s of playback",
 		Headers: []string{"background load", "adaptation", "silent periods", "lost packets", "stalls", "packets", "segment drops"},
 	}
@@ -125,7 +125,7 @@ func runFig7() error {
 
 func runFig8() error {
 	variants := []httpd.Variant{httpd.VariantSingle, httpd.VariantNativeGW, httpd.VariantASPGW, httpd.VariantDisjoint}
-	tbl := &trace.Table{
+	tbl := &obs.Table{
 		Title:   "Figure 8: served throughput (req/s) vs offered load",
 		Headers: []string{"offered", "(d) single", "(b) native gw", "(c) ASP gw", "(a) 2 disjoint"},
 	}
@@ -163,7 +163,7 @@ func runFig8() error {
 }
 
 func runMPEG() error {
-	tbl := &trace.Table{
+	tbl := &obs.Table{
 		Title:   "MPEG experiment (§3.3): server load vs viewers on one segment",
 		Headers: []string{"viewers", "ASPs", "server connections", "server frames", "min viewer frames"},
 	}
@@ -198,7 +198,7 @@ func runEngines() error {
 	}
 	pkt := langtest.TCPPacket("10.0.1.1", "10.0.0.100", 4001, 80, []byte("GET /index.html"))
 
-	tbl := &trace.Table{
+	tbl := &obs.Table{
 		Title:   "Per-packet channel invocation cost (load-balancer ASP)",
 		Headers: []string{"engine", "ns/op", "vs native", "allocs/op"},
 	}
@@ -221,7 +221,7 @@ func runEngines() error {
 	fmt.Println("language execution, where specialization pays in full:")
 	fmt.Println()
 
-	tbl2 := &trace.Table{
+	tbl2 := &obs.Table{
 		Title:   "Per-packet cost, compute-bound classification kernel",
 		Headers: []string{"engine", "ns/op", "vs jit", "allocs/op"},
 	}

@@ -195,7 +195,7 @@ func runDemo(args []string) error {
 		return err
 	}
 
-	net := planp.NewNetwork(time.Now().UnixNano()%1000 + 1)
+	net := planp.NewNetwork(planp.WithSeed(time.Now().UnixNano()%1000 + 1))
 	a := net.NewHost("a", "10.0.1.1")
 	r := net.NewRouter("r", "10.0.0.254")
 	b := net.NewHost("b", "10.0.2.1")
@@ -226,9 +226,10 @@ func runDemo(args []string) error {
 		}
 	}
 	net.Run()
+	st := rt.Stats()
 	fmt.Printf("\nrouter: processed=%d unmatched=%d errors=%d sent=%d delivered=%d\n",
-		rt.Stats.Processed, rt.Stats.Unmatched, rt.Stats.Errors,
-		rt.Stats.SentRemote, rt.Stats.Delivered)
+		st.Processed, st.Unmatched, st.Errors,
+		st.SentRemote, st.Delivered)
 	fmt.Printf("protocol state: %s\n", rt.Instance().Proto)
 	return nil
 }

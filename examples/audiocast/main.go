@@ -61,6 +61,7 @@ func main() {
 
 	fmt.Printf("\nplayback gaps: %d (the client ASP kept every packet playable: %d unplayable)\n",
 		tb.Client.Gaps.Gaps(), tb.Client.Unplayable)
+	st := tb.RouterRT.Stats()
 	fmt.Printf("router ASP processed %d packets with %d exceptions\n",
-		tb.RouterRT.Stats.Processed, tb.RouterRT.Stats.Errors)
+		st.Processed, st.Errors)
 }

@@ -45,7 +45,7 @@ func main() {
 	fmt.Print(proto.Report())
 
 	// Topology: client -- router -- {old server, new server}.
-	net := planp.NewNetwork(1)
+	net := planp.NewNetwork()
 	client := net.NewHost("client", "10.0.1.1")
 	router := net.NewRouter("router", "10.0.0.254")
 	oldSrv := net.NewHost("old-server", "10.0.2.1")
@@ -84,5 +84,5 @@ func main() {
 	net.Run()
 
 	fmt.Printf("\nrouter stats: %d packets processed, %d redirected (protocol state)\n",
-		rt.Stats.Processed, rt.Instance().Proto.AsInt())
+		rt.Stats().Processed, rt.Instance().Proto.AsInt())
 }

@@ -14,7 +14,7 @@ import (
 
 	"planp.dev/planp/internal/lang/prims"
 	"planp.dev/planp/internal/netsim"
-	"planp.dev/planp/internal/trace"
+	"planp.dev/planp/internal/obs"
 )
 
 // Port is the UDP port audio traffic uses (matches asp/audio_router.planp).
@@ -81,7 +81,7 @@ type Client struct {
 
 	// Gaps detects long stalls (no playable audio for several packet
 	// intervals).
-	Gaps       *trace.GapDetector
+	Gaps       *obs.GapDetector
 	Unplayable int    // packets whose format the app cannot decode
 	ByFormat   [4]int // packet counts indexed by format tag
 
@@ -98,7 +98,7 @@ type Client struct {
 func NewClient(node *netsim.Node, group netsim.Addr) *Client {
 	c := &Client{
 		Node: node,
-		Gaps: trace.NewGapDetector(3 * PacketInterval),
+		Gaps: obs.NewGapDetector(3 * PacketInterval),
 	}
 	node.JoinGroup(group)
 	node.BindUDP(Port, c.onPacket)
@@ -132,9 +132,13 @@ func (c *Client) onPacket(pkt *netsim.Packet) {
 // Finish flushes measurement state at the end of a run.
 func (c *Client) Finish(end time.Duration) { c.Gaps.Finish(end) }
 
+// WireSeriesName is the registry name of the figure-6 series MeterAudio
+// records (the on-wire audio data rate at the client).
+const WireSeriesName = "audio-wire-bps"
+
 // wireMeter accumulates audio payload bits per one-second window.
 type wireMeter struct {
-	series      *trace.Series
+	series      *obs.Series
 	window      time.Duration
 	windowBits  int64
 	windowStart time.Duration
@@ -143,9 +147,10 @@ type wireMeter struct {
 // MeterAudio installs a tap on node measuring the on-wire audio data
 // rate as packets arrive, BEFORE any client ASP restores them — the
 // y-axis of figure 6 (176/88/44 kb/s per quality level), windowed per
-// second.
-func MeterAudio(node *netsim.Node) *trace.Series {
-	m := &wireMeter{series: &trace.Series{Name: "audio-wire-bps"}, window: time.Second}
+// second. The series is registered in the simulation's metrics registry
+// under WireSeriesName, so any reader holding the registry sees it.
+func MeterAudio(node *netsim.Node) *obs.Series {
+	m := &wireMeter{series: node.Sim().Metrics().Series(WireSeriesName), window: time.Second}
 	node.Tap(func(pkt *netsim.Packet) {
 		if pkt.UDP == nil || pkt.UDP.DstPort != Port {
 			return

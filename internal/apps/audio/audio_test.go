@@ -55,8 +55,8 @@ func TestASPAdaptsUnderLoad(t *testing.T) {
 	if tb.Client.Unplayable != 0 {
 		t.Errorf("unplayable packets with client ASP: %d", tb.Client.Unplayable)
 	}
-	if tb.RouterRT.Stats.Errors != 0 {
-		t.Errorf("router ASP exceptions: %d", tb.RouterRT.Stats.Errors)
+	if tb.RouterRT.Stats().Errors != 0 {
+		t.Errorf("router ASP exceptions: %d", tb.RouterRT.Stats().Errors)
 	}
 }
 

@@ -10,7 +10,7 @@ import (
 	"planp.dev/planp/internal/netsim"
 	"planp.dev/planp/internal/netsim/loadgen"
 	"planp.dev/planp/internal/planprt"
-	"planp.dev/planp/internal/trace"
+	"planp.dev/planp/internal/obs"
 )
 
 // Adaptation selects how the router treats audio traffic.
@@ -49,7 +49,7 @@ type Testbed struct {
 
 	RouterRT *planprt.Runtime // nil unless AdaptASP
 	ClientRT *planprt.Runtime
-	Wire     *trace.Series // on-wire audio data rate at the client
+	Wire     *obs.Series // on-wire audio data rate at the client
 
 	// WireFormats counts audio packets by on-wire format tag as they
 	// reach the client (before any restoration).
@@ -143,7 +143,7 @@ func (tb *Testbed) SinkAddr() netsim.Addr { return netsim.MustAddr("10.2.0.3") }
 
 // Figure6Result is the stepped-load run's outcome.
 type Figure6Result struct {
-	Series *trace.Series // audio data rate per second (b/s)
+	Series *obs.Series // audio data rate per second (b/s)
 	// Phase means in kb/s over the stable tail of each phase.
 	QuietKbps, LargeKbps, MediumKbps, SmallKbps float64
 	// MediumOscillates reports whether the middle phase moved between

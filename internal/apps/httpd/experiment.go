@@ -181,7 +181,7 @@ func RunPoint(cfg Config, offeredRPS float64, dur, warmup time.Duration) (*Point
 		Variant:    cfg.Variant,
 		OfferedRPS: offeredRPS,
 		ServedRPS:  float64(completed) / (dur - warmup).Seconds(),
-		GwDrops:    tb.Gateway.Stats.DroppedPkts,
+		GwDrops:    tb.Gateway.Stats().DroppedPkts,
 	}
 	if latN > 0 {
 		p.MeanLat = lat / time.Duration(latN)

@@ -90,8 +90,8 @@ func TestUnroutableCountsDrop(t *testing.T) {
 	n := NewNode(sim, "n", MustAddr("10.0.0.1"))
 	n.Send(NewUDP(n.Addr, MustAddr("10.9.9.9"), 1, 9, nil))
 	sim.Run()
-	if n.Stats.DroppedPkts != 1 {
-		t.Errorf("drops = %d", n.Stats.DroppedPkts)
+	if n.Stats().DroppedPkts != 1 {
+		t.Errorf("drops = %d", n.Stats().DroppedPkts)
 	}
 }
 

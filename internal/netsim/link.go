@@ -7,7 +7,19 @@ package netsim
 import (
 	"fmt"
 	"time"
+
+	"planp.dev/planp/internal/obs"
 )
+
+// emitMedium publishes an enqueue/drop event for a transmission from
+// the given interface; callers guard with bus.Active().
+func emitMedium(sim *Simulator, kind obs.Kind, from *Iface, pkt *Packet, detail string) {
+	sim.bus.Publish(obs.Event{
+		Kind: kind, At: sim.now, Node: from.Name,
+		Src: uint32(pkt.IP.Src), Dst: uint32(pkt.IP.Dst),
+		Size: pkt.Size(), Detail: detail,
+	})
+}
 
 // Medium is the transmission substrate an interface attaches to.
 type Medium interface {
@@ -149,6 +161,9 @@ func (l *Link) Transmit(from *Iface, pkt *Packet) {
 	}
 	if backlogBits/8 > l.queueLimit {
 		dir.dropped++
+		if l.sim.bus.Active() {
+			emitMedium(l.sim, obs.KindDrop, from, pkt, "queue")
+		}
 		return
 	}
 
@@ -159,6 +174,9 @@ func (l *Link) Transmit(from *Iface, pkt *Packet) {
 	txTime := time.Duration(int64(pkt.Size()) * 8 * int64(time.Second) / l.bandwidth)
 	dir.busyUntil = start + txTime
 	dir.meter.Add(now, int64(pkt.Size()))
+	if l.sim.bus.Active() {
+		emitMedium(l.sim, obs.KindEnqueue, from, pkt, "")
+	}
 
 	arrive := dir.busyUntil + l.delay
 	l.sim.At(arrive, func() { dst.Node.Receive(pkt, dst) })
@@ -223,6 +241,9 @@ func (s *Segment) Transmit(from *Iface, pkt *Packet) {
 	}
 	if backlogBits/8 > s.queueLimit {
 		s.dropped++
+		if s.sim.bus.Active() {
+			emitMedium(s.sim, obs.KindDrop, from, pkt, "queue")
+		}
 		return
 	}
 	start := now
@@ -232,6 +253,9 @@ func (s *Segment) Transmit(from *Iface, pkt *Packet) {
 	txTime := time.Duration(int64(pkt.Size()) * 8 * int64(time.Second) / s.bandwidth)
 	s.busyUntil = start + txTime
 	s.meter.Add(now, int64(pkt.Size()))
+	if s.sim.bus.Active() {
+		emitMedium(s.sim, obs.KindEnqueue, from, pkt, "")
+	}
 
 	arrive := s.busyUntil + s.delay
 	for _, ifc := range s.ifaces {

@@ -103,8 +103,8 @@ func TestTTLExpiry(t *testing.T) {
 	if delivered {
 		t.Error("TTL=1 packet crossed the router")
 	}
-	if r.Stats.DroppedPkts != 1 {
-		t.Errorf("router drops = %d, want 1", r.Stats.DroppedPkts)
+	if r.Stats().DroppedPkts != 1 {
+		t.Errorf("router drops = %d, want 1", r.Stats().DroppedPkts)
 	}
 }
 
@@ -280,8 +280,8 @@ func TestSplitHorizonPreventsReflection(t *testing.T) {
 	// interface, which is where it came from.
 	h.Send(NewUDP(h.Addr, MustAddr("10.9.9.9"), 1, 9, nil))
 	sim.Run()
-	if r.Stats.ForwardedPkts != 0 {
-		t.Errorf("router reflected %d packets back onto the segment", r.Stats.ForwardedPkts)
+	if r.Stats().ForwardedPkts != 0 {
+		t.Errorf("router reflected %d packets back onto the segment", r.Stats().ForwardedPkts)
 	}
 }
 

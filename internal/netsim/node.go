@@ -7,6 +7,8 @@ package netsim
 import (
 	"fmt"
 	"time"
+
+	"planp.dev/planp/internal/obs"
 )
 
 // Processor is the PLAN-P layer hook. Process sees every packet the node
@@ -26,7 +28,9 @@ type appKey struct {
 	port  uint16
 }
 
-// Stats counts a node's traffic.
+// Stats is a point-in-time snapshot of a node's traffic counters,
+// returned by Node.Stats(). The live counters themselves live in the
+// simulation's metrics registry under "node.<name>.*".
 type Stats struct {
 	ReceivedPkts  int64
 	ReceivedBytes int64
@@ -35,6 +39,29 @@ type Stats struct {
 	ForwardedPkts int64
 	DeliveredPkts int64
 	DroppedPkts   int64 // TTL expiry, no route, no binding
+}
+
+// nodeCounters holds the node's registry-backed instruments, resolved
+// once at construction so the packet hot path never does a name lookup.
+type nodeCounters struct {
+	rxPkts, rxBytes *obs.Counter
+	txPkts, txBytes *obs.Counter
+	fwdPkts         *obs.Counter
+	dlvPkts         *obs.Counter
+	dropPkts        *obs.Counter
+}
+
+func newNodeCounters(reg *obs.Registry, name string) nodeCounters {
+	pre := "node." + name + "."
+	return nodeCounters{
+		rxPkts:   reg.Counter(pre + "received_pkts"),
+		rxBytes:  reg.Counter(pre + "received_bytes"),
+		txPkts:   reg.Counter(pre + "sent_pkts"),
+		txBytes:  reg.Counter(pre + "sent_bytes"),
+		fwdPkts:  reg.Counter(pre + "forwarded_pkts"),
+		dlvPkts:  reg.Counter(pre + "delivered_pkts"),
+		dropPkts: reg.Counter(pre + "dropped_pkts"),
+	}
 }
 
 // Node is a host or router.
@@ -66,7 +93,7 @@ type Node struct {
 	rawApps   []AppFunc // receive every locally delivered packet
 	taps      []AppFunc // observe every packet seen by the node
 
-	Stats Stats
+	ct nodeCounters
 
 	ipID uint32
 }
@@ -86,6 +113,7 @@ func NewNode(sim *Simulator, name string, addr Addr) *Node {
 		mroutes: map[Addr][]*Iface{},
 		joined:  map[Addr]bool{},
 		apps:    map[appKey]AppFunc{},
+		ct:      newNodeCounters(sim.reg, name),
 	}
 	sim.nodes[addr] = n
 	sim.nameIx[name] = n
@@ -94,6 +122,48 @@ func NewNode(sim *Simulator, name string, addr Addr) *Node {
 
 // Sim returns the owning simulator.
 func (n *Node) Sim() *Simulator { return n.sim }
+
+// Stats returns a snapshot of the node's traffic counters, read from
+// the simulation's metrics registry.
+func (n *Node) Stats() Stats {
+	return Stats{
+		ReceivedPkts:  n.ct.rxPkts.Value(),
+		ReceivedBytes: n.ct.rxBytes.Value(),
+		SentPkts:      n.ct.txPkts.Value(),
+		SentBytes:     n.ct.txBytes.Value(),
+		ForwardedPkts: n.ct.fwdPkts.Value(),
+		DeliveredPkts: n.ct.dlvPkts.Value(),
+		DroppedPkts:   n.ct.dropPkts.Value(),
+	}
+}
+
+// drop counts a dropped packet and publishes the drop event with the
+// given reason (a static string: "ttl", "no-route", "no-binding").
+func (n *Node) drop(pkt *Packet, reason string) {
+	n.ct.dropPkts.Inc()
+	if n.sim.bus.Active() {
+		n.emit(KindDrop, pkt, reason)
+	}
+}
+
+// emit publishes one packet event for this node. Callers on hot paths
+// guard with n.sim.bus.Active() so the Event is never built when nobody
+// listens.
+func (n *Node) emit(kind obs.Kind, pkt *Packet, detail string) {
+	n.sim.bus.Publish(obs.Event{
+		Kind: kind, At: n.sim.now, Node: n.Name,
+		Src: uint32(pkt.IP.Src), Dst: uint32(pkt.IP.Dst),
+		Size: pkt.Size(), Detail: detail,
+	})
+}
+
+// Event kind aliases so in-package call sites read naturally.
+const (
+	KindEnqueue = obs.KindEnqueue
+	KindDrop    = obs.KindDrop
+	KindForward = obs.KindForward
+	KindDeliver = obs.KindDeliver
+)
 
 func (n *Node) addIface(i *Iface) { n.ifaces = append(n.ifaces, i) }
 
@@ -170,14 +240,14 @@ func (n *Node) Send(pkt *Packet) {
 	if pkt.IP.ID == 0 {
 		pkt.IP.ID = n.NextIPID()
 	}
-	n.Stats.SentPkts++
-	n.Stats.SentBytes += int64(pkt.Size())
+	n.ct.txPkts.Inc()
+	n.ct.txBytes.Add(int64(pkt.Size()))
 	if pkt.IP.Dst == n.Addr {
 		n.deliverLocal(pkt)
 		return
 	}
 	if !n.transmit(pkt, nil) {
-		n.Stats.DroppedPkts++
+		n.drop(pkt, "no-route")
 	}
 }
 
@@ -228,8 +298,8 @@ func (n *Node) Receive(pkt *Packet, in *Iface) {
 }
 
 func (n *Node) receiveNow(pkt *Packet, in *Iface) {
-	n.Stats.ReceivedPkts++
-	n.Stats.ReceivedBytes += int64(pkt.Size())
+	n.ct.rxPkts.Inc()
+	n.ct.rxBytes.Add(int64(pkt.Size()))
 	for _, tap := range n.taps {
 		tap(pkt)
 	}
@@ -256,7 +326,7 @@ func (n *Node) defaultProcess(pkt *Packet, in *Iface) {
 	case n.Forwarding:
 		n.forward(pkt, in)
 	default:
-		n.Stats.DroppedPkts++
+		n.drop(pkt, "no-route")
 	}
 }
 
@@ -265,7 +335,10 @@ func (n *Node) defaultProcess(pkt *Packet, in *Iface) {
 func (n *Node) DeliverLocal(pkt *Packet) { n.deliverLocal(pkt) }
 
 func (n *Node) deliverLocal(pkt *Packet) {
-	n.Stats.DeliveredPkts++
+	n.ct.dlvPkts.Inc()
+	if n.sim.bus.Active() {
+		n.emit(KindDeliver, pkt, "")
+	}
 	var fn AppFunc
 	switch {
 	case pkt.TCP != nil:
@@ -283,7 +356,7 @@ func (n *Node) deliverLocal(pkt *Packet) {
 		}
 		return
 	}
-	n.Stats.DroppedPkts++ // no binding: port unreachable
+	n.drop(pkt, "no-binding") // port unreachable
 }
 
 // Forward applies router forwarding to pkt (TTL decrement and route
@@ -292,14 +365,17 @@ func (n *Node) Forward(pkt *Packet, in *Iface) { n.forward(pkt, in) }
 
 func (n *Node) forward(pkt *Packet, in *Iface) {
 	if pkt.IP.TTL <= 1 {
-		n.Stats.DroppedPkts++
+		n.drop(pkt, "ttl")
 		return
 	}
 	fwd := pkt.Clone()
 	fwd.IP.TTL--
 	if n.transmit(fwd, in) {
-		n.Stats.ForwardedPkts++
+		n.ct.fwdPkts.Inc()
+		if n.sim.bus.Active() {
+			n.emit(KindForward, fwd, "")
+		}
 	} else {
-		n.Stats.DroppedPkts++
+		n.drop(fwd, "no-route")
 	}
 }

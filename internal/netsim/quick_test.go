@@ -33,7 +33,7 @@ func TestPacketConservation(t *testing.T) {
 		}
 		sim.Run()
 		queueDrops := l2.Dropped(l2.Ifaces()[0]) + l1.Dropped(l1.Ifaces()[0])
-		total := int64(delivered) + queueDrops + r.Stats.DroppedPkts
+		total := int64(delivered) + queueDrops + r.Stats().DroppedPkts
 		return total == int64(n)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {

@@ -19,6 +19,8 @@ import (
 	"fmt"
 	"math/rand"
 	"time"
+
+	"planp.dev/planp/internal/obs"
 )
 
 // Simulator owns virtual time and the event queue. The zero value is not
@@ -30,6 +32,12 @@ type Simulator struct {
 	rng    *rand.Rand
 	nodes  map[Addr]*Node
 	nameIx map[string]*Node
+
+	// bus and reg are the simulation's observability substrate: media
+	// and nodes publish packet-granular events to bus (free when nobody
+	// subscribes) and count traffic in reg.
+	bus *obs.Bus
+	reg *obs.Registry
 }
 
 // NewSimulator returns a simulator with the given RNG seed. All
@@ -40,6 +48,8 @@ func NewSimulator(seed int64) *Simulator {
 		rng:    rand.New(rand.NewSource(seed)),
 		nodes:  map[Addr]*Node{},
 		nameIx: map[string]*Node{},
+		bus:    &obs.Bus{},
+		reg:    obs.NewRegistry(),
 	}
 }
 
@@ -48,6 +58,14 @@ func (s *Simulator) Now() time.Duration { return s.now }
 
 // Rand returns the simulation's deterministic RNG.
 func (s *Simulator) Rand() *rand.Rand { return s.rng }
+
+// Events returns the simulation's event bus. Subscribing is allowed at
+// any point; with no subscribers the per-packet publish sites are free.
+func (s *Simulator) Events() *obs.Bus { return s.bus }
+
+// Metrics returns the simulation's metrics registry — the single source
+// node and runtime statistics are read from.
+func (s *Simulator) Metrics() *obs.Registry { return s.reg }
 
 // At schedules fn at absolute virtual time t (clamped to now).
 func (s *Simulator) At(t time.Duration, fn func()) {
@@ -61,14 +79,18 @@ func (s *Simulator) At(t time.Duration, fn func()) {
 // After schedules fn d after the current time.
 func (s *Simulator) After(d time.Duration, fn func()) { s.At(s.now+d, fn) }
 
-// RunUntil processes events in timestamp order until the queue is empty
-// or the next event is after deadline. It returns the number of events
-// processed.
-func (s *Simulator) RunUntil(deadline time.Duration) int {
+// runLoop is the single event-processing core every Run variant wraps:
+// process events in timestamp order until the queue drains, the next
+// event is past the deadline (when hasDeadline), or maxEvents have run
+// (when maxEvents > 0). It returns the number of events processed.
+func (s *Simulator) runLoop(deadline time.Duration, hasDeadline bool, maxEvents int) int {
 	n := 0
 	for len(s.queue) > 0 {
+		if maxEvents > 0 && n >= maxEvents {
+			return n
+		}
 		ev := s.queue[0]
-		if ev.at > deadline {
+		if hasDeadline && ev.at > deadline {
 			break
 		}
 		heap.Pop(&s.queue)
@@ -76,23 +98,37 @@ func (s *Simulator) RunUntil(deadline time.Duration) int {
 		ev.fn()
 		n++
 	}
-	if s.now < deadline {
+	if hasDeadline && s.now < deadline {
 		s.now = deadline
 	}
 	return n
 }
 
+// RunUntil processes events in timestamp order until the queue is empty
+// or the next event is after deadline, then advances the clock to the
+// deadline. It returns the number of events processed.
+func (s *Simulator) RunUntil(deadline time.Duration) int {
+	return s.runLoop(deadline, true, 0)
+}
+
+// RunBounded is RunUntil with an event budget: it additionally stops
+// after maxEvents events (the clock is NOT advanced to the deadline in
+// that case, so callers can resume). maxEvents <= 0 means unbounded.
+func (s *Simulator) RunBounded(deadline time.Duration, maxEvents int) int {
+	return s.runLoop(deadline, true, maxEvents)
+}
+
+// RunMax processes pending events until the queue is empty or maxEvents
+// events have run, without any time deadline. maxEvents <= 0 means
+// unbounded (equivalent to Run).
+func (s *Simulator) RunMax(maxEvents int) int {
+	return s.runLoop(0, false, maxEvents)
+}
+
 // Run processes all pending events (useful for tests with naturally
 // finite traffic).
 func (s *Simulator) Run() int {
-	n := 0
-	for len(s.queue) > 0 {
-		ev := heap.Pop(&s.queue).(*event)
-		s.now = ev.at
-		ev.fn()
-		n++
-	}
-	return n
+	return s.runLoop(0, false, 0)
 }
 
 // Node returns the node with the given address, or nil.

@@ -1,13 +1,14 @@
-// Package trace collects experiment measurements: time series (figure 6
-// bandwidth curves), counters, playback-gap detection (figure 7), and
-// fixed-width table rendering for the benchmark harness's paper-style
-// output.
-package trace
+// Time series and playback-gap detection, absorbed from the old
+// experiment-only internal/trace package so that experiments, tests,
+// and the bench harness read measurements from the same registry the
+// simulator writes to (figure-6 bandwidth curves, figure-7 gaps).
+package obs
 
 import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -17,31 +18,57 @@ type Point struct {
 	Value float64
 }
 
-// Series is a named time series.
+// Series is a named time series. Samples are appended in virtual-time
+// order by the single-threaded simulation; reads may come from other
+// goroutines (monitoring, tests), so access is mutex-guarded.
 type Series struct {
-	Name   string
-	Points []Point
+	Name string
+
+	mu     sync.Mutex
+	points []Point
 }
 
 // Add appends a sample.
 func (s *Series) Add(at time.Duration, v float64) {
-	s.Points = append(s.Points, Point{At: at, Value: v})
+	s.mu.Lock()
+	s.points = append(s.points, Point{At: at, Value: v})
+	s.mu.Unlock()
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.points)
+}
+
+// Points returns a snapshot copy of all samples.
+func (s *Series) Points() []Point {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Point, len(s.points))
+	copy(out, s.points)
+	return out
 }
 
 // At returns the last sample value at or before t (0 if none).
 func (s *Series) At(t time.Duration) float64 {
-	idx := sort.Search(len(s.Points), func(i int) bool { return s.Points[i].At > t })
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	idx := sort.Search(len(s.points), func(i int) bool { return s.points[i].At > t })
 	if idx == 0 {
 		return 0
 	}
-	return s.Points[idx-1].Value
+	return s.points[idx-1].Value
 }
 
 // Mean returns the mean value of samples in [from, to).
 func (s *Series) Mean(from, to time.Duration) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	var sum float64
 	var n int
-	for _, p := range s.Points {
+	for _, p := range s.points {
 		if p.At >= from && p.At < to {
 			sum += p.Value
 			n++
@@ -55,8 +82,10 @@ func (s *Series) Mean(from, to time.Duration) float64 {
 
 // Max returns the maximum sample value in [from, to).
 func (s *Series) Max(from, to time.Duration) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	var m float64
-	for _, p := range s.Points {
+	for _, p := range s.points {
 		if p.At >= from && p.At < to && p.Value > m {
 			m = p.Value
 		}
@@ -69,10 +98,16 @@ func (s *Series) Max(from, to time.Duration) float64 {
 func (s *Series) Render(stride time.Duration) string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "# %s\n", s.Name)
-	if len(s.Points) == 0 {
+	s.mu.Lock()
+	n := len(s.points)
+	var end time.Duration
+	if n > 0 {
+		end = s.points[n-1].At
+	}
+	s.mu.Unlock()
+	if n == 0 {
 		return sb.String()
 	}
-	end := s.Points[len(s.Points)-1].At
 	for t := time.Duration(0); t <= end; t += stride {
 		fmt.Fprintf(&sb, "%8.1f  %10.1f\n", t.Seconds(), s.At(t))
 	}
@@ -127,64 +162,3 @@ func (g *GapDetector) GapTime() time.Duration { return g.gapTime }
 
 // Received returns the number of packets seen.
 func (g *GapDetector) Received() int { return g.received }
-
-// Table renders fixed-width result tables in the style of the paper.
-type Table struct {
-	Title   string
-	Headers []string
-	Rows    [][]string
-}
-
-// AddRow appends a row of cells (stringified with %v).
-func (t *Table) AddRow(cells ...any) {
-	row := make([]string, len(cells))
-	for i, c := range cells {
-		switch c := c.(type) {
-		case float64:
-			row[i] = fmt.Sprintf("%.2f", c)
-		default:
-			row[i] = fmt.Sprintf("%v", c)
-		}
-	}
-	t.Rows = append(t.Rows, row)
-}
-
-// String renders the table.
-func (t *Table) String() string {
-	widths := make([]int, len(t.Headers))
-	for i, h := range t.Headers {
-		widths[i] = len(h)
-	}
-	for _, row := range t.Rows {
-		for i, cell := range row {
-			if i < len(widths) && len(cell) > widths[i] {
-				widths[i] = len(cell)
-			}
-		}
-	}
-	var sb strings.Builder
-	if t.Title != "" {
-		fmt.Fprintf(&sb, "== %s ==\n", t.Title)
-	}
-	writeRow := func(cells []string) {
-		for i, cell := range cells {
-			if i > 0 {
-				sb.WriteString("  ")
-			}
-			fmt.Fprintf(&sb, "%-*s", widths[i], cell)
-		}
-		sb.WriteByte('\n')
-	}
-	writeRow(t.Headers)
-	for i, w := range widths {
-		if i > 0 {
-			sb.WriteString("  ")
-		}
-		sb.WriteString(strings.Repeat("-", w))
-	}
-	sb.WriteByte('\n')
-	for _, row := range t.Rows {
-		writeRow(row)
-	}
-	return sb.String()
-}

@@ -65,14 +65,15 @@ func (d *Deployment) Runtimes() []*Runtime { return d.runtimes }
 func (d *Deployment) TotalStats() Stats {
 	var total Stats
 	for _, rt := range d.runtimes {
-		total.Processed += rt.Stats.Processed
-		total.Unmatched += rt.Stats.Unmatched
-		total.Errors += rt.Stats.Errors
-		total.SentRemote += rt.Stats.SentRemote
-		total.SentLocal += rt.Stats.SentLocal
-		total.SentFlood += rt.Stats.SentFlood
-		total.Delivered += rt.Stats.Delivered
-		total.InvokeTime += rt.Stats.InvokeTime
+		s := rt.Stats()
+		total.Processed += s.Processed
+		total.Unmatched += s.Unmatched
+		total.Errors += s.Errors
+		total.SentRemote += s.SentRemote
+		total.SentLocal += s.SentLocal
+		total.SentFlood += s.SentFlood
+		total.Delivered += s.Delivered
+		total.InvokeTime += s.InvokeTime
 	}
 	return total
 }

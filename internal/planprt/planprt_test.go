@@ -178,8 +178,8 @@ func TestGatewayEndToEnd(t *testing.T) {
 			if gotA != 5 || gotB != 5 {
 				t.Errorf("distribution A=%d B=%d, want 5/5", gotA, gotB)
 			}
-			if rt.Stats.Processed != 10 {
-				t.Errorf("runtime processed %d, want 10", rt.Stats.Processed)
+			if rt.Stats().Processed != 10 {
+				t.Errorf("runtime processed %d, want 10", rt.Stats().Processed)
 			}
 			if got := rt.Instance().Proto.AsInt(); got != 10 {
 				t.Errorf("protocol state = %d, want 10", got)
@@ -296,8 +296,8 @@ is
 	if got != 1 {
 		t.Errorf("deliveries = %d, want 1", got)
 	}
-	if rt.Stats.SentLocal != 1 || rt.Stats.SentRemote != 0 {
-		t.Errorf("stats local=%d remote=%d, want 1/0", rt.Stats.SentLocal, rt.Stats.SentRemote)
+	if rt.Stats().SentLocal != 1 || rt.Stats().SentRemote != 0 {
+		t.Errorf("stats local=%d remote=%d, want 1/0", rt.Stats().SentLocal, rt.Stats().SentRemote)
 	}
 }
 
@@ -342,8 +342,8 @@ is (OnRemote(special, p); (ps, ss))
 	if got != 1 {
 		t.Fatalf("tagged delivery = %d, want 1", got)
 	}
-	if rtB.Stats.Processed != 1 {
-		t.Errorf("b processed %d, want 1 (tag dispatch)", rtB.Stats.Processed)
+	if rtB.Stats().Processed != 1 {
+		t.Errorf("b processed %d, want 1 (tag dispatch)", rtB.Stats().Processed)
 	}
 }
 

@@ -25,6 +25,7 @@ import (
 	"planp.dev/planp/internal/lang/value"
 	"planp.dev/planp/internal/lang/verify"
 	"planp.dev/planp/internal/netsim"
+	"planp.dev/planp/internal/obs"
 )
 
 // EngineKind selects an execution engine.
@@ -155,15 +156,23 @@ func Download(node *netsim.Node, src string, cfg Config) (*Runtime, error) {
 
 // Install places a loaded program onto a node, replacing the node's
 // standard packet processing (figure 1). Each installation gets its own
-// protocol/channel state instance.
+// protocol/channel state instance and fresh "asp.<node>.*" counters in
+// the simulation's metrics registry.
 func Install(node *netsim.Node, p *Program, output io.Writer) (*Runtime, error) {
 	if p.Policy == VerifySingleNode && p.installs >= 1 {
+		if bus := node.Sim().Events(); bus.Active() {
+			bus.Publish(obs.Event{
+				Kind: obs.KindVerifyReject, At: node.Sim().Now(),
+				Node: node.Name, Detail: "single-node-limit",
+			})
+		}
 		return nil, fmt.Errorf("planprt: program was verified for single-node deployment and is already installed")
 	}
 	if output == nil {
 		output = io.Discard
 	}
-	rt := &Runtime{node: node, prog: p, out: output}
+	rt := &Runtime{node: node, prog: p, out: output,
+		ct: newRuntimeCounters(node.Sim().Metrics(), node.Name)}
 	inst, err := p.Compiled.NewInstance(rt)
 	if err != nil {
 		return nil, err
@@ -174,7 +183,10 @@ func Install(node *netsim.Node, p *Program, output io.Writer) (*Runtime, error) 
 	return rt, nil
 }
 
-// Stats counts runtime activity on one node.
+// Stats is a point-in-time snapshot of runtime activity on one node,
+// returned by Runtime.Stats(). The live counters reside in the
+// simulation's metrics registry under "asp.<node>.*"; each installation
+// starts from fresh counters.
 type Stats struct {
 	Processed  int64 // packets handled by a channel
 	Unmatched  int64 // packets that matched no channel (default path)
@@ -184,6 +196,33 @@ type Stats struct {
 	SentFlood  int64 // OnNeighbor transmissions
 	Delivered  int64 // deliver primitive
 	InvokeTime time.Duration
+}
+
+// runtimeCounters are the per-installation registry instruments,
+// resolved once at install time (no name lookups per packet).
+type runtimeCounters struct {
+	processed  *obs.Counter
+	unmatched  *obs.Counter
+	errors     *obs.Counter
+	sentRemote *obs.Counter
+	sentLocal  *obs.Counter
+	sentFlood  *obs.Counter
+	delivered  *obs.Counter
+	invokeNs   *obs.Counter
+}
+
+func newRuntimeCounters(reg *obs.Registry, node string) runtimeCounters {
+	pre := "asp." + node + "."
+	return runtimeCounters{
+		processed:  reg.ResetCounter(pre + "processed"),
+		unmatched:  reg.ResetCounter(pre + "unmatched"),
+		errors:     reg.ResetCounter(pre + "errors"),
+		sentRemote: reg.ResetCounter(pre + "sent_remote"),
+		sentLocal:  reg.ResetCounter(pre + "sent_local"),
+		sentFlood:  reg.ResetCounter(pre + "sent_flood"),
+		delivered:  reg.ResetCounter(pre + "delivered"),
+		invokeNs:   reg.ResetCounter(pre + "invoke_ns"),
+	}
 }
 
 // Runtime is one installed protocol on one node. It implements both the
@@ -200,8 +239,26 @@ type Runtime struct {
 	curIn  *netsim.Iface
 	curDst netsim.Addr
 
-	Stats Stats
+	ct runtimeCounters
 }
+
+// Stats returns a snapshot of this installation's activity counters.
+func (rt *Runtime) Stats() Stats {
+	return Stats{
+		Processed:  rt.ct.processed.Value(),
+		Unmatched:  rt.ct.unmatched.Value(),
+		Errors:     rt.ct.errors.Value(),
+		SentRemote: rt.ct.sentRemote.Value(),
+		SentLocal:  rt.ct.sentLocal.Value(),
+		SentFlood:  rt.ct.sentFlood.Value(),
+		Delivered:  rt.ct.delivered.Value(),
+		InvokeTime: time.Duration(rt.ct.invokeNs.Value()),
+	}
+}
+
+// Events returns the event bus of the simulation this runtime is
+// installed in (protocol-level subscribers: ASP invokes, rejects).
+func (rt *Runtime) Events() *obs.Bus { return rt.node.Sim().Events() }
 
 var (
 	_ netsim.Processor = (*Runtime)(nil)
@@ -230,21 +287,28 @@ func (rt *Runtime) Process(pkt *netsim.Packet, in *netsim.Iface) bool {
 		if !ok {
 			continue
 		}
+		if bus := rt.node.Sim().Events(); bus.Active() {
+			bus.Publish(obs.Event{
+				Kind: obs.KindASPInvoke, At: rt.node.Sim().Now(),
+				Node: rt.node.Name, Src: uint32(pkt.IP.Src), Dst: uint32(pkt.IP.Dst),
+				Size: pkt.Size(), Detail: ch.Decl.Name,
+			})
+		}
 		rt.curIn, rt.curDst = in, pkt.IP.Dst
 		start := time.Now()
 		err := rt.inst.Invoke(ch.Index, rt, v)
-		rt.Stats.InvokeTime += time.Since(start)
+		rt.ct.invokeNs.Add(int64(time.Since(start)))
 		rt.curIn, rt.curDst = nil, 0
 		if err != nil {
 			// An unhandled exception drops the packet (the verifier
 			// exists to prevent this for checked programs).
-			rt.Stats.Errors++
+			rt.ct.errors.Inc()
 			return true
 		}
-		rt.Stats.Processed++
+		rt.ct.processed.Inc()
 		return true
 	}
-	rt.Stats.Unmatched++
+	rt.ct.unmatched.Inc()
 	return false
 }
 
@@ -265,7 +329,7 @@ func (rt *Runtime) OnRemote(chanName string, pktVal value.Value) {
 		pkt.ChanTag = chanName
 	}
 	if pkt.IP.Dst == rt.node.Addr {
-		rt.Stats.SentLocal++
+		rt.ct.sentLocal.Inc()
 		rt.node.DeliverLocal(pkt)
 		return
 	}
@@ -276,7 +340,7 @@ func (rt *Runtime) OnRemote(chanName string, pktVal value.Value) {
 	if pkt.IP.ID == 0 {
 		pkt.IP.ID = rt.node.NextIPID()
 	}
-	rt.Stats.SentRemote++
+	rt.ct.sentRemote.Inc()
 	// Split horizon applies to pass-through forwarding (unchanged
 	// destination): never re-transmit a packet onto the segment it
 	// arrived from. A program that REWROTE the destination started a
@@ -307,7 +371,7 @@ func (rt *Runtime) OnNeighbor(chanName string, pktVal value.Value) {
 		if ifc == rt.curIn {
 			continue
 		}
-		rt.Stats.SentFlood++
+		rt.ct.sentFlood.Inc()
 		ifc.Send(pkt)
 	}
 }
@@ -318,7 +382,7 @@ func (rt *Runtime) Deliver(pktVal value.Value) {
 	if err != nil {
 		value.Raise("deliver: %v", err)
 	}
-	rt.Stats.Delivered++
+	rt.ct.delivered.Inc()
 	rt.node.DeliverLocal(pkt)
 }
 

@@ -4,9 +4,11 @@
 package planp
 
 import (
+	"io"
 	"time"
 
 	"planp.dev/planp/internal/netsim"
+	"planp.dev/planp/internal/obs"
 )
 
 // Re-exported simulator types. The simulator is deterministic: all
@@ -45,13 +47,70 @@ type Network struct {
 	sim *netsim.Simulator
 }
 
-// NewNetwork creates an empty network; seed drives all randomness.
-func NewNetwork(seed int64) *Network {
-	return &Network{sim: netsim.NewSimulator(seed)}
+// networkConfig collects NewNetwork options.
+type networkConfig struct {
+	seed      int64
+	observers []Observer
+	traceW    io.Writer
 }
+
+// NetworkOption configures NewNetwork.
+type NetworkOption func(*networkConfig)
+
+// WithSeed sets the RNG seed all simulation randomness flows from
+// (default 1). Runs with the same seed and workload are identical.
+func WithSeed(seed int64) NetworkOption {
+	return func(c *networkConfig) { c.seed = seed }
+}
+
+// WithObserver subscribes an observer to the network's event bus before
+// any traffic flows. May be given multiple times; observers fire in
+// subscription order. With no observers the per-packet publish sites
+// cost nothing.
+func WithObserver(o Observer) NetworkOption {
+	return func(c *networkConfig) { c.observers = append(c.observers, o) }
+}
+
+// WithTraceWriter attaches a pcap-style text event log writing one line
+// per packet event to w (a convenience wrapper over WithObserver).
+func WithTraceWriter(w io.Writer) NetworkOption {
+	return func(c *networkConfig) { c.traceW = w }
+}
+
+// NewNetwork creates an empty network. By default the simulation is
+// seeded with 1 and unobserved; see WithSeed, WithObserver, and
+// WithTraceWriter.
+func NewNetwork(opts ...NetworkOption) *Network {
+	cfg := networkConfig{seed: 1}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	n := &Network{sim: netsim.NewSimulator(cfg.seed)}
+	for _, o := range cfg.observers {
+		n.sim.Events().Subscribe(o)
+	}
+	if cfg.traceW != nil {
+		n.sim.Events().Subscribe(obs.NewTextLog(cfg.traceW))
+	}
+	return n
+}
+
+// NewNetworkSeeded creates a network with the given seed.
+//
+// Deprecated: use NewNetwork(WithSeed(seed)).
+func NewNetworkSeeded(seed int64) *Network { return NewNetwork(WithSeed(seed)) }
 
 // Sim exposes the underlying simulator (scheduling, time, RNG).
 func (n *Network) Sim() *netsim.Simulator { return n.sim }
+
+// Metrics returns the network's metrics registry — the single source
+// all node and protocol statistics are recorded in ("node.<name>.*",
+// "asp.<name>.*", plus any series experiments register).
+func (n *Network) Metrics() *Metrics { return n.sim.Metrics() }
+
+// Events returns the network's event bus for subscribing observers
+// mid-run (Ring flight recorders, counting sinks, text logs).
+func (n *Network) Events() *EventBus { return n.sim.Events() }
 
 // Now returns the current virtual time.
 func (n *Network) Now() time.Duration { return n.sim.Now() }
@@ -62,14 +121,76 @@ func (n *Network) At(t time.Duration, fn func()) { n.sim.At(t, fn) }
 // After schedules fn after delay d.
 func (n *Network) After(d time.Duration, fn func()) { n.sim.After(d, fn) }
 
-// Run processes all pending events and returns the count.
-func (n *Network) Run() int { return n.sim.Run() }
+// runConfig collects Run options.
+type runConfig struct {
+	deadline    time.Duration
+	hasDeadline bool
+	duration    time.Duration
+	hasDuration bool
+	maxEvents   int
+}
 
-// RunFor advances the simulation by d.
-func (n *Network) RunFor(d time.Duration) int { return n.sim.RunUntil(n.sim.Now() + d) }
+// RunOption bounds a Run call.
+type RunOption func(*runConfig)
 
-// RunUntil advances the simulation to absolute time t.
-func (n *Network) RunUntil(t time.Duration) int { return n.sim.RunUntil(t) }
+// WithDeadline stops the run once the next event would fire after
+// absolute virtual time t, then advances the clock to t.
+func WithDeadline(t time.Duration) RunOption {
+	return func(c *runConfig) { c.deadline, c.hasDeadline = t, true }
+}
+
+// WithDuration is WithDeadline relative to the virtual time when Run is
+// called: the run covers the next d of virtual time.
+func WithDuration(d time.Duration) RunOption {
+	return func(c *runConfig) { c.duration, c.hasDuration = d, true }
+}
+
+// WithMaxEvents additionally stops the run after n simulator events — a
+// budget guard for workloads that may never drain. When the budget is
+// hit the clock is NOT advanced to any deadline, so the run can resume.
+func WithMaxEvents(n int) RunOption {
+	return func(c *runConfig) { c.maxEvents = n }
+}
+
+// Run processes pending simulator events and returns how many ran.
+//
+// Event-count semantics: the returned int counts SIMULATOR events — one
+// per scheduled callback (a packet arrival, a timer, an application
+// send), not one per packet. A packet crossing two links contributes at
+// least two events. The count is deterministic for a fixed seed and
+// workload, which makes it a cheap progress assertion in tests.
+//
+// With no options, Run drains the queue completely (workloads with
+// naturally finite traffic). WithDeadline/WithDuration bound the run in
+// virtual time: events at or before the deadline run, then the clock
+// advances to exactly the deadline even if the queue drained early.
+// WithMaxEvents bounds the run in event count.
+func (n *Network) Run(opts ...RunOption) int {
+	var cfg runConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.hasDuration {
+		// Resolve the relative bound against the clock at Run time, so
+		// options can be built ahead of the calls that use them. An
+		// explicit WithDeadline wins over WithDuration.
+		if !cfg.hasDeadline {
+			cfg.deadline, cfg.hasDeadline = n.sim.Now()+cfg.duration, true
+		}
+	}
+	if !cfg.hasDeadline {
+		return n.sim.RunMax(cfg.maxEvents)
+	}
+	return n.sim.RunBounded(cfg.deadline, cfg.maxEvents)
+}
+
+// RunFor advances the simulation by d. It is shorthand for
+// Run(WithDuration(d)).
+func (n *Network) RunFor(d time.Duration) int { return n.Run(WithDuration(d)) }
+
+// RunUntil advances the simulation to absolute time t. It is shorthand
+// for Run(WithDeadline(t)).
+func (n *Network) RunUntil(t time.Duration) int { return n.Run(WithDeadline(t)) }
 
 // NewHost adds a host node.
 func (n *Network) NewHost(name, addr string) *Node {

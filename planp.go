@@ -18,7 +18,7 @@
 //
 // Quick start:
 //
-//	net := planp.NewNetwork(1)
+//	net := planp.NewNetwork()
 //	a := net.NewHost("a", "10.0.0.1")
 //	b := net.NewHost("b", "10.0.0.2")
 //	net.Wire(a, b, planp.LinkConfig{Bandwidth: 10e6})
@@ -28,6 +28,10 @@
 //
 //	a.Send(planp.NewUDP(a.Addr, b.Addr, 1000, 9, []byte("hi")))
 //	net.Run()
+//
+// Every simulation carries an observability layer (docs/OBSERVABILITY.md):
+// subscribe to packet-level events with WithObserver or WithTraceWriter,
+// and read cumulative statistics from net.Metrics().
 package planp
 
 import (

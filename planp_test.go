@@ -85,7 +85,7 @@ func TestCheckEntryPoint(t *testing.T) {
 }
 
 func TestEndToEndThroughPublicAPI(t *testing.T) {
-	net := planp.NewNetwork(9)
+	net := planp.NewNetwork(planp.WithSeed(9))
 	client := net.NewHost("client", "10.0.1.1")
 	router := net.NewRouter("router", "10.0.0.254")
 	server := net.NewHost("server", "10.0.2.1")
@@ -118,8 +118,8 @@ channel network(ps : int, ss : unit, p : ip*udp*blob) is
 	if got != 3 {
 		t.Errorf("server received %d, want 3", got)
 	}
-	if rt.Stats.Processed != 3 {
-		t.Errorf("processed %d", rt.Stats.Processed)
+	if rt.Stats().Processed != 3 {
+		t.Errorf("processed %d", rt.Stats().Processed)
 	}
 	if strings.Count(out.String(), "forwarding 3 bytes") != 3 {
 		t.Errorf("output %q", out.String())
@@ -130,7 +130,7 @@ channel network(ps : int, ss : unit, p : ip*udp*blob) is
 }
 
 func TestSegmentHelpers(t *testing.T) {
-	net := planp.NewNetwork(1)
+	net := planp.NewNetwork()
 	a := net.NewHost("a", "10.0.0.1")
 	b := net.NewHost("b", "10.0.0.2")
 	seg := net.NewSegment("lan", planp.LinkConfig{Bandwidth: 10_000_000})
@@ -146,7 +146,7 @@ func TestSegmentHelpers(t *testing.T) {
 }
 
 func TestNetworkClock(t *testing.T) {
-	net := planp.NewNetwork(1)
+	net := planp.NewNetwork()
 	fired := []time.Duration{}
 	net.At(5*time.Millisecond, func() { fired = append(fired, net.Now()) })
 	net.After(10*time.Millisecond, func() { fired = append(fired, net.Now()) })
@@ -164,7 +164,7 @@ func TestNetworkClock(t *testing.T) {
 }
 
 func TestSingleNodeDownloadLimitThroughAPI(t *testing.T) {
-	net := planp.NewNetwork(1)
+	net := planp.NewNetwork()
 	a := net.NewHost("a", "10.0.0.1")
 	b := net.NewHost("b", "10.0.0.2")
 	proto, err := planp.Compile(asp.HTTPGateway, planp.WithVerification(planp.VerifySingleNode))
@@ -191,5 +191,105 @@ func TestAllPaperASPsCompileThroughAPI(t *testing.T) {
 		if _, err := planp.Compile(p.Source, planp.WithVerification(policies[p.Name])); err != nil {
 			t.Errorf("%s: %v", p.Name, err)
 		}
+	}
+}
+
+func TestNetworkOptionsObservability(t *testing.T) {
+	var counts planp.EventCounts
+	var trace bytes.Buffer
+	ring := planp.NewEventRing(8)
+	net := planp.NewNetwork(
+		planp.WithSeed(7),
+		planp.WithObserver(&counts),
+		planp.WithObserver(ring),
+		planp.WithTraceWriter(&trace),
+	)
+	a := net.NewHost("a", "10.0.1.1")
+	r := net.NewRouter("r", "10.0.0.254")
+	b := net.NewHost("b", "10.0.2.1")
+	net.Wire(a, r, planp.LinkConfig{Bandwidth: 10_000_000})
+	net.Wire(r, b, planp.LinkConfig{Bandwidth: 10_000_000})
+	a.SetDefaultRoute(a.Ifaces()[0])
+	got := 0
+	b.BindUDP(7, func(*planp.Packet) { got++ })
+	a.Send(planp.NewUDP(a.Addr, b.Addr, 1000, 7, []byte("hi")))
+	net.Run()
+
+	if got != 1 {
+		t.Fatalf("delivered %d", got)
+	}
+	if counts.Count(planp.EventDeliver) != 1 {
+		t.Errorf("deliver events = %d", counts.Count(planp.EventDeliver))
+	}
+	if counts.Count(planp.EventForward) != 1 {
+		t.Errorf("forward events = %d", counts.Count(planp.EventForward))
+	}
+	if ring.Len() == 0 {
+		t.Error("ring observer saw nothing")
+	}
+	if !strings.Contains(trace.String(), "deliver") {
+		t.Errorf("trace log missing deliver line:\n%s", trace.String())
+	}
+	// The metrics registry agrees with the event stream.
+	if snap := net.Metrics().Snapshot(); snap["node.b.delivered_pkts"] != 1 {
+		t.Errorf("registry delivered_pkts = %d", snap["node.b.delivered_pkts"])
+	}
+	// Node.Stats() is a snapshot of the same instruments.
+	if b.Stats().DeliveredPkts != 1 {
+		t.Errorf("Stats().DeliveredPkts = %d", b.Stats().DeliveredPkts)
+	}
+}
+
+func TestNetworkSeededShim(t *testing.T) {
+	// The deprecated constructor must behave exactly like WithSeed.
+	run := func(net *planp.Network) int {
+		a := net.NewHost("a", "10.0.0.1")
+		b := net.NewHost("b", "10.0.0.2")
+		net.Wire(a, b, planp.LinkConfig{Bandwidth: 10_000_000})
+		n := 0
+		b.BindUDP(5, func(*planp.Packet) { n++ })
+		a.Send(planp.NewUDP(a.Addr, b.Addr, 1, 5, nil))
+		net.Run()
+		return n
+	}
+	if got := run(planp.NewNetworkSeeded(3)); got != 1 {
+		t.Errorf("seeded shim delivered %d", got)
+	}
+	if got := run(planp.NewNetwork(planp.WithSeed(3))); got != 1 {
+		t.Errorf("options constructor delivered %d", got)
+	}
+}
+
+func TestRunOptions(t *testing.T) {
+	net := planp.NewNetwork()
+	fired := 0
+	for i := 1; i <= 6; i++ {
+		net.At(time.Duration(i)*time.Millisecond, func() { fired++ })
+	}
+	// Event budget: stops mid-queue without advancing to any deadline.
+	if n := net.Run(planp.WithMaxEvents(2)); n != 2 || fired != 2 {
+		t.Fatalf("WithMaxEvents(2) ran %d (fired %d)", n, fired)
+	}
+	if net.Now() != 2*time.Millisecond {
+		t.Errorf("now = %v after budget stop", net.Now())
+	}
+	// Deadline: runs events through 4ms and pins the clock there.
+	if n := net.Run(planp.WithDeadline(4 * time.Millisecond)); n != 2 || fired != 4 {
+		t.Fatalf("WithDeadline ran %d (fired %d)", n, fired)
+	}
+	// Duration: relative to the clock at Run time.
+	if n := net.Run(planp.WithDuration(time.Millisecond)); n != 1 || fired != 5 {
+		t.Fatalf("WithDuration ran %d (fired %d)", n, fired)
+	}
+	if net.Now() != 5*time.Millisecond {
+		t.Errorf("now = %v after WithDuration(1ms)", net.Now())
+	}
+	// Combined: deadline far out, budget binds first.
+	if n := net.Run(planp.WithDeadline(time.Second), planp.WithMaxEvents(1)); n != 1 || fired != 6 {
+		t.Fatalf("combined options ran %d (fired %d)", n, fired)
+	}
+	// Unbounded drain of an empty queue still advances nothing.
+	if n := net.Run(); n != 0 {
+		t.Errorf("drain ran %d", n)
 	}
 }
