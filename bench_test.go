@@ -17,6 +17,9 @@
 package planp
 
 import (
+	"fmt"
+	"io"
+	"runtime"
 	"testing"
 	"time"
 
@@ -24,6 +27,7 @@ import (
 	"planp.dev/planp/internal/apps/audio"
 	"planp.dev/planp/internal/apps/httpd"
 	"planp.dev/planp/internal/apps/mpeg"
+	"planp.dev/planp/internal/experiments"
 	"planp.dev/planp/internal/lang/langtest"
 	"planp.dev/planp/internal/lang/parser"
 	"planp.dev/planp/internal/lang/typecheck"
@@ -40,10 +44,11 @@ import (
 func benchCodegen(b *testing.B, src string, eng planprt.EngineKind) {
 	b.Helper()
 	// Parse/check once; figure 3 times code GENERATION (the program
-	// arrives checked at the router in AST form, §2.4).
+	// arrives checked at the router in AST form, §2.4). NoCache: a cached
+	// Load would measure a map lookup, not the compiler.
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := planprt.Load(src, planprt.Config{Engine: eng, Verify: planprt.VerifyPrivileged}); err != nil {
+		if _, err := planprt.Load(src, planprt.Config{Engine: eng, Verify: planprt.VerifyPrivileged, NoCache: true}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -307,7 +312,7 @@ func benchForwarding(b *testing.B, observe func(*netsim.Simulator)) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		a.Send(netsim.NewUDP(a.Addr, c.Addr, 1, 9, payload))
+		a.Send(netsim.NewUDP(a.Addr, c.Addr, 1, 9, payload).Own())
 		sim.Run()
 	}
 	if got != b.N {
@@ -332,5 +337,91 @@ func BenchmarkSimulatorForwardingObserved(b *testing.B) {
 	})
 	if counts.Total() == 0 {
 		b.Fatal("observer saw no events")
+	}
+}
+
+// BenchmarkEventQueue measures raw schedule/dispatch cost through the
+// inlined 4-ary heap: one op pushes 256 events at scrambled timestamps
+// (so siftDown does real comparisons, unlike monotone insertion) and
+// drains them. Allocs/op must be 0 — events are inline heap values.
+func BenchmarkEventQueue(b *testing.B) {
+	sim := netsim.NewSimulator(1)
+	fn := func() {}
+	offsets := make([]time.Duration, 256)
+	x := uint32(2463534242) // xorshift32; fixed seed keeps runs comparable
+	for i := range offsets {
+		x ^= x << 13
+		x ^= x >> 17
+		x ^= x << 5
+		offsets[i] = time.Duration(x%1000) * time.Microsecond
+	}
+	for _, d := range offsets { // grow the backing array once
+		sim.After(d, fn)
+	}
+	sim.Run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, d := range offsets {
+			sim.After(d, fn)
+		}
+		sim.Run()
+	}
+}
+
+// BenchmarkPacketFanout measures multicast fan-out: one owned packet
+// enters a router and leaves on four interfaces. The fan-out disowns the
+// packet (four receivers share the pointer) but still must not copy it —
+// copy-on-write means the four deliveries share header and payload.
+func BenchmarkPacketFanout(b *testing.B) {
+	sim := netsim.NewSimulator(1)
+	src := netsim.NewNode(sim, "src", netsim.MustAddr("10.0.0.1"))
+	r := netsim.NewNode(sim, "r", netsim.MustAddr("10.0.0.254"))
+	r.Forwarding = true
+	up := netsim.Connect(sim, src, r, netsim.LinkConfig{Bandwidth: 1_000_000_000})
+	src.SetDefaultRoute(up.Ifaces()[0])
+	group := netsim.MustAddr("224.0.0.7")
+	const leaves = 4
+	got := 0
+	for i := 0; i < leaves; i++ {
+		leaf := netsim.NewNode(sim, fmt.Sprintf("leaf%d", i), netsim.MustAddr(fmt.Sprintf("10.0.1.%d", i+1)))
+		down := netsim.Connect(sim, r, leaf, netsim.LinkConfig{Bandwidth: 1_000_000_000})
+		r.AddMulticastRoute(group, down.Ifaces()[0])
+		leaf.SetDefaultRoute(down.Ifaces()[1])
+		leaf.JoinGroup(group)
+		leaf.BindUDP(9, func(*netsim.Packet) { got++ })
+	}
+	payload := make([]byte, 1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src.Send(netsim.NewUDP(src.Addr, group, 1, 9, payload).Own())
+		sim.Run()
+	}
+	if got != leaves*b.N {
+		b.Fatalf("delivered %d of %d", got, leaves*b.N)
+	}
+}
+
+// BenchmarkAspbenchSweep runs a full experiment grid through the
+// parallel driver (the MPEG viewers x mode sweep — 8 independent
+// simulators per op), end to end, exactly as `aspbench -exp mpeg`
+// does. This is the driver-level number the -parallel flag moves.
+func BenchmarkAspbenchSweep(b *testing.B) {
+	var sweep experiments.Experiment
+	for _, e := range experiments.All() {
+		if e.Name == "mpeg" {
+			sweep = e
+		}
+	}
+	if sweep.Run == nil {
+		b.Fatal("mpeg experiment not registered")
+	}
+	opts := experiments.Options{Parallel: runtime.GOMAXPROCS(0)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sweep.Run(io.Discard, opts); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

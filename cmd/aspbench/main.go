@@ -1,6 +1,7 @@
 // Command aspbench regenerates every table and figure of the paper's
 // evaluation (§3) against the simulated testbed, printing the same rows
-// and series the paper reports.
+// and series the paper reports. The drivers live in
+// internal/experiments; this wrapper parses flags.
 //
 // Usage:
 //
@@ -11,84 +12,95 @@
 //	aspbench -exp mpeg      server load vs number of viewers
 //	aspbench -exp engines   per-packet cost: interp vs bytecode vs jit vs native
 //	aspbench -exp all       everything above
+//
+// Grid experiments run their cells on -parallel worker goroutines
+// (default GOMAXPROCS); the output is byte-identical at any width.
+// -cpuprofile/-memprofile write pprof profiles of the run.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
+	"planp.dev/planp/internal/experiments"
 	"planp.dev/planp/internal/planprt"
 )
-
-var experiments = []struct {
-	name string
-	desc string
-	run  func() error
-}{
-	{"fig3", "code-generation time for the five ASPs (paper figure 3)", runFig3},
-	{"fig6", "audio bandwidth under stepped load (paper figure 6)", runFig6},
-	{"fig7", "silent periods with/without adaptation (paper figure 7)", runFig7},
-	{"fig8", "HTTP cluster throughput vs offered load (paper figure 8)", runFig8},
-	{"mpeg", "server load vs viewers for the MPEG experiment (§3.3)", runMPEG},
-	{"engines", "per-packet engine cost: interp/bytecode/jit/native (§2.4)", runEngines},
-	{"ablation-locus", "in-router vs end-to-end feedback adaptation (§3.1 claim)", runAblationLocus},
-	{"ablation-policy", "load-balancing policies: modulo/random/least-conn (§5)", runAblationPolicy},
-	{"failover", "gateway fault tolerance: server crash + admin removal (§5)", runFailover},
-}
 
 func main() {
 	exp := flag.String("exp", "", "experiment to run (or 'all')")
 	engine := flag.String("engine", "jit", "ASP engine for the experiments")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for grid experiments (1 = sequential)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+	all := experiments.All()
 	if *exp == "" {
 		fmt.Fprintln(os.Stderr, "usage: aspbench -exp NAME")
-		for _, e := range experiments {
-			fmt.Fprintf(os.Stderr, "  %-16s %s\n", e.name, e.desc)
+		for _, e := range all {
+			fmt.Fprintf(os.Stderr, "  %-16s %s\n", e.Name, e.Desc)
 		}
 		fmt.Fprintln(os.Stderr, "  all              run everything")
 		os.Exit(2)
 	}
-	engineKind = planprt.EngineKind(*engine)
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "aspbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "aspbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	opts := experiments.Options{
+		Engine:   planprt.EngineKind(*engine),
+		Parallel: *parallel,
+	}
 	start := time.Now()
 	ran := false
-	for _, e := range experiments {
-		if *exp != "all" && *exp != e.name {
+	for _, e := range all {
+		if *exp != "all" && *exp != e.Name {
 			continue
 		}
 		ran = true
-		fmt.Printf("==== %s: %s ====\n", e.name, e.desc)
-		if err := e.run(); err != nil {
-			fmt.Fprintf(os.Stderr, "aspbench %s: %v\n", e.name, err)
+		fmt.Printf("==== %s: %s ====\n", e.Name, e.Desc)
+		if err := e.Run(os.Stdout, opts); err != nil {
+			fmt.Fprintf(os.Stderr, "aspbench %s: %v\n", e.Name, err)
 			os.Exit(1)
 		}
 		fmt.Println()
 	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "aspbench: unknown experiment %q\n", *exp)
+		fmt.Fprintf(os.Stderr, "aspbench: unknown experiment %q; valid names:\n", *exp)
+		for _, e := range all {
+			fmt.Fprintf(os.Stderr, "  %s\n", e.Name)
+		}
+		fmt.Fprintln(os.Stderr, "  all")
 		os.Exit(2)
 	}
 	fmt.Printf("(total wall time %v — the experiments above cover %s of virtual time)\n",
-		time.Since(start).Round(time.Millisecond), virtualTimeNote())
-}
+		time.Since(start).Round(time.Millisecond), "minutes to hours")
 
-// engineKind is the ASP engine experiments run with.
-var engineKind = planprt.EngineJIT
-
-func virtualTimeNote() string {
-	return "minutes to hours"
-}
-
-// lineCount counts non-empty source lines.
-func lineCount(src string) int {
-	n := 0
-	for _, line := range strings.Split(src, "\n") {
-		if strings.TrimSpace(line) != "" {
-			n++
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "aspbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "aspbench: %v\n", err)
+			os.Exit(1)
 		}
 	}
-	return n
 }

@@ -1,0 +1,144 @@
+// Command benchjson converts `go test -bench` output on stdin into the
+// machine-readable BENCH_core.json snapshot that `make bench` commits.
+//
+// The text the Go test runner prints (and that benchstat consumes) stays
+// the primary artifact; this tool just distills ns/op, B/op and
+// allocs/op per benchmark — averaged across -count repetitions — so the
+// acceptance criteria ("allocs/op strictly below the pre-change value")
+// can be checked against a stable JSON file instead of parsing logs.
+//
+// If the output file already exists, its "baseline" object is carried
+// over verbatim, so the pre-rewrite reference numbers survive every
+// regeneration.
+//
+// Usage:
+//
+//	go test -run '^$' -bench ... -benchmem -count=3 . | benchjson -o BENCH_core.json
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+type result struct {
+	NsOp     float64 `json:"ns_op"`
+	BytesOp  float64 `json:"bytes_op"`
+	AllocsOp float64 `json:"allocs_op"`
+	count    int
+}
+
+type snapshot struct {
+	Note       string             `json:"note"`
+	Baseline   json.RawMessage    `json:"baseline,omitempty"`
+	Benchmarks map[string]*result `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_core.json", "output file")
+	flag.Parse()
+
+	sums := map[string]*result{}
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass through so the caller still sees the text
+		if !strings.HasPrefix(line, "Benchmark") || !strings.Contains(line, "ns/op") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		name := fields[0]
+		// Strip the -GOMAXPROCS suffix the runner appends.
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			name = name[:i]
+		}
+		r := sums[name]
+		if r == nil {
+			r = &result{}
+			sums[name] = r
+		}
+		r.count++
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				r.NsOp += v
+			case "B/op":
+				r.BytesOp += v
+			case "allocs/op":
+				r.AllocsOp += v
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(sums) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	for _, r := range sums {
+		n := float64(r.count)
+		r.NsOp /= n
+		r.BytesOp /= n
+		r.AllocsOp /= n
+	}
+
+	snap := snapshot{
+		Note:       "Hot-path benchmark snapshot; regenerate with `make bench`. ns/op, B/op and allocs/op are means over -count repetitions.",
+		Benchmarks: sums,
+	}
+	if prev, err := os.ReadFile(*out); err == nil {
+		var old struct {
+			Baseline json.RawMessage `json:"baseline"`
+		}
+		if json.Unmarshal(prev, &old) == nil {
+			snap.Baseline = old.Baseline
+		}
+	}
+
+	// Deterministic key order for reviewable diffs.
+	names := make([]string, 0, len(sums))
+	for n := range sums {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var buf strings.Builder
+	buf.WriteString("{\n")
+	fmt.Fprintf(&buf, "  %q: %q,\n", "note", snap.Note)
+	if len(snap.Baseline) > 0 {
+		var indented bytes.Buffer
+		if err := json.Indent(&indented, snap.Baseline, "  ", "  "); err == nil {
+			fmt.Fprintf(&buf, "  %q: %s,\n", "baseline", indented.String())
+		}
+	}
+	buf.WriteString("  \"benchmarks\": {\n")
+	for i, n := range names {
+		r := sums[n]
+		comma := ","
+		if i == len(names)-1 {
+			comma = ""
+		}
+		fmt.Fprintf(&buf, "    %q: {\"ns_op\": %.1f, \"bytes_op\": %.0f, \"allocs_op\": %.0f}%s\n",
+			n, r.NsOp, r.BytesOp, r.AllocsOp, comma)
+	}
+	buf.WriteString("  }\n}\n")
+	if err := os.WriteFile(*out, []byte(buf.String()), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -44,7 +44,7 @@ func (s *Source) Start(sim *netsim.Simulator, end time.Duration) {
 		if s.stopped || sim.Now() >= end {
 			return
 		}
-		s.Node.Send(netsim.NewUDP(s.Node.Addr, s.Group, Port, Port, s.nextPayload()))
+		s.Node.Send(netsim.NewUDP(s.Node.Addr, s.Group, Port, Port, s.nextPayload()).Own())
 		sim.After(PacketInterval, tick)
 	}
 	sim.After(PacketInterval, tick)

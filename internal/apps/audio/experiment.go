@@ -9,8 +9,8 @@ import (
 	"planp.dev/planp/asp"
 	"planp.dev/planp/internal/netsim"
 	"planp.dev/planp/internal/netsim/loadgen"
-	"planp.dev/planp/internal/planprt"
 	"planp.dev/planp/internal/obs"
+	"planp.dev/planp/internal/planprt"
 )
 
 // Adaptation selects how the router treats audio traffic.
@@ -242,7 +242,7 @@ func RunFigure7(loadBps int64, adaptation Adaptation, engine planprt.EngineKind,
 		wire := int64(payload + netsim.IPHeaderLen + netsim.UDPHeaderLen)
 		rate := float64(loadBps) / float64(wire*8)
 		p := &loadgen.Poisson{Node: tb.LoadGen, Rate: rate, Emit: func() {
-			tb.LoadGen.Send(netsim.NewUDP(tb.LoadGen.Addr, tb.SinkAddr(), 40000, 40000, make([]byte, payload)))
+			tb.LoadGen.Send(netsim.NewUDP(tb.LoadGen.Addr, tb.SinkAddr(), 40000, 40000, make([]byte, payload)).Own())
 		}}
 		p.Start(tb.Sim, 0, dur)
 	}

@@ -59,7 +59,7 @@ func (fs *FeedbackSource) StartAdaptive(sim *netsim.Simulator, end time.Duration
 		case prims.AudioMono8:
 			payload = prims.DegradeToMono8(payload)
 		}
-		fs.Node.Send(netsim.NewUDP(fs.Node.Addr, fs.Group, Port, Port, payload))
+		fs.Node.Send(netsim.NewUDP(fs.Node.Addr, fs.Group, Port, Port, payload).Own())
 		sim.After(PacketInterval, tick)
 	}
 	sim.After(PacketInterval, tick)
@@ -131,7 +131,7 @@ func (fc *FeedbackClient) sendReport() {
 		pct = 255
 	}
 	fc.received, fc.lost = 0, 0
-	fc.Node.Send(netsim.NewUDP(fc.Node.Addr, fc.Source, FeedbackPort, FeedbackPort, []byte{byte(pct)}))
+	fc.Node.Send(netsim.NewUDP(fc.Node.Addr, fc.Source, FeedbackPort, FeedbackPort, []byte{byte(pct)}).Own())
 }
 
 // Stop halts reporting.
@@ -227,7 +227,7 @@ func (g *FeedbackLoadStep) Start(sim *netsim.Simulator, end time.Duration) {
 	for at := g.At; at < end; at += interval {
 		t := at
 		sim.At(t, func() {
-			g.Node.Send(netsim.NewUDP(g.Node.Addr, g.Dst, 40000, 40000, make([]byte, payload)))
+			g.Node.Send(netsim.NewUDP(g.Node.Addr, g.Dst, 40000, 40000, make([]byte, payload)).Own())
 		})
 	}
 }

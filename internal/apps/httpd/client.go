@@ -74,7 +74,7 @@ func (c *Client) request() {
 	}
 	c.inFlight[port] = c.Node.Sim().Now()
 	req := netsim.NewTCP(c.Node.Addr, c.Target, port, HTTPPort, 0, netsim.FlagSyn|netsim.FlagPsh, encodeRequest(entry.Size))
-	c.Node.Send(req)
+	c.Node.Send(req.Own())
 }
 
 // onPacket counts response data and completions.

@@ -26,7 +26,7 @@ func MarkServer(from *netsim.Node, gateway netsim.Addr, server netsim.Addr, down
 	}
 	payload := []byte{tag,
 		byte(server >> 24), byte(server >> 16), byte(server >> 8), byte(server)}
-	from.Send(netsim.NewUDP(from.Addr, gateway, AdminPort, AdminPort, payload))
+	from.Send(netsim.NewUDP(from.Addr, gateway, AdminPort, AdminPort, payload).Own())
 }
 
 // FailoverResult summarizes the failover timeline.

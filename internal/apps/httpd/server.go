@@ -130,7 +130,7 @@ func (s *Server) respond(req *netsim.Packet, size int) {
 		}
 		resp := netsim.NewTCP(s.Node.Addr, req.IP.Src, HTTPPort, req.TCP.SrcPort, seq, flags, make([]byte, chunk))
 		seq++
-		s.Node.Send(resp)
+		s.Node.Send(resp.Own())
 	}
 }
 

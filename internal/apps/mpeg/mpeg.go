@@ -137,7 +137,7 @@ func (s *Server) onControl(pkt *netsim.Packet) {
 		// derived from the stream id).
 		setup := []byte{byte(stream), 0xBE, 0xEF, byte(stream >> 8)}
 		resp := netsim.NewTCP(s.Node.Addr, pkt.IP.Src, ServerPort, pkt.TCP.SrcPort, 0, netsim.FlagAck, setupMsg(stream, setup))
-		s.Node.Send(resp)
+		s.Node.Send(resp.Own())
 		s.stream(conn)
 	case TagTeardown:
 		if conn, ok := s.conns[stream]; ok && conn.client == pkt.IP.Src {
@@ -158,7 +158,7 @@ func (s *Server) stream(conn *connection) {
 		conn.pos++
 		conn.seq++
 		pkt := netsim.NewUDP(s.Node.Addr, conn.client, ServerPort, DataPort, dataMsg(conn.stream, frame, conn.seq, size))
-		s.Node.Send(pkt)
+		s.Node.Send(pkt.Own())
 		s.FramesSent++
 		s.BytesSent += int64(size)
 		s.Node.Sim().After(FrameInterval, tick)
@@ -203,7 +203,7 @@ func NewClient(node *netsim.Node, server, monitor netsim.Addr, stream uint32, us
 func (c *Client) Start() {
 	if c.UseMonitor {
 		q := netsim.NewUDP(c.Node.Addr, c.Monitor, QueryPort, QueryPort, controlMsg(TagQuery, c.Stream))
-		c.Node.Send(q)
+		c.Node.Send(q.Own())
 		// If the monitor does not answer promptly (no monitor on the
 		// segment), fall back to a direct connection.
 		c.Node.Sim().After(500*time.Millisecond, func() {
@@ -219,7 +219,7 @@ func (c *Client) Start() {
 func (c *Client) connect() {
 	c.Connected = true
 	req := netsim.NewTCP(c.Node.Addr, c.Server, c.ctrlPort, ServerPort, 0, netsim.FlagSyn|netsim.FlagPsh, controlMsg(TagRequest, c.Stream))
-	c.Node.Send(req)
+	c.Node.Send(req.Own())
 }
 
 // Teardown closes the client's own connection (no-op for shared
@@ -229,7 +229,7 @@ func (c *Client) Teardown() {
 		return
 	}
 	fin := netsim.NewTCP(c.Node.Addr, c.Server, c.ctrlPort, ServerPort, 1, netsim.FlagFin|netsim.FlagPsh, controlMsg(TagTeardown, c.Stream))
-	c.Node.Send(fin)
+	c.Node.Send(fin.Own())
 }
 
 // onControl handles the server's setup response.

@@ -1,48 +1,57 @@
 // Ablation experiments: design choices DESIGN.md calls out.
-package main
+package experiments
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"planp.dev/planp/asp"
 	"planp.dev/planp/internal/apps/audio"
 	"planp.dev/planp/internal/apps/httpd"
 	"planp.dev/planp/internal/obs"
+	"planp.dev/planp/internal/par"
 )
 
 // runAblationLocus compares in-router adaptation against end-to-end
 // feedback: §3.1's argument that router-local measurement reacts
 // immediately while feedback waits for a distributed computation.
-func runAblationLocus() error {
+func runAblationLocus(w io.Writer, opts Options) error {
+	opts.fill()
+	mechs := []string{"router", "feedback"}
+	results := make([]*audio.LocusResult, len(mechs))
+	errs := make([]error, len(mechs))
+	par.ForEach(opts.Parallel, len(mechs), func(i int) {
+		results[i], errs[i] = audio.RunLocus(mechs[i], 5)
+	})
+	if err := firstErr(errs); err != nil {
+		return err
+	}
 	tbl := &obs.Table{
 		Title:   "Adaptation locus: reaction to a heavy load step",
 		Headers: []string{"mechanism", "reaction time", "gaps in transition", "segment drops after step"},
 	}
-	for _, mech := range []string{"router", "feedback"} {
-		res, err := audio.RunLocus(mech, 5)
-		if err != nil {
-			return err
-		}
+	for _, res := range results {
 		reaction := "never"
 		if res.ReactionTime > 0 {
 			reaction = res.ReactionTime.Round(time.Millisecond).String()
 		}
 		tbl.AddRow(res.Mechanism, reaction, res.GapsDuringTransition, res.DropsDuringTransition)
 	}
-	fmt.Print(tbl)
-	fmt.Println("shape check: the router reacts within its load-measurement window")
-	fmt.Println("(~250 ms). Feedback waits out its 2 s reporting interval — and its loss")
-	fmt.Println("reports themselves cross the congested segment, so reaction stretches")
-	fmt.Println("to multiple intervals. This is §3.1's case for in-router adaptation.")
+	fmt.Fprint(w, tbl)
+	fmt.Fprintln(w, "shape check: the router reacts within its load-measurement window")
+	fmt.Fprintln(w, "(~250 ms). Feedback waits out its 2 s reporting interval — and its loss")
+	fmt.Fprintln(w, "reports themselves cross the congested segment, so reaction stretches")
+	fmt.Fprintln(w, "to multiple intervals. This is §3.1's case for in-router adaptation.")
 	return nil
 }
 
 // runFailover demonstrates §5's fault-tolerance extension: a server
 // crash followed by administrator removal, with service continuing on
 // the survivor.
-func runFailover() error {
-	res, err := httpd.RunFailover(engineKind, 3)
+func runFailover(w io.Writer, opts Options) error {
+	opts.fill()
+	res, err := httpd.RunFailover(opts.Engine, 3)
 	if err != nil {
 		return err
 	}
@@ -55,16 +64,17 @@ func runFailover() error {
 	tbl.AddRow("completed after admin action", res.CompletedAfter)
 	tbl.AddRow("served by A (total)", res.ServedByA)
 	tbl.AddRow("served by B (total)", res.ServedByB)
-	fmt.Print(tbl)
-	fmt.Println("shape check: losses are confined to connections stuck to the dead")
-	fmt.Println("server during the blackout; one admin datagram restores full service.")
+	fmt.Fprint(w, tbl)
+	fmt.Fprintln(w, "shape check: losses are confined to connections stuck to the dead")
+	fmt.Fprintln(w, "server during the blackout; one admin datagram restores full service.")
 	return nil
 }
 
 // runAblationPolicy swaps the gateway ASP between balancing policies on
 // a heterogeneous cluster (server B at half capacity): §5's proposal
 // that strategies are evaluated by editing the ASP.
-func runAblationPolicy() error {
+func runAblationPolicy(w io.Writer, opts Options) error {
+	opts.fill()
 	policies := []struct {
 		name string
 		src  string
@@ -73,22 +83,27 @@ func runAblationPolicy() error {
 		{"random", asp.HTTPGatewayRandom},
 		{"least-conn", asp.HTTPGatewayLeastConn},
 	}
-	slowB := httpd.ServerConfig{Workers: 4} // half the workers of server A
 
-	tbl := &obs.Table{
-		Title:   "Load-balancing policy on a heterogeneous cluster (B at half capacity)",
-		Headers: []string{"policy", "served req/s @400 offered", "A served", "B served", "mean latency"},
+	type policyRow struct {
+		served  float64
+		servedA int64
+		servedB int64
+		lat     time.Duration
 	}
-	for _, pol := range policies {
+	rows := make([]policyRow, len(policies))
+	errs := make([]error, len(policies))
+	par.ForEach(opts.Parallel, len(policies), func(i int) {
+		slowB := httpd.ServerConfig{Workers: 4} // half the workers of server A
 		cfg := httpd.Config{
 			Variant:       httpd.VariantASPGW,
-			Engine:        engineKind,
+			Engine:        opts.Engine,
 			ServerB:       &slowB,
-			GatewaySource: pol.src,
+			GatewaySource: policies[i].src,
 		}
 		tb, err := httpd.NewTestbed(cfg)
 		if err != nil {
-			return err
+			errs[i] = err
+			return
 		}
 		tr1 := httpd.NewTrace(httpd.TraceConfig{Accesses: 20000, Documents: 2000, ZipfS: 1.2, MeanSize: 6000, Seed: 5})
 		tr2 := httpd.NewTrace(httpd.TraceConfig{Accesses: 20000, Documents: 2000, ZipfS: 1.2, MeanSize: 6000, Seed: 6})
@@ -99,12 +114,26 @@ func runAblationPolicy() error {
 		c2.Start(dur, warmup)
 		tb.Sim.RunUntil(dur + 2*time.Second)
 
-		served := float64(c1.WarmedCompleted+c2.WarmedCompleted) / (dur - warmup).Seconds()
-		lat := (c1.Latency + c2.Latency) / time.Duration(c1.Completed+c2.Completed)
-		tbl.AddRow(pol.name, served, tb.ServerA.Served, tb.ServerB.Served, lat.Round(time.Millisecond))
+		rows[i] = policyRow{
+			served:  float64(c1.WarmedCompleted+c2.WarmedCompleted) / (dur - warmup).Seconds(),
+			servedA: tb.ServerA.Served,
+			servedB: tb.ServerB.Served,
+			lat:     (c1.Latency + c2.Latency) / time.Duration(c1.Completed+c2.Completed),
+		}
+	})
+	if err := firstErr(errs); err != nil {
+		return err
 	}
-	fmt.Print(tbl)
-	fmt.Println("shape check: modulo and random overload the slow half; least-conn")
-	fmt.Println("shifts work toward the fast server and serves more at lower latency.")
+
+	tbl := &obs.Table{
+		Title:   "Load-balancing policy on a heterogeneous cluster (B at half capacity)",
+		Headers: []string{"policy", "served req/s @400 offered", "A served", "B served", "mean latency"},
+	}
+	for i, pol := range policies {
+		tbl.AddRow(pol.name, rows[i].served, rows[i].servedA, rows[i].servedB, rows[i].lat.Round(time.Millisecond))
+	}
+	fmt.Fprint(w, tbl)
+	fmt.Fprintln(w, "shape check: modulo and random overload the slow half; least-conn")
+	fmt.Fprintln(w, "shifts work toward the fast server and serves more at lower latency.")
 	return nil
 }

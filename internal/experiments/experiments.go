@@ -1,8 +1,29 @@
-// The individual experiment drivers.
-package main
+// Package experiments holds the drivers that regenerate every table and
+// figure of the paper's evaluation (§3). cmd/aspbench is a thin flag
+// wrapper around this package; the drivers live here, behind an
+// io.Writer, so the regression suite can run them in-process and
+// compare sequential against parallel output byte for byte.
+//
+// # Parallelism
+//
+// Each grid cell (one load level × one adaptation mode, one variant ×
+// one offered load, ...) builds its own Simulator and runs to
+// completion independently, so cells parallelize across a bounded
+// worker pool (internal/par). Determinism is preserved: per-cell seeds
+// are functions of the grid coordinates, results land in slots indexed
+// by cell, and table rows are assembled in index order after the pool
+// drains — Options.Parallel changes wall-clock time, never bytes.
+//
+// The two experiments that MEASURE wall-clock time (fig3's
+// code-generation table, the engines microbenchmarks) stay sequential:
+// running timing probes while sibling cells saturate the CPU would
+// perturb the numbers they exist to report.
+package experiments
 
 import (
 	"fmt"
+	"io"
+	"strings"
 	"testing"
 	"time"
 
@@ -14,9 +35,72 @@ import (
 	"planp.dev/planp/internal/lang/parser"
 	"planp.dev/planp/internal/lang/typecheck"
 	"planp.dev/planp/internal/lang/value"
-	"planp.dev/planp/internal/planprt"
 	"planp.dev/planp/internal/obs"
+	"planp.dev/planp/internal/par"
+	"planp.dev/planp/internal/planprt"
 )
+
+// Options configures a driver run.
+type Options struct {
+	// Engine is the ASP engine the experiments run with (default JIT).
+	Engine planprt.EngineKind
+	// Parallel is the worker-pool width for grid experiments; <= 1 runs
+	// every cell sequentially on the calling goroutine.
+	Parallel int
+}
+
+func (o *Options) fill() {
+	if o.Engine == "" {
+		o.Engine = planprt.EngineJIT
+	}
+	if o.Parallel < 1 {
+		o.Parallel = 1
+	}
+}
+
+// Experiment is one runnable table/figure driver.
+type Experiment struct {
+	Name string
+	Desc string
+	Run  func(w io.Writer, opts Options) error
+}
+
+// All returns the experiment list in canonical (aspbench -exp all)
+// order.
+func All() []Experiment {
+	return []Experiment{
+		{"fig3", "code-generation time for the five ASPs (paper figure 3)", runFig3},
+		{"fig6", "audio bandwidth under stepped load (paper figure 6)", runFig6},
+		{"fig7", "silent periods with/without adaptation (paper figure 7)", runFig7},
+		{"fig8", "HTTP cluster throughput vs offered load (paper figure 8)", runFig8},
+		{"mpeg", "server load vs viewers for the MPEG experiment (§3.3)", runMPEG},
+		{"engines", "per-packet engine cost: interp/bytecode/jit/native (§2.4)", runEngines},
+		{"ablation-locus", "in-router vs end-to-end feedback adaptation (§3.1 claim)", runAblationLocus},
+		{"ablation-policy", "load-balancing policies: modulo/random/least-conn (§5)", runAblationPolicy},
+		{"failover", "gateway fault tolerance: server crash + admin removal (§5)", runFailover},
+	}
+}
+
+// firstErr returns the first non-nil error of a cell-indexed slice.
+func firstErr(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// lineCount counts non-empty source lines.
+func lineCount(src string) int {
+	n := 0
+	for _, line := range strings.Split(src, "\n") {
+		if strings.TrimSpace(line) != "" {
+			n++
+		}
+	}
+	return n
+}
 
 // paperFig3 holds the paper's reported numbers for comparison columns.
 var paperFig3 = map[string]struct {
@@ -33,8 +117,10 @@ var paperFig3 = map[string]struct {
 // runFig3 measures code-generation time per program per engine. The
 // paper's absolute numbers are 1998 hardware with Tempo's template
 // assembly; what must hold is the ordering (more lines, more time) and
-// that generation is far below any per-download budget.
-func runFig3() error {
+// that generation is far below any per-download budget. Sequential and
+// uncached by design: it times the compiler.
+func runFig3(w io.Writer, opts Options) error {
+	opts.fill()
 	tbl := &obs.Table{
 		Title:   "Figure 3: code generation time",
 		Headers: []string{"program", "lines", "paper-lines", "paper-ms", "jit-us", "bytecode-us", "check-us"},
@@ -45,8 +131,7 @@ func runFig3() error {
 			return err
 		}
 		checkStart := time.Now()
-		info, err := typecheck.Check(prog)
-		if err != nil {
+		if _, err := typecheck.Check(prog); err != nil {
 			return err
 		}
 		checkTime := time.Since(checkStart)
@@ -55,7 +140,7 @@ func runFig3() error {
 			const reps = 51
 			times := make([]time.Duration, 0, reps)
 			for i := 0; i < reps; i++ {
-				pl, err := planprt.Load(p.Source, planprt.Config{Engine: engine, Verify: planprt.VerifyPrivileged})
+				pl, err := planprt.Load(p.Source, planprt.Config{Engine: engine, Verify: planprt.VerifyPrivileged, NoCache: true})
 				if err != nil {
 					panic(err)
 				}
@@ -68,27 +153,27 @@ func runFig3() error {
 			}
 			return times[len(times)/2]
 		}
-		_ = info
 		ref := paperFig3[p.Name]
 		tbl.AddRow(p.Name, lineCount(p.Source), ref.lines, ref.ms,
 			float64(median(planprt.EngineJIT).Nanoseconds())/1000,
 			float64(median(planprt.EngineBytecode).Nanoseconds())/1000,
 			float64(checkTime.Nanoseconds())/1000)
 	}
-	fmt.Print(tbl)
-	fmt.Println("shape check: generation time grows with program size, and all times are")
-	fmt.Println("orders of magnitude below a per-download budget (the paper's point).")
+	fmt.Fprint(w, tbl)
+	fmt.Fprintln(w, "shape check: generation time grows with program size, and all times are")
+	fmt.Fprintln(w, "orders of magnitude below a per-download budget (the paper's point).")
 	return nil
 }
 
-func runFig6() error {
-	tb, err := audio.NewTestbed(audio.Options{Adaptation: audio.AdaptASP, Engine: engineKind})
+func runFig6(w io.Writer, opts Options) error {
+	opts.fill()
+	tb, err := audio.NewTestbed(audio.Options{Adaptation: audio.AdaptASP, Engine: opts.Engine})
 	if err != nil {
 		return err
 	}
 	res := tb.RunFigure6()
-	fmt.Println("audio data rate at the client, one sample per 10 s of virtual time:")
-	fmt.Print(res.Series.Render(10 * time.Second))
+	fmt.Fprintln(w, "audio data rate at the client, one sample per 10 s of virtual time:")
+	fmt.Fprint(w, res.Series.Render(10*time.Second))
 	tbl := &obs.Table{
 		Title:   "Figure 6 phases (paper: 176 -> 44 -> oscillating 44-88 -> 88 kb/s)",
 		Headers: []string{"phase", "load", "measured kb/s", "paper kb/s"},
@@ -97,82 +182,99 @@ func runFig6() error {
 	tbl.AddRow("100-220s", "large", res.LargeKbps, 44)
 	tbl.AddRow("220-340s", "medium", res.MediumKbps, "44-88 (oscillates)")
 	tbl.AddRow("340-460s", "small", res.SmallKbps, 88)
-	fmt.Print(tbl)
-	fmt.Printf("medium phase oscillates between 8- and 16-bit mono: %v\n", res.MediumOscillates)
+	fmt.Fprint(w, tbl)
+	fmt.Fprintf(w, "medium phase oscillates between 8- and 16-bit mono: %v\n", res.MediumOscillates)
 	return nil
 }
 
-func runFig7() error {
+func runFig7(w io.Writer, opts Options) error {
+	opts.fill()
+	loads := audio.Figure7Loads
+	modes := []audio.Adaptation{audio.AdaptNone, audio.AdaptASP}
+	rows := make([]*audio.Figure7Row, len(loads)*len(modes))
+	errs := make([]error, len(rows))
+	par.Grid2(opts.Parallel, len(loads), len(modes), func(i, j int) {
+		k := i*len(modes) + j
+		rows[k], errs[k] = audio.RunFigure7(loads[i], modes[j], opts.Engine, 60*time.Second, 11)
+	})
+	if err := firstErr(errs); err != nil {
+		return err
+	}
 	tbl := &obs.Table{
 		Title:   "Figure 7: silent periods during 60 s of playback",
 		Headers: []string{"background load", "adaptation", "silent periods", "lost packets", "stalls", "packets", "segment drops"},
 	}
-	for _, load := range audio.Figure7Loads {
-		for _, mode := range []audio.Adaptation{audio.AdaptNone, audio.AdaptASP} {
-			row, err := audio.RunFigure7(load, mode, engineKind, 60*time.Second, 11)
-			if err != nil {
-				return err
-			}
+	for i, load := range loads {
+		for j, mode := range modes {
+			row := rows[i*len(modes)+j]
 			tbl.AddRow(fmt.Sprintf("%.1f Mb/s", float64(load)/1e6), mode.String(),
 				row.SilentPeriods, row.LostPackets, row.Stalls, row.Received, row.SegDrops)
 		}
 	}
-	fmt.Print(tbl)
-	fmt.Println("shape check: without adaptation, gaps appear once the segment saturates;")
-	fmt.Println("with the ASP the audio shrinks to fit and playback stays continuous.")
+	fmt.Fprint(w, tbl)
+	fmt.Fprintln(w, "shape check: without adaptation, gaps appear once the segment saturates;")
+	fmt.Fprintln(w, "with the ASP the audio shrinks to fit and playback stays continuous.")
 	return nil
 }
 
-func runFig8() error {
+func runFig8(w io.Writer, opts Options) error {
+	opts.fill()
 	variants := []httpd.Variant{httpd.VariantSingle, httpd.VariantNativeGW, httpd.VariantASPGW, httpd.VariantDisjoint}
+	sweep := httpd.DefaultSweep
+	pts := make([]*httpd.Point, len(variants)*len(sweep))
+	errs := make([]error, len(pts))
+	par.Grid2(opts.Parallel, len(variants), len(sweep), func(i, j int) {
+		k := i*len(sweep) + j
+		pts[k], errs[k] = httpd.RunPoint(httpd.Config{Variant: variants[i], Engine: opts.Engine}, sweep[j], 12*time.Second, 3*time.Second)
+	})
+	if err := firstErr(errs); err != nil {
+		return err
+	}
 	tbl := &obs.Table{
 		Title:   "Figure 8: served throughput (req/s) vs offered load",
 		Headers: []string{"offered", "(d) single", "(b) native gw", "(c) ASP gw", "(a) 2 disjoint"},
 	}
-	results := map[httpd.Variant][]float64{}
-	for _, v := range variants {
-		for _, offered := range httpd.DefaultSweep {
-			pt, err := httpd.RunPoint(httpd.Config{Variant: v, Engine: engineKind}, offered, 12*time.Second, 3*time.Second)
-			if err != nil {
-				return err
-			}
-			results[v] = append(results[v], pt.ServedRPS)
-		}
+	for j, offered := range sweep {
+		tbl.AddRow(offered, pts[0*len(sweep)+j].ServedRPS, pts[1*len(sweep)+j].ServedRPS,
+			pts[2*len(sweep)+j].ServedRPS, pts[3*len(sweep)+j].ServedRPS)
 	}
-	for i, offered := range httpd.DefaultSweep {
-		tbl.AddRow(offered, results[httpd.VariantSingle][i], results[httpd.VariantNativeGW][i],
-			results[httpd.VariantASPGW][i], results[httpd.VariantDisjoint][i])
-	}
-	fmt.Print(tbl)
+	fmt.Fprint(w, tbl)
 
-	sat := map[httpd.Variant]float64{}
-	for _, v := range variants {
-		s, err := httpd.Saturation(httpd.Config{Variant: v, Engine: engineKind}, 20*time.Second)
-		if err != nil {
-			return err
-		}
-		sat[v] = s
+	sat := make([]float64, len(variants))
+	satErrs := make([]error, len(variants))
+	par.ForEach(opts.Parallel, len(variants), func(i int) {
+		sat[i], satErrs[i] = httpd.Saturation(httpd.Config{Variant: variants[i], Engine: opts.Engine}, 20*time.Second)
+	})
+	if err := firstErr(satErrs); err != nil {
+		return err
 	}
-	fmt.Printf("\nsaturation: single=%.0f  native-gw=%.0f  asp-gw=%.0f  disjoint=%.0f req/s\n",
-		sat[httpd.VariantSingle], sat[httpd.VariantNativeGW], sat[httpd.VariantASPGW], sat[httpd.VariantDisjoint])
-	fmt.Printf("paper claims:  ASP==native: %.2fx   cluster/single: %.2fx (paper 1.75)   cluster/disjoint: %.2f (paper ~0.85)\n",
-		sat[httpd.VariantASPGW]/sat[httpd.VariantNativeGW],
-		sat[httpd.VariantASPGW]/sat[httpd.VariantSingle],
-		sat[httpd.VariantASPGW]/sat[httpd.VariantDisjoint])
+	fmt.Fprintf(w, "\nsaturation: single=%.0f  native-gw=%.0f  asp-gw=%.0f  disjoint=%.0f req/s\n",
+		sat[0], sat[1], sat[2], sat[3])
+	fmt.Fprintf(w, "paper claims:  ASP==native: %.2fx   cluster/single: %.2fx (paper 1.75)   cluster/disjoint: %.2f (paper ~0.85)\n",
+		sat[2]/sat[1], sat[2]/sat[0], sat[2]/sat[3])
 	return nil
 }
 
-func runMPEG() error {
+func runMPEG(w io.Writer, opts Options) error {
+	opts.fill()
+	viewerCounts := []int{1, 2, 4, 8}
+	aspModes := []bool{false, true}
+	results := make([]*mpeg.Result, len(viewerCounts)*len(aspModes))
+	errs := make([]error, len(results))
+	par.Grid2(opts.Parallel, len(viewerCounts), len(aspModes), func(i, j int) {
+		k := i*len(aspModes) + j
+		results[k], errs[k] = mpeg.Run(mpeg.Options{Viewers: viewerCounts[i], UseASPs: aspModes[j], Engine: opts.Engine}, 20*time.Second)
+	})
+	if err := firstErr(errs); err != nil {
+		return err
+	}
 	tbl := &obs.Table{
 		Title:   "MPEG experiment (§3.3): server load vs viewers on one segment",
 		Headers: []string{"viewers", "ASPs", "server connections", "server frames", "min viewer frames"},
 	}
-	for _, viewers := range []int{1, 2, 4, 8} {
-		for _, useASPs := range []bool{false, true} {
-			res, err := mpeg.Run(mpeg.Options{Viewers: viewers, UseASPs: useASPs, Engine: engineKind}, 20*time.Second)
-			if err != nil {
-				return err
-			}
+	for i, viewers := range viewerCounts {
+		for j, useASPs := range aspModes {
+			res := results[i*len(aspModes)+j]
 			minFrames := res.ViewerFrames[0]
 			for _, f := range res.ViewerFrames {
 				if f < minFrames {
@@ -182,16 +284,18 @@ func runMPEG() error {
 			tbl.AddRow(viewers, useASPs, res.ServerConnections, res.ServerFrames, minFrames)
 		}
 	}
-	fmt.Print(tbl)
-	fmt.Println("shape check: with the ASPs, server connections and frames stay flat as")
-	fmt.Println("viewers multiply; every viewer still receives the stream.")
+	fmt.Fprint(w, tbl)
+	fmt.Fprintln(w, "shape check: with the ASPs, server connections and frames stay flat as")
+	fmt.Fprintln(w, "viewers multiply; every viewer still receives the stream.")
 	return nil
 }
 
 // runEngines microbenchmarks the per-packet cost of one load-balancer
 // invocation under each engine plus a native Go handler — the §2.4
-// claim: the JIT removes interpretation overhead.
-func runEngines() error {
+// claim: the JIT removes interpretation overhead. Sequential by design
+// (wall-clock measurements).
+func runEngines(w io.Writer, opts Options) error {
+	opts.fill()
 	info, err := loadGatewayInfo()
 	if err != nil {
 		return err
@@ -202,11 +306,10 @@ func runEngines() error {
 		Title:   "Per-packet channel invocation cost (load-balancer ASP)",
 		Headers: []string{"engine", "ns/op", "vs native", "allocs/op"},
 	}
-	var nativeNs float64
 	native := testing.Benchmark(func(b *testing.B) {
 		benchNative(b, pkt)
 	})
-	nativeNs = float64(native.NsPerOp())
+	nativeNs := float64(native.NsPerOp())
 	for _, eng := range []planprt.EngineKind{planprt.EngineInterp, planprt.EngineBytecode, planprt.EngineJIT} {
 		r, err := benchEngine(eng, info, pkt)
 		if err != nil {
@@ -215,11 +318,11 @@ func runEngines() error {
 		tbl.AddRow(string(eng), r.NsPerOp(), float64(r.NsPerOp())/nativeNs, r.AllocsPerOp())
 	}
 	tbl.AddRow("native-go", native.NsPerOp(), 1.0, native.AllocsPerOp())
-	fmt.Print(tbl)
-	fmt.Println("note: the gateway's cost is dominated by hash-table primitives shared by")
-	fmt.Println("all engines, which compresses the spread. The kernel below isolates pure")
-	fmt.Println("language execution, where specialization pays in full:")
-	fmt.Println()
+	fmt.Fprint(w, tbl)
+	fmt.Fprintln(w, "note: the gateway's cost is dominated by hash-table primitives shared by")
+	fmt.Fprintln(w, "all engines, which compresses the spread. The kernel below isolates pure")
+	fmt.Fprintln(w, "language execution, where specialization pays in full:")
+	fmt.Fprintln(w)
 
 	tbl2 := &obs.Table{
 		Title:   "Per-packet cost, compute-bound classification kernel",
@@ -242,9 +345,9 @@ func runEngines() error {
 	for _, row := range rows {
 		tbl2.AddRow(row.eng, row.r.NsPerOp(), float64(row.r.NsPerOp())/jitNs, row.r.AllocsPerOp())
 	}
-	fmt.Print(tbl2)
-	fmt.Println("shape check: interp >> bytecode > jit (the paper: JIT output is as fast")
-	fmt.Println("as in-kernel C; here the jit engine approaches the hand-written handler).")
+	fmt.Fprint(w, tbl2)
+	fmt.Fprintln(w, "shape check: interp >> bytecode > jit (the paper: JIT output is as fast")
+	fmt.Fprintln(w, "as in-kernel C; here the jit engine approaches the hand-written handler).")
 	return nil
 }
 

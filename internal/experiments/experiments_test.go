@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+// deterministic lists the drivers whose output is a pure function of
+// their seeds — everything except fig3 and engines, which print
+// wall-clock measurements.
+var deterministic = []string{
+	"fig6", "fig7", "fig8", "mpeg", "ablation-locus", "ablation-policy", "failover",
+}
+
+// slow marks the experiments skipped under the race detector (each is
+// tens of seconds at -race; the remaining grids cover the same sharing
+// surfaces).
+var slow = map[string]bool{"fig8": true, "ablation-policy": true, "fig7": true}
+
+func find(t *testing.T, name string) Experiment {
+	t.Helper()
+	for _, e := range All() {
+		if e.Name == name {
+			return e
+		}
+	}
+	t.Fatalf("experiment %q not registered", name)
+	return Experiment{}
+}
+
+// TestParallelOutputMatchesSequential is the driver-level acceptance
+// gate: for every deterministic experiment, a 4-worker run must be
+// byte-identical to the sequential run. (cmd/aspbench adds only the
+// per-experiment banner and the wall-clock footer around these bytes,
+// so this is `aspbench -exp all -parallel 4` vs `-parallel 1` modulo
+// the footer.)
+func TestParallelOutputMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every deterministic experiment twice")
+	}
+	for _, name := range deterministic {
+		if raceEnabled && slow[name] {
+			continue
+		}
+		name := name
+		t.Run(name, func(t *testing.T) {
+			e := find(t, name)
+			var seq, par bytes.Buffer
+			if err := e.Run(&seq, Options{Parallel: 1}); err != nil {
+				t.Fatalf("sequential: %v", err)
+			}
+			if err := e.Run(&par, Options{Parallel: 4}); err != nil {
+				t.Fatalf("parallel: %v", err)
+			}
+			if seq.String() != par.String() {
+				t.Errorf("output differs between -parallel 1 and -parallel 4:\n%s", firstDiff(seq.String(), par.String()))
+			}
+		})
+	}
+}
+
+// firstDiff returns the first differing line pair for a readable
+// failure message.
+func firstDiff(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if al[i] != bl[i] {
+			return "line " + string(rune('0'+i%10)) + ":\n  seq: " + al[i] + "\n  par: " + bl[i]
+		}
+	}
+	return "length mismatch"
+}
+
+// TestExperimentRegistry pins the canonical names cmd/aspbench exposes.
+func TestExperimentRegistry(t *testing.T) {
+	want := []string{"fig3", "fig6", "fig7", "fig8", "mpeg", "engines", "ablation-locus", "ablation-policy", "failover"}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
+	}
+	for i, e := range all {
+		if e.Name != want[i] {
+			t.Errorf("registry[%d] = %q, want %q", i, e.Name, want[i])
+		}
+		if e.Desc == "" || e.Run == nil {
+			t.Errorf("registry[%d] %q incomplete", i, e.Name)
+		}
+	}
+}
+
+// TestDriversWriteOnlyToWriter ensures a driver never prints to
+// process-global stdout: run one cheap experiment and require
+// everything to land in the passed writer (non-empty output).
+func TestDriversWriteOnlyToWriter(t *testing.T) {
+	var buf bytes.Buffer
+	if err := find(t, "ablation-locus").Run(&buf, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("driver produced no output on the provided writer")
+	}
+	if err := find(t, "failover").Run(io.Discard, Options{}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceEnabled gates the slowest byte-identity cases: under the race
+// detector a full figure-8 sweep takes minutes, and one representative
+// grid per driver family is enough to catch cross-cell sharing.
+const raceEnabled = true

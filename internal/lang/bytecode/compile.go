@@ -68,6 +68,10 @@ func Compile(info *typecheck.Info) (engine.Compiled, error) {
 func (c *compiled) EngineName() string    { return "bytecode" }
 func (c *compiled) Info() *typecheck.Info { return c.info }
 
+// Shareable: code objects are read-only after compilation; the VM
+// allocates a fresh register frame per execution.
+func (c *compiled) Shareable() bool { return true }
+
 // DisasmAll renders every code object (for cmd/planp -disasm).
 func (c *compiled) DisasmAll() string {
 	var out string

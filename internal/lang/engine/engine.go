@@ -38,6 +38,14 @@ type Compiled interface {
 	// initstate, returning the mutable per-download state. Each
 	// download of a protocol onto a node gets its own instance.
 	NewInstance(ctx prims.Context) (*Instance, error)
+	// Shareable reports whether instances of this artifact may run on
+	// DIFFERENT simulators concurrently. An artifact whose generated
+	// code keeps any mutable state outside the Instance (the JIT's
+	// per-call-site argument buffers) must return false; the program
+	// cache then recompiles per load instead of sharing the artifact.
+	// Instances within one simulator are always fine either way — a
+	// simulation is single-threaded.
+	Shareable() bool
 }
 
 // Instance is a downloaded protocol's mutable state: the shared protocol

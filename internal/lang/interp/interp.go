@@ -37,6 +37,10 @@ func Compile(info *typecheck.Info) (engine.Compiled, error) {
 func (c *compiled) EngineName() string    { return "interp" }
 func (c *compiled) Info() *typecheck.Info { return c.info }
 
+// Shareable: the artifact is just the read-only AST; every invocation
+// allocates its own frame and every instance its own globals.
+func (c *compiled) Shareable() bool { return true }
+
 func (c *compiled) NewInstance(ctx prims.Context) (*engine.Instance, error) {
 	ev := &evaluator{info: c.info, ctx: ctx}
 	// Top-level vals evaluate in declaration order; later initializers

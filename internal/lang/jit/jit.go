@@ -98,6 +98,11 @@ func paramTypes(params []ast.Param) []ast.Type {
 func (c *compiled) EngineName() string    { return "jit" }
 func (c *compiled) Info() *typecheck.Info { return c.info }
 
+// Shareable: NO — specialized closures reuse per-call-site argument and
+// callee-frame buffers (see compileCall), so all instances of one
+// artifact must stay on a single simulator thread.
+func (c *compiled) Shareable() bool { return false }
+
 func (c *compiled) NewInstance(ctx prims.Context) (inst *engine.Instance, err error) {
 	defer func() {
 		if r := recover(); r != nil {

@@ -476,3 +476,33 @@ func TestMPEGPrimitives(t *testing.T) {
 		t.Error("mpegFrameType on non-data must raise")
 	}
 }
+
+// TestAudioDegradeLeavesInputIntact pins the copy-on-write contract the
+// packet layer relies on: every degrade/restore primitive builds a
+// fresh output slice and never writes through its input. (netsim's
+// Packet.Clone shares payload bytes between clones, so an in-place
+// rewrite here would corrupt other packets holding the same slice.)
+func TestAudioDegradeLeavesInputIntact(t *testing.T) {
+	b := make([]byte, AudioHeaderLen+4*4)
+	b[0] = AudioStereo16
+	b[4] = 3
+	for i := AudioHeaderLen; i < len(b); i++ {
+		b[i] = byte(i * 7)
+	}
+	orig := append([]byte(nil), b...)
+	for _, fn := range []func([]byte) []byte{DegradeToMono16, DegradeToMono8, RestoreStereo16} {
+		out := fn(b)
+		if string(b) != string(orig) {
+			t.Fatalf("degrade primitive mutated its input")
+		}
+		if len(out) > 0 && len(b) > 0 && &out[0] == &b[0] && out[0] != b[0] {
+			t.Fatalf("degrade returned an aliasing slice with different content")
+		}
+	}
+	// A format already at target quality may return the input unchanged
+	// (that is sharing, not mutation) — but converting formats must not.
+	mono := DegradeToMono16(b)
+	if &mono[0] == &b[0] {
+		t.Fatal("stereo->mono conversion must return a fresh slice")
+	}
+}

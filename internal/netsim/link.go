@@ -179,7 +179,7 @@ func (l *Link) Transmit(from *Iface, pkt *Packet) {
 	}
 
 	arrive := dir.busyUntil + l.delay
-	l.sim.At(arrive, func() { dst.Node.Receive(pkt, dst) })
+	l.sim.atReceive(arrive, pkt, dst)
 }
 
 // ---------------------------------------------------------------------------
@@ -258,15 +258,23 @@ func (s *Segment) Transmit(from *Iface, pkt *Packet) {
 	}
 
 	arrive := s.busyUntil + s.delay
+	// Broadcast delivery shares one packet pointer among all receivers,
+	// so with more than one the packet can no longer be exclusively
+	// owned by any of them (see Packet ownership).
+	receivers := 0
 	for _, ifc := range s.ifaces {
-		if ifc == from {
+		if ifc != from && ifc.wantsFrame(pkt) {
+			receivers++
+		}
+	}
+	if receivers > 1 {
+		pkt.Disown()
+	}
+	for _, ifc := range s.ifaces {
+		if ifc == from || !ifc.wantsFrame(pkt) {
 			continue
 		}
-		dst := ifc
-		if !dst.wantsFrame(pkt) {
-			continue
-		}
-		s.sim.At(arrive, func() { dst.Node.Receive(pkt, dst) })
+		s.sim.atReceive(arrive, pkt, ifc)
 	}
 }
 

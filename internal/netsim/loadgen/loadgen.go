@@ -57,9 +57,9 @@ func (g *Generator) Start(sim *netsim.Simulator, end time.Duration) {
 					return
 				}
 				pkt := netsim.NewUDP(g.Node.Addr, g.Dst, 40000, g.DstPort, payload)
-				g.Node.Send(pkt)
 				g.sent++
 				g.sentBytes += int64(pkt.Size())
+				g.Node.Send(pkt.Own())
 			})
 		}
 	}

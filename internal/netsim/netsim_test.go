@@ -306,13 +306,31 @@ func TestAddrParsing(t *testing.T) {
 	}
 }
 
-func TestPacketCloneIsDeep(t *testing.T) {
+func TestPacketCloneCopyOnWrite(t *testing.T) {
 	p := NewTCP(MustAddr("1.1.1.1"), MustAddr("2.2.2.2"), 10, 80, 42, FlagSyn, []byte("abc"))
 	q := p.Clone()
+	q.IP.Dst = MustAddr("3.3.3.3")
+	if p.IP.Dst != MustAddr("2.2.2.2") {
+		t.Error("Clone shares the IP header with the original")
+	}
+	if q.TCP != p.TCP {
+		t.Error("Clone should share the transport header struct")
+	}
+	if len(q.Payload) != len(p.Payload) || (len(q.Payload) > 0 && &q.Payload[0] != &p.Payload[0]) {
+		t.Error("Clone should share the payload bytes")
+	}
+	if !q.owned {
+		t.Error("Clone result should be exclusively owned by the caller")
+	}
+}
+
+func TestPacketCloneMutIsDeep(t *testing.T) {
+	p := NewTCP(MustAddr("1.1.1.1"), MustAddr("2.2.2.2"), 10, 80, 42, FlagSyn, []byte("abc"))
+	q := p.CloneMut()
 	q.IP.Dst = MustAddr("3.3.3.3")
 	q.TCP.DstPort = 8080
 	q.Payload[0] = 'X'
 	if p.IP.Dst != MustAddr("2.2.2.2") || p.TCP.DstPort != 80 || p.Payload[0] != 'a' {
-		t.Error("Clone shares state with the original")
+		t.Error("CloneMut shares state with the original")
 	}
 }

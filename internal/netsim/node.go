@@ -15,6 +15,12 @@ import (
 // receives from the network, before standard IP processing. Returning
 // true means the program handled the packet (forwarded, delivered, or
 // dropped it); false falls through to standard behavior.
+//
+// A Processor must not mutate pkt (build a Clone/CloneMut to rewrite)
+// and must not retain pkt beyond the call unless it returns true:
+// on false the substrate may reuse the packet in place for the next
+// forwarding hop. Retaining the payload slice is always safe — payload
+// bytes are immutable once transmitted.
 type Processor interface {
 	Process(pkt *Packet, in *Iface) bool
 }
@@ -256,6 +262,20 @@ func (n *Node) Send(pkt *Packet) {
 // packet was sent anywhere.
 func (n *Node) transmit(pkt *Packet, in *Iface) bool {
 	if pkt.IP.Dst.IsMulticast() {
+		// Multicast fan-out shares one packet pointer across the outgoing
+		// media, so with more than one destination nobody downstream may
+		// reuse it in place.
+		if pkt.owned {
+			outs := 0
+			for _, ifc := range n.mroutes[pkt.IP.Dst] {
+				if ifc != in {
+					outs++
+				}
+			}
+			if outs > 1 {
+				pkt.Disown()
+			}
+		}
 		sent := false
 		for _, ifc := range n.mroutes[pkt.IP.Dst] {
 			if ifc == in {
@@ -291,7 +311,7 @@ func (n *Node) Receive(pkt *Packet, in *Iface) {
 			start = n.cpuBusyUntil
 		}
 		n.cpuBusyUntil = start + n.PerPacketCPU
-		n.sim.At(n.cpuBusyUntil, func() { n.receiveNow(pkt, in) })
+		n.sim.atReceiveNow(n.cpuBusyUntil, n, pkt, in)
 		return
 	}
 	n.receiveNow(pkt, in)
@@ -300,8 +320,13 @@ func (n *Node) Receive(pkt *Packet, in *Iface) {
 func (n *Node) receiveNow(pkt *Packet, in *Iface) {
 	n.ct.rxPkts.Inc()
 	n.ct.rxBytes.Add(int64(pkt.Size()))
-	for _, tap := range n.taps {
-		tap(pkt)
+	if len(n.taps) > 0 {
+		// A tap may retain the packet, so it can no longer be reused in
+		// place by a downstream forward.
+		pkt.Disown()
+		for _, tap := range n.taps {
+			tap(pkt)
+		}
 	}
 	if n.Processor != nil && n.Processor.Process(pkt, in) {
 		return
@@ -335,6 +360,9 @@ func (n *Node) defaultProcess(pkt *Packet, in *Iface) {
 func (n *Node) DeliverLocal(pkt *Packet) { n.deliverLocal(pkt) }
 
 func (n *Node) deliverLocal(pkt *Packet) {
+	// Applications may retain delivered packets; the pointer leaves the
+	// delivery chain here.
+	pkt.Disown()
 	n.ct.dlvPkts.Inc()
 	if n.sim.bus.Active() {
 		n.emit(KindDeliver, pkt, "")
@@ -368,7 +396,13 @@ func (n *Node) forward(pkt *Packet, in *Iface) {
 		n.drop(pkt, "ttl")
 		return
 	}
-	fwd := pkt.Clone()
+	// An owned packet's only live reference is this delivery, so the hop
+	// copy is elided: decrement TTL in place and send the same packet on.
+	// This is the zero-allocation forward path.
+	fwd := pkt
+	if !pkt.owned {
+		fwd = pkt.Clone()
+	}
 	fwd.IP.TTL--
 	if n.transmit(fwd, in) {
 		n.ct.fwdPkts.Inc()

@@ -56,7 +56,25 @@ type UDPHeader struct {
 
 // Packet is one datagram in flight. Packets are passed by pointer but
 // treated as immutable once transmitted; rewriting protocols build a
-// modified Clone.
+// modified Clone (header rewrites) or CloneMut (payload rewrites).
+//
+// # Copy-on-write ownership
+//
+// Because transmitted packets are immutable, Clone is a copy-on-write
+// shallow copy: the clone shares the payload bytes and the transport
+// header structs with the original. Code that needs to mutate payload
+// BYTES in place must use CloneMut (a deep copy); every in-tree rewriter
+// (audio degradation, gateway address rewriting) instead builds fresh
+// payload slices, which is equally safe.
+//
+// The unexported owned flag supports the zero-allocation forward path:
+// it marks a packet whose ONLY live reference is the delivery chain it
+// is currently on (freshly built hop copies and runtime-encoded sends).
+// A router receiving an owned packet may reuse it in place for the next
+// hop — decrement TTL, retransmit — instead of cloning. Ownership is
+// deliberately conservative: it is cleared whenever the pointer becomes
+// visible to more than one party (broadcast/multicast fan-out, taps,
+// local delivery).
 type Packet struct {
 	IP      IPHeader
 	TCP     *TCPHeader // exactly one of TCP/UDP is set for transport traffic
@@ -67,7 +85,26 @@ type Packet struct {
 	// was sent on; empty for ordinary traffic (handled by "network"
 	// channels, §2).
 	ChanTag string
+
+	// owned marks a packet exclusively referenced by its current
+	// delivery chain (see the ownership comment above).
+	owned bool
 }
+
+// Own asserts that the caller holds the only live reference to p and
+// relinquishes it: after transmitting an owned packet the caller must
+// not read or write it again. Senders that build a fresh packet per send
+// (load generators, sources) call this so downstream routers can forward
+// the packet in place without cloning. It returns p for use in send
+// expressions.
+func (p *Packet) Own() *Packet {
+	p.owned = true
+	return p
+}
+
+// Disown clears exclusive ownership (the pointer is about to be shared
+// with more than one party, so nobody may reuse the packet in place).
+func (p *Packet) Disown() { p.owned = false }
 
 // Size returns the on-wire size in bytes (headers + payload).
 func (p *Packet) Size() int {
@@ -84,9 +121,23 @@ func (p *Packet) Size() int {
 	return n
 }
 
-// Clone returns a deep copy (headers and payload).
+// Clone returns a copy-on-write shallow copy: a fresh Packet (so the IP
+// header — the part rewriting protocols and per-hop forwarding mutate —
+// is independent) sharing the payload bytes and transport header structs
+// with the original. Transmitted packets are immutable, so sharing is
+// never observable; callers that will mutate payload bytes or transport
+// header fields must use CloneMut. The clone is exclusively owned by the
+// caller.
 func (p *Packet) Clone() *Packet {
-	q := &Packet{IP: p.IP, ChanTag: p.ChanTag}
+	q := &Packet{IP: p.IP, TCP: p.TCP, UDP: p.UDP, Payload: p.Payload, ChanTag: p.ChanTag, owned: true}
+	return q
+}
+
+// CloneMut returns a deep copy (headers and payload): the explicit path
+// for protocols that genuinely rewrite bytes or transport headers in
+// place rather than building replacement slices.
+func (p *Packet) CloneMut() *Packet {
+	q := &Packet{IP: p.IP, ChanTag: p.ChanTag, owned: true}
 	if p.TCP != nil {
 		tcp := *p.TCP
 		q.TCP = &tcp

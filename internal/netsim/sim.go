@@ -15,7 +15,6 @@
 package netsim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -67,17 +66,40 @@ func (s *Simulator) Events() *obs.Bus { return s.bus }
 // node and runtime statistics are read from.
 func (s *Simulator) Metrics() *obs.Registry { return s.reg }
 
-// At schedules fn at absolute virtual time t (clamped to now).
+// At schedules fn at absolute virtual time t (clamped to now). It does
+// not allocate: the event is stored by value in the queue (append growth
+// amortizes to zero).
 func (s *Simulator) At(t time.Duration, fn func()) {
 	if t < s.now {
 		t = s.now
 	}
 	s.seq++
-	heap.Push(&s.queue, &event{at: t, seq: s.seq, fn: fn})
+	s.queue.push(event{at: t, seq: s.seq, fn: fn})
 }
 
 // After schedules fn d after the current time.
 func (s *Simulator) After(d time.Duration, fn func()) { s.At(s.now+d, fn) }
+
+// atReceive schedules delivery of pkt to dst's node at absolute time t.
+// Media use this instead of At so the packet hot path never allocates a
+// closure: the packet and interface ride inside the event value.
+func (s *Simulator) atReceive(t time.Duration, pkt *Packet, dst *Iface) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	s.queue.push(event{at: t, seq: s.seq, kind: evReceive, pkt: pkt, ifc: dst})
+}
+
+// atReceiveNow schedules the post-CPU half of Node.Receive (the node's
+// CPU frees up at t and processes pkt, which arrived on in).
+func (s *Simulator) atReceiveNow(t time.Duration, n *Node, pkt *Packet, in *Iface) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	s.queue.push(event{at: t, seq: s.seq, kind: evReceiveNow, node: n, pkt: pkt, ifc: in})
+}
 
 // runLoop is the single event-processing core every Run variant wraps:
 // process events in timestamp order until the queue drains, the next
@@ -85,17 +107,23 @@ func (s *Simulator) After(d time.Duration, fn func()) { s.At(s.now+d, fn) }
 // (when maxEvents > 0). It returns the number of events processed.
 func (s *Simulator) runLoop(deadline time.Duration, hasDeadline bool, maxEvents int) int {
 	n := 0
-	for len(s.queue) > 0 {
+	for s.queue.len() > 0 {
 		if maxEvents > 0 && n >= maxEvents {
 			return n
 		}
-		ev := s.queue[0]
-		if hasDeadline && ev.at > deadline {
+		if hasDeadline && s.queue.ev[0].at > deadline {
 			break
 		}
-		heap.Pop(&s.queue)
+		ev := s.queue.pop()
 		s.now = ev.at
-		ev.fn()
+		switch ev.kind {
+		case evFunc:
+			ev.fn()
+		case evReceive:
+			ev.ifc.Node.Receive(ev.pkt, ev.ifc)
+		case evReceiveNow:
+			ev.node.receiveNow(ev.pkt, ev.ifc)
+		}
 		n++
 	}
 	if hasDeadline && s.now < deadline {
@@ -137,48 +165,139 @@ func (s *Simulator) Node(a Addr) *Node { return s.nodes[a] }
 // NodeByName returns the node with the given name, or nil.
 func (s *Simulator) NodeByName(name string) *Node { return s.nameIx[name] }
 
-// event is one scheduled callback; seq breaks timestamp ties FIFO.
+// evKind discriminates what an event executes on dispatch. The packet
+// kinds exist so the media's per-packet scheduling carries the payload
+// inside the event value instead of a heap-allocated closure.
+type evKind uint8
+
+const (
+	evFunc       evKind = iota // run fn
+	evReceive                  // ifc.Node.Receive(pkt, ifc)
+	evReceiveNow               // node.receiveNow(pkt, ifc) — post-CPU half
+)
+
+// event is one scheduled occurrence, stored by value in the queue; seq
+// breaks timestamp ties FIFO.
 type event struct {
-	at  time.Duration
-	seq uint64
-	fn  func()
+	at   time.Duration
+	seq  uint64
+	kind evKind
+	fn   func()
+	node *Node
+	pkt  *Packet
+	ifc  *Iface
 }
 
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// less orders events by (at, seq) — a total order, so any heap pops them
+// in exactly the sequence the old container/heap implementation did.
+func (e *event) less(o *event) bool {
+	if e.at != o.at {
+		return e.at < o.at
 	}
-	return q[i].seq < q[j].seq
+	return e.seq < o.seq
 }
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return ev
+
+// eventQueue is a 4-ary min-heap of inline event values. Relative to the
+// previous container/heap of *event it removes the per-schedule box, the
+// interface-value conversions, and a level of pointer chasing; the wider
+// fan-out roughly halves the sift depth, which matters because sift
+// moves whole event values.
+type eventQueue struct {
+	ev []event
+}
+
+func (q *eventQueue) len() int { return len(q.ev) }
+
+func (q *eventQueue) push(e event) {
+	q.ev = append(q.ev, e)
+	q.siftUp(len(q.ev) - 1)
+}
+
+func (q *eventQueue) pop() event {
+	top := q.ev[0]
+	n := len(q.ev) - 1
+	q.ev[0] = q.ev[n]
+	q.ev[n] = event{} // release fn/pkt references for GC
+	q.ev = q.ev[:n]
+	if n > 1 {
+		q.siftDown(0)
+	}
+	return top
+}
+
+func (q *eventQueue) siftUp(i int) {
+	e := q.ev[i]
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !e.less(&q.ev[parent]) {
+			break
+		}
+		q.ev[i] = q.ev[parent]
+		i = parent
+	}
+	q.ev[i] = e
+}
+
+func (q *eventQueue) siftDown(i int) {
+	n := len(q.ev)
+	e := q.ev[i]
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if q.ev[c].less(&q.ev[min]) {
+				min = c
+			}
+		}
+		if !q.ev[min].less(&e) {
+			break
+		}
+		q.ev[i] = q.ev[min]
+		i = min
+	}
+	q.ev[i] = e
 }
 
 // Addr is a packed big-endian IPv4-style address.
 type Addr uint32
 
-// ParseAddr converts a dotted quad to an Addr.
+// ParseAddr converts a dotted quad to an Addr. Parsing is strict: four
+// decimal octets in 0-255, separated by single dots, nothing else.
 func ParseAddr(s string) (Addr, error) {
-	var a, b, c, d int
-	if _, err := fmt.Sscanf(s, "%d.%d.%d.%d", &a, &b, &c, &d); err != nil {
-		return 0, fmt.Errorf("netsim: malformed address %q", s)
-	}
-	for _, o := range []int{a, b, c, d} {
-		if o < 0 || o > 255 {
+	var a Addr
+	i := 0
+	for oct := 0; oct < 4; oct++ {
+		if oct > 0 {
+			if i >= len(s) || s[i] != '.' {
+				return 0, fmt.Errorf("netsim: malformed address %q", s)
+			}
+			i++
+		}
+		start := i
+		v := 0
+		for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+			v = v*10 + int(s[i]-'0')
+			if v > 255 {
+				return 0, fmt.Errorf("netsim: malformed address %q", s)
+			}
+			i++
+		}
+		if i == start || i-start > 3 {
 			return 0, fmt.Errorf("netsim: malformed address %q", s)
 		}
+		a = a<<8 | Addr(v)
 	}
-	return Addr(a)<<24 | Addr(b)<<16 | Addr(c)<<8 | Addr(d), nil
+	if i != len(s) {
+		return 0, fmt.Errorf("netsim: malformed address %q", s)
+	}
+	return a, nil
 }
 
 // MustAddr is ParseAddr that panics on malformed input (for literals in
@@ -191,10 +310,10 @@ func MustAddr(s string) Addr {
 	return a
 }
 
-// String renders the address as a dotted quad.
-func (a Addr) String() string {
-	return fmt.Sprintf("%d.%d.%d.%d", byte(a>>24), byte(a>>16), byte(a>>8), byte(a))
-}
+// String renders the address as a dotted quad. The formatter is shared
+// with the observability layer (obs.FormatAddr), which renders the same
+// packed representation in event traces.
+func (a Addr) String() string { return obs.FormatAddr(uint32(a)) }
 
 // IsMulticast reports whether a is in the 224.0.0.0/4 group range.
 func (a Addr) IsMulticast() bool { return a>>28 == 0xE }

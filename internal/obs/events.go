@@ -85,15 +85,39 @@ type Event struct {
 	Detail string
 }
 
-// addrString renders a packed address as a dotted quad.
-func addrString(a uint32) string {
-	return fmt.Sprintf("%d.%d.%d.%d", byte(a>>24), byte(a>>16), byte(a>>8), byte(a))
+// AppendAddr appends a packed big-endian IPv4-style address to dst as a
+// dotted quad. Hand-rolled (no fmt) because address rendering sits on
+// the per-event String path and the simulator's Addr.String shares it.
+func AppendAddr(dst []byte, a uint32) []byte {
+	for shift := 24; shift >= 0; shift -= 8 {
+		dst = appendOctet(dst, byte(a>>shift))
+		if shift > 0 {
+			dst = append(dst, '.')
+		}
+	}
+	return dst
+}
+
+func appendOctet(dst []byte, o byte) []byte {
+	if o >= 100 {
+		dst = append(dst, '0'+o/100)
+	}
+	if o >= 10 {
+		dst = append(dst, '0'+o/10%10)
+	}
+	return append(dst, '0'+o%10)
+}
+
+// FormatAddr renders a packed address as a dotted quad.
+func FormatAddr(a uint32) string {
+	var buf [15]byte
+	return string(AppendAddr(buf[:0], a))
 }
 
 // String renders the event as one pcap-style text line (no newline).
 func (e Event) String() string {
 	s := fmt.Sprintf("%10.6f %-13s %-10s %s->%s %dB",
-		e.At.Seconds(), e.Kind, e.Node, addrString(e.Src), addrString(e.Dst), e.Size)
+		e.At.Seconds(), e.Kind, e.Node, FormatAddr(e.Src), FormatAddr(e.Dst), e.Size)
 	if e.Detail != "" {
 		s += " " + e.Detail
 	}

@@ -1,0 +1,64 @@
+// Package par is the bounded worker pool under the parallel experiment
+// driver. A simulation run is single-threaded by construction (one
+// goroutine drives one Simulator's event loop), so a grid of
+// independent runs — figure 7's load×mode cells, figure 8's
+// variant×offered-load sweep — parallelizes by giving each cell its own
+// Simulator on its own goroutine. Determinism is preserved by
+// construction: every cell derives its seeds from its grid coordinates
+// (never from which worker runs it), and callers write results into a
+// slot indexed by the cell, assembling output rows in index order after
+// the pool drains.
+package par
+
+import "sync"
+
+// ForEach runs fn(i) for every i in [0, n), using at most `workers`
+// concurrent goroutines. workers <= 1 (or n < 2) runs inline on the
+// calling goroutine in index order — the sequential mode the byte-
+// identity regression compares against. ForEach returns when all calls
+// have completed.
+//
+// fn must confine itself to state owned by cell i (its own Simulator,
+// its own result slot); ForEach provides the happens-before edge
+// between fn's writes and the caller's reads after return.
+func ForEach(workers, n int, fn func(int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < 2 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// Grid2 runs fn(i, j) for every cell of an rows×cols grid on the pool,
+// flattening row-major (i*cols + j). It exists because the experiment
+// grids are two-dimensional (load × adaptation mode, variant × offered
+// load) and indexing mistakes in the flattening are easy to make
+// locally and hard to see in a diff.
+func Grid2(workers, rows, cols int, fn func(i, j int)) {
+	ForEach(workers, rows*cols, func(k int) {
+		fn(k/cols, k%cols)
+	})
+}

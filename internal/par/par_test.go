@@ -1,0 +1,61 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllIndicesOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 4, 100} {
+		for _, n := range []int{0, 1, 7, 64} {
+			counts := make([]int32, n)
+			ForEach(workers, n, func(i int) { atomic.AddInt32(&counts[i], 1) })
+			for i, c := range counts {
+				if c != 1 {
+					t.Errorf("workers=%d n=%d: index %d ran %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestForEachSequentialRunsInOrder(t *testing.T) {
+	var order []int
+	ForEach(1, 5, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("sequential mode ran out of order: %v", order)
+		}
+	}
+}
+
+func TestForEachBoundsConcurrency(t *testing.T) {
+	const workers, n = 3, 50
+	var cur, peak int32
+	ForEach(workers, n, func(int) {
+		c := atomic.AddInt32(&cur, 1)
+		for {
+			p := atomic.LoadInt32(&peak)
+			if c <= p || atomic.CompareAndSwapInt32(&peak, p, c) {
+				break
+			}
+		}
+		atomic.AddInt32(&cur, -1)
+	})
+	if p := atomic.LoadInt32(&peak); p > workers {
+		t.Errorf("observed %d concurrent calls, limit %d", p, workers)
+	}
+}
+
+func TestGrid2RowMajor(t *testing.T) {
+	const rows, cols = 3, 4
+	var seen [rows][cols]int32
+	Grid2(4, rows, cols, func(i, j int) { atomic.AddInt32(&seen[i][j], 1) })
+	for i := range seen {
+		for j := range seen[i] {
+			if seen[i][j] != 1 {
+				t.Errorf("cell (%d,%d) ran %d times", i, j, seen[i][j])
+			}
+		}
+	}
+}

@@ -1,0 +1,87 @@
+// Compiled-program cache: downloading the same protocol source to many
+// nodes (the common case — figure 7's grid re-installs the audio ASP on
+// every router, figure 8 installs the gateway per variant) repeats the
+// parse/check/verify/compile pipeline on identical input. The pipeline
+// is deterministic for a given (source, engine, verify policy), so Load
+// memoizes its result keyed by the source's SHA-256.
+//
+// Only the immutable artifacts are shared: the typechecked Info, the
+// engine.Compiled program, and the verification result. Every Load still
+// returns a FRESH *Program (installs = 0), so the single-node deployment
+// limit applies per load, and every Install still creates its own
+// engine instance and rebinds fresh per-node "asp.<node>.*" counters —
+// caching is invisible to protocol state.
+//
+// The cache is guarded by a mutex because the parallel experiment
+// driver loads programs from several goroutines at once.
+package planprt
+
+import (
+	"crypto/sha256"
+	"sync"
+	"time"
+
+	"planp.dev/planp/internal/lang/engine"
+	"planp.dev/planp/internal/lang/typecheck"
+	"planp.dev/planp/internal/lang/verify"
+)
+
+type cacheKey struct {
+	src    [sha256.Size]byte
+	engine EngineKind
+	policy VerifyPolicy
+}
+
+type cacheEntry struct {
+	info        *typecheck.Info
+	compiled    engine.Compiled
+	vres        *verify.Result
+	codegenTime time.Duration
+}
+
+var progCache = struct {
+	sync.Mutex
+	m      map[cacheKey]*cacheEntry
+	hits   int64
+	misses int64
+}{m: make(map[cacheKey]*cacheEntry)}
+
+// cacheGet returns the memoized pipeline result for key, or nil.
+func cacheGet(key cacheKey) *cacheEntry {
+	progCache.Lock()
+	defer progCache.Unlock()
+	e := progCache.m[key]
+	if e != nil {
+		progCache.hits++
+	}
+	return e
+}
+
+// cachePut memoizes a successful pipeline result. Concurrent loaders may
+// race to compile the same source; the first stored entry wins so later
+// hits all observe one artifact set.
+func cachePut(key cacheKey, e *cacheEntry) {
+	progCache.Lock()
+	defer progCache.Unlock()
+	progCache.misses++
+	if _, ok := progCache.m[key]; !ok {
+		progCache.m[key] = e
+	}
+}
+
+// CacheStats reports (hits, misses) since process start or the last
+// ResetCache.
+func CacheStats() (hits, misses int64) {
+	progCache.Lock()
+	defer progCache.Unlock()
+	return progCache.hits, progCache.misses
+}
+
+// ResetCache empties the compiled-program cache and zeroes its counters
+// (test isolation; production code never needs it).
+func ResetCache() {
+	progCache.Lock()
+	defer progCache.Unlock()
+	progCache.m = make(map[cacheKey]*cacheEntry)
+	progCache.hits, progCache.misses = 0, 0
+}

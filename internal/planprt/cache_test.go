@@ -1,0 +1,181 @@
+package planprt
+
+import (
+	"sync"
+	"testing"
+
+	"planp.dev/planp/internal/netsim"
+)
+
+func TestCacheSharesArtifactsAcrossLoads(t *testing.T) {
+	ResetCache()
+	cfg := Config{Engine: EngineBytecode, Verify: VerifySingleNode}
+	p1, err := Load(balancer, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Load(balancer, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := CacheStats(); hits != 1 || misses != 1 {
+		t.Errorf("cache stats = (%d hits, %d misses), want (1, 1)", hits, misses)
+	}
+	if p1 == p2 {
+		t.Error("Load must return a fresh *Program per call")
+	}
+	if p1.Compiled != p2.Compiled {
+		t.Error("cached Load should share a Shareable compiled artifact")
+	}
+	if p1.Info != p2.Info {
+		t.Error("cached Load should share the typechecked Info")
+	}
+	if p1.Verify != p2.Verify {
+		t.Error("cached Load should share the verification result")
+	}
+}
+
+// TestCacheRecompilesUnshareableArtifacts pins the JIT case: its
+// closures keep per-call-site buffers, so a cache hit must hand out a
+// fresh artifact (front-end still shared) rather than one that other
+// goroutines may be running.
+func TestCacheRecompilesUnshareableArtifacts(t *testing.T) {
+	ResetCache()
+	cfg := Config{Engine: EngineJIT, Verify: VerifySingleNode}
+	p1, err := Load(balancer, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Load(balancer, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits, _ := CacheStats(); hits != 1 {
+		t.Errorf("second load should hit the cache, got %d hits", hits)
+	}
+	if p1.Compiled == p2.Compiled {
+		t.Error("JIT artifacts must not be shared across loads")
+	}
+	if p1.Info != p2.Info {
+		t.Error("the front-end (Info) should still be shared")
+	}
+}
+
+func TestCacheKeyDiscriminatesEngineAndPolicy(t *testing.T) {
+	ResetCache()
+	if _, err := Load(balancer, Config{Engine: EngineJIT, Verify: VerifySingleNode}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(balancer, Config{Engine: EngineBytecode, Verify: VerifySingleNode}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(balancer, Config{Engine: EngineJIT, Verify: VerifyPrivileged}); err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := CacheStats(); hits != 0 || misses != 3 {
+		t.Errorf("cache stats = (%d hits, %d misses), want (0, 3): engine and policy must be part of the key", hits, misses)
+	}
+}
+
+func TestCacheNoCacheBypasses(t *testing.T) {
+	ResetCache()
+	cfg := Config{Engine: EngineJIT, Verify: VerifySingleNode, NoCache: true}
+	for i := 0; i < 2; i++ {
+		if _, err := Load(balancer, cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if hits, misses := CacheStats(); hits != 0 || misses != 0 {
+		t.Errorf("cache stats = (%d hits, %d misses), want (0, 0) with NoCache", hits, misses)
+	}
+}
+
+// TestCachedLoadKeepsSingleNodeLimitPerLoad pins that install accounting
+// is per *Program*: a second Load (cache hit) of a single-node program
+// starts at zero installs, so each load may be installed once.
+func TestCachedLoadKeepsSingleNodeLimitPerLoad(t *testing.T) {
+	ResetCache()
+	cfg := Config{Verify: VerifySingleNode}
+	_, _, gw1, srv1, _ := topo(t)
+	p1, err := Load(balancer, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Install(gw1, p1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Install(srv1, p1, nil); err == nil {
+		t.Fatal("second install of the same loaded program must fail")
+	}
+	p2, err := Load(balancer, cfg) // cache hit
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, gw2, _, _ := topo(t)
+	if _, err := Install(gw2, p2, nil); err != nil {
+		t.Errorf("cached re-load should start with zero installs: %v", err)
+	}
+}
+
+// TestCachedRedownloadRebindsFreshCounters pins the invariant that a
+// re-download via a cache hit still gets fresh per-node "asp.<node>.*"
+// counters and fresh protocol state: caching the compiled artifact must
+// not leak runtime state between installations.
+func TestCachedRedownloadRebindsFreshCounters(t *testing.T) {
+	ResetCache()
+	cfg := Config{Verify: VerifySingleNode}
+	run := func() (processed int64, state int64) {
+		sim, client, gw, srvA, srvB := topo(t)
+		rt, err := Download(gw, balancer, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srvA.BindTCP(80, func(*netsim.Packet) {})
+		srvB.BindTCP(80, func(*netsim.Packet) {})
+		for i := 0; i < 6; i++ {
+			client.Send(netsim.NewTCP(client.Addr, netsim.MustAddr("10.0.0.99"), uint16(5000+i), 80, 0, netsim.FlagSyn, []byte("GET /")))
+		}
+		sim.Run()
+		return rt.Stats().Processed, rt.Instance().Proto.AsInt()
+	}
+	run()
+	processed, state := run() // second run downloads via a cache hit
+	if hits, _ := CacheStats(); hits == 0 {
+		t.Fatal("second download did not hit the cache")
+	}
+	if processed != 6 {
+		t.Errorf("re-download processed %d, want 6 (counters must rebind fresh)", processed)
+	}
+	if state != 6 {
+		t.Errorf("re-download protocol state = %d, want 6 (state must not carry over)", state)
+	}
+}
+
+func TestCacheConcurrentLoads(t *testing.T) {
+	ResetCache()
+	cfg := Config{Engine: EngineJIT, Verify: VerifySingleNode}
+	var wg sync.WaitGroup
+	progs := make([]*Program, 8)
+	for i := range progs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p, err := Load(balancer, cfg)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			progs[i] = p
+		}(i)
+	}
+	wg.Wait()
+	// All loads that hit the cache share the first stored artifact set.
+	if _, misses := CacheStats(); misses == 0 {
+		t.Error("at least one load should have compiled")
+	}
+	for _, p := range progs {
+		if p == nil || p.Compiled == nil {
+			t.Fatal("concurrent load returned nil program")
+		}
+	}
+}

@@ -199,5 +199,8 @@ func Encode(v value.Value) (*netsim.Packet, error) {
 		}
 	}
 	pkt.Payload = buf
+	// The encoded packet is freshly built and referenced only by the
+	// caller, so downstream routers may forward it in place.
+	pkt.Own()
 	return pkt, nil
 }

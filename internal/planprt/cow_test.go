@@ -1,0 +1,59 @@
+package planprt
+
+import (
+	"bytes"
+	"testing"
+
+	"planp.dev/planp/internal/netsim"
+)
+
+// TestGatewayRewriteDoesNotMutateSharedPayload pins the copy-on-write
+// packet contract end to end: Clone shares payload bytes, so a
+// rewriting ASP (the balancer rewrites the destination address on every
+// request) must never be observable through the original packet. All
+// requests here deliberately share ONE payload slice — any in-place
+// write on any hop would corrupt every other packet in flight.
+func TestGatewayRewriteDoesNotMutateSharedPayload(t *testing.T) {
+	sim, client, gw, srvA, srvB := topo(t)
+	if _, err := Download(gw, balancer, Config{Verify: VerifySingleNode}); err != nil {
+		t.Fatal(err)
+	}
+	shared := []byte("GET /index.html HTTP/1.0")
+	want := append([]byte(nil), shared...)
+
+	var delivered []*netsim.Packet
+	keep := func(p *netsim.Packet) { delivered = append(delivered, p) }
+	srvA.BindTCP(80, keep)
+	srvB.BindTCP(80, keep)
+
+	var sent []*netsim.Packet
+	for i := 0; i < 8; i++ {
+		pkt := netsim.NewTCP(client.Addr, netsim.MustAddr("10.0.0.99"), uint16(5000+i), 80, 0, netsim.FlagSyn, shared)
+		sent = append(sent, pkt)
+		client.Send(pkt)
+	}
+	sim.Run()
+
+	if len(delivered) != 8 {
+		t.Fatalf("delivered %d of 8", len(delivered))
+	}
+	if !bytes.Equal(shared, want) {
+		t.Fatalf("shared payload mutated in place: %q", shared)
+	}
+	for i, p := range sent {
+		if p.IP.Dst != netsim.MustAddr("10.0.0.99") {
+			t.Errorf("sent[%d] destination rewritten in place: %s", i, p.IP.Dst)
+		}
+		if !bytes.Equal(p.Payload, want) {
+			t.Errorf("sent[%d] payload mutated: %q", i, p.Payload)
+		}
+	}
+	for i, p := range delivered {
+		if !bytes.Equal(p.Payload, want) {
+			t.Errorf("delivered[%d] payload wrong: %q", i, p.Payload)
+		}
+		if p.IP.Dst != srvA.Addr && p.IP.Dst != srvB.Addr {
+			t.Errorf("delivered[%d] not rewritten: %s", i, p.IP.Dst)
+		}
+	}
+}
