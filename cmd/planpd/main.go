@@ -1,0 +1,77 @@
+// planpd is the ASP download daemon: it boots the live HTTP cluster
+// (client — gateway — two servers) on the real-time backend and serves
+// the protocol-management API for the gateway node. Download the
+// load-balancing ASP onto the running gateway and watch it spread real
+// requests:
+//
+//	planpd -listen 127.0.0.1:8377 &
+//	curl -X POST --data-binary @asp/http_gateway.planp \
+//	    'http://127.0.0.1:8377/asp?verify=single'
+//	curl -X POST 'http://127.0.0.1:8377/demo/requests?n=200'
+//	curl 'http://127.0.0.1:8377/stats'
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+	"time"
+
+	"planp.dev/planp/internal/planpd"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:8377", "control API listen address")
+	udp := flag.Bool("udp", false, "use loopback-UDP socket links instead of in-process channels")
+	flag.Parse()
+
+	cluster, err := planpd.NewCluster(*udp)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer cluster.Close()
+	cluster.Start()
+
+	ctl := planpd.NewServer(cluster.Gateway, os.Stdout)
+	mux := http.NewServeMux()
+	mux.Handle("/", ctl.Handler())
+	mux.HandleFunc("/demo/requests", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		n, err := strconv.Atoi(r.URL.Query().Get("n"))
+		if err != nil || n <= 0 || n > 1<<16 {
+			http.Error(w, "n must be in [1, 65536]", http.StatusBadRequest)
+			return
+		}
+		for i := 0; i < n; i++ {
+			cluster.SendRequest(uint16(10000 + i))
+		}
+		// Real-time backend: the burst is still in flight when the
+		// sends return. Settle before reading the counters so the
+		// response reflects this burst, not the previous one.
+		settled := cluster.Net.Quiesce(10 * time.Second)
+		s0, s1 := cluster.Served()
+		total, fromVirtual := cluster.Responses()
+		json.NewEncoder(w).Encode(map[string]any{
+			"sent": n, "settled": settled, "server0": s0, "server1": s1,
+			"responses": total, "from_virtual": fromVirtual,
+		})
+	})
+
+	log.Printf("planpd: control API on http://%s (links: %s)", *listen, linkKind(*udp))
+	log.Fatal(http.ListenAndServe(*listen, mux))
+}
+
+func linkKind(udp bool) string {
+	if udp {
+		return "loopback-udp"
+	}
+	return "in-process"
+}

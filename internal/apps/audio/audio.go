@@ -15,6 +15,7 @@ import (
 	"planp.dev/planp/internal/lang/prims"
 	"planp.dev/planp/internal/netsim"
 	"planp.dev/planp/internal/obs"
+	"planp.dev/planp/internal/substrate"
 )
 
 // Port is the UDP port audio traffic uses (matches asp/audio_router.planp).
@@ -173,20 +174,20 @@ func MeterAudio(node *netsim.Node) *obs.Series {
 // installed as the router's packet processor: the baseline the paper
 // compares PLAN-P against. Thresholds mirror asp/audio_router.planp.
 type NativeAdapter struct {
-	node *netsim.Node
+	node substrate.Node
 
 	Processed int64
 }
 
 // InstallNative installs the native adaptation on a router node.
-func InstallNative(node *netsim.Node) *NativeAdapter {
+func InstallNative(node substrate.Node) *NativeAdapter {
 	a := &NativeAdapter{node: node}
-	node.Processor = a
+	node.SetProcessor(a)
 	return a
 }
 
-// Process implements netsim.Processor.
-func (a *NativeAdapter) Process(pkt *netsim.Packet, in *netsim.Iface) bool {
+// Process implements substrate.Processor.
+func (a *NativeAdapter) Process(pkt *substrate.Packet, in substrate.Iface) bool {
 	if pkt.UDP == nil {
 		return false
 	}
@@ -201,7 +202,7 @@ func (a *NativeAdapter) Process(pkt *netsim.Packet, in *netsim.Iface) bool {
 		a.node.TransmitFrom(out, in)
 		return true
 	}
-	ifc := a.node.RouteTo(pkt.IP.Dst)
+	ifc := a.node.Route(pkt.IP.Dst)
 	load := int64(0)
 	if ifc != nil {
 		load = ifc.Load()
@@ -222,4 +223,4 @@ func (a *NativeAdapter) Process(pkt *netsim.Packet, in *netsim.Iface) bool {
 	return true
 }
 
-var _ netsim.Processor = (*NativeAdapter)(nil)
+var _ substrate.Processor = (*NativeAdapter)(nil)

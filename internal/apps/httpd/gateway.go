@@ -1,12 +1,14 @@
 // The native ("built-in C") gateway: the same load-balancing behavior as
-// asp/http_gateway.planp, hand-written in Go against the simulator API.
-// Figure 8's curve b; the ASP gateway is curve c.
+// asp/http_gateway.planp, hand-written in Go against the abstract
+// substrate API — like the ASP, it runs unchanged on the simulator or a
+// real-time backend. Figure 8's curve b; the ASP gateway is curve c.
 package httpd
 
 import (
 	"time"
 
 	"planp.dev/planp/internal/netsim"
+	"planp.dev/planp/internal/substrate"
 )
 
 // Cluster addressing, shared with asp/http_gateway.planp.
@@ -39,31 +41,31 @@ func EngineCPUFactor(engine string) time.Duration {
 
 // connKey identifies a client connection.
 type connKey struct {
-	src  netsim.Addr
+	src  substrate.Addr
 	port uint16
 }
 
 // NativeGateway is the hand-written load balancer.
 type NativeGateway struct {
-	node  *netsim.Node
-	conns map[connKey]netsim.Addr
+	node  substrate.Node
+	conns map[connKey]substrate.Addr
 	count int64
 
 	Requests  int64
 	Responses int64
 }
 
-var _ netsim.Processor = (*NativeGateway)(nil)
+var _ substrate.Processor = (*NativeGateway)(nil)
 
 // InstallNativeGateway installs the baseline on a node.
-func InstallNativeGateway(node *netsim.Node) *NativeGateway {
-	g := &NativeGateway{node: node, conns: map[connKey]netsim.Addr{}}
-	node.Processor = g
+func InstallNativeGateway(node substrate.Node) *NativeGateway {
+	g := &NativeGateway{node: node, conns: map[connKey]substrate.Addr{}}
+	node.SetProcessor(g)
 	return g
 }
 
 // Process implements the request/response rewriting of §3.2.
-func (g *NativeGateway) Process(pkt *netsim.Packet, in *netsim.Iface) bool {
+func (g *NativeGateway) Process(pkt *substrate.Packet, in substrate.Iface) bool {
 	if pkt.TCP == nil {
 		return false
 	}
@@ -102,7 +104,7 @@ func (g *NativeGateway) Process(pkt *netsim.Packet, in *netsim.Iface) bool {
 	}
 }
 
-func (g *NativeGateway) forward(pkt *netsim.Packet, in *netsim.Iface) {
+func (g *NativeGateway) forward(pkt *substrate.Packet, in substrate.Iface) {
 	if pkt.IP.TTL <= 1 {
 		return
 	}

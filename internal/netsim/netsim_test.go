@@ -3,6 +3,8 @@ package netsim
 import (
 	"testing"
 	"time"
+
+	"planp.dev/planp/internal/substrate"
 )
 
 func mk(t *testing.T) (*Simulator, *Node, *Node, *Node) {
@@ -242,7 +244,7 @@ func TestRateMeterUtilization(t *testing.T) {
 func TestProcessorIntercepts(t *testing.T) {
 	sim, a, r, b := mk(t)
 	var seen []*Packet
-	r.Processor = procFunc(func(pkt *Packet, in *Iface) bool {
+	r.Processor = procFunc(func(pkt *Packet, in substrate.Iface) bool {
 		seen = append(seen, pkt)
 		return pkt.UDP != nil && pkt.UDP.DstPort == 7 // swallow port 7
 	})
@@ -260,9 +262,9 @@ func TestProcessorIntercepts(t *testing.T) {
 	}
 }
 
-type procFunc func(pkt *Packet, in *Iface) bool
+type procFunc func(pkt *Packet, in substrate.Iface) bool
 
-func (f procFunc) Process(pkt *Packet, in *Iface) bool { return f(pkt, in) }
+func (f procFunc) Process(pkt *Packet, in substrate.Iface) bool { return f(pkt, in) }
 
 func TestSplitHorizonPreventsReflection(t *testing.T) {
 	// A router attached to one segment must not bounce a frame back out
@@ -319,7 +321,7 @@ func TestPacketCloneCopyOnWrite(t *testing.T) {
 	if len(q.Payload) != len(p.Payload) || (len(q.Payload) > 0 && &q.Payload[0] != &p.Payload[0]) {
 		t.Error("Clone should share the payload bytes")
 	}
-	if !q.owned {
+	if !q.Owned() {
 		t.Error("Clone result should be exclusively owned by the caller")
 	}
 }

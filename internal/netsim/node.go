@@ -9,24 +9,11 @@ import (
 	"time"
 
 	"planp.dev/planp/internal/obs"
+	"planp.dev/planp/internal/substrate"
 )
 
-// Processor is the PLAN-P layer hook. Process sees every packet the node
-// receives from the network, before standard IP processing. Returning
-// true means the program handled the packet (forwarded, delivered, or
-// dropped it); false falls through to standard behavior.
-//
-// A Processor must not mutate pkt (build a Clone/CloneMut to rewrite)
-// and must not retain pkt beyond the call unless it returns true:
-// on false the substrate may reuse the packet in place for the next
-// forwarding hop. Retaining the payload slice is always safe — payload
-// bytes are immutable once transmitted.
-type Processor interface {
-	Process(pkt *Packet, in *Iface) bool
-}
-
-// AppFunc receives packets delivered to a local application binding.
-type AppFunc func(pkt *Packet)
+// Processor and AppFunc are the substrate hook types (see substrate.go
+// for the aliases and substrate.Processor for the contract).
 
 // appKey identifies a local transport binding.
 type appKey struct {
@@ -91,6 +78,7 @@ type Node struct {
 	Processor Processor
 
 	ifaces    []*Iface
+	subIfaces []substrate.Iface // same interfaces, substrate-typed (Interfaces())
 	routes    map[Addr]*Iface   // host routes
 	defaultIf *Iface            // default route
 	mroutes   map[Addr][]*Iface // multicast forwarding: group -> out ifaces
@@ -171,7 +159,10 @@ const (
 	KindDeliver = obs.KindDeliver
 )
 
-func (n *Node) addIface(i *Iface) { n.ifaces = append(n.ifaces, i) }
+func (n *Node) addIface(i *Iface) {
+	n.ifaces = append(n.ifaces, i)
+	n.subIfaces = append(n.subIfaces, i)
+}
 
 // Ifaces returns the node's interfaces.
 func (n *Node) Ifaces() []*Iface { return n.ifaces }
@@ -201,8 +192,13 @@ func (n *Node) RouteTo(dst Addr) *Iface {
 // TransmitFrom routes pkt out of any interface except in, reporting
 // whether it was sent. It is the PLAN-P layer's OnRemote transmission
 // path: the program has already decided the packet's fate, so no TTL
-// handling happens here.
-func (n *Node) TransmitFrom(pkt *Packet, in *Iface) bool { return n.transmit(pkt, in) }
+// handling happens here. in is substrate-typed so processors written
+// against the abstract substrate can pass their incoming interface
+// straight through; nil means no exclusion.
+func (n *Node) TransmitFrom(pkt *Packet, in substrate.Iface) bool {
+	inIfc, _ := in.(*Iface)
+	return n.transmit(pkt, inIfc)
+}
 
 // AddMulticastRoute makes this node forward group traffic out ifc
 // (routers on the multicast tree).
@@ -265,7 +261,7 @@ func (n *Node) transmit(pkt *Packet, in *Iface) bool {
 		// Multicast fan-out shares one packet pointer across the outgoing
 		// media, so with more than one destination nobody downstream may
 		// reuse it in place.
-		if pkt.owned {
+		if pkt.Owned() {
 			outs := 0
 			for _, ifc := range n.mroutes[pkt.IP.Dst] {
 				if ifc != in {
@@ -391,6 +387,47 @@ func (n *Node) deliverLocal(pkt *Packet) {
 // lookup); exported for the PLAN-P layer's fall-through path.
 func (n *Node) Forward(pkt *Packet, in *Iface) { n.forward(pkt, in) }
 
+// ---------------------------------------------------------------------------
+// substrate.Node
+//
+// The methods below are the abstract-substrate view of the node: the
+// surface internal/planprt (and any other backend-neutral code) talks
+// to. Simulation code keeps using the concrete fields and methods
+// above; both views share the same state.
+
+// Hostname returns the node's unique name (substrate.Node).
+func (n *Node) Hostname() string { return n.Name }
+
+// Address returns the node's address (substrate.Node).
+func (n *Node) Address() Addr { return n.Addr }
+
+// Interfaces returns the node's attachment points, substrate-typed
+// (substrate.Node). The slice is maintained alongside ifaces so the
+// per-packet flood path never converts or allocates.
+func (n *Node) Interfaces() []substrate.Iface { return n.subIfaces }
+
+// Route resolves the outgoing interface for dst (substrate.Node). It
+// returns an untyped nil when no route exists so backend-neutral
+// callers can compare against nil directly.
+func (n *Node) Route(dst Addr) substrate.Iface {
+	if ifc := n.RouteTo(dst); ifc != nil {
+		return ifc
+	}
+	return nil
+}
+
+// SetProcessor installs (or, with nil, removes) the PLAN-P layer
+// (substrate.Node).
+func (n *Node) SetProcessor(p Processor) { n.Processor = p }
+
+// CurrentProcessor returns the installed PLAN-P layer, or nil
+// (substrate.Node).
+func (n *Node) CurrentProcessor() Processor { return n.Processor }
+
+// Env returns the simulation as the node's substrate environment
+// (substrate.Node).
+func (n *Node) Env() substrate.Env { return n.sim }
+
 func (n *Node) forward(pkt *Packet, in *Iface) {
 	if pkt.IP.TTL <= 1 {
 		n.drop(pkt, "ttl")
@@ -400,7 +437,7 @@ func (n *Node) forward(pkt *Packet, in *Iface) {
 	// copy is elided: decrement TTL in place and send the same packet on.
 	// This is the zero-allocation forward path.
 	fwd := pkt
-	if !pkt.owned {
+	if !pkt.Owned() {
 		fwd = pkt.Clone()
 	}
 	fwd.IP.TTL--

@@ -15,7 +15,6 @@
 package netsim
 
 import (
-	"fmt"
 	"math/rand"
 	"time"
 
@@ -57,6 +56,10 @@ func (s *Simulator) Now() time.Duration { return s.now }
 
 // Rand returns the simulation's deterministic RNG.
 func (s *Simulator) Rand() *rand.Rand { return s.rng }
+
+// Int63n returns a pseudo-random integer in [0, n) from the simulation
+// RNG (the substrate.Env randomness hook).
+func (s *Simulator) Int63n(n int64) int64 { return s.rng.Int63n(n) }
 
 // Events returns the simulation's event bus. Subscribing is allowed at
 // any point; with no subscribers the per-packet publish sites are free.
@@ -265,55 +268,3 @@ func (q *eventQueue) siftDown(i int) {
 	q.ev[i] = e
 }
 
-// Addr is a packed big-endian IPv4-style address.
-type Addr uint32
-
-// ParseAddr converts a dotted quad to an Addr. Parsing is strict: four
-// decimal octets in 0-255, separated by single dots, nothing else.
-func ParseAddr(s string) (Addr, error) {
-	var a Addr
-	i := 0
-	for oct := 0; oct < 4; oct++ {
-		if oct > 0 {
-			if i >= len(s) || s[i] != '.' {
-				return 0, fmt.Errorf("netsim: malformed address %q", s)
-			}
-			i++
-		}
-		start := i
-		v := 0
-		for i < len(s) && s[i] >= '0' && s[i] <= '9' {
-			v = v*10 + int(s[i]-'0')
-			if v > 255 {
-				return 0, fmt.Errorf("netsim: malformed address %q", s)
-			}
-			i++
-		}
-		if i == start || i-start > 3 {
-			return 0, fmt.Errorf("netsim: malformed address %q", s)
-		}
-		a = a<<8 | Addr(v)
-	}
-	if i != len(s) {
-		return 0, fmt.Errorf("netsim: malformed address %q", s)
-	}
-	return a, nil
-}
-
-// MustAddr is ParseAddr that panics on malformed input (for literals in
-// scenario setup code).
-func MustAddr(s string) Addr {
-	a, err := ParseAddr(s)
-	if err != nil {
-		panic(err)
-	}
-	return a
-}
-
-// String renders the address as a dotted quad. The formatter is shared
-// with the observability layer (obs.FormatAddr), which renders the same
-// packed representation in event traces.
-func (a Addr) String() string { return obs.FormatAddr(uint32(a)) }
-
-// IsMulticast reports whether a is in the 224.0.0.0/4 group range.
-func (a Addr) IsMulticast() bool { return a>>28 == 0xE }

@@ -1,0 +1,78 @@
+// Substrate integration: netsim is the reference implementation of the
+// internal/substrate interfaces — the deterministic backend every paper
+// experiment replays on byte-identically.
+//
+// The packet model, addressing, and rate metering moved to
+// internal/substrate when the ASP runtime was decoupled from the
+// simulator; the aliases below keep netsim's historical names working
+// (simulation code overwhelmingly says netsim.Packet, netsim.Addr, ...)
+// and guarantee the types are IDENTICAL across backends, not parallel
+// copies.
+package netsim
+
+import (
+	"planp.dev/planp/internal/substrate"
+)
+
+// Shared substrate types under their historical netsim names.
+type (
+	// Packet is one datagram.
+	Packet = substrate.Packet
+	// IPHeader is the network-layer header.
+	IPHeader = substrate.IPHeader
+	// TCPHeader is the (simplified) TCP transport header.
+	TCPHeader = substrate.TCPHeader
+	// UDPHeader is the UDP transport header.
+	UDPHeader = substrate.UDPHeader
+	// Addr is a packed big-endian IPv4-style address.
+	Addr = substrate.Addr
+	// Processor is the PLAN-P layer hook (see substrate.Processor for
+	// the retention/mutation contract).
+	Processor = substrate.Processor
+	// AppFunc receives packets delivered to a local application binding.
+	AppFunc = substrate.AppFunc
+	// RateMeter measures windowed throughput.
+	RateMeter = substrate.RateMeter
+)
+
+// Shared constants.
+const (
+	ProtoTCP = substrate.ProtoTCP
+	ProtoUDP = substrate.ProtoUDP
+
+	IPHeaderLen  = substrate.IPHeaderLen
+	TCPHeaderLen = substrate.TCPHeaderLen
+	UDPHeaderLen = substrate.UDPHeaderLen
+
+	FlagSyn = substrate.FlagSyn
+	FlagAck = substrate.FlagAck
+	FlagFin = substrate.FlagFin
+	FlagRst = substrate.FlagRst
+	FlagPsh = substrate.FlagPsh
+
+	// DefaultMeterWindow is the default load-measurement window.
+	DefaultMeterWindow = substrate.DefaultMeterWindow
+)
+
+// Shared constructors.
+var (
+	// NewUDP builds a UDP packet.
+	NewUDP = substrate.NewUDP
+	// NewTCP builds a TCP packet.
+	NewTCP = substrate.NewTCP
+	// ParseAddr parses a dotted quad.
+	ParseAddr = substrate.ParseAddr
+	// MustAddr parses a dotted quad or panics.
+	MustAddr = substrate.MustAddr
+	// NewRateMeter returns a meter with the given window.
+	NewRateMeter = substrate.NewRateMeter
+)
+
+// Interface satisfaction: the simulator is a substrate environment and
+// its nodes are substrate nodes (compile-time checks; the methods live
+// in sim.go and node.go).
+var (
+	_ substrate.Env  = (*Simulator)(nil)
+	_ substrate.Node = (*Node)(nil)
+	_ substrate.Iface = (*Iface)(nil)
+)

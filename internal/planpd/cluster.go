@@ -1,0 +1,143 @@
+// The demo cluster: the §3.2 HTTP load-balancing testbed rebuilt on the
+// real-time backend — a client host, the gateway, and two backend
+// servers, all live concurrent rtnet nodes. cmd/planpd boots this
+// topology and serves the control API for the gateway; the e2e test
+// downloads the load-balancing ASP onto the running gateway over real
+// HTTP and watches it spread real requests across both servers.
+package planpd
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"planp.dev/planp/internal/apps/httpd"
+	"planp.dev/planp/internal/rtnet"
+	"planp.dev/planp/internal/substrate"
+)
+
+// Cluster addresses. The virtual/physical server addresses are fixed by
+// the gateway ASP source (asp/http_gateway.planp) and shared with the
+// simulator experiment via package httpd.
+var (
+	clientAddr  = substrate.MustAddr("10.0.1.1")
+	gatewayAddr = substrate.MustAddr("10.0.0.1")
+)
+
+// Cluster is a live rtnet HTTP cluster: client — gateway — {server0,
+// server1}. Requests address the virtual server; without a gateway
+// protocol they are forwarded clusterward and die at server0 (no
+// binding for the virtual address), which is exactly the state the ASP
+// download fixes.
+type Cluster struct {
+	Net     *rtnet.Net
+	Client  *rtnet.Node
+	Gateway *rtnet.Node
+	Servers [2]*rtnet.Node
+
+	served      [2]atomic.Int64
+	responses   atomic.Int64
+	fromVirtual atomic.Int64
+}
+
+// NewCluster builds the topology. udp selects loopback-UDP socket links
+// (real kernel datagrams via the substrate wire codec) instead of
+// in-process channels.
+func NewCluster(udp bool) (*Cluster, error) {
+	nw := rtnet.New(1)
+	c := &Cluster{Net: nw}
+	c.Client = rtnet.NewNode(nw, "client", clientAddr)
+	c.Gateway = rtnet.NewNode(nw, "gateway", gatewayAddr)
+	c.Gateway.Forwarding = true
+	c.Servers[0] = rtnet.NewNode(nw, "server0", httpd.Server0Addr)
+	c.Servers[1] = rtnet.NewNode(nw, "server1", httpd.Server1Addr)
+
+	connect := func(a, b *rtnet.Node) (substrate.Iface, substrate.Iface, error) {
+		if udp {
+			ab, ba, err := rtnet.NewUDPLink(nw, a, b, 100_000_000)
+			if err != nil {
+				return nil, nil, err
+			}
+			return ab, ba, nil
+		}
+		ab, ba := rtnet.NewLink(nw, a, b, 100_000_000)
+		return ab, ba, nil
+	}
+
+	clIf, gwCl, err := connect(c.Client, c.Gateway)
+	if err != nil {
+		nw.Close()
+		return nil, fmt.Errorf("planpd: client link: %w", err)
+	}
+	gwS0, s0If, err := connect(c.Gateway, c.Servers[0])
+	if err != nil {
+		nw.Close()
+		return nil, fmt.Errorf("planpd: server0 link: %w", err)
+	}
+	gwS1, s1If, err := connect(c.Gateway, c.Servers[1])
+	if err != nil {
+		nw.Close()
+		return nil, fmt.Errorf("planpd: server1 link: %w", err)
+	}
+
+	c.Client.SetDefaultRoute(clIf)
+	c.Servers[0].SetDefaultRoute(s0If)
+	c.Servers[1].SetDefaultRoute(s1If)
+	c.Gateway.AddRoute(clientAddr, gwCl)
+	c.Gateway.AddRoute(httpd.Server0Addr, gwS0)
+	c.Gateway.AddRoute(httpd.Server1Addr, gwS1)
+	// Unrewritten virtual-server traffic heads clusterward, as in the
+	// simulator testbed.
+	c.Gateway.AddRoute(httpd.VirtualAddr, gwS0)
+
+	// Backend servers: answer each request with a FIN-flagged response.
+	for i := range c.Servers {
+		i := i
+		node := c.Servers[i]
+		node.BindTCP(httpd.HTTPPort, func(req *substrate.Packet) {
+			if req.TCP == nil || req.TCP.Flags&substrate.FlagSyn == 0 {
+				return
+			}
+			c.served[i].Add(1)
+			resp := substrate.NewTCP(node.Address(), req.IP.Src,
+				httpd.HTTPPort, req.TCP.SrcPort, 0,
+				substrate.FlagAck|substrate.FlagFin, []byte("hello"))
+			node.Send(resp.Own())
+		})
+	}
+
+	// Client: count responses; the gateway protocol must make them
+	// appear to come from the virtual server.
+	c.Client.BindRaw(func(resp *substrate.Packet) {
+		c.responses.Add(1)
+		if resp.IP.Src == httpd.VirtualAddr {
+			c.fromVirtual.Add(1)
+		}
+	})
+	return c, nil
+}
+
+// Start launches the cluster's node goroutines.
+func (c *Cluster) Start() { c.Net.Start() }
+
+// Close shuts the cluster down.
+func (c *Cluster) Close() { c.Net.Close() }
+
+// SendRequest originates one request from the client to the virtual
+// server. port identifies the connection — the gateway ASP balances
+// per-connection, so distinct ports exercise the policy.
+func (c *Cluster) SendRequest(port uint16) {
+	req := substrate.NewTCP(clientAddr, httpd.VirtualAddr,
+		port, httpd.HTTPPort, 0, substrate.FlagSyn, nil)
+	c.Client.Send(req.Own())
+}
+
+// Served returns how many requests each backend server answered.
+func (c *Cluster) Served() (server0, server1 int64) {
+	return c.served[0].Load(), c.served[1].Load()
+}
+
+// Responses returns (total responses at the client, responses whose
+// source was the virtual server address).
+func (c *Cluster) Responses() (total, fromVirtual int64) {
+	return c.responses.Load(), c.fromVirtual.Load()
+}

@@ -1,0 +1,172 @@
+// Package planpd is the ASP download daemon: the control plane that
+// makes "active networking" operational. It exposes a small HTTP API
+// over one live substrate node — download a PLAN-P protocol onto it
+// (compile, late-check, install: §2.1's download-time pipeline),
+// withdraw it, and read its counters — while the node keeps processing
+// real traffic on the real-time backend (internal/rtnet).
+//
+// This is the reproduction's stand-in for the paper's protocol
+// management daemon on the Solaris kernel module (§4): the transport is
+// HTTP instead of the paper's authenticated channel, but the lifecycle
+// is the same — a protocol arrives as source over the wire, is verified
+// and compiled on the node, and starts intercepting packets without the
+// node ever stopping.
+package planpd
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	"planp.dev/planp/internal/planprt"
+	"planp.dev/planp/internal/substrate"
+)
+
+// maxASPSource bounds an uploaded protocol: far above any real ASP
+// (the largest in-tree program is ~5 KB) while keeping hostile uploads
+// cheap to reject.
+const maxASPSource = 1 << 20
+
+// Server is the control-plane HTTP API for one node.
+type Server struct {
+	node substrate.Node
+	out  io.Writer // ASP print/println destination
+
+	mu sync.Mutex
+	rt *planprt.Runtime
+}
+
+// NewServer returns a control server managing node. out receives the
+// installed protocol's print output (nil discards it).
+func NewServer(node substrate.Node, out io.Writer) *Server {
+	if out == nil {
+		out = io.Discard
+	}
+	return &Server{node: node, out: out}
+}
+
+// Handler returns the control API:
+//
+//	POST   /asp      install the PLAN-P source in the request body
+//	                 (query: engine=interp|bytecode|jit,
+//	                         verify=network|single|privileged)
+//	DELETE /asp      withdraw the installed protocol
+//	GET    /stats    metrics registry snapshot (JSON, name -> value)
+//	GET    /healthz  liveness + whether a protocol is installed
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/asp", s.handleASP)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", s.handleHealth)
+	return mux
+}
+
+func (s *Server) handleASP(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		s.install(w, r)
+	case http.MethodDelete:
+		s.uninstall(w)
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+func (s *Server) install(w http.ResponseWriter, r *http.Request) {
+	src, err := io.ReadAll(io.LimitReader(r.Body, maxASPSource+1))
+	if err != nil {
+		http.Error(w, fmt.Sprintf("reading body: %v", err), http.StatusBadRequest)
+		return
+	}
+	if len(src) > maxASPSource {
+		http.Error(w, "protocol source too large", http.StatusRequestEntityTooLarge)
+		return
+	}
+
+	cfg := planprt.Config{Output: s.out}
+	switch e := r.URL.Query().Get("engine"); e {
+	case "", "jit":
+		cfg.Engine = planprt.EngineJIT
+	case "bytecode":
+		cfg.Engine = planprt.EngineBytecode
+	case "interp":
+		cfg.Engine = planprt.EngineInterp
+	default:
+		http.Error(w, fmt.Sprintf("unknown engine %q", e), http.StatusBadRequest)
+		return
+	}
+	switch v := r.URL.Query().Get("verify"); v {
+	case "", "network":
+		cfg.Verify = planprt.VerifyNetwork
+	case "single":
+		cfg.Verify = planprt.VerifySingleNode
+	case "privileged":
+		cfg.Verify = planprt.VerifyPrivileged
+	default:
+		http.Error(w, fmt.Sprintf("unknown verify policy %q", v), http.StatusBadRequest)
+		return
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.node.CurrentProcessor() != nil {
+		http.Error(w, "node already runs a protocol (DELETE /asp first)", http.StatusConflict)
+		return
+	}
+	rt, err := planprt.Download(s.node, string(src), cfg)
+	if err != nil {
+		// Parse/type/verify rejection: the protocol is at fault, not
+		// the request framing.
+		http.Error(w, fmt.Sprintf("download rejected: %v", err), http.StatusUnprocessableEntity)
+		return
+	}
+	s.rt = rt
+	writeJSON(w, http.StatusOK, map[string]any{
+		"installed": true,
+		"node":      s.node.Hostname(),
+		"engine":    string(cfg.Engine),
+	})
+}
+
+func (s *Server) uninstall(w http.ResponseWriter) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.rt == nil {
+		http.Error(w, "no protocol installed", http.StatusNotFound)
+		return
+	}
+	s.rt.Uninstall()
+	s.rt = nil
+	writeJSON(w, http.StatusOK, map[string]any{
+		"installed": false,
+		"node":      s.node.Hostname(),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.node.Env().Metrics().Snapshot())
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":   true,
+		"node": s.node.Hostname(),
+		"asp":  s.node.CurrentProcessor() != nil,
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}

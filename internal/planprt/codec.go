@@ -22,25 +22,25 @@ import (
 
 	"planp.dev/planp/internal/lang/ast"
 	"planp.dev/planp/internal/lang/value"
-	"planp.dev/planp/internal/netsim"
+	"planp.dev/planp/internal/substrate"
 )
 
 // Decode attempts to decode pkt as a value of packet type t. The boolean
 // reports whether the packet matches; errors are impossible (mismatch is
 // the only failure mode).
-func Decode(pkt *netsim.Packet, t ast.Type) (value.Value, bool) {
+func Decode(pkt *substrate.Packet, t ast.Type) (value.Value, bool) {
 	tup, ok := t.(ast.Tuple)
 	if !ok {
 		return value.Unit, false
 	}
 	elems := make([]value.Value, 0, len(tup.Elems))
 
-	ipLen := netsim.IPHeaderLen + len(pkt.Payload)
+	ipLen := substrate.IPHeaderLen + len(pkt.Payload)
 	switch {
 	case pkt.TCP != nil:
-		ipLen += netsim.TCPHeaderLen
+		ipLen += substrate.TCPHeaderLen
 	case pkt.UDP != nil:
-		ipLen += netsim.UDPHeaderLen
+		ipLen += substrate.UDPHeaderLen
 	}
 	elems = append(elems, value.IP(&value.IPHeader{
 		Src:   value.Host(pkt.IP.Src),
@@ -68,7 +68,7 @@ func Decode(pkt *netsim.Packet, t ast.Type) (value.Value, bool) {
 		}
 		h := *pkt.UDP
 		elems = append(elems, value.UDP(&value.UDPHeader{
-			SrcPort: h.SrcPort, DstPort: h.DstPort, Len: netsim.UDPHeaderLen + len(pkt.Payload),
+			SrcPort: h.SrcPort, DstPort: h.DstPort, Len: substrate.UDPHeaderLen + len(pkt.Payload),
 		}))
 		rest = rest[1:]
 	}
@@ -136,7 +136,7 @@ func Decode(pkt *netsim.Packet, t ast.Type) (value.Value, bool) {
 // value must have been produced by Decode or constructed under a packet
 // type the checker validated; malformed shapes return an error (engine
 // bug or adversarial program, never silent corruption).
-func Encode(v value.Value) (*netsim.Packet, error) {
+func Encode(v value.Value) (*substrate.Packet, error) {
 	if v.Kind != value.KindTuple || len(v.Vs) == 0 {
 		return nil, fmt.Errorf("planprt: packet value must be a tuple, got %s", v.Kind)
 	}
@@ -144,9 +144,9 @@ func Encode(v value.Value) (*netsim.Packet, error) {
 		return nil, fmt.Errorf("planprt: packet tuple must start with an ip header, got %s", v.Vs[0].Kind)
 	}
 	iph := v.Vs[0].AsIP()
-	pkt := &netsim.Packet{IP: netsim.IPHeader{
-		Src:   netsim.Addr(iph.Src),
-		Dst:   netsim.Addr(iph.Dst),
+	pkt := &substrate.Packet{IP: substrate.IPHeader{
+		Src:   substrate.Addr(iph.Src),
+		Dst:   substrate.Addr(iph.Dst),
 		Proto: iph.Proto,
 		TTL:   iph.TTL,
 		ID:    iph.ID,
@@ -155,16 +155,16 @@ func Encode(v value.Value) (*netsim.Packet, error) {
 	rest := v.Vs[1:]
 	if len(rest) > 0 && rest[0].Kind == value.KindTCP {
 		h := rest[0].AsTCP()
-		pkt.TCP = &netsim.TCPHeader{
+		pkt.TCP = &substrate.TCPHeader{
 			SrcPort: h.SrcPort, DstPort: h.DstPort, Seq: h.Seq, Ack: h.Ack,
 			Flags: h.Flags, Window: h.Window,
 		}
-		pkt.IP.Proto = netsim.ProtoTCP
+		pkt.IP.Proto = substrate.ProtoTCP
 		rest = rest[1:]
 	} else if len(rest) > 0 && rest[0].Kind == value.KindUDP {
 		h := rest[0].AsUDP()
-		pkt.UDP = &netsim.UDPHeader{SrcPort: h.SrcPort, DstPort: h.DstPort}
-		pkt.IP.Proto = netsim.ProtoUDP
+		pkt.UDP = &substrate.UDPHeader{SrcPort: h.SrcPort, DstPort: h.DstPort}
+		pkt.IP.Proto = substrate.ProtoUDP
 		rest = rest[1:]
 	}
 

@@ -9,14 +9,14 @@ import (
 	"fmt"
 	"io"
 
-	"planp.dev/planp/internal/netsim"
+	"planp.dev/planp/internal/substrate"
 )
 
 // Uninstall removes this runtime from its node, restoring standard
 // packet processing. Idempotent.
 func (rt *Runtime) Uninstall() {
-	if rt.node.Processor == netsim.Processor(rt) {
-		rt.node.Processor = nil
+	if rt.node.CurrentProcessor() == substrate.Processor(rt) {
+		rt.node.SetProcessor(nil)
 		rt.prog.installs--
 	}
 }
@@ -30,20 +30,20 @@ type Deployment struct {
 // Deploy installs p on every node, rolling back already-installed nodes
 // if any installation fails (a node already running another protocol,
 // or a single-node program offered several nodes).
-func Deploy(p *Program, out io.Writer, nodes ...*netsim.Node) (*Deployment, error) {
+func Deploy(p *Program, out io.Writer, nodes ...substrate.Node) (*Deployment, error) {
 	if len(nodes) == 0 {
 		return nil, fmt.Errorf("planprt: deployment needs at least one node")
 	}
 	d := &Deployment{prog: p}
 	for _, node := range nodes {
-		if node.Processor != nil {
+		if node.CurrentProcessor() != nil {
 			d.Undeploy()
-			return nil, fmt.Errorf("planprt: node %s already runs a protocol", node.Name)
+			return nil, fmt.Errorf("planprt: node %s already runs a protocol", node.Hostname())
 		}
 		rt, err := Install(node, p, out)
 		if err != nil {
 			d.Undeploy()
-			return nil, fmt.Errorf("planprt: deploying to %s: %w", node.Name, err)
+			return nil, fmt.Errorf("planprt: deploying to %s: %w", node.Hostname(), err)
 		}
 		d.runtimes = append(d.runtimes, rt)
 	}

@@ -1,13 +1,21 @@
 // Package planprt is the ASP runtime: the IP/PLAN-P layer of figure 1,
-// implemented against the network simulator.
+// implemented against the abstract execution substrate
+// (internal/substrate), so the same runtime drives the deterministic
+// simulator (internal/netsim) and the real-time concurrent backend
+// (internal/rtnet).
 //
 // A Program is a protocol that has been parsed, type-checked, verified
 // (late checking, §2.1), and compiled by one of the engines; Download
 // installs it on a node, where it intercepts the node's packet
 // processing. The runtime provides the primitive context — OnRemote /
-// OnNeighbor routing, local delivery, link-load measurement, virtual
+// OnNeighbor routing, local delivery, link-load measurement, substrate
 // time — and dispatches incoming packets to channel definitions by tag
 // and packet-type decoding.
+//
+// The runtime deliberately knows nothing about any concrete backend: it
+// talks to substrate.Node/Iface/Env only (enforced by a test), which is
+// what lets an ASP verified and compiled once run unchanged on the
+// simulator or on live traffic.
 package planprt
 
 import (
@@ -25,8 +33,8 @@ import (
 	"planp.dev/planp/internal/lang/typecheck"
 	"planp.dev/planp/internal/lang/value"
 	"planp.dev/planp/internal/lang/verify"
-	"planp.dev/planp/internal/netsim"
 	"planp.dev/planp/internal/obs"
+	"planp.dev/planp/internal/substrate"
 )
 
 // EngineKind selects an execution engine.
@@ -189,7 +197,7 @@ func Load(src string, cfg Config) (*Program, error) {
 }
 
 // Download loads src and installs it on node in one step.
-func Download(node *netsim.Node, src string, cfg Config) (*Runtime, error) {
+func Download(node substrate.Node, src string, cfg Config) (*Runtime, error) {
 	cfg.fill()
 	p, err := Load(src, cfg)
 	if err != nil {
@@ -202,12 +210,13 @@ func Download(node *netsim.Node, src string, cfg Config) (*Runtime, error) {
 // standard packet processing (figure 1). Each installation gets its own
 // protocol/channel state instance and fresh "asp.<node>.*" counters in
 // the simulation's metrics registry.
-func Install(node *netsim.Node, p *Program, output io.Writer) (*Runtime, error) {
+func Install(node substrate.Node, p *Program, output io.Writer) (*Runtime, error) {
+	env := node.Env()
 	if p.Policy == VerifySingleNode && p.installs >= 1 {
-		if bus := node.Sim().Events(); bus.Active() {
+		if bus := env.Events(); bus.Active() {
 			bus.Publish(obs.Event{
-				Kind: obs.KindVerifyReject, At: node.Sim().Now(),
-				Node: node.Name, Detail: "single-node-limit",
+				Kind: obs.KindVerifyReject, At: env.Now(),
+				Node: node.Hostname(), Detail: "single-node-limit",
 			})
 		}
 		return nil, fmt.Errorf("planprt: program was verified for single-node deployment and is already installed")
@@ -215,14 +224,15 @@ func Install(node *netsim.Node, p *Program, output io.Writer) (*Runtime, error) 
 	if output == nil {
 		output = io.Discard
 	}
-	rt := &Runtime{node: node, prog: p, out: output,
-		ct: newRuntimeCounters(node.Sim().Metrics(), node.Name)}
+	rt := &Runtime{node: node, env: env, name: node.Hostname(), addr: node.Address(),
+		prog: p, out: output,
+		ct: newRuntimeCounters(env.Metrics(), node.Hostname())}
 	inst, err := p.Compiled.NewInstance(rt)
 	if err != nil {
 		return nil, err
 	}
 	rt.inst = inst
-	node.Processor = rt
+	node.SetProcessor(rt)
 	p.installs++
 	return rt, nil
 }
@@ -270,9 +280,12 @@ func newRuntimeCounters(reg *obs.Registry, node string) runtimeCounters {
 }
 
 // Runtime is one installed protocol on one node. It implements both the
-// simulator's Processor hook and the language's primitive context.
+// substrate's Processor hook and the language's primitive context.
 type Runtime struct {
-	node *netsim.Node
+	node substrate.Node
+	env  substrate.Env  // node.Env(), resolved once at install time
+	name string         // node.Hostname(), ditto (event hot path)
+	addr substrate.Addr // node.Address(), ditto (OnRemote self-check)
 	prog *Program
 	inst *engine.Instance
 	out  io.Writer
@@ -280,8 +293,8 @@ type Runtime struct {
 	// curIn is the interface the packet being processed arrived on and
 	// curDst its original destination (split-horizon for OnRemote
 	// pass-through forwarding).
-	curIn  *netsim.Iface
-	curDst netsim.Addr
+	curIn  substrate.Iface
+	curDst substrate.Addr
 
 	ct runtimeCounters
 }
@@ -300,17 +313,17 @@ func (rt *Runtime) Stats() Stats {
 	}
 }
 
-// Events returns the event bus of the simulation this runtime is
+// Events returns the event bus of the substrate this runtime is
 // installed in (protocol-level subscribers: ASP invokes, rejects).
-func (rt *Runtime) Events() *obs.Bus { return rt.node.Sim().Events() }
+func (rt *Runtime) Events() *obs.Bus { return rt.env.Events() }
 
 var (
-	_ netsim.Processor = (*Runtime)(nil)
-	_ prims.Context    = (*Runtime)(nil)
+	_ substrate.Processor = (*Runtime)(nil)
+	_ prims.Context       = (*Runtime)(nil)
 )
 
 // Node returns the node this runtime is installed on.
-func (rt *Runtime) Node() *netsim.Node { return rt.node }
+func (rt *Runtime) Node() substrate.Node { return rt.node }
 
 // Program returns the installed program.
 func (rt *Runtime) Program() *Program { return rt.prog }
@@ -321,7 +334,7 @@ func (rt *Runtime) Instance() *engine.Instance { return rt.inst }
 // Process implements netsim.Processor: dispatch the packet to the first
 // matching channel. Untagged packets go to "network" channels; tagged
 // packets to channels with the tag's name (§2).
-func (rt *Runtime) Process(pkt *netsim.Packet, in *netsim.Iface) bool {
+func (rt *Runtime) Process(pkt *substrate.Packet, in substrate.Iface) bool {
 	name := pkt.ChanTag
 	if name == "" {
 		name = "network"
@@ -331,10 +344,10 @@ func (rt *Runtime) Process(pkt *netsim.Packet, in *netsim.Iface) bool {
 		if !ok {
 			continue
 		}
-		if bus := rt.node.Sim().Events(); bus.Active() {
+		if bus := rt.env.Events(); bus.Active() {
 			bus.Publish(obs.Event{
-				Kind: obs.KindASPInvoke, At: rt.node.Sim().Now(),
-				Node: rt.node.Name, Src: uint32(pkt.IP.Src), Dst: uint32(pkt.IP.Dst),
+				Kind: obs.KindASPInvoke, At: rt.env.Now(),
+				Node: rt.name, Src: uint32(pkt.IP.Src), Dst: uint32(pkt.IP.Dst),
 				Size: pkt.Size(), Detail: ch.Decl.Name,
 			})
 		}
@@ -372,7 +385,7 @@ func (rt *Runtime) OnRemote(chanName string, pktVal value.Value) {
 	if chanName != "network" {
 		pkt.ChanTag = chanName
 	}
-	if pkt.IP.Dst == rt.node.Addr {
+	if pkt.IP.Dst == rt.addr {
 		rt.ct.sentLocal.Inc()
 		rt.node.DeliverLocal(pkt)
 		return
@@ -411,7 +424,7 @@ func (rt *Runtime) OnNeighbor(chanName string, pktVal value.Value) {
 		return
 	}
 	pkt.IP.TTL--
-	ifaces := rt.node.Ifaces()
+	ifaces := rt.node.Interfaces()
 	outs := 0
 	for _, ifc := range ifaces {
 		if ifc != rt.curIn {
@@ -446,18 +459,19 @@ func (rt *Runtime) Deliver(pktVal value.Value) {
 func (rt *Runtime) Print(s string) { io.WriteString(rt.out, s) }
 
 // ThisHost returns the node address.
-func (rt *Runtime) ThisHost() value.Host { return value.Host(rt.node.Addr) }
+func (rt *Runtime) ThisHost() value.Host { return value.Host(rt.addr) }
 
-// Now returns virtual time in milliseconds.
-func (rt *Runtime) Now() int64 { return rt.node.Sim().Now().Milliseconds() }
+// Now returns substrate time (virtual on the simulator, wall-clock on
+// real-time backends) in milliseconds.
+func (rt *Runtime) Now() int64 { return rt.env.Now().Milliseconds() }
 
-// Rand draws from the simulation RNG.
-func (rt *Runtime) Rand(n int64) int64 { return rt.node.Sim().Rand().Int63n(n) }
+// Rand draws from the substrate's seeded random stream.
+func (rt *Runtime) Rand(n int64) int64 { return rt.env.Int63n(n) }
 
 // LinkLoadTo reports the utilization of the interface a packet to dst
 // would leave through.
 func (rt *Runtime) LinkLoadTo(dst value.Host) int64 {
-	ifc := rt.node.RouteTo(netsim.Addr(dst))
+	ifc := rt.node.Route(substrate.Addr(dst))
 	if ifc == nil {
 		return 0
 	}
@@ -466,7 +480,7 @@ func (rt *Runtime) LinkLoadTo(dst value.Host) int64 {
 
 // LinkBandwidthTo reports the capacity of the route to dst.
 func (rt *Runtime) LinkBandwidthTo(dst value.Host) int64 {
-	ifc := rt.node.RouteTo(netsim.Addr(dst))
+	ifc := rt.node.Route(substrate.Addr(dst))
 	if ifc == nil {
 		return 0
 	}

@@ -1,0 +1,49 @@
+package planprt
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestRuntimeIsBackendNeutral enforces the substrate split: the ASP
+// runtime must talk to internal/substrate only, never to a concrete
+// backend. A netsim (or rtnet) import creeping back in would silently
+// re-couple the runtime to one execution substrate.
+func TestRuntimeIsBackendNeutral(t *testing.T) {
+	forbidden := []string{
+		"planp.dev/planp/internal/netsim",
+		"planp.dev/planp/internal/rtnet",
+	}
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ImportsOnly)
+		if err != nil {
+			t.Fatalf("parsing %s: %v", name, err)
+		}
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				t.Fatalf("%s: bad import literal %s", name, imp.Path.Value)
+			}
+			for _, bad := range forbidden {
+				if path == bad || strings.HasPrefix(path, bad+"/") {
+					t.Errorf("%s imports %s: planprt must depend on internal/substrate only",
+						filepath.Base(name), path)
+				}
+			}
+		}
+	}
+}

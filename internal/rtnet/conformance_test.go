@@ -1,0 +1,83 @@
+package rtnet_test
+
+import (
+	"testing"
+	"time"
+
+	"planp.dev/planp/internal/rtnet"
+	"planp.dev/planp/internal/substrate"
+	"planp.dev/planp/internal/substrate/subtest"
+)
+
+// rtHarness adapts the real-time backend to the substrate conformance
+// suite. udp selects loopback-UDP links instead of in-process channels,
+// so the same behavioral suite also exercises the wire codec and real
+// kernel datagram delivery.
+type rtHarness struct {
+	nw  *rtnet.Net
+	udp bool
+}
+
+func (h *rtHarness) Build(t *testing.T, hosts []subtest.HostSpec) []substrate.Node {
+	h.nw = rtnet.New(42)
+	t.Cleanup(h.nw.Close)
+	ns := make([]*rtnet.Node, len(hosts))
+	for i, hs := range hosts {
+		ns[i] = rtnet.NewNode(h.nw, hs.Name, hs.Addr)
+		ns[i].Forwarding = hs.Forwarding
+	}
+	left := make([]substrate.Iface, len(ns))
+	right := make([]substrate.Iface, len(ns))
+	for i := 0; i+1 < len(ns); i++ {
+		if h.udp {
+			ab, ba, err := rtnet.NewUDPLink(h.nw, ns[i], ns[i+1], 1_000_000_000)
+			if err != nil {
+				t.Fatalf("udp link: %v", err)
+			}
+			right[i], left[i+1] = ab, ba
+		} else {
+			ab, ba := rtnet.NewLink(h.nw, ns[i], ns[i+1], 1_000_000_000)
+			right[i], left[i+1] = ab, ba
+		}
+	}
+	out := make([]substrate.Node, len(ns))
+	for i, n := range ns {
+		for j := range ns {
+			switch {
+			case j < i:
+				n.AddRoute(ns[j].Address(), left[i])
+			case j > i:
+				n.AddRoute(ns[j].Address(), right[i])
+			}
+		}
+		if i == 0 {
+			n.SetDefaultRoute(right[i])
+		} else if i == len(ns)-1 {
+			n.SetDefaultRoute(left[i])
+		}
+		out[i] = n
+	}
+	return out
+}
+
+func (h *rtHarness) Start() { h.nw.Start() }
+
+func (h *rtHarness) Settle(t *testing.T) {
+	if !h.nw.Quiesce(10 * time.Second) {
+		t.Fatalf("rtnet did not quiesce")
+	}
+}
+
+func (h *rtHarness) Env() substrate.Env { return h.nw }
+
+// TestSubstrateConformance runs the shared backend conformance suite
+// against the real-time backend with in-process channel links.
+func TestSubstrateConformance(t *testing.T) {
+	subtest.Run(t, func() subtest.Harness { return &rtHarness{} })
+}
+
+// TestSubstrateConformanceUDP runs the same suite over loopback-UDP
+// socket links (wire codec + real kernel delivery).
+func TestSubstrateConformanceUDP(t *testing.T) {
+	subtest.Run(t, func() subtest.Harness { return &rtHarness{udp: true} })
+}

@@ -1,0 +1,110 @@
+// In-process links: a duplex point-to-point link is a pair of
+// interfaces whose Send hands the packet straight to the peer node's
+// inbox. The channel send is the ownership transfer — after it, the
+// packet belongs to the receiving node's goroutine.
+package rtnet
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"planp.dev/planp/internal/obs"
+	"planp.dev/planp/internal/substrate"
+)
+
+// queueCap is the per-interface drop-tail queue bound: at most this
+// many packets from one interface may sit unprocessed in the peer's
+// inbox before further sends drop.
+const queueCap = 512
+
+// Iface is one direction of an in-process duplex link.
+type Iface struct {
+	node *Node // owning node
+	peer *Node
+	rev  *Iface // reverse-direction endpoint (the "in" iface at peer)
+	bw   int64  // nominal bandwidth, bits/s (reported, not enforced)
+
+	queued atomic.Int32
+
+	mu    sync.Mutex // guards meter (RateMeter is not internally synchronized)
+	meter *substrate.RateMeter
+
+	drops *obs.Counter
+}
+
+// NewLink connects a and b with a duplex link of the given nominal
+// bandwidth (bits per second — reported by Bandwidth for the ASP
+// adaptation primitives, not enforced as a rate limit) and returns the
+// two endpoints (a's, b's).
+func NewLink(nw *Net, a, b *Node, bandwidthBps int64) (*Iface, *Iface) {
+	ab := &Iface{
+		node: a, peer: b, bw: bandwidthBps,
+		meter: substrate.NewRateMeter(0),
+		drops: nw.reg.Counter("link." + a.name + ":" + b.name + ".dropped_pkts"),
+	}
+	ba := &Iface{
+		node: b, peer: a, bw: bandwidthBps,
+		meter: substrate.NewRateMeter(0),
+		drops: nw.reg.Counter("link." + b.name + ":" + a.name + ".dropped_pkts"),
+	}
+	ab.rev, ba.rev = ba, ab
+	a.addIface(ab)
+	b.addIface(ba)
+	return ab, ba
+}
+
+// Send transmits pkt toward the peer node (substrate.Iface). Unowned
+// packets are cloned so the two nodes never share a mutable packet; an
+// owned packet's single reference moves to the peer's goroutine with
+// the channel send. Drop-tail: if this interface already has queueCap
+// packets waiting at the peer, the packet is dropped.
+func (i *Iface) Send(pkt *substrate.Packet) {
+	if !pkt.Owned() {
+		pkt = pkt.Clone().Own()
+	}
+	sz := int64(pkt.Size())
+	now := i.node.net.Now()
+	i.mu.Lock()
+	i.meter.Add(now, sz)
+	i.mu.Unlock()
+	if i.queued.Load() >= queueCap {
+		i.dropQueue(pkt)
+		return
+	}
+	i.queued.Add(1)
+	if !i.peer.enqueue(pkt, i.rev, &i.queued) {
+		i.queued.Add(-1)
+		i.dropQueue(pkt)
+	}
+}
+
+func (i *Iface) dropQueue(pkt *substrate.Packet) {
+	i.drops.Inc()
+	if i.node.net.bus.Active() {
+		i.node.net.bus.Publish(obs.Event{
+			Kind: obs.KindDrop, At: i.node.net.Now(),
+			Node: i.node.name + ":" + i.peer.name,
+			Src:  uint32(pkt.IP.Src), Dst: uint32(pkt.IP.Dst),
+			Size: pkt.Size(), Detail: "queue",
+		})
+	}
+}
+
+// Load returns the measured outbound throughput in bits per second
+// (substrate.Iface).
+func (i *Iface) Load() int64 {
+	now := i.node.net.Now()
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.meter.BitsPerSecond(now)
+}
+
+// Bandwidth returns the link's nominal capacity in bits per second
+// (substrate.Iface).
+func (i *Iface) Bandwidth() int64 { return i.bw }
+
+// Peer returns the node at the other end (topology helpers).
+func (i *Iface) Peer() *Node { return i.peer }
+
+// Interface satisfaction.
+var _ substrate.Iface = (*Iface)(nil)

@@ -1,0 +1,375 @@
+// Nodes: real concurrent hosts and routers. A node owns interfaces, a
+// static routing table, local application bindings, and an optional
+// PLAN-P processing hook — the same surface as netsim.Node, minus the
+// simulation-only machinery (segments, multicast trees, modeled CPU).
+package rtnet
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"planp.dev/planp/internal/obs"
+	"planp.dev/planp/internal/substrate"
+)
+
+// appKey identifies a local transport binding.
+type appKey struct {
+	proto uint8
+	port  uint16
+}
+
+// nodeCounters holds the node's registry-backed instruments under the
+// same "node.<name>.*" names netsim uses, resolved once at construction.
+type nodeCounters struct {
+	rxPkts, rxBytes *obs.Counter
+	txPkts, txBytes *obs.Counter
+	fwdPkts         *obs.Counter
+	dlvPkts         *obs.Counter
+	dropPkts        *obs.Counter
+}
+
+func newNodeCounters(reg *obs.Registry, name string) nodeCounters {
+	pre := "node." + name + "."
+	return nodeCounters{
+		rxPkts:   reg.Counter(pre + "received_pkts"),
+		rxBytes:  reg.Counter(pre + "received_bytes"),
+		txPkts:   reg.Counter(pre + "sent_pkts"),
+		txBytes:  reg.Counter(pre + "sent_bytes"),
+		fwdPkts:  reg.Counter(pre + "forwarded_pkts"),
+		dlvPkts:  reg.Counter(pre + "delivered_pkts"),
+		dropPkts: reg.Counter(pre + "dropped_pkts"),
+	}
+}
+
+// inbound is one packet awaiting processing on a node's inbox. q, when
+// non-nil, is the sending interface's queue-depth counter, decremented
+// when the packet leaves the inbox (drop-tail accounting).
+type inbound struct {
+	pkt *substrate.Packet
+	in  substrate.Iface
+	q   *atomic.Int32
+}
+
+// inboxCap bounds a node's inbox. Per-interface drop-tail caps are
+// tighter (see queueCap), so the inbox itself overflows only under
+// pathological fan-in.
+const inboxCap = 4096
+
+// Node is a host or router.
+type Node struct {
+	net  *Net
+	name string
+	addr substrate.Addr
+
+	// Forwarding enables router behavior: packets addressed elsewhere
+	// are forwarded (TTL decrement) instead of dropped. Set before
+	// Start.
+	Forwarding bool
+
+	mu        sync.RWMutex // guards the tables below
+	ifaces    []substrate.Iface
+	routes    map[substrate.Addr]substrate.Iface
+	defaultIf substrate.Iface
+	apps      map[appKey]substrate.AppFunc
+	rawApps   []substrate.AppFunc
+
+	procMu sync.RWMutex
+	proc   substrate.Processor
+
+	inbox chan inbound
+	ipID  atomic.Uint32
+	ct    nodeCounters
+}
+
+// NewNode registers a node with the network. Names and addresses must
+// be unique.
+func NewNode(nw *Net, name string, addr substrate.Addr) *Node {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	if nw.byAddr[addr] != nil {
+		panic(fmt.Sprintf("rtnet: duplicate node address %s", addr))
+	}
+	if nw.byName[name] != nil {
+		panic(fmt.Sprintf("rtnet: duplicate node name %q", name))
+	}
+	n := &Node{
+		net: nw, name: name, addr: addr,
+		routes: map[substrate.Addr]substrate.Iface{},
+		apps:   map[appKey]substrate.AppFunc{},
+		inbox:  make(chan inbound, inboxCap),
+		ct:     newNodeCounters(nw.reg, name),
+	}
+	nw.byAddr[addr] = n
+	nw.byName[name] = n
+	nw.nodes = append(nw.nodes, n)
+	return n
+}
+
+// AddRoute installs a host route: traffic to dst leaves via ifc.
+func (n *Node) AddRoute(dst substrate.Addr, ifc substrate.Iface) {
+	n.mu.Lock()
+	n.routes[dst] = ifc
+	n.mu.Unlock()
+}
+
+// SetDefaultRoute installs the default route.
+func (n *Node) SetDefaultRoute(ifc substrate.Iface) {
+	n.mu.Lock()
+	n.defaultIf = ifc
+	n.mu.Unlock()
+}
+
+// addIface appends a link endpoint (called by the link constructors).
+func (n *Node) addIface(ifc substrate.Iface) {
+	n.mu.Lock()
+	n.ifaces = append(n.ifaces, ifc)
+	n.mu.Unlock()
+}
+
+// run is the node's processing goroutine: drain the inbox until the
+// network shuts down. All per-node state (processor, interpreter
+// instance, bindings) is only touched from here, which is what makes an
+// installed ASP single-threaded exactly as on the simulator.
+func (n *Node) run() {
+	defer n.net.wg.Done()
+	for {
+		select {
+		case <-n.net.quit:
+			return
+		case m := <-n.inbox:
+			n.receive(m.pkt, m.in)
+			if m.q != nil {
+				m.q.Add(-1)
+			}
+			n.net.inflight.Add(-1)
+		}
+	}
+}
+
+// enqueue places pkt on the inbox without blocking; it reports false
+// (drop-tail) when the inbox is full.
+func (n *Node) enqueue(pkt *substrate.Packet, in substrate.Iface, q *atomic.Int32) bool {
+	n.net.inflight.Add(1)
+	select {
+	case n.inbox <- inbound{pkt: pkt, in: in, q: q}:
+		return true
+	default:
+		n.net.inflight.Add(-1)
+		return false
+	}
+}
+
+func (n *Node) receive(pkt *substrate.Packet, in substrate.Iface) {
+	n.ct.rxPkts.Inc()
+	n.ct.rxBytes.Add(int64(pkt.Size()))
+	n.procMu.RLock()
+	proc := n.proc
+	n.procMu.RUnlock()
+	if proc != nil && proc.Process(pkt, in) {
+		return
+	}
+	n.defaultProcess(pkt, in)
+}
+
+// defaultProcess is standard IP behavior: deliver locally, forward if a
+// router, drop otherwise.
+func (n *Node) defaultProcess(pkt *substrate.Packet, in substrate.Iface) {
+	dst := pkt.IP.Dst
+	switch {
+	case dst == n.addr || dst == 0xFFFFFFFF:
+		n.deliverLocal(pkt)
+	case n.Forwarding:
+		n.forward(pkt, in)
+	default:
+		n.drop(pkt, "no-route")
+	}
+}
+
+func (n *Node) forward(pkt *substrate.Packet, in substrate.Iface) {
+	if pkt.IP.TTL <= 1 {
+		n.drop(pkt, "ttl")
+		return
+	}
+	// An owned packet's only live reference is this goroutine, so the
+	// hop copy is elided exactly as on the simulator.
+	fwd := pkt
+	if !pkt.Owned() {
+		fwd = pkt.Clone()
+	}
+	fwd.IP.TTL--
+	if n.transmit(fwd, in) {
+		n.ct.fwdPkts.Inc()
+		if n.net.bus.Active() {
+			n.emit(obs.KindForward, fwd, "")
+		}
+	} else {
+		n.drop(fwd, "no-route")
+	}
+}
+
+// transmit routes pkt out any interface except in and reports whether
+// it was sent (split horizon: never back out the incoming interface).
+func (n *Node) transmit(pkt *substrate.Packet, in substrate.Iface) bool {
+	ifc := n.Route(pkt.IP.Dst)
+	if ifc == nil || ifc == in {
+		return false
+	}
+	ifc.Send(pkt)
+	return true
+}
+
+func (n *Node) deliverLocal(pkt *substrate.Packet) {
+	// Applications may retain delivered packets; the pointer leaves the
+	// delivery chain here.
+	pkt.Disown()
+	n.ct.dlvPkts.Inc()
+	if n.net.bus.Active() {
+		n.emit(obs.KindDeliver, pkt, "")
+	}
+	n.mu.RLock()
+	var fn substrate.AppFunc
+	switch {
+	case pkt.TCP != nil:
+		fn = n.apps[appKey{substrate.ProtoTCP, pkt.TCP.DstPort}]
+	case pkt.UDP != nil:
+		fn = n.apps[appKey{substrate.ProtoUDP, pkt.UDP.DstPort}]
+	}
+	raw := n.rawApps
+	n.mu.RUnlock()
+	if fn != nil {
+		fn(pkt)
+		return
+	}
+	if len(raw) > 0 {
+		for _, r := range raw {
+			r(pkt)
+		}
+		return
+	}
+	n.drop(pkt, "no-binding")
+}
+
+func (n *Node) drop(pkt *substrate.Packet, reason string) {
+	n.ct.dropPkts.Inc()
+	if n.net.bus.Active() {
+		n.emit(obs.KindDrop, pkt, reason)
+	}
+}
+
+func (n *Node) emit(kind obs.Kind, pkt *substrate.Packet, detail string) {
+	n.net.bus.Publish(obs.Event{
+		Kind: kind, At: n.net.Now(), Node: n.name,
+		Src: uint32(pkt.IP.Src), Dst: uint32(pkt.IP.Dst),
+		Size: pkt.Size(), Detail: detail,
+	})
+}
+
+// BindRaw receives every packet delivered locally regardless of port
+// (after specific bindings).
+func (n *Node) BindRaw(fn substrate.AppFunc) {
+	n.mu.Lock()
+	n.rawApps = append(n.rawApps, fn)
+	n.mu.Unlock()
+}
+
+// ---------------------------------------------------------------------------
+// substrate.Node
+
+// Hostname returns the node's unique name (substrate.Node).
+func (n *Node) Hostname() string { return n.name }
+
+// Address returns the node's address (substrate.Node).
+func (n *Node) Address() substrate.Addr { return n.addr }
+
+// Interfaces returns the node's attachment points (substrate.Node).
+// The returned slice must not be mutated; it is stable once the
+// topology is built.
+func (n *Node) Interfaces() []substrate.Iface {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.ifaces
+}
+
+// Route resolves the outgoing interface for dst, or nil (substrate.Node).
+func (n *Node) Route(dst substrate.Addr) substrate.Iface {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	if ifc, ok := n.routes[dst]; ok {
+		return ifc
+	}
+	return n.defaultIf
+}
+
+// Send originates pkt from this node (substrate.Node): local
+// destinations deliver directly, everything else routes out an
+// interface. Safe to call from any goroutine — the packet crosses onto
+// the destination node's goroutine at the link; only local delivery of
+// a self-addressed packet runs on the caller's goroutine.
+func (n *Node) Send(pkt *substrate.Packet) {
+	if pkt.IP.ID == 0 {
+		pkt.IP.ID = n.NextIPID()
+	}
+	n.ct.txPkts.Inc()
+	n.ct.txBytes.Add(int64(pkt.Size()))
+	if pkt.IP.Dst == n.addr {
+		n.deliverLocal(pkt)
+		return
+	}
+	if !n.transmit(pkt, nil) {
+		n.drop(pkt, "no-route")
+	}
+}
+
+// TransmitFrom routes pkt out of any interface except in, reporting
+// whether it was sent (substrate.Node). This is the PLAN-P layer's
+// OnRemote transmission path: no TTL handling, the program has already
+// decided the packet's fate.
+func (n *Node) TransmitFrom(pkt *substrate.Packet, in substrate.Iface) bool {
+	return n.transmit(pkt, in)
+}
+
+// DeliverLocal passes pkt up to local applications (substrate.Node);
+// the PLAN-P deliver primitive lands here.
+func (n *Node) DeliverLocal(pkt *substrate.Packet) { n.deliverLocal(pkt) }
+
+// BindUDP delivers local UDP traffic for port to fn (substrate.Node).
+// fn runs on the node's goroutine.
+func (n *Node) BindUDP(port uint16, fn substrate.AppFunc) {
+	n.mu.Lock()
+	n.apps[appKey{substrate.ProtoUDP, port}] = fn
+	n.mu.Unlock()
+}
+
+// BindTCP delivers local TCP traffic for port to fn (substrate.Node).
+func (n *Node) BindTCP(port uint16, fn substrate.AppFunc) {
+	n.mu.Lock()
+	n.apps[appKey{substrate.ProtoTCP, port}] = fn
+	n.mu.Unlock()
+}
+
+// NextIPID returns a fresh IP identification value (substrate.Node).
+func (n *Node) NextIPID() uint32 { return n.ipID.Add(1) }
+
+// SetProcessor installs (or, with nil, removes) the PLAN-P layer
+// (substrate.Node). Safe while traffic flows: the run loop snapshots
+// the processor per packet.
+func (n *Node) SetProcessor(p substrate.Processor) {
+	n.procMu.Lock()
+	n.proc = p
+	n.procMu.Unlock()
+}
+
+// CurrentProcessor returns the installed PLAN-P layer, or nil
+// (substrate.Node).
+func (n *Node) CurrentProcessor() substrate.Processor {
+	n.procMu.RLock()
+	defer n.procMu.RUnlock()
+	return n.proc
+}
+
+// Env returns the owning network (substrate.Node).
+func (n *Node) Env() substrate.Env { return n.net }
+
+// Interface satisfaction.
+var _ substrate.Node = (*Node)(nil)

@@ -1,0 +1,153 @@
+// Loopback-UDP links: the same duplex link shape as NewLink, but each
+// direction crosses a real UDP socket pair on 127.0.0.1, exercising the
+// substrate wire codec and real kernel datagram delivery. This is the
+// transport cmd/planpd demos live ASP downloads over when in-process
+// channels would be cheating.
+package rtnet
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"planp.dev/planp/internal/obs"
+	"planp.dev/planp/internal/substrate"
+)
+
+// maxDatagram bounds one wire-encoded packet to what a single UDP
+// datagram can carry; larger packets are dropped (rtnet does not
+// fragment).
+const maxDatagram = 65000
+
+// UDPIface is one direction of a loopback-UDP duplex link: Send
+// marshals the packet with the substrate wire codec and writes it to
+// the peer's socket; a reader goroutine on each end parses and enqueues
+// onto its node.
+type UDPIface struct {
+	node     *Node
+	peer     *Node
+	conn     *net.UDPConn // local endpoint (reads arrive here)
+	peerAddr *net.UDPAddr // where Send writes
+	bw       int64
+
+	mu    sync.Mutex // guards meter and buf
+	meter *substrate.RateMeter
+	buf   []byte
+
+	drops *obs.Counter
+}
+
+// NewUDPLink connects a and b with a duplex link over a pair of
+// loopback UDP sockets. The sockets are owned by the network and closed
+// by Close. Kernel-level datagram loss (socket buffer overflow) shows
+// up as ordinary packet loss, which is the point: this link is real.
+func NewUDPLink(nw *Net, a, b *Node, bandwidthBps int64) (*UDPIface, *UDPIface, error) {
+	connA, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return nil, nil, fmt.Errorf("rtnet: udp link endpoint: %w", err)
+	}
+	connB, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		connA.Close()
+		return nil, nil, fmt.Errorf("rtnet: udp link endpoint: %w", err)
+	}
+	ab := &UDPIface{
+		node: a, peer: b, conn: connA, peerAddr: connB.LocalAddr().(*net.UDPAddr),
+		bw: bandwidthBps, meter: substrate.NewRateMeter(0),
+		drops: nw.reg.Counter("link." + a.name + ":" + b.name + ".dropped_pkts"),
+	}
+	ba := &UDPIface{
+		node: b, peer: a, conn: connB, peerAddr: connA.LocalAddr().(*net.UDPAddr),
+		bw: bandwidthBps, meter: substrate.NewRateMeter(0),
+		drops: nw.reg.Counter("link." + b.name + ":" + a.name + ".dropped_pkts"),
+	}
+	a.addIface(ab)
+	b.addIface(ba)
+	nw.register(connA)
+	nw.register(connB)
+	nw.wg.Add(2)
+	go ab.read(nw)
+	go ba.read(nw)
+	return ab, ba, nil
+}
+
+// read is the endpoint's receive loop: parse wire packets off the
+// socket and enqueue them on the owning node. It exits when the socket
+// is closed (network Close).
+func (i *UDPIface) read(nw *Net) {
+	defer nw.wg.Done()
+	buf := make([]byte, maxDatagram+1)
+	for {
+		n, _, err := i.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // socket closed
+		}
+		pkt, err := substrate.ParseWire(buf[:n])
+		if err != nil {
+			i.drop(nil, "malformed")
+			continue
+		}
+		// The parse built a fresh private packet: this goroutine holds
+		// the only reference, so the node may mutate it in place.
+		pkt.Own()
+		if !i.node.enqueue(pkt, i, nil) {
+			i.drop(pkt, "queue")
+		}
+	}
+}
+
+// Send transmits pkt toward the peer over the socket (substrate.Iface).
+// The packet is fully serialized before the write returns, so the
+// caller keeps ownership of the original; the receiving side always
+// reparses a private copy.
+func (i *UDPIface) Send(pkt *substrate.Packet) {
+	sz := int64(pkt.Size())
+	now := i.node.net.Now()
+	i.mu.Lock()
+	i.meter.Add(now, sz)
+	wire, err := substrate.AppendWire(i.buf[:0], pkt)
+	if err == nil {
+		i.buf = wire[:0]
+	}
+	if err != nil || len(wire) > maxDatagram {
+		i.mu.Unlock()
+		i.drop(pkt, "oversize")
+		return
+	}
+	_, werr := i.conn.WriteToUDP(wire, i.peerAddr)
+	i.mu.Unlock()
+	if werr != nil {
+		i.drop(pkt, "socket")
+	}
+}
+
+func (i *UDPIface) drop(pkt *substrate.Packet, reason string) {
+	i.drops.Inc()
+	if pkt != nil && i.node.net.bus.Active() {
+		i.node.net.bus.Publish(obs.Event{
+			Kind: obs.KindDrop, At: i.node.net.Now(),
+			Node: i.node.name + ":" + i.peer.name,
+			Src:  uint32(pkt.IP.Src), Dst: uint32(pkt.IP.Dst),
+			Size: pkt.Size(), Detail: reason,
+		})
+	}
+}
+
+// Load returns the measured outbound throughput in bits per second
+// (substrate.Iface).
+func (i *UDPIface) Load() int64 {
+	now := i.node.net.Now()
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.meter.BitsPerSecond(now)
+}
+
+// Bandwidth returns the link's nominal capacity in bits per second
+// (substrate.Iface).
+func (i *UDPIface) Bandwidth() int64 { return i.bw }
+
+// Peer returns the node at the other end (topology helpers).
+func (i *UDPIface) Peer() *Node { return i.peer }
+
+// Interface satisfaction.
+var _ substrate.Iface = (*UDPIface)(nil)

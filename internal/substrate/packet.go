@@ -2,12 +2,13 @@
 // headers and a raw payload. PLAN-P operates on existing packet formats
 // unchanged (§2), so these mirror the fields the primitive library
 // exposes; internal/planprt converts between this wire form and the
-// language's header values.
-package netsim
+// language's header values. The model is substrate-neutral: simulator
+// media and real-time channel/socket links carry the same struct.
+package substrate
 
 import "fmt"
 
-// IP protocol numbers used by the simulator.
+// IP protocol numbers used by the substrate.
 const (
 	ProtoTCP = 6
 	ProtoUDP = 17
@@ -75,6 +76,12 @@ type UDPHeader struct {
 // deliberately conservative: it is cleared whenever the pointer becomes
 // visible to more than one party (broadcast/multicast fan-out, taps,
 // local delivery).
+//
+// On concurrent backends the same contract doubles as the memory
+// model: transmitting a packet hands it to the receiving node's
+// goroutine (a channel send establishes the happens-before edge), so a
+// sender honoring Own must not touch the packet afterwards, and a
+// disowned packet shared by a fan-out is read-only everywhere.
 type Packet struct {
 	IP      IPHeader
 	TCP     *TCPHeader // exactly one of TCP/UDP is set for transport traffic
@@ -105,6 +112,10 @@ func (p *Packet) Own() *Packet {
 // Disown clears exclusive ownership (the pointer is about to be shared
 // with more than one party, so nobody may reuse the packet in place).
 func (p *Packet) Disown() { p.owned = false }
+
+// Owned reports whether the packet is exclusively referenced by its
+// current delivery chain (backends use this to elide hop copies).
+func (p *Packet) Owned() bool { return p.owned }
 
 // Size returns the on-wire size in bytes (headers + payload).
 func (p *Packet) Size() int {

@@ -2,7 +2,13 @@
 // audio-adaptation ASP read link utilization through this (the
 // linkLoadTo primitive); §3.1's claim that in-router adaptation reacts
 // "immediately" is a claim about this window being short and local.
-package netsim
+//
+// The meter is time-source-neutral: callers supply "now" on every call,
+// so the simulator feeds it virtual time and real-time backends feed it
+// the wall clock. It is NOT internally synchronized — the simulator is
+// single-threaded, and concurrent backends must serialize access (rtnet
+// guards each link's meter with the link lock).
+package substrate
 
 import "time"
 
@@ -48,13 +54,13 @@ func (m *RateMeter) advance(now time.Duration) {
 	}
 }
 
-// Add records n bytes transmitted at virtual time now.
+// Add records n bytes transmitted at time now.
 func (m *RateMeter) Add(now time.Duration, n int64) {
 	m.advance(now)
 	m.counts[m.current] += n
 }
 
-// BitsPerSecond returns the windowed throughput at virtual time now.
+// BitsPerSecond returns the windowed throughput at time now.
 // The current (partially elapsed) bucket is excluded so that steady
 // traffic measures without systematic underestimation; the effective
 // window is the last window−bucket of completed time.

@@ -1,0 +1,148 @@
+// Package substrate defines the execution substrate the PLAN-P/ASP
+// layer runs on: the small interface set separating the language
+// runtime (internal/planprt) from whatever actually moves packets
+// underneath it.
+//
+// The paper's runtime ran on real SUN hosts and routers; this
+// reproduction began with a discrete-event simulator standing in for
+// that network. The substrate split makes the simulator one
+// implementation among several rather than a hard dependency:
+//
+//   - internal/netsim — the deterministic discrete-event simulator
+//     (virtual clock, single-threaded, reproducible from a seed). The
+//     reference backend: every paper experiment replays on it
+//     byte-identically.
+//   - internal/rtnet — the real-time concurrent backend (wall clock,
+//     goroutine per node, in-process channel links with optional UDP
+//     sockets on loopback). The backend that faces real traffic;
+//     cmd/planpd downloads ASPs onto its live nodes.
+//
+// The interfaces are deliberately narrow: exactly what the runtime's
+// primitive set needs (host identity, routing, transmission, local
+// delivery, link-load measurement, a clock, timers, and seeded
+// randomness) plus the packet-processing hook a downloaded protocol
+// installs into. Backends with richer APIs (the simulator's event
+// budgets, rtnet's socket links) keep them on their concrete types.
+//
+// # Determinism contract
+//
+// A backend is either deterministic or concurrent, and says which:
+//
+//   - netsim promises bit-identical runs for a fixed seed and workload.
+//     Env.Now is virtual time; Env.After schedules on the simulation
+//     event queue; Env.Int63n draws from the single simulation RNG.
+//   - rtnet promises race-cleanliness, not reproducibility. Env.Now is
+//     wall-clock time since the net started; Env.After uses real
+//     timers; Env.Int63n draws from a mutex-guarded RNG.
+//
+// Code meant to run on both (the runtime, ASP programs, conformance
+// tests) must therefore never compare exact timestamps across runs.
+package substrate
+
+import (
+	"time"
+
+	"planp.dev/planp/internal/obs"
+)
+
+// Processor is the PLAN-P layer hook. Process sees every packet the
+// node receives from the network, before standard IP processing.
+// Returning true means the program handled the packet (forwarded,
+// delivered, or dropped it); false falls through to the backend's
+// standard behavior.
+//
+// A Processor must not mutate pkt (build a Clone/CloneMut to rewrite)
+// and must not retain pkt beyond the call unless it returns true: on
+// false the substrate may reuse the packet in place for the next
+// forwarding hop. Retaining the payload slice is always safe — payload
+// bytes are immutable once transmitted.
+//
+// On concurrent backends Process is invoked from the owning node's
+// goroutine only, so a processor needs no internal locking unless it
+// shares state across nodes.
+type Processor interface {
+	Process(pkt *Packet, in Iface) bool
+}
+
+// AppFunc receives packets delivered to a local application binding.
+type AppFunc func(pkt *Packet)
+
+// Iface is one attachment point of a node to a transmission medium.
+// The runtime uses interfaces as opaque identities (split-horizon
+// comparisons), transmission ports, and load probes.
+type Iface interface {
+	// Send transmits pkt out this interface.
+	Send(pkt *Packet)
+	// Load returns the utilization percentage (0-100) of this
+	// interface's outgoing direction over the backend's measurement
+	// window.
+	Load() int64
+	// Bandwidth returns the attached medium's capacity in bits/s.
+	Bandwidth() int64
+}
+
+// Node is the substrate-facing view of one host or router: everything
+// the ASP runtime needs to install itself and to implement the
+// OnRemote/OnNeighbor/deliver primitives. *netsim.Node and *rtnet.Node
+// both satisfy it.
+type Node interface {
+	// Hostname returns the node's unique name (metric and event keys
+	// are derived from it: "node.<name>.*", "asp.<name>.*").
+	Hostname() string
+	// Address returns the node's address.
+	Address() Addr
+	// Interfaces returns the node's attachment points. The slice is
+	// owned by the node; callers must not mutate it.
+	Interfaces() []Iface
+	// Route resolves the outgoing interface for dst (nil if
+	// unroutable).
+	Route(dst Addr) Iface
+	// Send originates pkt from this node: local destinations deliver
+	// directly, everything else routes out an interface.
+	Send(pkt *Packet)
+	// TransmitFrom routes pkt out of any interface except in,
+	// reporting whether it was sent. It is the PLAN-P layer's OnRemote
+	// transmission path: the program has already decided the packet's
+	// fate, so no TTL handling happens here. in == nil means no
+	// exclusion.
+	TransmitFrom(pkt *Packet, in Iface) bool
+	// DeliverLocal passes pkt up to local application bindings (the
+	// deliver primitive).
+	DeliverLocal(pkt *Packet)
+	// BindUDP delivers local UDP traffic for port to fn.
+	BindUDP(port uint16, fn AppFunc)
+	// BindTCP delivers local TCP traffic for port to fn.
+	BindTCP(port uint16, fn AppFunc)
+	// NextIPID returns a fresh IP identification value for originated
+	// packets.
+	NextIPID() uint32
+	// SetProcessor installs (or, with nil, removes) the PLAN-P layer.
+	SetProcessor(p Processor)
+	// CurrentProcessor returns the installed PLAN-P layer, or nil.
+	CurrentProcessor() Processor
+	// Env returns the execution environment the node lives in.
+	Env() Env
+}
+
+// Env is the substrate execution environment shared by a network of
+// nodes: the clock, timers, seeded randomness, and the observability
+// substrate. *netsim.Simulator and *rtnet.Net both satisfy it.
+type Env interface {
+	// Now returns the current substrate time: virtual time on the
+	// simulator, wall-clock time since start on real-time backends.
+	Now() time.Duration
+	// After schedules fn to run d after the current time. On the
+	// simulator fn runs on the event loop; on real-time backends it
+	// runs on its own goroutine and must synchronize like any other
+	// concurrent code.
+	After(d time.Duration, fn func())
+	// Int63n returns a pseudo-random integer in [0, n) from the
+	// environment's seeded stream (the rand primitive). n must be > 0.
+	Int63n(n int64) int64
+	// Events returns the environment's event bus. Both backends emit
+	// the same typed events (obs.Kind*) at the same decision points.
+	Events() *obs.Bus
+	// Metrics returns the environment's metrics registry — the single
+	// source node and runtime statistics are read from.
+	Metrics() *obs.Registry
+}

@@ -1,0 +1,320 @@
+// Package subtest is the substrate conformance suite: a single set of
+// behavioral tests every execution backend must pass, run against the
+// abstract substrate surface only. The deterministic simulator
+// (internal/netsim) and the real-time backend (internal/rtnet) both
+// wire a Harness into Run from their own test packages, which is what
+// keeps "the same ASP runs unchanged on either backend" an enforced
+// property instead of an aspiration.
+//
+// The suite is deliberately written against substrate.Node / Iface /
+// Env alone — if a test needs a backend-specific knob, the knob belongs
+// in HostSpec or the Harness, not in the test.
+package subtest
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"planp.dev/planp/internal/obs"
+	"planp.dev/planp/internal/substrate"
+)
+
+// HostSpec describes one host in the line topology a Harness builds.
+type HostSpec struct {
+	Name       string
+	Addr       substrate.Addr
+	Forwarding bool
+}
+
+// Harness adapts one backend to the suite. A fresh harness is built for
+// every subtest.
+type Harness interface {
+	// Build constructs the hosts, links consecutive pairs with a duplex
+	// link, and installs static routes so every host can reach every
+	// other (traffic between non-adjacent hosts transits the middle).
+	// It returns the nodes in spec order.
+	Build(t *testing.T, hosts []HostSpec) []substrate.Node
+
+	// Start begins packet processing. Bindings, processors, and event
+	// subscribers registered before Start are visible to all traffic.
+	Start()
+
+	// Settle processes in-flight traffic until the network is quiescent
+	// (the simulator drains its event queue; the real-time backend
+	// waits for in-flight packets to finish).
+	Settle(t *testing.T)
+
+	// Env returns the backend's substrate environment.
+	Env() substrate.Env
+}
+
+// procFunc adapts a function to substrate.Processor.
+type procFunc func(pkt *substrate.Packet, in substrate.Iface) bool
+
+func (f procFunc) Process(pkt *substrate.Packet, in substrate.Iface) bool { return f(pkt, in) }
+
+// Addresses used by the suite.
+var (
+	addrA = substrate.MustAddr("10.9.0.1")
+	addrR = substrate.MustAddr("10.9.0.2")
+	addrB = substrate.MustAddr("10.9.0.3")
+)
+
+func twoHosts() []HostSpec {
+	return []HostSpec{{Name: "ca", Addr: addrA}, {Name: "cb", Addr: addrB}}
+}
+
+func lineWithRouter() []HostSpec {
+	return []HostSpec{
+		{Name: "ca", Addr: addrA},
+		{Name: "cr", Addr: addrR, Forwarding: true},
+		{Name: "cb", Addr: addrB},
+	}
+}
+
+// Run executes the conformance suite, building a fresh harness from mk
+// for each subtest.
+func Run(t *testing.T, mk func() Harness) {
+	t.Run("Delivery", func(t *testing.T) { testDelivery(t, mk()) })
+	t.Run("NoBindingDrop", func(t *testing.T) { testNoBindingDrop(t, mk()) })
+	t.Run("ForwardTTL", func(t *testing.T) { testForwardTTL(t, mk()) })
+	t.Run("ProcessorHook", func(t *testing.T) { testProcessorHook(t, mk()) })
+	t.Run("ProcessorFallthrough", func(t *testing.T) { testProcessorFallthrough(t, mk()) })
+	t.Run("SplitHorizon", func(t *testing.T) { testSplitHorizon(t, mk()) })
+	t.Run("EnvClockTimerRand", func(t *testing.T) { testEnvClockTimerRand(t, mk()) })
+	t.Run("MetricsAndEvents", func(t *testing.T) { testMetricsAndEvents(t, mk()) })
+}
+
+// testDelivery: a UDP packet sent host-to-host reaches the bound
+// application with its payload intact, and the delivery is counted
+// under the standard metric name.
+func testDelivery(t *testing.T, h Harness) {
+	nodes := h.Build(t, twoHosts())
+	a, b := nodes[0], nodes[1]
+
+	var got atomic.Pointer[string]
+	b.BindUDP(7, func(pkt *substrate.Packet) {
+		s := string(pkt.Payload)
+		got.Store(&s)
+	})
+	h.Start()
+
+	a.Send(substrate.NewUDP(a.Address(), b.Address(), 1234, 7, []byte("ping")).Own())
+	h.Settle(t)
+
+	if s := got.Load(); s == nil || *s != "ping" {
+		t.Fatalf("payload not delivered: got %v", got.Load())
+	}
+	snap := h.Env().Metrics().Snapshot()
+	if snap["node.cb.delivered_pkts"] != 1 {
+		t.Fatalf("node.cb.delivered_pkts = %d, want 1", snap["node.cb.delivered_pkts"])
+	}
+	if snap["node.ca.sent_pkts"] != 1 {
+		t.Fatalf("node.ca.sent_pkts = %d, want 1", snap["node.ca.sent_pkts"])
+	}
+}
+
+// testNoBindingDrop: delivery to a port nobody bound counts a drop, not
+// a delivery.
+func testNoBindingDrop(t *testing.T, h Harness) {
+	nodes := h.Build(t, twoHosts())
+	a, b := nodes[0], nodes[1]
+	h.Start()
+
+	a.Send(substrate.NewUDP(a.Address(), b.Address(), 1234, 9999, nil).Own())
+	h.Settle(t)
+
+	snap := h.Env().Metrics().Snapshot()
+	if snap["node.cb.dropped_pkts"] != 1 {
+		t.Fatalf("node.cb.dropped_pkts = %d, want 1", snap["node.cb.dropped_pkts"])
+	}
+}
+
+// testForwardTTL: a router forwards transit traffic (decrementing TTL)
+// and drops packets whose TTL would expire.
+func testForwardTTL(t *testing.T, h Harness) {
+	nodes := h.Build(t, lineWithRouter())
+	a, b := nodes[0], nodes[2]
+
+	var ttl atomic.Int32
+	b.BindUDP(7, func(pkt *substrate.Packet) { ttl.Store(int32(pkt.IP.TTL)) })
+	h.Start()
+
+	p := substrate.NewUDP(a.Address(), b.Address(), 1234, 7, nil)
+	p.IP.TTL = 10
+	a.Send(p.Own())
+
+	expired := substrate.NewUDP(a.Address(), b.Address(), 1234, 7, nil)
+	expired.IP.TTL = 1
+	a.Send(expired.Own())
+	h.Settle(t)
+
+	if got := ttl.Load(); got != 9 {
+		t.Fatalf("delivered TTL = %d, want 9 (router must decrement)", got)
+	}
+	snap := h.Env().Metrics().Snapshot()
+	if snap["node.cr.forwarded_pkts"] != 1 {
+		t.Fatalf("node.cr.forwarded_pkts = %d, want 1", snap["node.cr.forwarded_pkts"])
+	}
+	if snap["node.cr.dropped_pkts"] != 1 {
+		t.Fatalf("node.cr.dropped_pkts = %d, want 1 (ttl expiry)", snap["node.cr.dropped_pkts"])
+	}
+	if snap["node.cb.delivered_pkts"] != 1 {
+		t.Fatalf("node.cb.delivered_pkts = %d, want 1", snap["node.cb.delivered_pkts"])
+	}
+}
+
+// testProcessorHook: an installed processor intercepts traffic
+// (returning true consumes the packet); uninstalling restores default
+// processing. This is the install/uninstall surface planprt drives.
+func testProcessorHook(t *testing.T, h Harness) {
+	nodes := h.Build(t, lineWithRouter())
+	a, r, b := nodes[0], nodes[1], nodes[2]
+
+	var seen atomic.Int32
+	blackhole := procFunc(func(pkt *substrate.Packet, in substrate.Iface) bool {
+		seen.Add(1)
+		return true // consumed: no forward, no delivery
+	})
+	if r.CurrentProcessor() != nil {
+		t.Fatalf("fresh node has a processor installed")
+	}
+	r.SetProcessor(blackhole)
+	if r.CurrentProcessor() == nil {
+		t.Fatalf("CurrentProcessor nil after SetProcessor")
+	}
+	b.BindUDP(7, func(pkt *substrate.Packet) {})
+	h.Start()
+
+	a.Send(substrate.NewUDP(a.Address(), b.Address(), 1234, 7, nil).Own())
+	h.Settle(t)
+	if seen.Load() != 1 {
+		t.Fatalf("processor saw %d packets, want 1", seen.Load())
+	}
+	snap := h.Env().Metrics().Snapshot()
+	if snap["node.cb.delivered_pkts"] != 0 {
+		t.Fatalf("packet delivered despite intercepting processor")
+	}
+
+	r.SetProcessor(nil)
+	a.Send(substrate.NewUDP(a.Address(), b.Address(), 1234, 7, nil).Own())
+	h.Settle(t)
+	if seen.Load() != 1 {
+		t.Fatalf("uninstalled processor still sees packets")
+	}
+	snap = h.Env().Metrics().Snapshot()
+	if snap["node.cb.delivered_pkts"] != 1 {
+		t.Fatalf("node.cb.delivered_pkts = %d after uninstall, want 1", snap["node.cb.delivered_pkts"])
+	}
+}
+
+// testProcessorFallthrough: a processor returning false falls through
+// to default processing (the runtime's "not my protocol" path).
+func testProcessorFallthrough(t *testing.T, h Harness) {
+	nodes := h.Build(t, lineWithRouter())
+	a, r, b := nodes[0], nodes[1], nodes[2]
+
+	r.SetProcessor(procFunc(func(pkt *substrate.Packet, in substrate.Iface) bool { return false }))
+	b.BindUDP(7, func(pkt *substrate.Packet) {})
+	h.Start()
+
+	a.Send(substrate.NewUDP(a.Address(), b.Address(), 1234, 7, nil).Own())
+	h.Settle(t)
+	snap := h.Env().Metrics().Snapshot()
+	if snap["node.cb.delivered_pkts"] != 1 {
+		t.Fatalf("node.cb.delivered_pkts = %d, want 1 (fall-through)", snap["node.cb.delivered_pkts"])
+	}
+}
+
+// testSplitHorizon: TransmitFrom never sends a packet back out the
+// interface it arrived on — the OnNeighbor/OnRemote suppression the
+// runtime relies on to avoid reflection loops.
+func testSplitHorizon(t *testing.T, h Harness) {
+	nodes := h.Build(t, twoHosts())
+	a, b := nodes[0], nodes[1]
+
+	// On b, the only route back toward anything is the incoming
+	// interface; TransmitFrom(pkt, in) must therefore refuse.
+	const (
+		unset = iota
+		sentFalse
+		sentTrue
+	)
+	var verdict atomic.Int32
+	b.SetProcessor(procFunc(func(pkt *substrate.Packet, in substrate.Iface) bool {
+		if b.TransmitFrom(pkt, in) {
+			verdict.Store(sentTrue)
+		} else {
+			verdict.Store(sentFalse)
+		}
+		return true
+	}))
+	h.Start()
+
+	// Address the packet somewhere b can only reach back through a.
+	far := substrate.MustAddr("10.99.99.99")
+	a.Send(substrate.NewUDP(a.Address(), far, 1234, 7, nil).Own())
+	h.Settle(t)
+
+	switch verdict.Load() {
+	case unset:
+		t.Fatalf("processor never ran")
+	case sentTrue:
+		t.Fatalf("TransmitFrom sent the packet back out its incoming interface")
+	}
+}
+
+// testEnvClockTimerRand: Env time is monotone, After fires its
+// callback, and Int63n stays in range.
+func testEnvClockTimerRand(t *testing.T, h Harness) {
+	h.Build(t, twoHosts())
+	env := h.Env()
+
+	t0 := env.Now()
+	var fired atomic.Bool
+	env.After(2*time.Millisecond, func() { fired.Store(true) })
+	h.Start()
+	h.Settle(t)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for !fired.Load() {
+		if time.Now().After(deadline) {
+			t.Fatalf("After callback never fired")
+		}
+		time.Sleep(time.Millisecond)
+		h.Settle(t)
+	}
+	if env.Now() < t0 {
+		t.Fatalf("Env clock went backwards: %v then %v", t0, env.Now())
+	}
+	for i := 0; i < 100; i++ {
+		if v := env.Int63n(10); v < 0 || v >= 10 {
+			t.Fatalf("Int63n(10) = %d out of range", v)
+		}
+	}
+}
+
+// testMetricsAndEvents: packet-granular events reach a subscriber
+// attached before Start, with the standard kinds.
+func testMetricsAndEvents(t *testing.T, h Harness) {
+	nodes := h.Build(t, lineWithRouter())
+	a, b := nodes[0], nodes[2]
+
+	sink := &obs.CountingSink{}
+	h.Env().Events().Subscribe(sink)
+	b.BindUDP(7, func(pkt *substrate.Packet) {})
+	h.Start()
+
+	for i := 0; i < 3; i++ {
+		a.Send(substrate.NewUDP(a.Address(), b.Address(), 1234, 7, nil).Own())
+	}
+	h.Settle(t)
+
+	if got := sink.Count(obs.KindDeliver); got != 3 {
+		t.Fatalf("deliver events = %d, want 3", got)
+	}
+	if got := sink.Count(obs.KindForward); got != 3 {
+		t.Fatalf("forward events = %d, want 3", got)
+	}
+}

@@ -1,0 +1,139 @@
+// Wire codec: a flat binary encoding of Packet for backends that move
+// datagrams over real sockets (rtnet's UDP loopback links) or between
+// processes. The simulator never serializes — packets travel by pointer
+// — so this format is a transport detail, not the paper's packet model:
+// PLAN-P itself still sees the ordinary IP/TCP/UDP fields.
+//
+// Layout (all multi-byte fields big-endian):
+//
+//	flags   1 byte   bit0 = has TCP header, bit1 = has UDP header
+//	ip      14 bytes src(4) dst(4) proto(1) ttl(1) id(4)
+//	tcp     15 bytes srcPort(2) dstPort(2) seq(4) ack(4) flags(1) window(2)   [if bit0]
+//	udp     4 bytes  srcPort(2) dstPort(2)                                    [if bit1]
+//	chantag 1 byte length + bytes (PLAN-P channel tag option)
+//	payload remaining bytes
+package substrate
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+const (
+	wireHasTCP = 1 << 0
+	wireHasUDP = 1 << 1
+)
+
+// MaxWirePacket is the largest marshalled packet the codec accepts:
+// generous for loopback UDP (which fragments transparently) while
+// bounding decoder allocations on hostile input.
+const MaxWirePacket = 256 << 10
+
+// AppendWire appends the wire encoding of p to dst and returns the
+// extended slice (append-style, so senders can reuse buffers).
+func AppendWire(dst []byte, p *Packet) ([]byte, error) {
+	if p.TCP != nil && p.UDP != nil {
+		return dst, fmt.Errorf("substrate: packet has both TCP and UDP headers")
+	}
+	if len(p.ChanTag) > 255 {
+		return dst, fmt.Errorf("substrate: channel tag %q exceeds 255 bytes", p.ChanTag[:32]+"…")
+	}
+	var flags byte
+	if p.TCP != nil {
+		flags |= wireHasTCP
+	}
+	if p.UDP != nil {
+		flags |= wireHasUDP
+	}
+	dst = append(dst, flags)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(p.IP.Src))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(p.IP.Dst))
+	dst = append(dst, p.IP.Proto, p.IP.TTL)
+	dst = binary.BigEndian.AppendUint32(dst, p.IP.ID)
+	if p.TCP != nil {
+		dst = binary.BigEndian.AppendUint16(dst, p.TCP.SrcPort)
+		dst = binary.BigEndian.AppendUint16(dst, p.TCP.DstPort)
+		dst = binary.BigEndian.AppendUint32(dst, p.TCP.Seq)
+		dst = binary.BigEndian.AppendUint32(dst, p.TCP.Ack)
+		dst = append(dst, p.TCP.Flags)
+		dst = binary.BigEndian.AppendUint16(dst, p.TCP.Window)
+	}
+	if p.UDP != nil {
+		dst = binary.BigEndian.AppendUint16(dst, p.UDP.SrcPort)
+		dst = binary.BigEndian.AppendUint16(dst, p.UDP.DstPort)
+	}
+	dst = append(dst, byte(len(p.ChanTag)))
+	dst = append(dst, p.ChanTag...)
+	dst = append(dst, p.Payload...)
+	if len(dst) > MaxWirePacket {
+		return dst, fmt.Errorf("substrate: marshalled packet exceeds %d bytes", MaxWirePacket)
+	}
+	return dst, nil
+}
+
+// ParseWire decodes a wire-encoded packet. The returned packet owns
+// fresh header structs and a fresh payload slice (b may be a reused
+// receive buffer).
+func ParseWire(b []byte) (*Packet, error) {
+	if len(b) > MaxWirePacket {
+		return nil, fmt.Errorf("substrate: wire packet exceeds %d bytes", MaxWirePacket)
+	}
+	if len(b) < 1+14+1 {
+		return nil, fmt.Errorf("substrate: wire packet truncated (%d bytes)", len(b))
+	}
+	flags := b[0]
+	if flags&wireHasTCP != 0 && flags&wireHasUDP != 0 {
+		return nil, fmt.Errorf("substrate: wire packet claims both TCP and UDP headers")
+	}
+	if flags&^(byte(wireHasTCP|wireHasUDP)) != 0 {
+		return nil, fmt.Errorf("substrate: unknown wire flags %#x", flags)
+	}
+	b = b[1:]
+	p := &Packet{IP: IPHeader{
+		Src:   Addr(binary.BigEndian.Uint32(b[0:4])),
+		Dst:   Addr(binary.BigEndian.Uint32(b[4:8])),
+		Proto: b[8],
+		TTL:   b[9],
+		ID:    binary.BigEndian.Uint32(b[10:14]),
+	}}
+	b = b[14:]
+	if flags&wireHasTCP != 0 {
+		if len(b) < 15 {
+			return nil, fmt.Errorf("substrate: wire packet truncated in TCP header")
+		}
+		p.TCP = &TCPHeader{
+			SrcPort: binary.BigEndian.Uint16(b[0:2]),
+			DstPort: binary.BigEndian.Uint16(b[2:4]),
+			Seq:     binary.BigEndian.Uint32(b[4:8]),
+			Ack:     binary.BigEndian.Uint32(b[8:12]),
+			Flags:   b[12],
+			Window:  binary.BigEndian.Uint16(b[13:15]),
+		}
+		b = b[15:]
+	}
+	if flags&wireHasUDP != 0 {
+		if len(b) < 4 {
+			return nil, fmt.Errorf("substrate: wire packet truncated in UDP header")
+		}
+		p.UDP = &UDPHeader{
+			SrcPort: binary.BigEndian.Uint16(b[0:2]),
+			DstPort: binary.BigEndian.Uint16(b[2:4]),
+		}
+		b = b[4:]
+	}
+	if len(b) < 1 {
+		return nil, fmt.Errorf("substrate: wire packet truncated before channel tag")
+	}
+	tagLen := int(b[0])
+	b = b[1:]
+	if len(b) < tagLen {
+		return nil, fmt.Errorf("substrate: wire packet truncated in channel tag")
+	}
+	p.ChanTag = string(b[:tagLen])
+	b = b[tagLen:]
+	if len(b) > 0 {
+		p.Payload = make([]byte, len(b))
+		copy(p.Payload, b)
+	}
+	return p, nil
+}

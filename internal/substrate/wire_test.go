@@ -1,0 +1,93 @@
+package substrate
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func wireSamples() []*Packet {
+	return []*Packet{
+		{IP: IPHeader{Src: MustAddr("10.0.0.1"), Dst: MustAddr("10.0.0.2"), TTL: 64, ID: 7},
+			Payload: []byte("raw ip")},
+		NewUDP(MustAddr("10.0.0.1"), MustAddr("10.0.0.2"), 1234, 80, []byte("udp payload")),
+		NewTCP(MustAddr("10.0.0.9"), MustAddr("10.0.0.10"), 40000, 80, 99, FlagSyn|FlagAck, nil),
+		{IP: IPHeader{Src: MustAddr("1.2.3.4"), Dst: MustAddr("5.6.7.8"), Proto: 200, TTL: 1, ID: 1 << 30},
+			ChanTag: "resize", Payload: bytes.Repeat([]byte{0xAB}, 1500)},
+	}
+}
+
+// TestWireRoundTrip: AppendWire then ParseWire reproduces the packet.
+func TestWireRoundTrip(t *testing.T) {
+	for i, p := range wireSamples() {
+		b, err := AppendWire(nil, p)
+		if err != nil {
+			t.Fatalf("sample %d: append: %v", i, err)
+		}
+		q, err := ParseWire(b)
+		if err != nil {
+			t.Fatalf("sample %d: parse: %v", i, err)
+		}
+		if q.IP != p.IP || q.ChanTag != p.ChanTag ||
+			!reflect.DeepEqual(q.TCP, p.TCP) || !reflect.DeepEqual(q.UDP, p.UDP) ||
+			!bytes.Equal(q.Payload, p.Payload) {
+			t.Fatalf("sample %d: round trip changed packet:\n  %v\n  %v", i, p, q)
+		}
+	}
+}
+
+// TestWireParseRejectsTruncation: truncating anywhere inside the
+// header region (flags, IP, transport, channel tag) must fail cleanly —
+// no panic, no bogus packet. Truncating payload bytes is not an error
+// by construction: the payload is "rest of datagram", so a shorter
+// datagram is just a shorter valid packet.
+func TestWireParseRejectsTruncation(t *testing.T) {
+	p := NewTCP(MustAddr("10.0.0.9"), MustAddr("10.0.0.10"), 40000, 80, 99, FlagSyn, []byte("xyz"))
+	p.ChanTag = "tag"
+	b, err := AppendWire(nil, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Header region: flags(1) + ip(14) + tcp(15) + taglen(1) + tag(3).
+	headerLen := 1 + 14 + 15 + 1 + 3
+	for n := 0; n < headerLen; n++ {
+		if _, err := ParseWire(b[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes parsed", n)
+		}
+	}
+}
+
+// TestWireParseRejectsGarbage: flag combinations the encoder never
+// produces are refused.
+func TestWireParseRejectsGarbage(t *testing.T) {
+	valid, err := AppendWire(nil, NewUDP(MustAddr("10.0.0.1"), MustAddr("10.0.0.2"), 1, 2, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	both := append([]byte(nil), valid...)
+	both[0] = wireHasTCP | wireHasUDP
+	if _, err := ParseWire(both); err == nil {
+		t.Fatal("parse accepted a packet claiming both TCP and UDP headers")
+	}
+	unknown := append([]byte(nil), valid...)
+	unknown[0] |= 0x80
+	if _, err := ParseWire(unknown); err == nil {
+		t.Fatal("parse accepted unknown wire flags")
+	}
+}
+
+// TestWireLimits: oversized tags and packets are refused on both sides.
+func TestWireLimits(t *testing.T) {
+	long := &Packet{IP: IPHeader{Src: 1, Dst: 2, TTL: 1}}
+	long.ChanTag = string(bytes.Repeat([]byte{'t'}, 256))
+	if _, err := AppendWire(nil, long); err == nil {
+		t.Fatal("append accepted a 256-byte channel tag")
+	}
+	big := &Packet{IP: IPHeader{Src: 1, Dst: 2, TTL: 1}, Payload: make([]byte, MaxWirePacket)}
+	if _, err := AppendWire(nil, big); err == nil {
+		t.Fatal("append accepted an over-limit packet")
+	}
+	if _, err := ParseWire(make([]byte, MaxWirePacket+1)); err == nil {
+		t.Fatal("parse accepted an over-limit datagram")
+	}
+}

@@ -95,11 +95,6 @@ func NewNetwork(opts ...NetworkOption) *Network {
 	return n
 }
 
-// NewNetworkSeeded creates a network with the given seed.
-//
-// Deprecated: use NewNetwork(WithSeed(seed)).
-func NewNetworkSeeded(seed int64) *Network { return NewNetwork(WithSeed(seed)) }
-
 // Sim exposes the underlying simulator (scheduling, time, RNG).
 func (n *Network) Sim() *netsim.Simulator { return n.sim }
 

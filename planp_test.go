@@ -240,8 +240,8 @@ func TestNetworkOptionsObservability(t *testing.T) {
 	}
 }
 
-func TestNetworkSeededShim(t *testing.T) {
-	// The deprecated constructor must behave exactly like WithSeed.
+func TestNetworkWithSeed(t *testing.T) {
+	// Seeded networks deliver traffic like the default constructor.
 	run := func(net *planp.Network) int {
 		a := net.NewHost("a", "10.0.0.1")
 		b := net.NewHost("b", "10.0.0.2")
@@ -251,9 +251,6 @@ func TestNetworkSeededShim(t *testing.T) {
 		a.Send(planp.NewUDP(a.Addr, b.Addr, 1, 5, nil))
 		net.Run()
 		return n
-	}
-	if got := run(planp.NewNetworkSeeded(3)); got != 1 {
-		t.Errorf("seeded shim delivered %d", got)
 	}
 	if got := run(planp.NewNetwork(planp.WithSeed(3))); got != 1 {
 		t.Errorf("options constructor delivered %d", got)
