@@ -1,45 +1,128 @@
 // planpd is the ASP download daemon: it boots the live HTTP cluster
 // (client — gateway — two servers) on the real-time backend and serves
-// the protocol-management API for the gateway node. Download the
-// load-balancing ASP onto the running gateway and watch it spread real
-// requests:
+// the protocol-management API for every node, plus the fleet rollout
+// control plane. Download the load-balancing ASP onto the running
+// gateway and watch it spread real requests:
 //
 //	planpd -listen 127.0.0.1:8377 &
 //	curl -X POST --data-binary @asp/http_gateway.planp \
 //	    'http://127.0.0.1:8377/asp?verify=single'
 //	curl -X POST 'http://127.0.0.1:8377/demo/requests?n=200'
 //	curl 'http://127.0.0.1:8377/stats'
+//
+// Each cluster node's API is also mounted at /node/<name>/ (gateway,
+// client, server0, server1), which is what the fleet controller
+// targets. Roll a protocol out to several nodes as a unit — two-phase,
+// with rollback on partial failure:
+//
+//	curl -X POST --data-binary @asp/audio_router.planp \
+//	    'http://127.0.0.1:8377/deploy?version=v1&nodes=gateway,server0'
+//	curl 'http://127.0.0.1:8377/deployments'
+//
+// The same rollout is available from the command line, against this or
+// any other planpd daemon:
+//
+//	planpd deploy -nodes gw=http://127.0.0.1:8377/node/gateway \
+//	    -src asp/audio_router.planp -version v1
+//
+// The daemon shuts down cleanly on SIGINT/SIGTERM: the HTTP listener
+// drains, then the cluster's node goroutines are quiesced and joined.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
+	"strings"
+	"syscall"
 	"time"
 
+	"planp.dev/planp/internal/fleet"
 	"planp.dev/planp/internal/planpd"
+	"planp.dev/planp/internal/substrate"
 )
 
 func main() {
-	listen := flag.String("listen", "127.0.0.1:8377", "control API listen address")
-	udp := flag.Bool("udp", false, "use loopback-UDP socket links instead of in-process channels")
-	flag.Parse()
+	if len(os.Args) > 1 && os.Args[1] == "deploy" {
+		os.Exit(runDeploy(os.Args[2:]))
+	}
+	os.Exit(runServe(os.Args[1:]))
+}
+
+func runServe(args []string) int {
+	fs := flag.NewFlagSet("planpd", flag.ExitOnError)
+	listen := fs.String("listen", "127.0.0.1:8377", "control API listen address")
+	udp := fs.Bool("udp", false, "use loopback-UDP socket links instead of in-process channels")
+	fs.Parse(args)
 
 	cluster, err := planpd.NewCluster(*udp)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
 	defer cluster.Close()
 	cluster.Start()
 
-	ctl := planpd.NewServer(cluster.Gateway, os.Stdout)
 	mux := http.NewServeMux()
-	mux.Handle("/", ctl.Handler())
+
+	// Back-compat: the bare API drives the gateway node.
+	mux.Handle("/", planpd.NewServer(cluster.Gateway, os.Stdout).Handler())
+
+	// Per-node control APIs — the fleet controller's targets.
+	nodes := []substrate.Node{cluster.Gateway, cluster.Client, cluster.Servers[0], cluster.Servers[1]}
+	for _, node := range nodes {
+		prefix := "/node/" + node.Hostname()
+		mux.Handle(prefix+"/", http.StripPrefix(prefix, planpd.NewServer(node, os.Stdout).Handler()))
+	}
+
+	// The embedded fleet controller. Rollouts target the daemon's own
+	// per-node mounts unless the request names full URLs.
+	ctl := fleet.New(fleet.Config{Logf: log.Printf})
+	mux.Handle("/deployments", ctl.Handler())
+	mux.HandleFunc("/deploy", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		targets, err := parseTargets(r.URL.Query().Get("nodes"), "http://"+*listen)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		src, err := readBody(r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		spec := fleet.Spec{
+			Version: r.URL.Query().Get("version"),
+			Source:  src,
+			Engine:  r.URL.Query().Get("engine"),
+			Verify:  r.URL.Query().Get("verify"),
+		}
+		d, deployErr := ctl.Deploy(r.Context(), spec, targets)
+		status := http.StatusOK
+		resp := map[string]any{}
+		if deployErr != nil {
+			status = http.StatusConflict
+			resp["error"] = deployErr.Error()
+		}
+		if d != nil {
+			resp["deployment"] = d.View()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		json.NewEncoder(w).Encode(resp)
+	})
+
 	mux.HandleFunc("/demo/requests", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
@@ -65,8 +148,118 @@ func main() {
 		})
 	})
 
+	srv := &http.Server{Addr: *listen, Handler: mux}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
 	log.Printf("planpd: control API on http://%s (links: %s)", *listen, linkKind(*udp))
-	log.Fatal(http.ListenAndServe(*listen, mux))
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: drain in-flight control requests, then let the
+	// cluster's traffic settle before the deferred Close joins the node
+	// goroutines.
+	log.Printf("planpd: shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		log.Printf("planpd: HTTP shutdown: %v", err)
+	}
+	if !cluster.Net.Quiesce(5 * time.Second) {
+		log.Printf("planpd: cluster did not quiesce; closing anyway")
+	}
+	log.Printf("planpd: bye")
+	return 0
+}
+
+func runDeploy(args []string) int {
+	fs := flag.NewFlagSet("planpd deploy", flag.ExitOnError)
+	nodesFlag := fs.String("nodes", "", "comma-separated targets: name=url, or bare node names resolved against -daemon")
+	daemon := fs.String("daemon", "http://127.0.0.1:8377", "planpd daemon base URL for bare node names")
+	srcPath := fs.String("src", "", "PLAN-P protocol source file")
+	version := fs.String("version", "", "version label (auto-assigned when empty)")
+	engine := fs.String("engine", "", "execution engine: jit, bytecode, interp")
+	verify := fs.String("verify", "", "verification policy: network, single, privileged")
+	timeout := fs.Duration("timeout", 30*time.Second, "overall rollout deadline")
+	fs.Parse(args)
+
+	if *srcPath == "" || *nodesFlag == "" {
+		fmt.Fprintln(os.Stderr, "planpd deploy: -src and -nodes are required")
+		return 2
+	}
+	src, err := os.ReadFile(*srcPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	targets, err := parseTargets(*nodesFlag, *daemon)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	ctl := fleet.New(fleet.Config{Logf: log.Printf})
+	d, deployErr := ctl.Deploy(ctx, fleet.Spec{
+		Version: *version, Source: string(src), Engine: *engine, Verify: *verify,
+	}, targets)
+
+	if d != nil {
+		out, _ := json.MarshalIndent(d.View(), "", "  ")
+		fmt.Println(string(out))
+	}
+	if deployErr != nil {
+		fmt.Fprintln(os.Stderr, deployErr)
+		return 1
+	}
+	return 0
+}
+
+// parseTargets decodes a comma-separated target list. Each entry is
+// either name=url or a bare node name, which resolves to the daemon's
+// per-node mount (<daemon>/node/<name>).
+func parseTargets(spec, daemon string) ([]fleet.Target, error) {
+	if spec == "" {
+		return nil, errors.New("no target nodes given")
+	}
+	var targets []fleet.Target
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		if name, url, ok := strings.Cut(entry, "="); ok {
+			targets = append(targets, fleet.Target{Name: name, URL: url})
+			continue
+		}
+		if strings.Contains(entry, "://") {
+			return nil, fmt.Errorf("target %q: use name=url for explicit URLs", entry)
+		}
+		targets = append(targets, fleet.Target{
+			Name: entry,
+			URL:  strings.TrimRight(daemon, "/") + "/node/" + entry,
+		})
+	}
+	return targets, nil
+}
+
+func readBody(r *http.Request) (string, error) {
+	const maxSrc = 1 << 20
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxSrc+1))
+	if err != nil {
+		return "", err
+	}
+	if len(body) > maxSrc {
+		return "", errors.New("protocol source too large")
+	}
+	return string(body), nil
 }
 
 func linkKind(udp bool) string {

@@ -1,0 +1,185 @@
+// The per-node control-plane client: typed wrappers over planpd's HTTP
+// API with retry, exponential backoff, and attempt accounting. One
+// nodeClient serves one target within one rollout; all its calls run on
+// that target's fan-out worker, so per-node bookkeeping needs no
+// locking beyond the deployment record's.
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+)
+
+// maxErrBody bounds how much of an error response is kept for messages.
+const maxErrBody = 1 << 16
+
+// httpResult is one completed (possibly non-2xx) HTTP exchange.
+type httpResult struct {
+	status int
+	body   []byte
+}
+
+func (r *httpResult) ok() bool { return r.status >= 200 && r.status < 300 }
+
+func (r *httpResult) err(op string) error {
+	if r.ok() {
+		return nil
+	}
+	return fmt.Errorf("%s: HTTP %d: %s", op, r.status, strings.TrimSpace(string(r.body)))
+}
+
+// nodeClient talks to one planpd node for one deployment.
+type nodeClient struct {
+	c *Controller
+	d *Deployment
+	n *Node
+}
+
+// do performs method path?query against the node, retrying transport
+// errors and retryable statuses under the controller's policy. A
+// non-retryable HTTP status is a successful exchange (the caller
+// inspects it); exhausted retries return the last error.
+func (nc *nodeClient) do(ctx context.Context, method, path string, query url.Values, body []byte) (*httpResult, error) {
+	u := strings.TrimRight(nc.n.URL, "/") + path
+	if len(query) > 0 {
+		u += "?" + query.Encode()
+	}
+	p := nc.c.retry
+	var lastErr error
+	for attempt := 1; attempt <= p.Attempts; attempt++ {
+		if attempt > 1 {
+			nc.c.countRetry()
+			nc.c.sleep(ctx, p.Delay(attempt-1, nc.c.rand()))
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, u, rd)
+		if err != nil {
+			return nil, err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "text/plain")
+		}
+		nc.d.bumpAttempts(nc.n)
+		resp, err := nc.c.client.Do(req)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, maxErrBody))
+		resp.Body.Close()
+		if retryableStatus(resp.StatusCode) {
+			lastErr = fmt.Errorf("%s %s: HTTP %d: %s", method, path, resp.StatusCode, strings.TrimSpace(string(b)))
+			continue
+		}
+		return &httpResult{status: resp.StatusCode, body: b}, nil
+	}
+	return nil, fmt.Errorf("%s %s: giving up after %d attempts: %w", method, path, p.Attempts, lastErr)
+}
+
+// health probes GET /healthz and returns the node's active protocol
+// version (empty if none).
+func (nc *nodeClient) health(ctx context.Context) (version string, err error) {
+	res, err := nc.do(ctx, http.MethodGet, "/healthz", nil, nil)
+	if err != nil {
+		return "", err
+	}
+	if err := res.err("healthz"); err != nil {
+		return "", err
+	}
+	var h struct {
+		OK      bool   `json:"ok"`
+		Version string `json:"version"`
+	}
+	if err := json.Unmarshal(res.body, &h); err != nil {
+		return "", fmt.Errorf("healthz: decoding: %w", err)
+	}
+	if !h.OK {
+		return "", fmt.Errorf("healthz: node reports not ok")
+	}
+	return h.Version, nil
+}
+
+// stage runs phase 1 on the node.
+func (nc *nodeClient) stage(ctx context.Context, spec Spec) error {
+	q := url.Values{"version": {spec.Version}}
+	if spec.Engine != "" {
+		q.Set("engine", spec.Engine)
+	}
+	if spec.Verify != "" {
+		q.Set("verify", spec.Verify)
+	}
+	res, err := nc.do(ctx, http.MethodPost, "/asp/stage", q, []byte(spec.Source))
+	if err != nil {
+		return err
+	}
+	return res.err("stage")
+}
+
+// abortStage discards a staged version (idempotent).
+func (nc *nodeClient) abortStage(ctx context.Context, version string) error {
+	res, err := nc.do(ctx, http.MethodDelete, "/asp/stage", url.Values{"version": {version}}, nil)
+	if err != nil {
+		return err
+	}
+	return res.err("abort stage")
+}
+
+// activate runs phase 2 on the node.
+func (nc *nodeClient) activate(ctx context.Context, version string) error {
+	res, err := nc.do(ctx, http.MethodPost, "/asp/activate", url.Values{"version": {version}}, nil)
+	if err != nil {
+		return err
+	}
+	return res.err("activate")
+}
+
+// rollback undoes an activation of version, returning the version the
+// node runs afterwards (possibly empty: a bare node).
+func (nc *nodeClient) rollback(ctx context.Context, version string) (restored string, err error) {
+	res, err := nc.do(ctx, http.MethodPost, "/asp/rollback", url.Values{"version": {version}}, nil)
+	if err != nil {
+		return "", err
+	}
+	if err := res.err("rollback"); err != nil {
+		return "", err
+	}
+	var body struct {
+		Active string `json:"active"`
+	}
+	if err := json.Unmarshal(res.body, &body); err != nil {
+		return "", fmt.Errorf("rollback: decoding: %w", err)
+	}
+	return body.Active, nil
+}
+
+// aspStatus reads GET /asp — the reconciliation source after an
+// ambiguous activation (lost response, node death mid-phase).
+func (nc *nodeClient) aspStatus(ctx context.Context) (active, staged string, err error) {
+	res, err := nc.do(ctx, http.MethodGet, "/asp", nil, nil)
+	if err != nil {
+		return "", "", err
+	}
+	if err := res.err("status"); err != nil {
+		return "", "", err
+	}
+	var body struct {
+		Active string `json:"active"`
+		Staged string `json:"staged"`
+	}
+	if err := json.Unmarshal(res.body, &body); err != nil {
+		return "", "", fmt.Errorf("status: decoding: %w", err)
+	}
+	return body.Active, body.Staged, nil
+}

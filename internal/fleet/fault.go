@@ -1,0 +1,220 @@
+// Fault injection: a pluggable http.RoundTripper that makes every
+// failure path of the rollout protocol deterministically testable —
+// dropped requests, slow nodes, 5xx storms, and nodes that die in the
+// middle of a phase (the request is applied server-side but the
+// response never arrives, the classic ambiguous-commit failure).
+//
+// Rules match requests by method/host/path and fire by occurrence
+// count, never by randomness or timing, so a test that injects "drop
+// the 2nd activate to node B" replays identically under -race and CI
+// load.
+package fleet
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// FaultAction is what an injected fault does to a matched request.
+type FaultAction int
+
+// Fault actions.
+const (
+	// FaultDrop fails the request with a transport error; the request
+	// never reaches the node.
+	FaultDrop FaultAction = iota
+	// FaultDelay forwards the request after sleeping Fault.Delay.
+	FaultDelay
+	// FaultStatus short-circuits with an HTTP response of Fault.Status
+	// (e.g. 503) without reaching the node.
+	FaultStatus
+	// FaultKill forwards the request — the node applies it — then
+	// discards the response, returns a transport error, and marks the
+	// node dead: every later request to the same host fails. This is
+	// "node killed mid-phase": the controller cannot know whether the
+	// operation committed.
+	FaultKill
+	// FaultLoseResponse forwards the request — the node applies it —
+	// then discards the response and returns a transport error, but the
+	// node stays reachable. This is the ambiguous-commit case a lost
+	// network reply produces: the operation may have happened, and only
+	// a later query (or an idempotent replay) can tell.
+	FaultLoseResponse
+)
+
+// String names the action.
+func (a FaultAction) String() string {
+	switch a {
+	case FaultDrop:
+		return "drop"
+	case FaultDelay:
+		return "delay"
+	case FaultStatus:
+		return "status"
+	case FaultKill:
+		return "kill"
+	case FaultLoseResponse:
+		return "lose-response"
+	default:
+		return fmt.Sprintf("action(%d)", int(a))
+	}
+}
+
+// Fault is one injection rule. Zero match fields match everything;
+// Host and Path match by substring, Method exactly.
+type Fault struct {
+	Method string
+	Host   string
+	Path   string
+
+	// After skips the first After matching requests (0 = fire from the
+	// first match).
+	After int
+	// Count bounds how many times the rule fires (0 = every match).
+	Count int
+
+	Action FaultAction
+	Status int           // FaultStatus: the response code
+	Delay  time.Duration // FaultDelay: how long to stall
+}
+
+func (f Fault) matches(req *http.Request) bool {
+	if f.Method != "" && f.Method != req.Method {
+		return false
+	}
+	if f.Host != "" && !strings.Contains(req.URL.Host, f.Host) {
+		return false
+	}
+	if f.Path != "" && !strings.Contains(req.URL.Path, f.Path) {
+		return false
+	}
+	return true
+}
+
+// faultState tracks one rule's match and fire counts.
+type faultState struct {
+	Fault
+	seen  int
+	fired int
+}
+
+// Injector is the fault-injecting RoundTripper. Wrap a real transport,
+// hand the resulting http.Client to the fleet controller, and add
+// rules; with no rules it is transparent.
+type Injector struct {
+	base http.RoundTripper
+
+	mu     sync.Mutex
+	faults []*faultState
+	dead   map[string]struct{}
+}
+
+// NewInjector wraps base (http.DefaultTransport when nil).
+func NewInjector(base http.RoundTripper) *Injector {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &Injector{base: base, dead: map[string]struct{}{}}
+}
+
+// Inject adds a rule. Rules are consulted in insertion order; the
+// first eligible rule fires.
+func (in *Injector) Inject(f Fault) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.faults = append(in.faults, &faultState{Fault: f})
+}
+
+// Kill marks a host dead immediately (as if the node's process
+// vanished between phases).
+func (in *Injector) Kill(host string) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.dead[host] = struct{}{}
+}
+
+// Revive clears a host's dead marker.
+func (in *Injector) Revive(host string) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	delete(in.dead, host)
+}
+
+// RoundTrip implements http.RoundTripper.
+func (in *Injector) RoundTrip(req *http.Request) (*http.Response, error) {
+	in.mu.Lock()
+	if _, dead := in.dead[req.URL.Host]; dead {
+		in.mu.Unlock()
+		return nil, fmt.Errorf("fault: node %s is dead", req.URL.Host)
+	}
+	var act *faultState
+	for _, f := range in.faults {
+		if !f.matches(req) {
+			continue
+		}
+		f.seen++
+		if f.seen > f.After && (f.Count == 0 || f.fired < f.Count) {
+			f.fired++
+			act = f
+			break
+		}
+	}
+	in.mu.Unlock()
+
+	if act == nil {
+		return in.base.RoundTrip(req)
+	}
+	switch act.Action {
+	case FaultDrop:
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, fmt.Errorf("fault: dropped %s %s", req.Method, req.URL.Path)
+	case FaultDelay:
+		time.Sleep(act.Delay)
+		return in.base.RoundTrip(req)
+	case FaultStatus:
+		if req.Body != nil {
+			io.Copy(io.Discard, req.Body)
+			req.Body.Close()
+		}
+		code := act.Status
+		if code == 0 {
+			code = http.StatusInternalServerError
+		}
+		return &http.Response{
+			Status:     fmt.Sprintf("%d %s", code, http.StatusText(code)),
+			StatusCode: code,
+			Proto:      "HTTP/1.1", ProtoMajor: 1, ProtoMinor: 1,
+			Header:        http.Header{"Content-Type": []string{"text/plain"}},
+			Body:          io.NopCloser(strings.NewReader("injected fault")),
+			ContentLength: -1,
+			Request:       req,
+		}, nil
+	case FaultKill:
+		resp, err := in.base.RoundTrip(req)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		in.mu.Lock()
+		in.dead[req.URL.Host] = struct{}{}
+		in.mu.Unlock()
+		return nil, fmt.Errorf("fault: node %s died mid-request (%s %s)", req.URL.Host, req.Method, req.URL.Path)
+	case FaultLoseResponse:
+		resp, err := in.base.RoundTrip(req)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		return nil, fmt.Errorf("fault: response lost (%s %s)", req.Method, req.URL.Path)
+	default:
+		return in.base.RoundTrip(req)
+	}
+}
+
+var _ http.RoundTripper = (*Injector)(nil)

@@ -1,0 +1,211 @@
+package fleet
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// countingServer records how many requests actually reached it.
+func countingServer(t *testing.T) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		io.WriteString(w, "real response")
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &hits
+}
+
+func get(t *testing.T, c *http.Client, url string) (*http.Response, error) {
+	t.Helper()
+	resp, err := c.Get(url)
+	if err == nil {
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+	}
+	return resp, err
+}
+
+// TestInjectorTransparent: with no rules the injector forwards
+// everything untouched.
+func TestInjectorTransparent(t *testing.T) {
+	srv, hits := countingServer(t)
+	c := &http.Client{Transport: NewInjector(nil)}
+	resp, err := get(t, c, srv.URL)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("transparent injector broke the request: %v %v", resp, err)
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("server saw %d requests, want 1", hits.Load())
+	}
+}
+
+// TestInjectorAfterCount: a rule skips its first After matches, fires
+// Count times, then retires — purely by occurrence, never by timing.
+func TestInjectorAfterCount(t *testing.T) {
+	srv, hits := countingServer(t)
+	in := NewInjector(nil)
+	in.Inject(Fault{Action: FaultDrop, After: 1, Count: 2})
+	c := &http.Client{Transport: in}
+
+	var outcomes []string
+	for i := 0; i < 5; i++ {
+		if _, err := get(t, c, srv.URL); err != nil {
+			outcomes = append(outcomes, "drop")
+		} else {
+			outcomes = append(outcomes, "ok")
+		}
+	}
+	want := "ok drop drop ok ok"
+	if got := strings.Join(outcomes, " "); got != want {
+		t.Errorf("outcomes = %q, want %q", got, want)
+	}
+	if hits.Load() != 3 {
+		t.Errorf("server saw %d requests, want 3 (dropped requests never arrive)", hits.Load())
+	}
+}
+
+// TestInjectorMatch: method, host substring, and path substring all
+// restrict a rule.
+func TestInjectorMatch(t *testing.T) {
+	srv, _ := countingServer(t)
+	in := NewInjector(nil)
+	in.Inject(Fault{Method: http.MethodPost, Path: "/asp/activate", Action: FaultDrop})
+	c := &http.Client{Transport: in}
+
+	if _, err := get(t, c, srv.URL+"/asp/activate"); err != nil {
+		t.Error("GET matched a POST-only rule")
+	}
+	resp, err := c.Post(srv.URL+"/healthz", "text/plain", nil)
+	if err != nil {
+		t.Error("POST to a different path matched")
+	} else {
+		resp.Body.Close()
+	}
+	if _, err := c.Post(srv.URL+"/asp/activate", "text/plain", nil); err == nil {
+		t.Error("matching POST was not dropped")
+	}
+	// Host matching: a rule scoped to a host that is not the server's
+	// never fires.
+	in2 := NewInjector(nil)
+	in2.Inject(Fault{Host: "10.99.99.99", Action: FaultDrop})
+	c2 := &http.Client{Transport: in2}
+	if _, err := get(t, c2, srv.URL); err != nil {
+		t.Error("host-scoped rule fired on the wrong host")
+	}
+}
+
+// TestInjectorStatus: FaultStatus synthesizes the response without
+// reaching the node.
+func TestInjectorStatus(t *testing.T) {
+	srv, hits := countingServer(t)
+	in := NewInjector(nil)
+	in.Inject(Fault{Action: FaultStatus, Status: http.StatusServiceUnavailable, Count: 1})
+	c := &http.Client{Transport: in}
+
+	resp, err := c.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("status = %d, want 503", resp.StatusCode)
+	}
+	if string(body) != "injected fault" {
+		t.Errorf("body = %q", body)
+	}
+	if hits.Load() != 0 {
+		t.Errorf("server saw %d requests, want 0 (short-circuited)", hits.Load())
+	}
+}
+
+// TestInjectorKill: the request commits server-side, the response is
+// lost, and the host is dead afterwards — until revived.
+func TestInjectorKill(t *testing.T) {
+	srv, hits := countingServer(t)
+	in := NewInjector(nil)
+	in.Inject(Fault{Action: FaultKill, Count: 1})
+	c := &http.Client{Transport: in}
+
+	if _, err := get(t, c, srv.URL); err == nil {
+		t.Fatal("killed request returned a response")
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("server saw %d requests, want 1 (the kill commits server-side)", hits.Load())
+	}
+	// The host is now dead: requests fail without reaching it.
+	if _, err := get(t, c, srv.URL); err == nil {
+		t.Fatal("dead host answered")
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("dead host saw a request (hits=%d)", hits.Load())
+	}
+	in.Revive(strings.TrimPrefix(srv.URL, "http://"))
+	if _, err := get(t, c, srv.URL); err != nil {
+		t.Fatalf("revived host unreachable: %v", err)
+	}
+}
+
+// TestInjectorLoseResponse: the request commits, the reply is lost, but
+// the host stays reachable — the ambiguous-commit case.
+func TestInjectorLoseResponse(t *testing.T) {
+	srv, hits := countingServer(t)
+	in := NewInjector(nil)
+	in.Inject(Fault{Action: FaultLoseResponse, Count: 1})
+	c := &http.Client{Transport: in}
+
+	if _, err := get(t, c, srv.URL); err == nil {
+		t.Fatal("lost response still arrived")
+	}
+	if _, err := get(t, c, srv.URL); err != nil {
+		t.Fatalf("host should remain reachable: %v", err)
+	}
+	if hits.Load() != 2 {
+		t.Fatalf("server saw %d requests, want 2 (both committed)", hits.Load())
+	}
+}
+
+// TestInjectorFirstRuleWins: rules are consulted in insertion order and
+// only the first eligible one fires per request.
+func TestInjectorFirstRuleWins(t *testing.T) {
+	srv, _ := countingServer(t)
+	in := NewInjector(nil)
+	in.Inject(Fault{Action: FaultStatus, Status: http.StatusBadGateway, Count: 1})
+	in.Inject(Fault{Action: FaultStatus, Status: http.StatusServiceUnavailable, Count: 1})
+	c := &http.Client{Transport: in}
+
+	resp1, err := c.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp1.Body)
+	resp1.Body.Close()
+	resp2, err := c.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if resp1.StatusCode != http.StatusBadGateway || resp2.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("statuses = %d, %d; want 502 then 503", resp1.StatusCode, resp2.StatusCode)
+	}
+}
+
+// TestFaultActionString: the actions name themselves for logs.
+func TestFaultActionString(t *testing.T) {
+	for a, want := range map[FaultAction]string{
+		FaultDrop: "drop", FaultDelay: "delay", FaultStatus: "status",
+		FaultKill: "kill", FaultLoseResponse: "lose-response",
+		FaultAction(99): "action(99)",
+	} {
+		if got := a.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(a), got, want)
+		}
+	}
+}

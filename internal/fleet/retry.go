@@ -1,0 +1,93 @@
+// Retry policy: exponential backoff with a cap and symmetric jitter.
+// The delay schedule is a pure function of (policy, attempt, random
+// draw), so tests assert exact schedules without sleeping; the
+// controller injects the draws from its own seeded stream.
+package fleet
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+// RetryPolicy controls per-request retries against one node.
+type RetryPolicy struct {
+	// Attempts is the total number of tries per request, including the
+	// first (default 4).
+	Attempts int
+	// BaseDelay is the backoff before the first retry (default 50ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth (default 1s).
+	MaxDelay time.Duration
+	// Multiplier is the per-retry growth factor (default 2).
+	Multiplier float64
+	// Jitter spreads each delay by ±Jitter fraction (default 0.2, i.e.
+	// a delay lands uniformly in [0.8d, 1.2d]). Zero disables jitter
+	// only when JitterSet is true — the zero policy gets the default.
+	Jitter float64
+	// JitterSet marks Jitter as explicitly configured, so a zero value
+	// means "no jitter" rather than "default".
+	JitterSet bool
+}
+
+// withDefaults fills zero fields.
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.Attempts <= 0 {
+		p.Attempts = 4
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 50 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = time.Second
+	}
+	if p.Multiplier < 1 {
+		p.Multiplier = 2
+	}
+	if p.Jitter == 0 && !p.JitterSet {
+		p.Jitter = 0.2
+	}
+	return p
+}
+
+// Delay returns the backoff before retry number retry (1-based: the
+// delay after the first failed attempt is Delay(1, ·)). rnd is a
+// uniform draw from [0, 1) supplying the jitter.
+func (p RetryPolicy) Delay(retry int, rnd float64) time.Duration {
+	d := float64(p.BaseDelay)
+	for i := 1; i < retry; i++ {
+		d *= p.Multiplier
+		if d >= float64(p.MaxDelay) {
+			break
+		}
+	}
+	if d > float64(p.MaxDelay) {
+		d = float64(p.MaxDelay)
+	}
+	d *= 1 + p.Jitter*(2*rnd-1)
+	if d < 0 {
+		d = 0
+	}
+	return time.Duration(d)
+}
+
+// retryableStatus reports whether an HTTP status is worth retrying:
+// server-side trouble and throttling are; client errors (including 409
+// conflicts and 422 verification rejections) are permanent.
+func retryableStatus(code int) bool {
+	return code >= 500 || code == http.StatusTooManyRequests || code == http.StatusRequestTimeout
+}
+
+// sleep waits for d or until ctx is done. The controller's sleep hook
+// replaces it in tests so retry storms run without wall-clock cost.
+func sleep(ctx context.Context, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}

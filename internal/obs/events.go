@@ -49,6 +49,14 @@ const (
 	// KindVerifyReject: a protocol download was refused by late
 	// checking or the single-node deployment limit.
 	KindVerifyReject
+	// KindDeploy: a fleet rollout step completed on a node (Node is the
+	// fleet target name; Detail is "<phase>:<outcome>", e.g.
+	// "stage:ok", "activate:failed").
+	KindDeploy
+	// KindRollback: a fleet rollout reverted a node to the previously
+	// active protocol version (Detail is the restored version, or the
+	// abort reason for staged-only nodes).
+	KindRollback
 
 	numKinds
 )
@@ -58,6 +66,7 @@ const NumKinds = int(numKinds)
 
 var kindNames = [numKinds]string{
 	"enqueue", "drop", "forward", "deliver", "asp-invoke", "verify-reject",
+	"deploy", "rollback",
 }
 
 // String names the kind.

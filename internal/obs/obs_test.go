@@ -146,6 +146,7 @@ func TestEventKindString(t *testing.T) {
 	names := map[Kind]string{
 		KindEnqueue: "enqueue", KindDrop: "drop", KindForward: "forward",
 		KindDeliver: "deliver", KindASPInvoke: "asp-invoke", KindVerifyReject: "verify-reject",
+		KindDeploy: "deploy", KindRollback: "rollback",
 	}
 	if len(names) != NumKinds {
 		t.Fatalf("test covers %d kinds, NumKinds = %d", len(names), NumKinds)

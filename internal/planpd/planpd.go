@@ -11,6 +11,13 @@
 // is the same — a protocol arrives as source over the wire, is verified
 // and compiled on the node, and starts intercepting packets without the
 // node ever stopping.
+//
+// Beyond the one-shot install path, the server implements the node half
+// of the fleet rollout protocol (internal/fleet): a protocol version
+// can be STAGED — verified and compiled but not yet intercepting
+// packets — and later ACTIVATED or aborted, with the previously active
+// version retained for rollback. See docs/DEPLOYMENT.md for the state
+// machine and the two-phase commit built on top of it.
 package planpd
 
 import (
@@ -29,13 +36,25 @@ import (
 // cheap to reject.
 const maxASPSource = 1 << 20
 
+// installed is one protocol version known to the node: staged (rt nil),
+// active (rt set), or retained as the rollback target.
+type installed struct {
+	version string
+	source  string
+	cfg     planprt.Config
+	prog    *planprt.Program
+	rt      *planprt.Runtime
+}
+
 // Server is the control-plane HTTP API for one node.
 type Server struct {
 	node substrate.Node
 	out  io.Writer // ASP print/println destination
 
-	mu sync.Mutex
-	rt *planprt.Runtime
+	mu     sync.Mutex
+	active *installed // currently intercepting packets, or nil
+	staged *installed // loaded but not activated, or nil
+	prev   *installed // previously active version (rollback target)
 }
 
 // NewServer returns a control server managing node. out receives the
@@ -49,15 +68,27 @@ func NewServer(node substrate.Node, out io.Writer) *Server {
 
 // Handler returns the control API:
 //
-//	POST   /asp      install the PLAN-P source in the request body
-//	                 (query: engine=interp|bytecode|jit,
-//	                         verify=network|single|privileged)
-//	DELETE /asp      withdraw the installed protocol
-//	GET    /stats    metrics registry snapshot (JSON, name -> value)
-//	GET    /healthz  liveness + whether a protocol is installed
+//	POST   /asp           install the PLAN-P source in the request body
+//	                      (query: engine=interp|bytecode|jit,
+//	                              verify=network|single|privileged,
+//	                              version=<label>)
+//	GET    /asp           protocol status (active/staged/prev versions)
+//	DELETE /asp           withdraw the installed protocol
+//	POST   /asp/stage     phase 1 of a rollout: verify + compile the
+//	                      body under ?version= without activating
+//	DELETE /asp/stage     abort a staged version
+//	POST   /asp/activate  phase 2: swap the staged ?version= in,
+//	                      retaining the previous version for rollback
+//	POST   /asp/rollback  undo an activation of ?version=, restoring
+//	                      the previously active version (or bare node)
+//	GET    /stats         metrics registry snapshot (JSON, name -> value)
+//	GET    /healthz       liveness, installed protocol, active version
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/asp", s.handleASP)
+	mux.HandleFunc("/asp/stage", s.handleStage)
+	mux.HandleFunc("/asp/activate", s.handleActivate)
+	mux.HandleFunc("/asp/rollback", s.handleRollback)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/healthz", s.handleHealth)
 	return mux
@@ -67,6 +98,8 @@ func (s *Server) handleASP(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodPost:
 		s.install(w, r)
+	case http.MethodGet:
+		s.status(w)
 	case http.MethodDelete:
 		s.uninstall(w)
 	default:
@@ -74,18 +107,20 @@ func (s *Server) handleASP(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-func (s *Server) install(w http.ResponseWriter, r *http.Request) {
-	src, err := io.ReadAll(io.LimitReader(r.Body, maxASPSource+1))
+// readProtocol reads and bounds the uploaded source and decodes the
+// engine/verify query parameters. On failure it has already written the
+// HTTP error.
+func (s *Server) readProtocol(w http.ResponseWriter, r *http.Request) (src string, cfg planprt.Config, ok bool) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxASPSource+1))
 	if err != nil {
 		http.Error(w, fmt.Sprintf("reading body: %v", err), http.StatusBadRequest)
-		return
+		return "", cfg, false
 	}
-	if len(src) > maxASPSource {
+	if len(body) > maxASPSource {
 		http.Error(w, "protocol source too large", http.StatusRequestEntityTooLarge)
-		return
+		return "", cfg, false
 	}
-
-	cfg := planprt.Config{Output: s.out}
+	cfg = planprt.Config{Output: s.out}
 	switch e := r.URL.Query().Get("engine"); e {
 	case "", "jit":
 		cfg.Engine = planprt.EngineJIT
@@ -95,7 +130,7 @@ func (s *Server) install(w http.ResponseWriter, r *http.Request) {
 		cfg.Engine = planprt.EngineInterp
 	default:
 		http.Error(w, fmt.Sprintf("unknown engine %q", e), http.StatusBadRequest)
-		return
+		return "", cfg, false
 	}
 	switch v := r.URL.Query().Get("verify"); v {
 	case "", "network":
@@ -106,43 +141,88 @@ func (s *Server) install(w http.ResponseWriter, r *http.Request) {
 		cfg.Verify = planprt.VerifyPrivileged
 	default:
 		http.Error(w, fmt.Sprintf("unknown verify policy %q", v), http.StatusBadRequest)
+		return "", cfg, false
+	}
+	return string(body), cfg, true
+}
+
+// install is the one-shot download path: load (compile without
+// activate) and activate in a single request. It refuses to replace a
+// running protocol — upgrades go through stage/activate.
+func (s *Server) install(w http.ResponseWriter, r *http.Request) {
+	src, cfg, ok := s.readProtocol(w, r)
+	if !ok {
 		return
 	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.node.CurrentProcessor() != nil {
-		http.Error(w, "node already runs a protocol (DELETE /asp first)", http.StatusConflict)
+		http.Error(w, "node already runs a protocol (DELETE /asp first, or stage/activate to upgrade)", http.StatusConflict)
 		return
 	}
-	rt, err := planprt.Download(s.node, string(src), cfg)
+	prog, err := planprt.Load(src, cfg)
 	if err != nil {
 		// Parse/type/verify rejection: the protocol is at fault, not
 		// the request framing.
 		http.Error(w, fmt.Sprintf("download rejected: %v", err), http.StatusUnprocessableEntity)
 		return
 	}
-	s.rt = rt
+	rt, err := planprt.Install(s.node, prog, s.out)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("install rejected: %v", err), http.StatusUnprocessableEntity)
+		return
+	}
+	s.active = &installed{
+		version: r.URL.Query().Get("version"),
+		source:  src, cfg: cfg, prog: prog, rt: rt,
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"installed": true,
 		"node":      s.node.Hostname(),
 		"engine":    string(cfg.Engine),
+		"version":   s.active.version,
 	})
 }
 
 func (s *Server) uninstall(w http.ResponseWriter) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.rt == nil {
+	if s.active == nil {
 		http.Error(w, "no protocol installed", http.StatusNotFound)
 		return
 	}
-	s.rt.Uninstall()
-	s.rt = nil
+	s.active.rt.Uninstall()
+	s.active.rt = nil
+	s.active = nil
 	writeJSON(w, http.StatusOK, map[string]any{
 		"installed": false,
 		"node":      s.node.Hostname(),
 	})
+}
+
+// status reports the node's protocol state machine: which version is
+// active, which is staged, and which would a rollback restore. The
+// fleet controller reconciles ambiguous activations (lost responses,
+// nodes dying mid-phase) against this.
+func (s *Server) status(w http.ResponseWriter) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	resp := map[string]any{
+		"node":   s.node.Hostname(),
+		"asp":    s.active != nil,
+		"active": versionOf(s.active),
+		"staged": versionOf(s.staged),
+		"prev":   versionOf(s.prev),
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func versionOf(in *installed) string {
+	if in == nil {
+		return ""
+	}
+	return in.version
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -158,10 +238,14 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
+	s.mu.Lock()
+	version := versionOf(s.active)
+	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"ok":   true,
-		"node": s.node.Hostname(),
-		"asp":  s.node.CurrentProcessor() != nil,
+		"ok":      true,
+		"node":    s.node.Hostname(),
+		"asp":     s.node.CurrentProcessor() != nil,
+		"version": version,
 	})
 }
 

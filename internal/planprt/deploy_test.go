@@ -100,6 +100,54 @@ func TestDeployRollsBackOnConflict(t *testing.T) {
 	}
 }
 
+// TestDeployRollsBackOnMidListConflict: the occupied node sits in the
+// MIDDLE of the node list, so the deployment has already installed on
+// earlier nodes and has later nodes still pending when it hits the
+// conflict. Rollback must release every install — the program's install
+// accounting returns to zero and no runtime remains anywhere.
+func TestDeployRollsBackOnMidListConflict(t *testing.T) {
+	_, nodes := chain(t)
+	p, err := Load(forwarder, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Occupy r2, then deploy across a, r1, r2, b: two installs succeed
+	// before the conflict, one node never gets reached.
+	occupiedRT, err := Download(nodes[2], forwarder, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	occupied := nodes[2].Processor
+	if _, err := Deploy(p, nil, nodes[0], nodes[1], nodes[2], nodes[3]); err == nil {
+		t.Fatal("deploy over a mid-list occupied node must fail")
+	}
+	for _, i := range []int{0, 1, 3} {
+		if nodes[i].Processor != nil {
+			t.Errorf("rollback left a runtime on %s", nodes[i].Hostname())
+		}
+	}
+	if nodes[2].Processor != occupied {
+		t.Error("failed deploy disturbed the occupying protocol")
+	}
+	if got := p.Installs(); got != 0 {
+		t.Errorf("program still accounts %d installs after rollback, want 0", got)
+	}
+	// The released install slots are reusable: the same program deploys
+	// cleanly once the conflict is gone.
+	occupiedRT.Uninstall()
+	d, err := Deploy(p, nil, nodes[0], nodes[1], nodes[2], nodes[3])
+	if err != nil {
+		t.Fatalf("redeploy after rollback: %v", err)
+	}
+	if got := p.Installs(); got != 4 {
+		t.Errorf("program accounts %d installs, want 4", got)
+	}
+	d.Undeploy()
+	if got := p.Installs(); got != 0 {
+		t.Errorf("undeploy left %d installs accounted", got)
+	}
+}
+
 func TestDeploySingleNodeProgramRefusesFanOut(t *testing.T) {
 	_, nodes := chain(t)
 	p, err := Load(`
@@ -115,7 +163,11 @@ channel network(ps : int, ss : unit, p : ip*tcp*blob) is
 	if nodes[1].Processor != nil || nodes[2].Processor != nil {
 		t.Error("rollback failed")
 	}
-	// One node is fine.
+	// The rejected fan-out released its install slot: the single-node
+	// accounting is back to zero, so one node is fine.
+	if got := p.Installs(); got != 0 {
+		t.Fatalf("program accounts %d installs after refused fan-out, want 0", got)
+	}
 	if _, err := Deploy(p, nil, nodes[1]); err != nil {
 		t.Fatal(err)
 	}

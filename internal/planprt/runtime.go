@@ -102,6 +102,12 @@ type Program struct {
 	installs int
 }
 
+// Installs reports how many nodes currently run this program: Install
+// increments it, Runtime.Uninstall releases it. Deployment rollback is
+// auditable through it — a Deploy that failed partway must leave the
+// count exactly where it found it.
+func (p *Program) Installs() int { return p.installs }
+
 // compileWith returns the engine's compile function.
 func compileWith(kind EngineKind) (func(*typecheck.Info) (engine.Compiled, error), error) {
 	switch kind {
@@ -120,6 +126,12 @@ func compileWith(kind EngineKind) (func(*typecheck.Info) (engine.Compiled, error
 // Successful results are memoized by (source hash, engine, verify
 // policy) — see cache.go — unless cfg.NoCache is set; each call still
 // returns a fresh *Program, so install accounting starts at zero.
+//
+// Load is the compile-without-activate half of the download pipeline:
+// the returned Program has passed late checking but touches no node
+// until Install places it. The staged phase of a fleet rollout
+// (internal/fleet, planpd's POST /asp/stage) is exactly a Load whose
+// Install is deferred to the activate phase.
 func Load(src string, cfg Config) (*Program, error) {
 	cfg.fill()
 	key := cacheKey{src: sha256.Sum256([]byte(src)), engine: cfg.Engine, policy: cfg.Verify}

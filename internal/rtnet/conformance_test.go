@@ -21,40 +21,16 @@ type rtHarness struct {
 func (h *rtHarness) Build(t *testing.T, hosts []subtest.HostSpec) []substrate.Node {
 	h.nw = rtnet.New(42)
 	t.Cleanup(h.nw.Close)
-	ns := make([]*rtnet.Node, len(hosts))
+	specs := make([]rtnet.LineHost, len(hosts))
 	for i, hs := range hosts {
-		ns[i] = rtnet.NewNode(h.nw, hs.Name, hs.Addr)
-		ns[i].Forwarding = hs.Forwarding
+		specs[i] = rtnet.LineHost{Name: hs.Name, Addr: hs.Addr, Forwarding: hs.Forwarding}
 	}
-	left := make([]substrate.Iface, len(ns))
-	right := make([]substrate.Iface, len(ns))
-	for i := 0; i+1 < len(ns); i++ {
-		if h.udp {
-			ab, ba, err := rtnet.NewUDPLink(h.nw, ns[i], ns[i+1], 1_000_000_000)
-			if err != nil {
-				t.Fatalf("udp link: %v", err)
-			}
-			right[i], left[i+1] = ab, ba
-		} else {
-			ab, ba := rtnet.NewLink(h.nw, ns[i], ns[i+1], 1_000_000_000)
-			right[i], left[i+1] = ab, ba
-		}
+	ns, err := rtnet.Line(h.nw, specs, 1_000_000_000, h.udp)
+	if err != nil {
+		t.Fatal(err)
 	}
 	out := make([]substrate.Node, len(ns))
 	for i, n := range ns {
-		for j := range ns {
-			switch {
-			case j < i:
-				n.AddRoute(ns[j].Address(), left[i])
-			case j > i:
-				n.AddRoute(ns[j].Address(), right[i])
-			}
-		}
-		if i == 0 {
-			n.SetDefaultRoute(right[i])
-		} else if i == len(ns)-1 {
-			n.SetDefaultRoute(left[i])
-		}
 		out[i] = n
 	}
 	return out

@@ -90,13 +90,16 @@ func (i *Iface) dropQueue(pkt *substrate.Packet) {
 	}
 }
 
-// Load returns the measured outbound throughput in bits per second
-// (substrate.Iface).
+// Load returns the measured outbound utilization as a percentage of the
+// link's nominal bandwidth, clamped to [0, 100] (substrate.Iface) —
+// the same contract netsim honors, so load-adaptive ASPs (the §3.1
+// audio router's 50/80% thresholds) behave identically on both
+// backends.
 func (i *Iface) Load() int64 {
 	now := i.node.net.Now()
 	i.mu.Lock()
 	defer i.mu.Unlock()
-	return i.meter.BitsPerSecond(now)
+	return i.meter.Utilization(now, i.bw)
 }
 
 // Bandwidth returns the link's nominal capacity in bits per second

@@ -1,0 +1,64 @@
+// Topology helpers: the line builder behind the substrate conformance
+// harness (internal/substrate/subtest describes topologies as host
+// specs; the rtnet adapter converts them here), reused by the audio
+// rtnet smoke test and the fleet rollout e2e so every multi-node rtnet
+// test wires routes the same way.
+package rtnet
+
+import (
+	"fmt"
+
+	"planp.dev/planp/internal/substrate"
+)
+
+// LineHost describes one host of a line topology. It mirrors
+// subtest.HostSpec field-for-field (rtnet cannot import subtest — the
+// conformance package links "testing" — so the adapter converts).
+type LineHost struct {
+	Name       string
+	Addr       substrate.Addr
+	Forwarding bool
+}
+
+// Line builds a line topology on nw: consecutive hosts joined by duplex
+// links of the given bandwidth (loopback-UDP sockets when udp is set),
+// with static routes installed so every host reaches every other
+// through the line. The two ends also get default routes pointing
+// inward. Returns the nodes in spec order.
+func Line(nw *Net, hosts []LineHost, bandwidthBps int64, udp bool) ([]*Node, error) {
+	ns := make([]*Node, len(hosts))
+	for i, h := range hosts {
+		ns[i] = NewNode(nw, h.Name, h.Addr)
+		ns[i].Forwarding = h.Forwarding
+	}
+	left := make([]substrate.Iface, len(ns))
+	right := make([]substrate.Iface, len(ns))
+	for i := 0; i+1 < len(ns); i++ {
+		if udp {
+			ab, ba, err := NewUDPLink(nw, ns[i], ns[i+1], bandwidthBps)
+			if err != nil {
+				return nil, fmt.Errorf("rtnet: line link %s-%s: %w", hosts[i].Name, hosts[i+1].Name, err)
+			}
+			right[i], left[i+1] = ab, ba
+		} else {
+			ab, ba := NewLink(nw, ns[i], ns[i+1], bandwidthBps)
+			right[i], left[i+1] = ab, ba
+		}
+	}
+	for i, n := range ns {
+		for j := range ns {
+			switch {
+			case j < i:
+				n.AddRoute(ns[j].Address(), left[i])
+			case j > i:
+				n.AddRoute(ns[j].Address(), right[i])
+			}
+		}
+		if i == 0 && len(ns) > 1 {
+			n.SetDefaultRoute(right[i])
+		} else if i == len(ns)-1 && len(ns) > 1 {
+			n.SetDefaultRoute(left[i])
+		}
+	}
+	return ns, nil
+}

@@ -133,13 +133,14 @@ func (i *UDPIface) drop(pkt *substrate.Packet, reason string) {
 	}
 }
 
-// Load returns the measured outbound throughput in bits per second
-// (substrate.Iface).
+// Load returns the measured outbound utilization as a percentage of the
+// link's nominal bandwidth, clamped to [0, 100] (substrate.Iface) —
+// see (*Iface).Load for the contract.
 func (i *UDPIface) Load() int64 {
 	now := i.node.net.Now()
 	i.mu.Lock()
 	defer i.mu.Unlock()
-	return i.meter.BitsPerSecond(now)
+	return i.meter.Utilization(now, i.bw)
 }
 
 // Bandwidth returns the link's nominal capacity in bits per second
