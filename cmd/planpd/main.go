@@ -61,6 +61,7 @@ func runServe(args []string) int {
 	fs := flag.NewFlagSet("planpd", flag.ExitOnError)
 	listen := fs.String("listen", "127.0.0.1:8377", "control API listen address")
 	udp := fs.Bool("udp", false, "use loopback-UDP socket links instead of in-process channels")
+	history := fs.String("history", "", "deployment history file (JSON lines); rollout records survive daemon restarts")
 	fs.Parse(args)
 
 	cluster, err := planpd.NewCluster(*udp)
@@ -85,7 +86,7 @@ func runServe(args []string) int {
 
 	// The embedded fleet controller. Rollouts target the daemon's own
 	// per-node mounts unless the request names full URLs.
-	ctl := fleet.New(fleet.Config{Logf: log.Printf})
+	ctl := fleet.New(fleet.Config{Logf: log.Printf, HistoryPath: *history})
 	mux.Handle("/deployments", ctl.Handler())
 	mux.HandleFunc("/deploy", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {

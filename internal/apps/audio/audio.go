@@ -33,6 +33,10 @@ type Source struct {
 	Node  *netsim.Node
 	Group netsim.Addr
 
+	// Sent counts packets emitted — the robustness experiments bound
+	// client-side receipt by Sent plus injected duplicates.
+	Sent int
+
 	seq     uint32
 	phase   float64
 	stopped bool
@@ -46,6 +50,7 @@ func (s *Source) Start(sim *netsim.Simulator, end time.Duration) {
 			return
 		}
 		s.Node.Send(netsim.NewUDP(s.Node.Addr, s.Group, Port, Port, s.nextPayload()).Own())
+		s.Sent++
 		sim.After(PacketInterval, tick)
 	}
 	sim.After(PacketInterval, tick)

@@ -45,6 +45,7 @@ type Testbed struct {
 	Client  *Client
 	LoadGen *netsim.Node
 	Segment *netsim.Segment
+	Uplink  *netsim.Link // source -> router link (the chaos experiments cut this)
 	Group   netsim.Addr
 
 	RouterRT *planprt.Runtime // nil unless AdaptASP
@@ -104,6 +105,7 @@ func NewTestbed(opts Options) (*Testbed, error) {
 		Router:  router,
 		LoadGen: gen,
 		Segment: seg,
+		Uplink:  up,
 		Group:   group,
 	}
 	tb.Wire = MeterAudio(client)

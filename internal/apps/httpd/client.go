@@ -19,6 +19,7 @@ type Client struct {
 
 	nextPort  uint16
 	inFlight  map[uint16]time.Duration // src port -> request start
+	Issued    int64
 	Completed int64
 	Bytes     int64
 	Latency   time.Duration // cumulative completion latency
@@ -73,6 +74,7 @@ func (c *Client) request() {
 		c.nextPort = 10000 // wrap far from ephemeral floor
 	}
 	c.inFlight[port] = c.Node.Sim().Now()
+	c.Issued++
 	req := netsim.NewTCP(c.Node.Addr, c.Target, port, HTTPPort, 0, netsim.FlagSyn|netsim.FlagPsh, encodeRequest(entry.Size))
 	c.Node.Send(req.Own())
 }

@@ -46,6 +46,15 @@ type Testbed struct {
 	ServerB  *Server
 	GwRT     *planprt.Runtime // set for VariantASPGW
 	NativeGW *NativeGateway   // set for VariantNativeGW
+
+	// Interface handles for the chaos experiments (which inject faults
+	// on the server LAN and crash the gateway).
+	ClientLAN  *netsim.Segment
+	ServerLAN  *netsim.Segment
+	GwClientIf *netsim.Iface
+	GwServerIf *netsim.Iface
+	ServerAIf  *netsim.Iface
+	ServerBIf  *netsim.Iface
 }
 
 // Config parameterizes a run.
@@ -102,11 +111,17 @@ func NewTestbed(cfg Config) (*Testbed, error) {
 		serverBCfg = *cfg.ServerB
 	}
 	tb := &Testbed{
-		Sim:     sim,
-		Clients: [2]*netsim.Node{c1, c2},
-		Gateway: gw,
-		ServerA: NewServer(sa, cfg.Server),
-		ServerB: NewServer(sb, serverBCfg),
+		Sim:        sim,
+		Clients:    [2]*netsim.Node{c1, c2},
+		Gateway:    gw,
+		ServerA:    NewServer(sa, cfg.Server),
+		ServerB:    NewServer(sb, serverBCfg),
+		ClientLAN:  clientLAN,
+		ServerLAN:  serverLAN,
+		GwClientIf: gwClient,
+		GwServerIf: gwServer,
+		ServerAIf:  ia,
+		ServerBIf:  ib,
 	}
 
 	switch cfg.Variant {

@@ -15,9 +15,10 @@
 package mpeg
 
 import (
+	"sync"
 	"time"
 
-	"planp.dev/planp/internal/netsim"
+	"planp.dev/planp/internal/substrate"
 )
 
 // Protocol ports (shared with the ASP sources).
@@ -89,7 +90,7 @@ func dataMsg(stream uint32, frame byte, seq uint32, size int) []byte {
 // connection is one active point-to-point stream at the server.
 type connection struct {
 	stream  uint32
-	client  netsim.Addr
+	client  substrate.Addr
 	port    uint16
 	seq     uint32
 	pos     int
@@ -97,28 +98,41 @@ type connection struct {
 }
 
 // Server is the unmodified point-to-point video server: one stream per
-// requesting client, no awareness of sharing.
+// requesting client, no awareness of sharing. It runs on either
+// substrate backend; on rtnet, control handlers and frame ticks arrive
+// on different goroutines, so all mutable state is behind mu.
 type Server struct {
-	Node *netsim.Node
+	Node substrate.Node
 
+	mu    sync.Mutex
 	conns map[uint32]*connection // keyed by stream; one viewer each
 
 	// Connections counts every connection ever opened — the server
 	// load figure the experiment compares (§3.3: with the ASPs, it
-	// stays at 1 regardless of the number of viewers).
+	// stays at 1 regardless of the number of viewers). Read the fields
+	// directly only after the simulation has stopped; concurrent
+	// readers (rtnet) must use Stats.
 	Connections int64
 	FramesSent  int64
 	BytesSent   int64
 }
 
 // NewServer binds the video server on node.
-func NewServer(node *netsim.Node) *Server {
+func NewServer(node substrate.Node) *Server {
 	s := &Server{Node: node, conns: map[uint32]*connection{}}
 	node.BindTCP(ServerPort, s.onControl)
 	return s
 }
 
-func (s *Server) onControl(pkt *netsim.Packet) {
+// Stats reports (connections, frames, bytes) under the lock — safe
+// while the server is live on the real-time backend.
+func (s *Server) Stats() (conns, frames, bytes int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.Connections, s.FramesSent, s.BytesSent
+}
+
+func (s *Server) onControl(pkt *substrate.Packet) {
 	b := pkt.Payload
 	if len(b) < 5 || pkt.TCP == nil {
 		return
@@ -131,19 +145,23 @@ func (s *Server) onControl(pkt *netsim.Packet) {
 		// the first (the experiment never does this — sharing is the
 		// ASPs' job, invisible to the server).
 		conn := &connection{stream: stream, client: pkt.IP.Src, port: pkt.TCP.SrcPort}
+		s.mu.Lock()
 		s.conns[stream] = conn
 		s.Connections++
+		s.mu.Unlock()
 		// Setup response: decoder initialization blob (opaque bytes
 		// derived from the stream id).
 		setup := []byte{byte(stream), 0xBE, 0xEF, byte(stream >> 8)}
-		resp := netsim.NewTCP(s.Node.Addr, pkt.IP.Src, ServerPort, pkt.TCP.SrcPort, 0, netsim.FlagAck, setupMsg(stream, setup))
+		resp := substrate.NewTCP(s.Node.Address(), pkt.IP.Src, ServerPort, pkt.TCP.SrcPort, 0, substrate.FlagAck, setupMsg(stream, setup))
 		s.Node.Send(resp.Own())
 		s.stream(conn)
 	case TagTeardown:
+		s.mu.Lock()
 		if conn, ok := s.conns[stream]; ok && conn.client == pkt.IP.Src {
 			conn.stopped = true
 			delete(s.conns, stream)
 		}
+		s.mu.Unlock()
 	}
 }
 
@@ -151,46 +169,56 @@ func (s *Server) onControl(pkt *netsim.Packet) {
 func (s *Server) stream(conn *connection) {
 	var tick func()
 	tick = func() {
+		s.mu.Lock()
 		if conn.stopped {
+			s.mu.Unlock()
 			return
 		}
 		frame, size := frameSize(conn.pos)
 		conn.pos++
 		conn.seq++
-		pkt := netsim.NewUDP(s.Node.Addr, conn.client, ServerPort, DataPort, dataMsg(conn.stream, frame, conn.seq, size))
-		s.Node.Send(pkt.Own())
+		stream, client, seq := conn.stream, conn.client, conn.seq
 		s.FramesSent++
 		s.BytesSent += int64(size)
-		s.Node.Sim().After(FrameInterval, tick)
+		s.mu.Unlock()
+		pkt := substrate.NewUDP(s.Node.Address(), client, ServerPort, DataPort, dataMsg(stream, frame, seq, size))
+		s.Node.Send(pkt.Own())
+		s.Node.Env().After(FrameInterval, tick)
 	}
-	s.Node.Sim().After(FrameInterval, tick)
+	s.Node.Env().After(FrameInterval, tick)
 }
 
 // Client is the (slightly modified, as in the paper) video player: it
 // first asks the monitor whether the stream is already on the segment,
 // then either consumes captured traffic or opens its own connection.
 type Client struct {
-	Node    *netsim.Node
-	Server  netsim.Addr
-	Monitor netsim.Addr
+	Node    substrate.Node
+	Server  substrate.Addr
+	Monitor substrate.Addr
 	Stream  uint32
 
 	// UseMonitor mirrors the paper's client modification; false gives
 	// the baseline client that always connects directly.
 	UseMonitor bool
 
+	// mu guards the playback state below: on rtnet the data, reply,
+	// and control handlers run on the node's delivery goroutine while
+	// the fallback timer fires on a timer goroutine. Read the fields
+	// directly only after the simulation has stopped; concurrent
+	// readers must use Stats/HasSetup.
+	mu          sync.Mutex
 	Frames      int64
 	Bytes       int64
 	IFrames     int64
 	Setup       []byte
-	SharedWith  netsim.Addr // primary client when viewing a shared stream
-	Connected   bool        // opened its own server connection
+	SharedWith  substrate.Addr // primary client when viewing a shared stream
+	Connected   bool           // opened its own server connection
 	QueryAnswer bool
 	ctrlPort    uint16
 }
 
 // NewClient binds a player on node.
-func NewClient(node *netsim.Node, server, monitor netsim.Addr, stream uint32, useMonitor bool) *Client {
+func NewClient(node substrate.Node, server, monitor substrate.Addr, stream uint32, useMonitor bool) *Client {
 	c := &Client{Node: node, Server: server, Monitor: monitor, Stream: stream,
 		UseMonitor: useMonitor, ctrlPort: uint16(20000 + stream%1000)}
 	node.BindUDP(DataPort, c.onData)
@@ -199,54 +227,87 @@ func NewClient(node *netsim.Node, server, monitor netsim.Addr, stream uint32, us
 	return c
 }
 
+// Stats reports (frames, bytes, iframes) under the lock — safe while
+// the player is live on the real-time backend.
+func (c *Client) Stats() (frames, bytes, iframes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.Frames, c.Bytes, c.IFrames
+}
+
+// HasSetup reports whether the decoder initialization blob arrived.
+func (c *Client) HasSetup() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.Setup != nil
+}
+
 // Start begins playback: query the monitor (if enabled) or connect.
 func (c *Client) Start() {
 	if c.UseMonitor {
-		q := netsim.NewUDP(c.Node.Addr, c.Monitor, QueryPort, QueryPort, controlMsg(TagQuery, c.Stream))
+		q := substrate.NewUDP(c.Node.Address(), c.Monitor, QueryPort, QueryPort, controlMsg(TagQuery, c.Stream))
 		c.Node.Send(q.Own())
 		// If the monitor does not answer promptly (no monitor on the
 		// segment), fall back to a direct connection.
-		c.Node.Sim().After(500*time.Millisecond, func() {
-			if !c.QueryAnswer && !c.Connected {
+		c.Node.Env().After(500*time.Millisecond, func() {
+			c.mu.Lock()
+			fallback := !c.QueryAnswer && !c.Connected
+			if fallback {
+				c.Connected = true
+			}
+			c.mu.Unlock()
+			if fallback {
 				c.connect()
 			}
 		})
 		return
 	}
+	c.mu.Lock()
+	c.Connected = true
+	c.mu.Unlock()
 	c.connect()
 }
 
+// connect sends the stream request; the caller has already marked the
+// client Connected (the flag and the send are split so the lock is not
+// held across Send).
 func (c *Client) connect() {
-	c.Connected = true
-	req := netsim.NewTCP(c.Node.Addr, c.Server, c.ctrlPort, ServerPort, 0, netsim.FlagSyn|netsim.FlagPsh, controlMsg(TagRequest, c.Stream))
+	req := substrate.NewTCP(c.Node.Address(), c.Server, c.ctrlPort, ServerPort, 0, substrate.FlagSyn|substrate.FlagPsh, controlMsg(TagRequest, c.Stream))
 	c.Node.Send(req.Own())
 }
 
 // Teardown closes the client's own connection (no-op for shared
 // viewers).
 func (c *Client) Teardown() {
-	if !c.Connected {
+	c.mu.Lock()
+	connected := c.Connected
+	c.mu.Unlock()
+	if !connected {
 		return
 	}
-	fin := netsim.NewTCP(c.Node.Addr, c.Server, c.ctrlPort, ServerPort, 1, netsim.FlagFin|netsim.FlagPsh, controlMsg(TagTeardown, c.Stream))
+	fin := substrate.NewTCP(c.Node.Address(), c.Server, c.ctrlPort, ServerPort, 1, substrate.FlagFin|substrate.FlagPsh, controlMsg(TagTeardown, c.Stream))
 	c.Node.Send(fin.Own())
 }
 
 // onControl handles the server's setup response.
-func (c *Client) onControl(pkt *netsim.Packet) {
+func (c *Client) onControl(pkt *substrate.Packet) {
 	b := pkt.Payload
 	if len(b) >= 5 && b[0] == TagSetup && u32(b, 1) == c.Stream {
+		c.mu.Lock()
 		c.Setup = append([]byte(nil), b[5:]...)
+		c.mu.Unlock()
 	}
 }
 
 // onData consumes stream data — whether addressed to us or captured off
 // the segment by the client ASP.
-func (c *Client) onData(pkt *netsim.Packet) {
+func (c *Client) onData(pkt *substrate.Packet) {
 	b := pkt.Payload
 	if len(b) < 10 || b[0] != TagData || u32(b, 1) != c.Stream {
 		return
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	// Without a setup blob the decoder cannot start.
 	if c.Setup == nil {
 		return
@@ -261,10 +322,10 @@ func (c *Client) onData(pkt *netsim.Packet) {
 // onReply handles the monitor's answer (delivered by the mreply channel
 // of the client ASP: payload host:4 stream:4 len-prefixed? — the reply
 // arrives as the raw encoded packet of the ASP's tuple).
-func (c *Client) onReply(pkt *netsim.Packet) {
+func (c *Client) onReply(pkt *substrate.Packet) {
 	// The capture ASP runs promiscuously and also delivers replies
 	// addressed to other clients on the segment; only ours counts.
-	if pkt.IP.Dst != c.Node.Addr {
+	if pkt.IP.Dst != c.Node.Address() {
 		return
 	}
 	b := pkt.Payload
@@ -272,19 +333,27 @@ func (c *Client) onReply(pkt *netsim.Packet) {
 	if len(b) < 8 {
 		return
 	}
+	c.mu.Lock()
 	c.QueryAnswer = true
-	primary := netsim.Addr(u32(b, 0))
+	primary := substrate.Addr(u32(b, 0))
 	stream := u32(b, 4)
 	if stream != c.Stream {
+		c.mu.Unlock()
 		return
 	}
 	if primary == 0 {
 		// Not on the segment: open our own connection.
-		if !c.Connected {
+		connect := !c.Connected
+		if connect {
+			c.Connected = true
+		}
+		c.mu.Unlock()
+		if connect {
 			c.connect()
 		}
 		return
 	}
 	c.SharedWith = primary
 	c.Setup = append([]byte(nil), b[8:]...)
+	c.mu.Unlock()
 }

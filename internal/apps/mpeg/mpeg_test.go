@@ -67,8 +67,8 @@ func TestSharedViewersGetSetupFromMonitor(t *testing.T) {
 	if second.Connected {
 		t.Error("second viewer should not open a connection")
 	}
-	if second.SharedWith != first.Node.Addr {
-		t.Errorf("second viewer shares with %s, want %s", second.SharedWith, first.Node.Addr)
+	if second.SharedWith != first.Node.Address() {
+		t.Errorf("second viewer shares with %s, want %s", second.SharedWith, first.Node.Address())
 	}
 	if string(second.Setup) != string(first.Setup) {
 		t.Errorf("setup info differs: %x vs %x", second.Setup, first.Setup)

@@ -1,0 +1,90 @@
+package mpeg_test
+
+import (
+	"testing"
+	"time"
+
+	"planp.dev/planp/internal/apps/mpeg"
+	"planp.dev/planp/internal/rtnet"
+	"planp.dev/planp/internal/substrate"
+)
+
+// TestMPEGOnRTNet is the §3.3 wall-clock smoke test: the unmodified
+// point-to-point video server and a baseline (direct-connect) viewer
+// run on the real-time backend — request, setup, a burst of frames at
+// the real 40 ms frame interval, then teardown. The monitor/capture
+// ASPs stay simulator-only (rtnet links have no promiscuous shared
+// segment), so the viewer runs with UseMonitor off. Wall clocks make
+// exact frame counts timing-dependent; assertions are directional.
+func TestMPEGOnRTNet(t *testing.T) {
+	nw := rtnet.New(1)
+	defer nw.Close()
+
+	srvNode := rtnet.NewNode(nw, "videoserver", substrate.MustAddr("10.9.0.1"))
+	router := rtnet.NewNode(nw, "router", substrate.MustAddr("10.9.0.254"))
+	viewer := rtnet.NewNode(nw, "viewer", substrate.MustAddr("10.8.0.10"))
+	router.Forwarding = true
+
+	sr, rs := rtnet.NewLink(nw, srvNode, router, 100_000_000)
+	rv, vr := rtnet.NewLink(nw, router, viewer, 10_000_000)
+	srvNode.SetDefaultRoute(sr)
+	router.AddRoute(srvNode.Address(), rs)
+	router.AddRoute(viewer.Address(), rv)
+	viewer.SetDefaultRoute(vr)
+
+	server := mpeg.NewServer(srvNode)
+	client := mpeg.NewClient(viewer, srvNode.Address(), 0, 1, false)
+
+	nw.Start()
+
+	client.Start()
+
+	// Half a second of real time is ~12 frame intervals; ask only for
+	// "several frames and at least one I-frame" (the GOP opens with I).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		frames, _, iframes := client.Stats()
+		if frames >= 5 && iframes >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("frames=%d iframes=%d after %v, want >=5 with an I-frame", frames, iframes, 5*time.Second)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !client.HasSetup() {
+		t.Fatal("viewer never received the setup blob")
+	}
+	conns, srvFrames, srvBytes := server.Stats()
+	if conns != 1 {
+		t.Fatalf("server connections = %d, want 1", conns)
+	}
+	if srvFrames == 0 || srvBytes == 0 {
+		t.Fatalf("server counters frames=%d bytes=%d, want both > 0", srvFrames, srvBytes)
+	}
+
+	// Teardown stops the stream: after the FIN settles and any
+	// in-flight tick drains, the server's frame counter must freeze.
+	client.Teardown()
+	if !nw.Quiesce(5 * time.Second) {
+		t.Fatal("network did not quiesce after teardown")
+	}
+	time.Sleep(2 * mpeg.FrameInterval)
+	_, stopped, _ := server.Stats()
+	time.Sleep(5 * mpeg.FrameInterval)
+	_, after, _ := server.Stats()
+	if after != stopped {
+		t.Fatalf("server kept streaming after teardown: %d -> %d frames", stopped, after)
+	}
+
+	// The viewer saw (a prefix of) what the server sent — nothing
+	// invented, and the server pushed at least as many frames as were
+	// decoded.
+	frames, bytes, _ := client.Stats()
+	if frames > after {
+		t.Fatalf("viewer decoded %d frames, server only sent %d", frames, after)
+	}
+	if bytes == 0 {
+		t.Fatal("viewer decoded zero bytes")
+	}
+}

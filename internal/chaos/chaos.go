@@ -1,0 +1,368 @@
+// Package chaos is the deterministic fault-injection and scenario
+// engine for both substrate backends. It degrades a running network —
+// packet loss, corruption, duplication, reordering jitter, fixed
+// latency, link down/up/flap, partitions, node crash/restart — through
+// the backend-neutral hooks internal/substrate defines
+// (substrate.FaultPort, substrate.Crasher), so the same scenario runs
+// unchanged on internal/netsim and internal/rtnet.
+//
+// # Determinism
+//
+// Every per-packet decision draws from one seeded RNG owned by the
+// Engine. On netsim the event loop is single-threaded and packet order
+// is reproducible, so a fixed seed replays the exact same faults on the
+// exact same packets — chaos experiments are byte-identical across
+// runs, like every other netsim experiment. On rtnet the same engine
+// runs race-clean (the RNG is mutex-guarded) but concurrent senders
+// interleave nondeterministically, so runs are statistically similar,
+// not identical — the backend's own contract.
+//
+// # Time
+//
+// Scenario timelines execute through substrate.Env.After: virtual time
+// on netsim (a 10-minute scenario replays in milliseconds), wall-clock
+// timers on rtnet.
+//
+// # Observability
+//
+// State transitions publish obs.KindFault / obs.KindHeal events
+// (Node is the link or node name, Detail says what changed), and the
+// engine counts its interventions in the environment's registry under
+// chaos.* — so experiments can correlate injected faults with
+// bandwidth gaps and recovery.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"planp.dev/planp/internal/obs"
+	"planp.dev/planp/internal/substrate"
+)
+
+// Engine owns the fault state for one substrate environment: the seeded
+// RNG, the wired links, the adopted nodes, and the chaos.* counters.
+// All mutation goes through the engine's mutex, so scenario actions may
+// fire from rtnet timer goroutines while node goroutines transmit.
+type Engine struct {
+	env substrate.Env
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	links map[string]*Link
+	nodes map[string]*NodeHandle
+
+	ct counters
+}
+
+// counters are the engine's registry-backed instruments, resolved once.
+type counters struct {
+	drops, corrupted, duplicated, delayed *obs.Counter
+	linkDown, linkUp                      *obs.Counter
+	crashes, restarts                     *obs.Counter
+}
+
+// New returns an engine for env whose every random decision flows from
+// seed. Use a fresh engine (and a fresh seed) per experiment cell.
+func New(env substrate.Env, seed int64) *Engine {
+	reg := env.Metrics()
+	return &Engine{
+		env:   env,
+		rng:   rand.New(rand.NewSource(seed)),
+		links: map[string]*Link{},
+		nodes: map[string]*NodeHandle{},
+		ct: counters{
+			drops:      reg.Counter("chaos.fault_drops"),
+			corrupted:  reg.Counter("chaos.corrupted_pkts"),
+			duplicated: reg.Counter("chaos.duplicated_pkts"),
+			delayed:    reg.Counter("chaos.delayed_pkts"),
+			linkDown:   reg.Counter("chaos.link_down"),
+			linkUp:     reg.Counter("chaos.link_up"),
+			crashes:    reg.Counter("chaos.node_crashes"),
+			restarts:   reg.Counter("chaos.node_restarts"),
+		},
+	}
+}
+
+// emit publishes one chaos state-transition event. Called outside the
+// engine mutex (subscribers are arbitrary code).
+func (e *Engine) emit(kind obs.Kind, name, detail string) {
+	if bus := e.env.Events(); bus.Active() {
+		bus.Publish(obs.Event{Kind: kind, At: e.env.Now(), Node: name, Detail: detail})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Links
+
+// Link is the engine's handle on one faultable link: a named set of
+// fault ports (typically a duplex link's two directions) sharing one
+// fault state. Faults are symmetric — both directions degrade together,
+// which is what cable damage and congested paths look like.
+type Link struct {
+	e     *Engine
+	name  string
+	ports []substrate.FaultPort
+
+	// Fault state, guarded by e.mu.
+	down    bool
+	loss    float64       // P(drop) per packet
+	corrupt float64       // P(one payload bit flips) per packet
+	dup     float64       // P(one extra copy) per packet
+	delay   time.Duration // fixed extra latency per packet
+	jitter  time.Duration // uniform [0, jitter) extra latency — reorders
+}
+
+// Wire attaches the engine to a named link: every given port consults
+// (and shares) the link's fault state on each transmission. Pass a
+// duplex link's two directional interfaces for symmetric faults, or a
+// single direction for asymmetric ones. Panics on a duplicate name —
+// scenarios address links by name, so collisions are author errors.
+func (e *Engine) Wire(name string, ports ...substrate.FaultPort) *Link {
+	if len(ports) == 0 {
+		panic("chaos: Wire needs at least one port")
+	}
+	l := &Link{e: e, name: name, ports: ports}
+	e.mu.Lock()
+	if e.links[name] != nil {
+		e.mu.Unlock()
+		panic(fmt.Sprintf("chaos: link %q wired twice", name))
+	}
+	e.links[name] = l
+	e.mu.Unlock()
+	for _, p := range ports {
+		p.SetFault(l.fault)
+	}
+	return l
+}
+
+// link resolves a wired link by name; scenarios that reference unknown
+// links fail fast.
+func (e *Engine) link(name string) *Link {
+	e.mu.Lock()
+	l := e.links[name]
+	e.mu.Unlock()
+	if l == nil {
+		panic(fmt.Sprintf("chaos: no link wired as %q", name))
+	}
+	return l
+}
+
+// node resolves an adopted node by name.
+func (e *Engine) node(name string) *NodeHandle {
+	e.mu.Lock()
+	h := e.nodes[name]
+	e.mu.Unlock()
+	if h == nil {
+		panic(fmt.Sprintf("chaos: no node adopted as %q", name))
+	}
+	return h
+}
+
+// fault is the substrate.FaultFunc every wired port runs: one verdict
+// per transmission, every random draw from the engine's seeded RNG.
+func (l *Link) fault(*substrate.Packet) substrate.FaultAction {
+	e := l.e
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var act substrate.FaultAction
+	if l.down {
+		e.ct.drops.Inc()
+		act.Drop = true
+		return act
+	}
+	if l.loss > 0 && e.rng.Float64() < l.loss {
+		e.ct.drops.Inc()
+		act.Drop = true
+		return act
+	}
+	if l.corrupt > 0 && e.rng.Float64() < l.corrupt {
+		act.Corrupt = true
+		act.CorruptBit = int(e.rng.Int63n(1 << 30))
+		e.ct.corrupted.Inc()
+	}
+	if l.dup > 0 && e.rng.Float64() < l.dup {
+		act.Dup = 1
+		e.ct.duplicated.Inc()
+	}
+	act.Delay = l.delay
+	if l.jitter > 0 {
+		// Uniform extra latency: packets drawn different jitter values
+		// overtake each other — this is the reordering primitive.
+		act.Delay += time.Duration(e.rng.Int63n(int64(l.jitter)))
+	}
+	if act.Delay > 0 {
+		e.ct.delayed.Inc()
+	}
+	return act
+}
+
+// Name returns the link's scenario name.
+func (l *Link) Name() string { return l.name }
+
+// Down cuts the link: every transmission drops until Up. Idempotent;
+// only the transition emits KindFault and counts.
+func (l *Link) Down() {
+	l.e.mu.Lock()
+	was := l.down
+	l.down = true
+	l.e.mu.Unlock()
+	if !was {
+		l.e.ct.linkDown.Inc()
+		l.e.emit(obs.KindFault, l.name, "link-down")
+	}
+}
+
+// Up restores a downed link. Idempotent.
+func (l *Link) Up() {
+	l.e.mu.Lock()
+	was := l.down
+	l.down = false
+	l.e.mu.Unlock()
+	if was {
+		l.e.ct.linkUp.Inc()
+		l.e.emit(obs.KindHeal, l.name, "link-up")
+	}
+}
+
+// IsDown reports whether the link is cut.
+func (l *Link) IsDown() bool {
+	l.e.mu.Lock()
+	defer l.e.mu.Unlock()
+	return l.down
+}
+
+// SetLoss sets the per-packet drop probability.
+func (l *Link) SetLoss(p float64) {
+	l.set(func() { l.loss = p }, obs.KindFault, fmt.Sprintf("loss=%.2f", p))
+}
+
+// SetCorrupt sets the per-packet probability of flipping one payload
+// bit.
+func (l *Link) SetCorrupt(p float64) {
+	l.set(func() { l.corrupt = p }, obs.KindFault, fmt.Sprintf("corrupt=%.2f", p))
+}
+
+// SetDup sets the per-packet probability of transmitting one extra
+// copy.
+func (l *Link) SetDup(p float64) {
+	l.set(func() { l.dup = p }, obs.KindFault, fmt.Sprintf("dup=%.2f", p))
+}
+
+// SetDelay sets the fixed extra latency added to every packet.
+func (l *Link) SetDelay(d time.Duration) {
+	l.set(func() { l.delay = d }, obs.KindFault, fmt.Sprintf("delay=%s", d))
+}
+
+// SetJitter sets the bound of the uniform [0, d) extra latency drawn
+// per packet — the reordering primitive.
+func (l *Link) SetJitter(d time.Duration) {
+	l.set(func() { l.jitter = d }, obs.KindFault, fmt.Sprintf("jitter=%s", d))
+}
+
+// Clear resets every fault on the link (including down) and emits
+// KindHeal.
+func (l *Link) Clear() {
+	l.e.mu.Lock()
+	l.down = false
+	l.loss, l.corrupt, l.dup = 0, 0, 0
+	l.delay, l.jitter = 0, 0
+	l.e.mu.Unlock()
+	l.e.emit(obs.KindHeal, l.name, "clear")
+}
+
+func (l *Link) set(apply func(), kind obs.Kind, detail string) {
+	l.e.mu.Lock()
+	apply()
+	l.e.mu.Unlock()
+	l.e.emit(kind, l.name, detail)
+}
+
+// PartitionLinks cuts the named set of links at once — the partition
+// primitive (a partition IS a set of downed links).
+func (e *Engine) PartitionLinks(names ...string) {
+	for _, name := range names {
+		e.link(name).Down()
+	}
+}
+
+// HealLinks restores the named links, or every wired link when called
+// with no names.
+func (e *Engine) HealLinks(names ...string) {
+	if len(names) == 0 {
+		e.mu.Lock()
+		for _, l := range e.links {
+			names = append(names, l.name)
+		}
+		e.mu.Unlock()
+	}
+	for _, name := range names {
+		e.link(name).Up()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Nodes
+
+// NodeHandle is the engine's handle on one crashable node.
+type NodeHandle struct {
+	e    *Engine
+	name string
+	cr   substrate.Crasher
+}
+
+// Adopt registers a node for crash/restart scenarios. The node must
+// implement substrate.Crasher (both backends do). Panics on a duplicate
+// name.
+func (e *Engine) Adopt(n substrate.Node) *NodeHandle {
+	cr, ok := n.(substrate.Crasher)
+	if !ok {
+		panic(fmt.Sprintf("chaos: node %q does not support crash/restart", n.Hostname()))
+	}
+	h := &NodeHandle{e: e, name: n.Hostname(), cr: cr}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.nodes[h.name] != nil {
+		panic(fmt.Sprintf("chaos: node %q adopted twice", h.name))
+	}
+	e.nodes[h.name] = h
+	return h
+}
+
+// Name returns the node's scenario name (its hostname).
+func (h *NodeHandle) Name() string { return h.name }
+
+// Crash takes the node down: traffic through it blackholes and its
+// installed PLAN-P processor is gone (see substrate.Crasher).
+func (h *NodeHandle) Crash() {
+	h.cr.Crash()
+	h.e.ct.crashes.Inc()
+	h.e.emit(obs.KindFault, h.name, "crash")
+}
+
+// Restart brings the node back up, bare — reinstalling the protocol is
+// the fleet's job, which is exactly what the crash-redeploy scenarios
+// exercise.
+func (h *NodeHandle) Restart() {
+	h.cr.Restart()
+	h.e.ct.restarts.Inc()
+	h.e.emit(obs.KindHeal, h.name, "restart")
+}
+
+// ---------------------------------------------------------------------------
+// Helpers
+
+// FaultPorts returns the node's interfaces that support fault
+// injection — a convenience for wiring every attachment of a node
+// ("cut this host off") without naming each interface.
+func FaultPorts(n substrate.Node) []substrate.FaultPort {
+	var out []substrate.FaultPort
+	for _, ifc := range n.Interfaces() {
+		if p, ok := ifc.(substrate.FaultPort); ok {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,131 @@
+package chaos_test
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"planp.dev/planp/internal/chaos"
+	"planp.dev/planp/internal/rtnet"
+	"planp.dev/planp/internal/substrate"
+)
+
+// TestChaosOnRTNet runs the same primitives against the real-time
+// backend: live goroutine-per-node traffic under loss, a hard
+// partition, and a heal. Wall clocks make exact counts
+// timing-dependent, so assertions are directional — the conformance
+// style the rtnet smoke tests use.
+func TestChaosOnRTNet(t *testing.T) {
+	nw := rtnet.New(1)
+	defer nw.Close()
+
+	a := rtnet.NewNode(nw, "a", substrate.MustAddr("10.1.0.1"))
+	r := rtnet.NewNode(nw, "r", substrate.MustAddr("10.1.0.254"))
+	b := rtnet.NewNode(nw, "b", substrate.MustAddr("10.1.1.1"))
+	r.Forwarding = true
+	ar, ra := rtnet.NewLink(nw, a, r, 100_000_000)
+	rb, br := rtnet.NewLink(nw, r, b, 100_000_000)
+	a.SetDefaultRoute(ar)
+	r.AddRoute(a.Address(), ra)
+	r.AddRoute(b.Address(), rb)
+	b.SetDefaultRoute(br)
+
+	var delivered atomic.Int64
+	b.BindUDP(9, func(*substrate.Packet) { delivered.Add(1) })
+
+	eng := chaos.New(nw, 99)
+	uplink := eng.Wire("uplink", ar, ra)
+	eng.Wire("downlink", rb, br)
+
+	nw.Start()
+
+	send := func(n int) {
+		for i := 0; i < n; i++ {
+			a.Send(substrate.NewUDP(a.Address(), b.Address(), 1000, 9, []byte("pkt")).Own())
+			time.Sleep(200 * time.Microsecond)
+		}
+		if !nw.Quiesce(5 * time.Second) {
+			t.Fatal("network did not quiesce")
+		}
+	}
+
+	// Phase 1: clean network.
+	send(100)
+	clean := delivered.Load()
+	if clean != 100 {
+		t.Fatalf("clean phase delivered %d of 100", clean)
+	}
+
+	// Phase 2: 50% loss — some but not all arrive.
+	eng.Apply(chaos.Loss("uplink", 0.5))
+	send(200)
+	lossy := delivered.Load() - clean
+	if lossy == 0 || lossy == 200 {
+		t.Errorf("loss 0.5 delivered %d of 200 — want some, not all", lossy)
+	}
+	drops := nw.Metrics().Counter("chaos.fault_drops").Value()
+	if drops == 0 {
+		t.Error("no chaos.fault_drops counted under loss")
+	}
+
+	// Phase 3: partition — nothing arrives.
+	eng.Apply(chaos.Clear("uplink"))
+	uplink.Down()
+	before := delivered.Load()
+	send(50)
+	if got := delivered.Load() - before; got != 0 {
+		t.Errorf("%d packets crossed a downed link", got)
+	}
+
+	// Phase 4: heal — traffic resumes.
+	eng.HealLinks()
+	before = delivered.Load()
+	send(50)
+	if got := delivered.Load() - before; got != 50 {
+		t.Errorf("healed link delivered %d of 50", got)
+	}
+}
+
+// TestChaosScenarioWallClock plays a short timeline on real timers: a
+// 60ms partition inside a 200ms traffic window must open a delivery
+// gap and then close it.
+func TestChaosScenarioWallClock(t *testing.T) {
+	nw := rtnet.New(1)
+	defer nw.Close()
+
+	a := rtnet.NewNode(nw, "a", substrate.MustAddr("10.2.0.1"))
+	b := rtnet.NewNode(nw, "b", substrate.MustAddr("10.2.0.2"))
+	ab, ba := rtnet.NewLink(nw, a, b, 100_000_000)
+	a.SetDefaultRoute(ab)
+	b.SetDefaultRoute(ba)
+
+	var delivered atomic.Int64
+	b.BindUDP(9, func(*substrate.Packet) { delivered.Add(1) })
+
+	eng := chaos.New(nw, 7)
+	eng.Wire("wire", ab, ba)
+	nw.Start()
+
+	eng.Play(chaos.NewScenario().
+		At(50*time.Millisecond, chaos.Down("wire")).
+		At(110*time.Millisecond, chaos.Up("wire")))
+
+	for i := 0; i < 200; i++ {
+		a.Send(substrate.NewUDP(a.Address(), b.Address(), 1, 9, []byte("x")).Own())
+		time.Sleep(time.Millisecond)
+	}
+	if !nw.Quiesce(5 * time.Second) {
+		t.Fatal("network did not quiesce")
+	}
+
+	got := delivered.Load()
+	if got == 200 {
+		t.Error("partition window dropped nothing")
+	}
+	if got < 100 {
+		t.Errorf("delivered only %d of 200 — the heal never took effect", got)
+	}
+	if nw.Metrics().Counter("chaos.link_down").Value() != 1 {
+		t.Error("link_down counter wrong")
+	}
+}

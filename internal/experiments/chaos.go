@@ -1,0 +1,316 @@
+// Robustness experiments: the §3.1 audio application and the §3.2
+// load-balancing gateway re-run under injected faults (internal/chaos).
+// The paper argues ASPs let applications adapt to network conditions;
+// these drivers check the claim holds when the network misbehaves —
+// loss, duplication, flapping links, partitions, node crashes — and
+// that recovery follows heal.
+//
+// Every cell builds its own netsim Simulator and its own chaos Engine
+// with a seed derived from the grid coordinates, so the tables are
+// byte-identical across runs and across -parallel widths, like every
+// other deterministic experiment.
+//
+// Each row carries a "safety" verdict asserting the envelope the
+// drivers exist to check: receipt bounded by emission plus injected
+// duplicates (no unbounded duplication), and traffic flowing again in
+// the tail window after the last heal (service recovers).
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"planp.dev/planp/asp"
+	"planp.dev/planp/internal/apps/audio"
+	"planp.dev/planp/internal/apps/httpd"
+	"planp.dev/planp/internal/chaos"
+	"planp.dev/planp/internal/netsim"
+	"planp.dev/planp/internal/netsim/loadgen"
+	"planp.dev/planp/internal/obs"
+	"planp.dev/planp/internal/par"
+	"planp.dev/planp/internal/planprt"
+)
+
+// ---------------------------------------------------------------------------
+// chaos-audio: §3.1 under degraded uplink and router crash
+
+// chaosAudioDur is one audio cell's virtual duration; the tail window
+// (last 10 s) must carry audio for scenarios that heal.
+const chaosAudioDur = 60 * time.Second
+
+// chaosAudioLoad keeps the client segment in figure 7's interesting
+// band, so the rows show chaos faults and congestion adaptation at
+// once — with their drops counted separately (fault vs queue).
+const chaosAudioLoad = 9_900_000
+
+// audioScenario is one fault schedule for the audio testbed.
+type audioScenario struct {
+	name  string
+	heals bool // the network is whole again before the tail window
+	play  func(tb *audio.Testbed, eng *chaos.Engine, engine planprt.EngineKind)
+}
+
+func audioScenarios() []audioScenario {
+	return []audioScenario{
+		{"clean", true, func(*audio.Testbed, *chaos.Engine, planprt.EngineKind) {}},
+		{"loss 10% uplink", false, func(_ *audio.Testbed, eng *chaos.Engine, _ planprt.EngineKind) {
+			eng.Apply(chaos.Loss("uplink", 0.10))
+		}},
+		{"dup 30% uplink", false, func(_ *audio.Testbed, eng *chaos.Engine, _ planprt.EngineKind) {
+			eng.Apply(chaos.Duplicate("uplink", 0.30))
+		}},
+		{"flap 1s every 10s", true, func(_ *audio.Testbed, eng *chaos.Engine, _ planprt.EngineKind) {
+			eng.Play(chaos.NewScenario().
+				Every(10*time.Second, 40*time.Second, chaos.Flap("uplink", time.Second)))
+		}},
+		{"partition 20-30s", true, func(_ *audio.Testbed, eng *chaos.Engine, _ planprt.EngineKind) {
+			eng.Play(chaos.NewScenario().
+				At(20*time.Second, chaos.Down("uplink")).
+				At(30*time.Second, chaos.Up("uplink")))
+		}},
+		{"crash 20s, redeploy 25s", true, func(tb *audio.Testbed, eng *chaos.Engine, engine planprt.EngineKind) {
+			eng.Play(chaos.NewScenario().
+				At(20*time.Second, chaos.Crash("router")).
+				At(25*time.Second, chaos.Restart("router"),
+					chaos.Call("redeploy audio-router", func() {
+						if tb.RouterRT == nil {
+							return // no ASP was installed; restart restores plain forwarding
+						}
+						rt, err := planprt.Download(tb.Router, asp.AudioRouter, planprt.Config{Engine: engine})
+						if err != nil {
+							panic(fmt.Sprintf("chaos-audio: redeploy: %v", err))
+						}
+						tb.RouterRT = rt
+					})))
+		}},
+	}
+}
+
+// chaosAudioRow is one (scenario, adaptation) measurement.
+type chaosAudioRow struct {
+	scenario   string
+	mode       audio.Adaptation
+	sent       int
+	received   int
+	lost       int
+	silent     int
+	segDrops   int64
+	faultDrops int64
+	dups       int64
+	tail       int // packets received in the final 10 s
+	safety     string
+}
+
+func runChaosAudioCell(sc audioScenario, mode audio.Adaptation, engine planprt.EngineKind, seed int64) (*chaosAudioRow, error) {
+	tb, err := audio.NewTestbed(audio.Options{Adaptation: mode, Engine: engine, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	eng := chaos.New(tb.Sim, seed*7919+13)
+	eng.Wire("uplink", tb.Uplink.Ifaces()[0], tb.Uplink.Ifaces()[1])
+	eng.Adopt(tb.Router)
+	sc.play(tb, eng, engine)
+
+	// Background load in the adaptation band, as in figure 7.
+	const payload = 1000
+	startPoissonLoad(tb, chaosAudioLoad, payload, chaosAudioDur)
+	tb.Source.Start(tb.Sim, chaosAudioDur)
+
+	recvNow := func() int { return tb.Client.Gaps.Received() + tb.Client.Unplayable }
+	tailStart := 0
+	tb.Sim.At(chaosAudioDur-10*time.Second, func() { tailStart = recvNow() })
+	tb.Sim.RunUntil(chaosAudioDur)
+	tb.Client.Finish(chaosAudioDur)
+
+	reg := tb.Sim.Metrics()
+	row := &chaosAudioRow{
+		scenario:   sc.name,
+		mode:       mode,
+		sent:       tb.Source.Sent,
+		received:   recvNow(),
+		lost:       tb.Client.LostPackets,
+		silent:     tb.Client.SilentPeriods,
+		segDrops:   tb.Segment.Dropped(),
+		faultDrops: reg.Counter("chaos.fault_drops").Value(),
+		dups:       reg.Counter("chaos.duplicated_pkts").Value(),
+		tail:       recvNow() - tailStart,
+	}
+	row.safety = "ok"
+	if int64(row.received) > int64(row.sent)+row.dups {
+		row.safety = fmt.Sprintf("VIOLATED: received %d > sent %d + dups %d", row.received, row.sent, row.dups)
+	} else if sc.heals && row.tail == 0 {
+		row.safety = "VIOLATED: no audio after heal"
+	}
+	return row, nil
+}
+
+// startPoissonLoad drives the audio testbed's load generator the same
+// way figure 7 does.
+func startPoissonLoad(tb *audio.Testbed, bps int64, payload int, dur time.Duration) {
+	wire := int64(payload + netsim.IPHeaderLen + netsim.UDPHeaderLen)
+	p := &loadgen.Poisson{Node: tb.LoadGen, Rate: float64(bps) / float64(wire*8), Emit: func() {
+		tb.LoadGen.Send(netsim.NewUDP(tb.LoadGen.Addr, tb.SinkAddr(), 40000, 40000, make([]byte, payload)).Own())
+	}}
+	p.Start(tb.Sim, 0, dur)
+}
+
+func runChaosAudio(w io.Writer, opts Options) error {
+	opts.fill()
+	scenarios := audioScenarios()
+	modes := []audio.Adaptation{audio.AdaptNone, audio.AdaptASP}
+	rows := make([]*chaosAudioRow, len(scenarios)*len(modes))
+	errs := make([]error, len(rows))
+	par.Grid2(opts.Parallel, len(scenarios), len(modes), func(i, j int) {
+		k := i*len(modes) + j
+		rows[k], errs[k] = runChaosAudioCell(scenarios[i], modes[j], opts.Engine, int64(100+k))
+	})
+	if err := firstErr(errs); err != nil {
+		return err
+	}
+	tbl := &obs.Table{
+		Title:   fmt.Sprintf("Robustness: §3.1 audio under injected faults (%.1f Mb/s background)", float64(chaosAudioLoad)/1e6),
+		Headers: []string{"scenario", "adaptation", "sent", "received", "lost", "silent periods", "queue drops", "fault drops", "dup pkts", "tail recv", "safety"},
+	}
+	for _, r := range rows {
+		tbl.AddRow(r.scenario, r.mode.String(), r.sent, r.received, r.lost, r.silent,
+			r.segDrops, r.faultDrops, r.dups, r.tail, r.safety)
+	}
+	fmt.Fprint(w, tbl)
+	fmt.Fprintln(w, "safety envelope: receipt never exceeds emission plus injected duplicates,")
+	fmt.Fprintln(w, "and every scenario that heals carries audio again in the final 10 s —")
+	fmt.Fprintln(w, "including the router crash, where the ASP is gone until redeployed.")
+	fmt.Fprintln(w, "note: fault drops (chaos) and queue drops (congestion) are distinct")
+	fmt.Fprintln(w, "counters; adaptation shrinks the latter, never the former.")
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// chaos-gateway: §3.2 under server-LAN faults and gateway crash
+
+const (
+	chaosGwDur     = 20 * time.Second // request issuance window
+	chaosGwDrain   = 2 * time.Second
+	chaosGwFaultAt = 8 * time.Second
+	chaosGwHealAt  = 12 * time.Second
+	chaosGwRate    = 100.0 // offered req/s per client
+)
+
+// gwScenario is one fault schedule for the gateway cluster.
+type gwScenario struct {
+	name  string
+	heals bool
+	play  func(tb *httpd.Testbed, eng *chaos.Engine, engine planprt.EngineKind)
+}
+
+func gwScenarios() []gwScenario {
+	return []gwScenario{
+		{"clean", true, func(*httpd.Testbed, *chaos.Engine, planprt.EngineKind) {}},
+		{"loss 20% server LAN", false, func(_ *httpd.Testbed, eng *chaos.Engine, _ planprt.EngineKind) {
+			eng.Apply(chaos.Loss("server-lan", 0.20))
+		}},
+		{"dup 30% server LAN", false, func(_ *httpd.Testbed, eng *chaos.Engine, _ planprt.EngineKind) {
+			eng.Apply(chaos.Duplicate("server-lan", 0.30))
+		}},
+		{"partition 8-12s", true, func(_ *httpd.Testbed, eng *chaos.Engine, _ planprt.EngineKind) {
+			eng.Play(chaos.NewScenario().
+				At(chaosGwFaultAt, chaos.Down("server-lan")).
+				At(chaosGwHealAt, chaos.Up("server-lan")))
+		}},
+		{"crash 8s, redeploy 12s", true, func(tb *httpd.Testbed, eng *chaos.Engine, engine planprt.EngineKind) {
+			eng.Play(chaos.NewScenario().
+				At(chaosGwFaultAt, chaos.Crash("gateway")).
+				At(chaosGwHealAt, chaos.Restart("gateway"),
+					chaos.Call("redeploy http-gateway", func() {
+						rt, err := planprt.Download(tb.Gateway, asp.HTTPGateway, planprt.Config{
+							Engine: engine,
+							Verify: planprt.VerifySingleNode,
+						})
+						if err != nil {
+							panic(fmt.Sprintf("chaos-gateway: redeploy: %v", err))
+						}
+						tb.GwRT = rt
+					})))
+		}},
+	}
+}
+
+// chaosGwRow is one gateway scenario's measurement.
+type chaosGwRow struct {
+	scenario    string
+	issued      int64
+	beforeFault int64 // completions by the fault instant
+	during      int64 // completions inside the fault window
+	afterHeal   int64 // completions after the heal instant (incl. drain)
+	faultDrops  int64
+	gwDrops     int64
+	safety      string
+}
+
+func runChaosGatewayCell(sc gwScenario, engine planprt.EngineKind, seed int64) (*chaosGwRow, error) {
+	tb, err := httpd.NewTestbed(httpd.Config{Variant: httpd.VariantASPGW, Engine: engine, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	eng := chaos.New(tb.Sim, seed*7919+17)
+	eng.Wire("server-lan", tb.GwServerIf, tb.ServerAIf, tb.ServerBIf)
+	eng.Adopt(tb.Gateway)
+	sc.play(tb, eng, engine)
+
+	tr1 := httpd.NewTrace(httpd.TraceConfig{Accesses: 20000, Documents: 2000, ZipfS: 1.2, MeanSize: 6000, Seed: seed})
+	tr2 := httpd.NewTrace(httpd.TraceConfig{Accesses: 20000, Documents: 2000, ZipfS: 1.2, MeanSize: 6000, Seed: seed + 1})
+	c1 := httpd.NewClient(tb.Clients[0], httpd.VirtualAddr, chaosGwRate, tr1)
+	c2 := httpd.NewClient(tb.Clients[1], httpd.VirtualAddr, chaosGwRate, tr2)
+	completed := func() int64 { return c1.Completed + c2.Completed }
+
+	var atFault, atHeal int64
+	tb.Sim.At(chaosGwFaultAt, func() { atFault = completed() })
+	tb.Sim.At(chaosGwHealAt, func() { atHeal = completed() })
+	c1.Start(chaosGwDur, 0)
+	c2.Start(chaosGwDur, 0)
+	tb.Sim.RunUntil(chaosGwDur + chaosGwDrain)
+
+	row := &chaosGwRow{
+		scenario:    sc.name,
+		issued:      c1.Issued + c2.Issued,
+		beforeFault: atFault,
+		during:      atHeal - atFault,
+		afterHeal:   completed() - atHeal,
+		faultDrops:  tb.Sim.Metrics().Counter("chaos.fault_drops").Value(),
+		gwDrops:     tb.Gateway.Stats().DroppedPkts,
+	}
+	row.safety = "ok"
+	if completed() > row.issued {
+		row.safety = fmt.Sprintf("VIOLATED: completed %d > issued %d", completed(), row.issued)
+	} else if sc.heals && row.afterHeal == 0 {
+		row.safety = "VIOLATED: no completions after heal"
+	}
+	return row, nil
+}
+
+func runChaosGateway(w io.Writer, opts Options) error {
+	opts.fill()
+	scenarios := gwScenarios()
+	rows := make([]*chaosGwRow, len(scenarios))
+	errs := make([]error, len(rows))
+	par.ForEach(opts.Parallel, len(scenarios), func(i int) {
+		rows[i], errs[i] = runChaosGatewayCell(scenarios[i], opts.Engine, int64(200+i))
+	})
+	if err := firstErr(errs); err != nil {
+		return err
+	}
+	tbl := &obs.Table{
+		Title: fmt.Sprintf("Robustness: §3.2 ASP gateway under injected faults (%.0f req/s offered, fault at %s, heal at %s)",
+			2*chaosGwRate, chaosGwFaultAt, chaosGwHealAt),
+		Headers: []string{"scenario", "issued", "done@fault", "done in window", "done after heal", "fault drops", "gw drops", "safety"},
+	}
+	for _, r := range rows {
+		tbl.AddRow(r.scenario, r.issued, r.beforeFault, r.during, r.afterHeal, r.faultDrops, r.gwDrops, r.safety)
+	}
+	fmt.Fprint(w, tbl)
+	fmt.Fprintln(w, "safety envelope: duplicated packets never double-count a request")
+	fmt.Fprintln(w, "(completions stay bounded by issuance), and requests complete again")
+	fmt.Fprintln(w, "after the heal — for the crash row that requires re-downloading the")
+	fmt.Fprintln(w, "gateway ASP, since a crash loses all downloaded protocol state.")
+	return nil
+}

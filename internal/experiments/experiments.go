@@ -78,6 +78,8 @@ func All() []Experiment {
 		{"ablation-locus", "in-router vs end-to-end feedback adaptation (§3.1 claim)", runAblationLocus},
 		{"ablation-policy", "load-balancing policies: modulo/random/least-conn (§5)", runAblationPolicy},
 		{"failover", "gateway fault tolerance: server crash + admin removal (§5)", runFailover},
+		{"chaos-audio", "§3.1 audio under loss/dup/flap/partition/crash (robustness)", runChaosAudio},
+		{"chaos-gateway", "§3.2 gateway under server-LAN faults + crash-redeploy (robustness)", runChaosGateway},
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 // wall-clock measurements.
 var deterministic = []string{
 	"fig6", "fig7", "fig8", "mpeg", "ablation-locus", "ablation-policy", "failover",
+	"chaos-audio", "chaos-gateway",
 }
 
 // slow marks the experiments skipped under the race detector (each is
@@ -75,7 +76,7 @@ func firstDiff(a, b string) string {
 
 // TestExperimentRegistry pins the canonical names cmd/aspbench exposes.
 func TestExperimentRegistry(t *testing.T) {
-	want := []string{"fig3", "fig6", "fig7", "fig8", "mpeg", "engines", "ablation-locus", "ablation-policy", "failover"}
+	want := []string{"fig3", "fig6", "fig7", "fig8", "mpeg", "engines", "ablation-locus", "ablation-policy", "failover", "chaos-audio", "chaos-gateway"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))

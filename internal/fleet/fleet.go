@@ -39,6 +39,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net/http"
+	"os"
 	"sort"
 	"strings"
 	"sync"
@@ -229,6 +230,12 @@ type Config struct {
 	Seed int64
 	// Logf, when set, receives one line per rollout step.
 	Logf func(format string, args ...any)
+	// HistoryPath, when set, persists every finished rollout as one
+	// JSON line appended to this file and loads prior records on New —
+	// the deployment history survives daemon restarts and crashes, and
+	// IDs continue where the previous process stopped. Empty keeps the
+	// history in memory only.
+	HistoryPath string
 }
 
 // Controller orchestrates rollouts and retains their history.
@@ -251,6 +258,10 @@ type Controller struct {
 	mu          sync.Mutex
 	deployments []*Deployment
 	nextID      int
+
+	historyPath string
+	history     []View     // records loaded from historyPath at startup
+	fileMu      sync.Mutex // serializes appends to historyPath
 }
 
 // New returns a Controller.
@@ -289,7 +300,69 @@ func New(cfg Config) *Controller {
 	c.ctFailed = reg.Counter("fleet.deployments_failed")
 	c.ctRetries = reg.Counter("fleet.http_retries")
 	c.ctNodeRollbacks = reg.Counter("fleet.node_rollbacks")
+	if cfg.HistoryPath != "" {
+		c.historyPath = cfg.HistoryPath
+		c.history = loadHistory(cfg.HistoryPath, c.logf)
+		for _, v := range c.history {
+			if v.ID >= c.nextID {
+				c.nextID = v.ID + 1
+			}
+		}
+	}
 	return c
+}
+
+// loadHistory reads the append-only JSONL history. A missing file is an
+// empty history; a torn final line (the daemon died mid-append) or any
+// other corrupt record is skipped with a log line rather than poisoning
+// the records around it.
+func loadHistory(path string, logf func(string, ...any)) []View {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if !errors.Is(err, os.ErrNotExist) {
+			logf("fleet: history %s: %v", path, err)
+		}
+		return nil
+	}
+	var out []View
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		var v View
+		if err := json.Unmarshal([]byte(line), &v); err != nil {
+			logf("fleet: history %s: skipping corrupt record on line %d: %v", path, i+1, err)
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// persist appends the finished deployment to the history file. Failures
+// are logged, not fatal: losing one history record must not fail a
+// rollout that already converged.
+func (c *Controller) persist(d *Deployment) {
+	if c.historyPath == "" {
+		return
+	}
+	line, err := json.Marshal(d.View())
+	if err != nil {
+		c.logf("fleet: history %s: %v", c.historyPath, err)
+		return
+	}
+	c.fileMu.Lock()
+	defer c.fileMu.Unlock()
+	f, err := os.OpenFile(c.historyPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		c.logf("fleet: history %s: %v", c.historyPath, err)
+		return
+	}
+	defer f.Close()
+	if _, err := f.Write(append(line, '\n')); err != nil {
+		c.logf("fleet: history %s: %v", c.historyPath, err)
+	}
 }
 
 func (c *Controller) rand() float64 {
@@ -311,14 +384,18 @@ func (c *Controller) publish(kind obs.Kind, node, detail string) {
 	c.busMu.Unlock()
 }
 
-// Deployments returns snapshots of every rollout, oldest first.
+// Deployments returns snapshots of every rollout, oldest first —
+// records loaded from the history file (previous daemon lives) first,
+// then this process's rollouts.
 func (c *Controller) Deployments() []View {
 	c.mu.Lock()
+	hist := c.history
 	ds := append([]*Deployment(nil), c.deployments...)
 	c.mu.Unlock()
-	views := make([]View, len(ds))
-	for i, d := range ds {
-		views[i] = d.View()
+	views := make([]View, 0, len(hist)+len(ds))
+	views = append(views, hist...)
+	for _, d := range ds {
+		views = append(views, d.View())
 	}
 	return views
 }
@@ -559,11 +636,13 @@ func (c *Controller) Deploy(ctx context.Context, spec Spec, targets []Target) (*
 		rbErr := fmt.Errorf("fleet: activate failed on [%s], fleet rolled back to previous versions: %w",
 			failedNames(d, errs), err)
 		d.finish(StateRolledBack, rbErr)
+		c.persist(d)
 		c.logf("fleet: deployment %d: rolled back: %v", d.ID, rbErr)
 		return d, rbErr
 	}
 
 	d.finish(StateActive, nil)
+	c.persist(d)
 	c.ctActive.Inc()
 	c.logf("fleet: deployment %d: version %s active on all %d node(s)", d.ID, spec.Version, len(targets))
 	return d, nil
@@ -610,6 +689,7 @@ func (nc *nodeClient) status() NodeStatus {
 
 func (c *Controller) fail(d *Deployment, err error) error {
 	d.finish(StateFailed, err)
+	c.persist(d)
 	c.ctFailed.Inc()
 	c.logf("fleet: deployment %d: failed: %v", d.ID, err)
 	return err

@@ -46,8 +46,44 @@ channel network(ps : int, ss : unit, p : ip*tcp*blob) is
 type testFleet struct {
 	targets []Target
 	nodes   map[string]*netsim.Node
+	servers map[string]*swapServer
 	inj     *Injector
 	slept   *sleepRecorder
+}
+
+// swapServer fronts one node's planpd handler and can simulate the node
+// process crashing and restarting with empty protocol state at a
+// deterministic point: just before the next GET /asp (the controller's
+// reconciliation query). A crash replaces the planpd server with a
+// fresh one — all downloaded ASP state is gone, exactly like
+// netsim.Node.Crash loses the installed processor.
+type swapServer struct {
+	mu             sync.Mutex
+	h              http.Handler
+	node           *netsim.Node
+	crashBeforeGet bool
+}
+
+func (s *swapServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	if s.crashBeforeGet && r.Method == http.MethodGet && r.URL.Path == "/asp" {
+		s.crashBeforeGet = false
+		s.node.Crash()
+		s.node.Restart()
+		s.h = planpd.NewServer(s.node, nil).Handler()
+	}
+	h := s.h
+	s.mu.Unlock()
+	h.ServeHTTP(w, r)
+}
+
+// crashBeforeReconcile arms the named node to crash-and-restart just
+// before the controller's next GET /asp.
+func (tf *testFleet) crashBeforeReconcile(name string) {
+	s := tf.servers[name]
+	s.mu.Lock()
+	s.crashBeforeGet = true
+	s.mu.Unlock()
 }
 
 type sleepRecorder struct {
@@ -73,17 +109,20 @@ func newTestFleet(t *testing.T, n int) *testFleet {
 	t.Helper()
 	sim := netsim.NewSimulator(1)
 	tf := &testFleet{
-		nodes: map[string]*netsim.Node{},
-		inj:   NewInjector(nil),
-		slept: &sleepRecorder{},
+		nodes:   map[string]*netsim.Node{},
+		servers: map[string]*swapServer{},
+		inj:     NewInjector(nil),
+		slept:   &sleepRecorder{},
 	}
 	names := []string{"alpha", "beta", "gamma", "delta", "epsilon"}
 	for i := 0; i < n; i++ {
 		name := names[i]
 		node := netsim.NewNode(sim, name, netsim.Addr(0x0A000001+uint32(i)))
-		srv := httptest.NewServer(planpd.NewServer(node, nil).Handler())
+		sw := &swapServer{h: planpd.NewServer(node, nil).Handler(), node: node}
+		srv := httptest.NewServer(sw)
 		t.Cleanup(srv.Close)
 		tf.nodes[name] = node
+		tf.servers[name] = sw
 		tf.targets = append(tf.targets, Target{Name: name, URL: srv.URL})
 	}
 	return tf

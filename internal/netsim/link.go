@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"planp.dev/planp/internal/obs"
+	"planp.dev/planp/internal/substrate"
 )
 
 // emitMedium publishes an enqueue/drop event for a transmission from
@@ -30,6 +31,29 @@ type Medium interface {
 	Bandwidth() int64
 	// MeterFor returns the meter measuring from's outgoing direction.
 	MeterFor(from *Iface) *RateMeter
+	// faultDrop counts a chaos-injected drop in from's direction,
+	// distinct from queue-overflow drops.
+	faultDrop(from *Iface)
+}
+
+// applyFault runs the interface's fault layer for one transmission.
+// It returns the (possibly corrupted) packet to transmit, the number of
+// extra copies, the added delivery delay, and whether to transmit at
+// all. Shared by Link and Segment so the two media drop, corrupt, and
+// duplicate identically.
+func applyFault(m Medium, from *Iface, pkt *Packet) (*Packet, int, time.Duration, bool) {
+	act := from.fault(pkt)
+	if act.Drop {
+		m.faultDrop(from)
+		if from.Node.sim.bus.Active() {
+			emitMedium(from.Node.sim, obs.KindDrop, from, pkt, "fault")
+		}
+		return nil, 0, 0, false
+	}
+	if act.Corrupt {
+		pkt = substrate.CorruptPayload(pkt, act.CorruptBit)
+	}
+	return pkt, act.Dup, act.Delay, true
 }
 
 // Iface attaches a node to a medium.
@@ -42,10 +66,18 @@ type Iface struct {
 	// (needed by capture ASPs such as the MPEG client, §3.3).
 	Promisc bool
 
+	// fault, when set, is consulted per transmission by the attached
+	// medium (internal/chaos installs it). nil is the fast path.
+	fault substrate.FaultFunc
+
 	// peer is the other endpoint for point-to-point links (nil on
 	// segments).
 	peer *Iface
 }
+
+// SetFault installs (or, with nil, removes) the interface's fault layer
+// (substrate.FaultPort).
+func (i *Iface) SetFault(f substrate.FaultFunc) { i.fault = f }
 
 // Peer returns the interface at the other end of a point-to-point link,
 // or nil for segment attachments.
@@ -69,9 +101,10 @@ func (i *Iface) Send(pkt *Packet) { i.medium.Transmit(i, pkt) }
 
 // direction models one direction of a duplex link.
 type direction struct {
-	busyUntil time.Duration
-	meter     *RateMeter
-	dropped   int64
+	busyUntil    time.Duration
+	meter        *RateMeter
+	dropped      int64 // queue-overflow drops
+	faultDropped int64 // chaos-injected drops (distinct by contract)
 }
 
 // Link is a full-duplex point-to-point link with serialization delay,
@@ -134,7 +167,9 @@ func (l *Link) MeterFor(from *Iface) *RateMeter {
 	return l.dirs[1].meter
 }
 
-// Dropped returns the packets dropped in the direction out of from.
+// Dropped returns the packets dropped by queue overflow in the
+// direction out of from (chaos-injected drops are counted separately;
+// see FaultDropped).
 func (l *Link) Dropped(from *Iface) int64 {
 	if from == l.a {
 		return l.dirs[0].dropped
@@ -142,9 +177,47 @@ func (l *Link) Dropped(from *Iface) int64 {
 	return l.dirs[1].dropped
 }
 
-// Transmit implements Medium: serialize (queueing behind earlier
-// traffic), propagate, deliver to the peer.
+// FaultDropped returns the packets dropped by injected faults in the
+// direction out of from.
+func (l *Link) FaultDropped(from *Iface) int64 {
+	if from == l.a {
+		return l.dirs[0].faultDropped
+	}
+	return l.dirs[1].faultDropped
+}
+
+// faultDrop implements Medium.
+func (l *Link) faultDrop(from *Iface) {
+	if from == l.a {
+		l.dirs[0].faultDropped++
+	} else {
+		l.dirs[1].faultDropped++
+	}
+}
+
+// Transmit implements Medium: consult the fault layer if one is
+// installed, then serialize (queueing behind earlier traffic),
+// propagate, deliver to the peer.
 func (l *Link) Transmit(from *Iface, pkt *Packet) {
+	if from.fault == nil {
+		l.transmit(from, pkt, 0)
+		return
+	}
+	pkt, dup, delay, ok := applyFault(l, from, pkt)
+	if !ok {
+		return
+	}
+	// Duplicates share the verdict (they are copies of one decision,
+	// not fresh transmissions) and queue behind the original.
+	l.transmit(from, pkt, delay)
+	for k := 0; k < dup; k++ {
+		l.transmit(from, pkt.Clone(), delay)
+	}
+}
+
+// transmit is the faultless serialization path; extra is added to the
+// propagation delay (chaos-injected latency).
+func (l *Link) transmit(from *Iface, pkt *Packet, extra time.Duration) {
 	di := 0
 	dst := l.b
 	if from == l.b {
@@ -178,7 +251,7 @@ func (l *Link) Transmit(from *Iface, pkt *Packet) {
 		emitMedium(l.sim, obs.KindEnqueue, from, pkt, "")
 	}
 
-	arrive := dir.busyUntil + l.delay
+	arrive := dir.busyUntil + l.delay + extra
 	l.sim.atReceive(arrive, pkt, dst)
 }
 
@@ -196,10 +269,11 @@ type Segment struct {
 	delay      time.Duration
 	queueLimit int64
 
-	busyUntil time.Duration
-	meter     *RateMeter
-	dropped   int64
-	ifaces    []*Iface
+	busyUntil    time.Duration
+	meter        *RateMeter
+	dropped      int64 // queue-overflow drops
+	faultDropped int64 // chaos-injected drops
+	ifaces       []*Iface
 }
 
 var _ Medium = (*Segment)(nil)
@@ -228,12 +302,36 @@ func (s *Segment) Bandwidth() int64 { return s.bandwidth }
 // interface observes the same meter.
 func (s *Segment) MeterFor(*Iface) *RateMeter { return s.meter }
 
-// Dropped returns frames dropped due to backlog on the shared medium.
+// Dropped returns frames dropped due to backlog on the shared medium
+// (chaos-injected drops are counted separately; see FaultDropped).
 func (s *Segment) Dropped() int64 { return s.dropped }
 
-// Transmit implements Medium: one shared serialization resource
-// (approximating CSMA/CD without collisions), then broadcast delivery.
+// FaultDropped returns frames dropped by injected faults on the shared
+// medium.
+func (s *Segment) FaultDropped() int64 { return s.faultDropped }
+
+// faultDrop implements Medium.
+func (s *Segment) faultDrop(*Iface) { s.faultDropped++ }
+
+// Transmit implements Medium: consult the fault layer if one is
+// installed, then one shared serialization resource (approximating
+// CSMA/CD without collisions), then broadcast delivery.
 func (s *Segment) Transmit(from *Iface, pkt *Packet) {
+	if from.fault == nil {
+		s.transmit(from, pkt, 0)
+		return
+	}
+	pkt, dup, delay, ok := applyFault(s, from, pkt)
+	if !ok {
+		return
+	}
+	s.transmit(from, pkt, delay)
+	for k := 0; k < dup; k++ {
+		s.transmit(from, pkt.Clone(), delay)
+	}
+}
+
+func (s *Segment) transmit(from *Iface, pkt *Packet, extra time.Duration) {
 	now := s.sim.Now()
 	backlogBits := int64(0)
 	if s.busyUntil > now {
@@ -257,7 +355,7 @@ func (s *Segment) Transmit(from *Iface, pkt *Packet) {
 		emitMedium(s.sim, obs.KindEnqueue, from, pkt, "")
 	}
 
-	arrive := s.busyUntil + s.delay
+	arrive := s.busyUntil + s.delay + extra
 	// Broadcast delivery shares one packet pointer among all receivers,
 	// so with more than one the packet can no longer be exclusively
 	// owned by any of them (see Packet ownership).

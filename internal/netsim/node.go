@@ -77,6 +77,10 @@ type Node struct {
 	// Processor, when set, is the downloaded PLAN-P layer.
 	Processor Processor
 
+	// down marks a crashed node (see Crash/Restart): all traffic
+	// through it is discarded until restart.
+	down bool
+
 	ifaces    []*Iface
 	subIfaces []substrate.Iface // same interfaces, substrate-typed (Interfaces())
 	routes    map[Addr]*Iface   // host routes
@@ -239,6 +243,12 @@ func (n *Node) NextIPID() uint32 {
 // packets do not pass through the local PLAN-P layer (the layer
 // processes network traffic, figure 1).
 func (n *Node) Send(pkt *Packet) {
+	// A crashed node originates nothing; application timers that fire
+	// while it is down lose their packets.
+	if n.down {
+		n.drop(pkt, "crashed")
+		return
+	}
 	if pkt.IP.ID == 0 {
 		pkt.IP.ID = n.NextIPID()
 	}
@@ -298,9 +308,31 @@ func (n *Node) transmit(pkt *Packet, in *Iface) bool {
 	return true
 }
 
+// Crash takes the node down (substrate.Crasher): until Restart, every
+// packet it receives or originates is discarded (counted as drops with
+// Detail "crashed") and the installed PLAN-P processor is removed — the
+// state loss of a killed daemon. Routes, bindings, and multicast state
+// survive; they are configuration, not downloaded state.
+func (n *Node) Crash() {
+	n.down = true
+	n.Processor = nil
+	n.cpuBusyUntil = 0
+}
+
+// Restart brings a crashed node back up, bare: no processor is
+// installed until something (a fleet redeploy) downloads one.
+func (n *Node) Restart() { n.down = false }
+
+// Down reports whether the node is crashed.
+func (n *Node) Down() bool { return n.down }
+
 // Receive is called by media when a packet arrives on ifc. When the
 // node models CPU cost, processing is serialized behind earlier packets.
 func (n *Node) Receive(pkt *Packet, in *Iface) {
+	if n.down {
+		n.drop(pkt, "crashed")
+		return
+	}
 	if n.PerPacketCPU > 0 {
 		start := n.sim.Now()
 		if n.cpuBusyUntil > start {
@@ -314,6 +346,12 @@ func (n *Node) Receive(pkt *Packet, in *Iface) {
 }
 
 func (n *Node) receiveNow(pkt *Packet, in *Iface) {
+	// A crash can land between the CPU-serialization schedule and this
+	// post-CPU half; packets caught in that window die with the node.
+	if n.down {
+		n.drop(pkt, "crashed")
+		return
+	}
 	n.ct.rxPkts.Inc()
 	n.ct.rxBytes.Add(int64(pkt.Size()))
 	if len(n.taps) > 0 {

@@ -267,4 +267,3 @@ func (q *eventQueue) siftDown(i int) {
 	}
 	q.ev[i] = e
 }
-

@@ -72,7 +72,9 @@ var (
 // its nodes are substrate nodes (compile-time checks; the methods live
 // in sim.go and node.go).
 var (
-	_ substrate.Env  = (*Simulator)(nil)
-	_ substrate.Node = (*Node)(nil)
-	_ substrate.Iface = (*Iface)(nil)
+	_ substrate.Env       = (*Simulator)(nil)
+	_ substrate.Node      = (*Node)(nil)
+	_ substrate.Iface     = (*Iface)(nil)
+	_ substrate.FaultPort = (*Iface)(nil)
+	_ substrate.Crasher   = (*Node)(nil)
 )

@@ -57,6 +57,13 @@ const (
 	// active protocol version (Detail is the restored version, or the
 	// abort reason for staged-only nodes).
 	KindRollback
+	// KindFault: the chaos engine degraded the network (Node is the
+	// link or node name; Detail says how: "link-down", "crash",
+	// "loss=0.10", ...).
+	KindFault
+	// KindHeal: the chaos engine restored what a KindFault degraded
+	// (Detail "link-up", "restart", "clear").
+	KindHeal
 
 	numKinds
 )
@@ -66,7 +73,7 @@ const NumKinds = int(numKinds)
 
 var kindNames = [numKinds]string{
 	"enqueue", "drop", "forward", "deliver", "asp-invoke", "verify-reject",
-	"deploy", "rollback",
+	"deploy", "rollback", "fault", "heal",
 }
 
 // String names the kind.

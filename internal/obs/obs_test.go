@@ -147,6 +147,7 @@ func TestEventKindString(t *testing.T) {
 		KindEnqueue: "enqueue", KindDrop: "drop", KindForward: "forward",
 		KindDeliver: "deliver", KindASPInvoke: "asp-invoke", KindVerifyReject: "verify-reject",
 		KindDeploy: "deploy", KindRollback: "rollback",
+		KindFault: "fault", KindHeal: "heal",
 	}
 	if len(names) != NumKinds {
 		t.Fatalf("test covers %d kinds, NumKinds = %d", len(names), NumKinds)

@@ -26,10 +26,12 @@ type Iface struct {
 
 	queued atomic.Int32
 
-	mu    sync.Mutex // guards meter (RateMeter is not internally synchronized)
+	mu    sync.Mutex // guards meter (RateMeter is not internally synchronized) and fault
 	meter *substrate.RateMeter
+	fault substrate.FaultFunc
 
-	drops *obs.Counter
+	drops      *obs.Counter
+	faultDrops *obs.Counter
 }
 
 // NewLink connects a and b with a duplex link of the given nominal
@@ -39,18 +41,28 @@ type Iface struct {
 func NewLink(nw *Net, a, b *Node, bandwidthBps int64) (*Iface, *Iface) {
 	ab := &Iface{
 		node: a, peer: b, bw: bandwidthBps,
-		meter: substrate.NewRateMeter(0),
-		drops: nw.reg.Counter("link." + a.name + ":" + b.name + ".dropped_pkts"),
+		meter:      substrate.NewRateMeter(0),
+		drops:      nw.reg.Counter("link." + a.name + ":" + b.name + ".dropped_pkts"),
+		faultDrops: nw.reg.Counter("link." + a.name + ":" + b.name + ".fault_dropped_pkts"),
 	}
 	ba := &Iface{
 		node: b, peer: a, bw: bandwidthBps,
-		meter: substrate.NewRateMeter(0),
-		drops: nw.reg.Counter("link." + b.name + ":" + a.name + ".dropped_pkts"),
+		meter:      substrate.NewRateMeter(0),
+		drops:      nw.reg.Counter("link." + b.name + ":" + a.name + ".dropped_pkts"),
+		faultDrops: nw.reg.Counter("link." + b.name + ":" + a.name + ".fault_dropped_pkts"),
 	}
 	ab.rev, ba.rev = ba, ab
 	a.addIface(ab)
 	b.addIface(ba)
 	return ab, ba
+}
+
+// SetFault installs (or, with nil, removes) the interface's fault layer
+// (substrate.FaultPort). Safe while traffic flows.
+func (i *Iface) SetFault(f substrate.FaultFunc) {
+	i.mu.Lock()
+	i.fault = f
+	i.mu.Unlock()
 }
 
 // Send transmits pkt toward the peer node (substrate.Iface). Unowned
@@ -62,6 +74,58 @@ func (i *Iface) Send(pkt *substrate.Packet) {
 	if !pkt.Owned() {
 		pkt = pkt.Clone().Own()
 	}
+	i.mu.Lock()
+	f := i.fault
+	i.mu.Unlock()
+	if f == nil {
+		i.sendNow(pkt)
+		return
+	}
+	act := f(pkt)
+	if act.Drop {
+		i.dropEvent(pkt, i.faultDrops, "fault")
+		return
+	}
+	if act.Corrupt {
+		pkt = substrate.CorruptPayload(pkt, act.CorruptBit)
+	}
+	// Duplicates share the one verdict. They are cloned BEFORE the
+	// original is transmitted: once an owned packet is enqueued it
+	// belongs to the peer's goroutine, which may mutate it in place.
+	// Clones share only the immutable payload, so sending them first
+	// is safe.
+	dups := clonePackets(pkt, act.Dup)
+	if act.Delay > 0 {
+		// All copies wait out the same injected latency on a real timer.
+		i.node.net.After(act.Delay, func() {
+			for _, d := range dups {
+				i.sendNow(d)
+			}
+			i.sendNow(pkt)
+		})
+		return
+	}
+	for _, d := range dups {
+		i.sendNow(d)
+	}
+	i.sendNow(pkt)
+}
+
+// clonePackets builds n independent owned clones of pkt (nil for n=0).
+func clonePackets(pkt *substrate.Packet, n int) []*substrate.Packet {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]*substrate.Packet, n)
+	for k := range out {
+		out[k] = pkt.Clone()
+	}
+	return out
+}
+
+// sendNow is the faultless transmission path: meter, drop-tail check,
+// enqueue at the peer.
+func (i *Iface) sendNow(pkt *substrate.Packet) {
 	sz := int64(pkt.Size())
 	now := i.node.net.Now()
 	i.mu.Lock()
@@ -79,13 +143,17 @@ func (i *Iface) Send(pkt *substrate.Packet) {
 }
 
 func (i *Iface) dropQueue(pkt *substrate.Packet) {
-	i.drops.Inc()
+	i.dropEvent(pkt, i.drops, "queue")
+}
+
+func (i *Iface) dropEvent(pkt *substrate.Packet, ct *obs.Counter, reason string) {
+	ct.Inc()
 	if i.node.net.bus.Active() {
 		i.node.net.bus.Publish(obs.Event{
 			Kind: obs.KindDrop, At: i.node.net.Now(),
 			Node: i.node.name + ":" + i.peer.name,
 			Src:  uint32(pkt.IP.Src), Dst: uint32(pkt.IP.Dst),
-			Size: pkt.Size(), Detail: "queue",
+			Size: pkt.Size(), Detail: reason,
 		})
 	}
 }
@@ -110,4 +178,7 @@ func (i *Iface) Bandwidth() int64 { return i.bw }
 func (i *Iface) Peer() *Node { return i.peer }
 
 // Interface satisfaction.
-var _ substrate.Iface = (*Iface)(nil)
+var (
+	_ substrate.Iface     = (*Iface)(nil)
+	_ substrate.FaultPort = (*Iface)(nil)
+)

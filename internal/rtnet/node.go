@@ -77,6 +77,10 @@ type Node struct {
 	procMu sync.RWMutex
 	proc   substrate.Processor
 
+	// down marks a crashed node (see Crash/Restart): all traffic
+	// through it is discarded until restart.
+	down atomic.Bool
+
 	inbox chan inbound
 	ipID  atomic.Uint32
 	ct    nodeCounters
@@ -160,7 +164,28 @@ func (n *Node) enqueue(pkt *substrate.Packet, in substrate.Iface, q *atomic.Int3
 	}
 }
 
+// Crash takes the node down (substrate.Crasher): until Restart, every
+// packet it receives or originates is discarded (counted as drops with
+// Detail "crashed") and the installed PLAN-P processor is removed — the
+// state loss of a killed daemon. Routes and bindings survive; they are
+// configuration, not downloaded state. Safe while traffic flows.
+func (n *Node) Crash() {
+	n.down.Store(true)
+	n.SetProcessor(nil)
+}
+
+// Restart brings a crashed node back up, bare: no processor is
+// installed until something (a fleet redeploy) downloads one.
+func (n *Node) Restart() { n.down.Store(false) }
+
+// Down reports whether the node is crashed.
+func (n *Node) Down() bool { return n.down.Load() }
+
 func (n *Node) receive(pkt *substrate.Packet, in substrate.Iface) {
+	if n.down.Load() {
+		n.drop(pkt, "crashed")
+		return
+	}
 	n.ct.rxPkts.Inc()
 	n.ct.rxBytes.Add(int64(pkt.Size()))
 	n.procMu.RLock()
@@ -307,6 +332,12 @@ func (n *Node) Route(dst substrate.Addr) substrate.Iface {
 // the destination node's goroutine at the link; only local delivery of
 // a self-addressed packet runs on the caller's goroutine.
 func (n *Node) Send(pkt *substrate.Packet) {
+	// A crashed node originates nothing; application timers that fire
+	// while it is down lose their packets.
+	if n.down.Load() {
+		n.drop(pkt, "crashed")
+		return
+	}
 	if pkt.IP.ID == 0 {
 		pkt.IP.ID = n.NextIPID()
 	}
@@ -372,4 +403,7 @@ func (n *Node) CurrentProcessor() substrate.Processor {
 func (n *Node) Env() substrate.Env { return n.net }
 
 // Interface satisfaction.
-var _ substrate.Node = (*Node)(nil)
+var (
+	_ substrate.Node    = (*Node)(nil)
+	_ substrate.Crasher = (*Node)(nil)
+)

@@ -30,11 +30,13 @@ type UDPIface struct {
 	peerAddr *net.UDPAddr // where Send writes
 	bw       int64
 
-	mu    sync.Mutex // guards meter and buf
+	mu    sync.Mutex // guards meter, buf, and fault
 	meter *substrate.RateMeter
 	buf   []byte
+	fault substrate.FaultFunc
 
-	drops *obs.Counter
+	drops      *obs.Counter
+	faultDrops *obs.Counter
 }
 
 // NewUDPLink connects a and b with a duplex link over a pair of
@@ -54,12 +56,14 @@ func NewUDPLink(nw *Net, a, b *Node, bandwidthBps int64) (*UDPIface, *UDPIface, 
 	ab := &UDPIface{
 		node: a, peer: b, conn: connA, peerAddr: connB.LocalAddr().(*net.UDPAddr),
 		bw: bandwidthBps, meter: substrate.NewRateMeter(0),
-		drops: nw.reg.Counter("link." + a.name + ":" + b.name + ".dropped_pkts"),
+		drops:      nw.reg.Counter("link." + a.name + ":" + b.name + ".dropped_pkts"),
+		faultDrops: nw.reg.Counter("link." + a.name + ":" + b.name + ".fault_dropped_pkts"),
 	}
 	ba := &UDPIface{
 		node: b, peer: a, conn: connB, peerAddr: connA.LocalAddr().(*net.UDPAddr),
 		bw: bandwidthBps, meter: substrate.NewRateMeter(0),
-		drops: nw.reg.Counter("link." + b.name + ":" + a.name + ".dropped_pkts"),
+		drops:      nw.reg.Counter("link." + b.name + ":" + a.name + ".dropped_pkts"),
+		faultDrops: nw.reg.Counter("link." + b.name + ":" + a.name + ".fault_dropped_pkts"),
 	}
 	a.addIface(ab)
 	b.addIface(ba)
@@ -96,11 +100,62 @@ func (i *UDPIface) read(nw *Net) {
 	}
 }
 
+// SetFault installs (or, with nil, removes) the interface's fault layer
+// (substrate.FaultPort). Safe while traffic flows.
+func (i *UDPIface) SetFault(f substrate.FaultFunc) {
+	i.mu.Lock()
+	i.fault = f
+	i.mu.Unlock()
+}
+
 // Send transmits pkt toward the peer over the socket (substrate.Iface).
 // The packet is fully serialized before the write returns, so the
 // caller keeps ownership of the original; the receiving side always
 // reparses a private copy.
 func (i *UDPIface) Send(pkt *substrate.Packet) {
+	i.mu.Lock()
+	f := i.fault
+	i.mu.Unlock()
+	if f == nil {
+		i.sendNow(pkt)
+		return
+	}
+	act := f(pkt)
+	if act.Drop {
+		i.faultDrops.Inc()
+		i.dropEvent(pkt, "fault")
+		return
+	}
+	if act.Corrupt {
+		pkt = substrate.CorruptPayload(pkt, act.CorruptBit)
+	}
+	if act.Delay > 0 {
+		// The caller keeps ownership and may reuse pkt once Send
+		// returns, so the delayed copies must be serialized NOW; only
+		// the socket writes wait. A fresh buffer, not i.buf — the
+		// bytes outlive this call.
+		wire, err := substrate.AppendWire(nil, pkt)
+		if err != nil || len(wire) > maxDatagram {
+			i.drop(pkt, "oversize")
+			return
+		}
+		sz, copies := int64(len(wire)), 1+act.Dup
+		i.node.net.After(act.Delay, func() {
+			for k := 0; k < copies; k++ {
+				i.writeWire(wire, sz)
+			}
+		})
+		return
+	}
+	i.sendNow(pkt)
+	for k := 0; k < act.Dup; k++ {
+		i.sendNow(pkt)
+	}
+}
+
+// sendNow is the faultless transmission path: serialize under the lock
+// (reusing the scratch buffer) and write the datagram.
+func (i *UDPIface) sendNow(pkt *substrate.Packet) {
 	sz := int64(pkt.Size())
 	now := i.node.net.Now()
 	i.mu.Lock()
@@ -121,8 +176,26 @@ func (i *UDPIface) Send(pkt *substrate.Packet) {
 	}
 }
 
+// writeWire sends one pre-serialized datagram (the delayed-fault path;
+// socket errors count as drops without an event — the packet fields are
+// gone by the time the timer fires).
+func (i *UDPIface) writeWire(wire []byte, sz int64) {
+	now := i.node.net.Now()
+	i.mu.Lock()
+	i.meter.Add(now, sz)
+	_, werr := i.conn.WriteToUDP(wire, i.peerAddr)
+	i.mu.Unlock()
+	if werr != nil {
+		i.drops.Inc()
+	}
+}
+
 func (i *UDPIface) drop(pkt *substrate.Packet, reason string) {
 	i.drops.Inc()
+	i.dropEvent(pkt, reason)
+}
+
+func (i *UDPIface) dropEvent(pkt *substrate.Packet, reason string) {
 	if pkt != nil && i.node.net.bus.Active() {
 		i.node.net.bus.Publish(obs.Event{
 			Kind: obs.KindDrop, At: i.node.net.Now(),
@@ -151,4 +224,7 @@ func (i *UDPIface) Bandwidth() int64 { return i.bw }
 func (i *UDPIface) Peer() *Node { return i.peer }
 
 // Interface satisfaction.
-var _ substrate.Iface = (*UDPIface)(nil)
+var (
+	_ substrate.Iface     = (*UDPIface)(nil)
+	_ substrate.FaultPort = (*UDPIface)(nil)
+)
