@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet staticcheck race verify bench experiments clean
+.PHONY: all build test vet staticcheck race verify bench bench-scale experiments clean
 
 all: verify
 
@@ -43,6 +43,17 @@ HOT_BENCH = BenchmarkEventQueue$$|BenchmarkPacketFanout$$|BenchmarkSimulatorForw
 
 bench:
 	$(GO) test -run '^$$' -bench '$(HOT_BENCH)' -benchmem -count=3 . | $(GO) run ./cmd/benchjson -o BENCH_core.json
+
+# City-scale sharded-simulation throughput: the full metropolitan city
+# (10k+ edge routers, ~1M modeled clients) at 1 and 4 shards. Each run
+# is a single full simulation (-benchtime 1x), repeated 3x and averaged;
+# benchjson carries the events/s and pkts/s/core ReportMetric units into
+# BENCH_scale.json.
+SCALE_BENCH = BenchmarkCityScale1$$|BenchmarkCityScale4$$
+
+bench-scale:
+	$(GO) test -run '^$$' -bench '$(SCALE_BENCH)' -benchtime 1x -count=3 -timeout 30m . | $(GO) run ./cmd/benchjson -o BENCH_scale.json \
+		-note "City-scale sharded-simulation snapshot (full metropolitan city); regenerate with \`make bench-scale\`. Values are means over -count full runs; pkts/s/core divides by min(shards, GOMAXPROCS) — on a single-core machine the 4-shard gain comes from smaller per-shard heaps, not parallelism. See docs/PERFORMANCE.md."
 
 # Regenerate every paper figure/table.
 experiments:

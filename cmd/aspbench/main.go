@@ -15,7 +15,11 @@
 //
 // Grid experiments run their cells on -parallel worker goroutines
 // (default GOMAXPROCS); the output is byte-identical at any width.
-// -cpuprofile/-memprofile write pprof profiles of the run.
+// -shards runs each simulation on up to that many parallel event loops
+// (only topologies with shard boundaries — the scale experiment's city
+// — actually split); the output is byte-identical at any shard count.
+// -scale-full switches the scale experiment to the full metropolitan
+// city. -cpuprofile/-memprofile write pprof profiles of the run.
 package main
 
 import (
@@ -34,6 +38,8 @@ func main() {
 	exp := flag.String("exp", "", "experiment to run (or 'all')")
 	engine := flag.String("engine", "jit", "ASP engine for the experiments")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for grid experiments (1 = sequential)")
+	shards := flag.Int("shards", 1, "parallel event loops per simulation (1 = single-threaded engine)")
+	scaleFull := flag.Bool("scale-full", false, "run the scale experiment on the full metropolitan city (minutes of CPU)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -62,8 +68,10 @@ func main() {
 	}
 
 	opts := experiments.Options{
-		Engine:   planprt.EngineKind(*engine),
-		Parallel: *parallel,
+		Engine:    planprt.EngineKind(*engine),
+		Parallel:  *parallel,
+		Shards:    *shards,
+		ScaleFull: *scaleFull,
 	}
 	start := time.Now()
 	ran := false

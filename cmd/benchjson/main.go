@@ -6,6 +6,8 @@
 // allocs/op per benchmark — averaged across -count repetitions — so the
 // acceptance criteria ("allocs/op strictly below the pre-change value")
 // can be checked against a stable JSON file instead of parsing logs.
+// Custom units reported via b.ReportMetric (the city benchmarks'
+// events/s and pkts/s/core) are carried through under their unit name.
 //
 // If the output file already exists, its "baseline" object is carried
 // over verbatim, so the pre-rewrite reference numbers survive every
@@ -32,7 +34,9 @@ type result struct {
 	NsOp     float64 `json:"ns_op"`
 	BytesOp  float64 `json:"bytes_op"`
 	AllocsOp float64 `json:"allocs_op"`
-	count    int
+	// Extra holds b.ReportMetric values keyed by their unit string.
+	Extra map[string]float64 `json:"extra,omitempty"`
+	count int
 }
 
 type snapshot struct {
@@ -43,6 +47,8 @@ type snapshot struct {
 
 func main() {
 	out := flag.String("o", "BENCH_core.json", "output file")
+	note := flag.String("note", "Hot-path benchmark snapshot; regenerate with `make bench`. ns/op, B/op and allocs/op are means over -count repetitions.",
+		"note field for the snapshot")
 	flag.Parse()
 
 	sums := map[string]*result{}
@@ -73,13 +79,18 @@ func main() {
 			if err != nil {
 				continue
 			}
-			switch fields[i+1] {
+			switch unit := fields[i+1]; unit {
 			case "ns/op":
 				r.NsOp += v
 			case "B/op":
 				r.BytesOp += v
 			case "allocs/op":
 				r.AllocsOp += v
+			default:
+				if r.Extra == nil {
+					r.Extra = map[string]float64{}
+				}
+				r.Extra[unit] += v
 			}
 		}
 	}
@@ -96,10 +107,13 @@ func main() {
 		r.NsOp /= n
 		r.BytesOp /= n
 		r.AllocsOp /= n
+		for unit := range r.Extra {
+			r.Extra[unit] /= n
+		}
 	}
 
 	snap := snapshot{
-		Note:       "Hot-path benchmark snapshot; regenerate with `make bench`. ns/op, B/op and allocs/op are means over -count repetitions.",
+		Note:       *note,
 		Benchmarks: sums,
 	}
 	if prev, err := os.ReadFile(*out); err == nil {
@@ -133,8 +147,17 @@ func main() {
 		if i == len(names)-1 {
 			comma = ""
 		}
-		fmt.Fprintf(&buf, "    %q: {\"ns_op\": %.1f, \"bytes_op\": %.0f, \"allocs_op\": %.0f}%s\n",
-			n, r.NsOp, r.BytesOp, r.AllocsOp, comma)
+		fmt.Fprintf(&buf, "    %q: {\"ns_op\": %.1f, \"bytes_op\": %.0f, \"allocs_op\": %.0f",
+			n, r.NsOp, r.BytesOp, r.AllocsOp)
+		units := make([]string, 0, len(r.Extra))
+		for u := range r.Extra {
+			units = append(units, u)
+		}
+		sort.Strings(units)
+		for _, u := range units {
+			fmt.Fprintf(&buf, ", %q: %.1f", u, r.Extra[u])
+		}
+		fmt.Fprintf(&buf, "}%s\n", comma)
 	}
 	buf.WriteString("  }\n}\n")
 	if err := os.WriteFile(*out, []byte(buf.String()), 0o644); err != nil {

@@ -67,6 +67,11 @@ type Options struct {
 	Adaptation Adaptation
 	Engine     planprt.EngineKind
 	Seed       int64
+	// Shards caps the simulator's parallel event loops (default 1).
+	// The audio topology declares no shard boundaries, so any value
+	// collapses to the single-threaded engine; the knob exists so the
+	// experiment harness can sweep one setting across all scenarios.
+	Shards int
 }
 
 // NewTestbed builds the topology and installs the selected adaptation.
@@ -74,7 +79,7 @@ func NewTestbed(opts Options) (*Testbed, error) {
 	if opts.Seed == 0 {
 		opts.Seed = 1
 	}
-	sim := netsim.NewSimulator(opts.Seed)
+	sim := netsim.New(netsim.WithSeed(opts.Seed), netsim.WithShards(opts.Shards))
 	src := netsim.NewNode(sim, "source", netsim.MustAddr("10.1.0.1"))
 	router := netsim.NewNode(sim, "router", netsim.MustAddr("10.1.0.254"))
 	client := netsim.NewNode(sim, "client", netsim.MustAddr("10.2.0.1"))
@@ -233,9 +238,10 @@ type Figure7Row struct {
 var Figure7Loads = []int64{0, 9_000_000, 9_700_000, 9_900_000, 10_100_000}
 
 // RunFigure7 runs one (load, adaptation) cell for the given duration
-// using Poisson background traffic.
-func RunFigure7(loadBps int64, adaptation Adaptation, engine planprt.EngineKind, dur time.Duration, seed int64) (*Figure7Row, error) {
-	tb, err := NewTestbed(Options{Adaptation: adaptation, Engine: engine, Seed: seed})
+// using Poisson background traffic. The adaptation under test, engine,
+// seed, and shard count all come from opts.
+func RunFigure7(loadBps int64, dur time.Duration, opts Options) (*Figure7Row, error) {
+	tb, err := NewTestbed(opts)
 	if err != nil {
 		return nil, err
 	}
@@ -253,7 +259,7 @@ func RunFigure7(loadBps int64, adaptation Adaptation, engine planprt.EngineKind,
 	tb.Client.Finish(dur)
 	return &Figure7Row{
 		LoadBps:       loadBps,
-		Adaptation:    adaptation,
+		Adaptation:    opts.Adaptation,
 		SilentPeriods: tb.Client.SilentPeriods,
 		LostPackets:   tb.Client.LostPackets,
 		Stalls:        tb.Client.Gaps.Gaps(),

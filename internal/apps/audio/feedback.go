@@ -152,16 +152,18 @@ type LocusResult struct {
 
 // RunLocus measures reaction to a heavy load step at stepAt for either
 // the in-router ASP ("router") or end-to-end feedback ("feedback").
-func RunLocus(mechanism string, seed int64) (*LocusResult, error) {
+// opts.Adaptation is chosen by the mechanism and ignored if set; the
+// remaining fields (Seed, Engine, Shards) pass through to the testbed.
+func RunLocus(mechanism string, opts Options) (*LocusResult, error) {
 	const (
 		stepAt = 30 * time.Second
 		end    = 60 * time.Second
 	)
-	adaptation := AdaptNone
+	opts.Adaptation = AdaptNone
 	if mechanism == "router" {
-		adaptation = AdaptASP
+		opts.Adaptation = AdaptASP
 	}
-	tb, err := NewTestbed(Options{Adaptation: adaptation, Seed: seed})
+	tb, err := NewTestbed(opts)
 	if err != nil {
 		return nil, err
 	}

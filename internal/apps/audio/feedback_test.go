@@ -85,11 +85,11 @@ func TestRunLocusRouterFasterThanFeedback(t *testing.T) {
 	if testing.Short() {
 		t.Skip("two 60 s virtual runs")
 	}
-	router, err := RunLocus("router", 5)
+	router, err := RunLocus("router", Options{Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
-	feedback, err := RunLocus("feedback", 5)
+	feedback, err := RunLocus("feedback", Options{Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}

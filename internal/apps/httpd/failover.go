@@ -9,7 +9,6 @@ import (
 
 	"planp.dev/planp/asp"
 	"planp.dev/planp/internal/netsim"
-	"planp.dev/planp/internal/planprt"
 )
 
 // AdminPort receives administrator reconfiguration datagrams (matches
@@ -40,20 +39,25 @@ type FailoverResult struct {
 
 // RunFailover drives the timeline: steady load against the virtual
 // address; A crashes at crashAt; the administrator reacts at adminAt;
-// the run ends at end.
-func RunFailover(engine planprt.EngineKind, seed int64) (*FailoverResult, error) {
+// the run ends at end. The variant and gateway source are fixed by the
+// scenario and overwritten in cfg; Engine, Seed, and Shards pass
+// through to the testbed.
+func RunFailover(cfg Config) (*FailoverResult, error) {
 	const (
 		crashAt = 8 * time.Second
 		adminAt = 10 * time.Second
 		end     = 20 * time.Second
 		rate    = 100 // req/s, comfortably under one server's capacity
 	)
-	cfg := Config{Variant: VariantASPGW, Engine: engine, GatewaySource: asp.HTTPGatewayFailover, Seed: seed}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	cfg.Variant, cfg.GatewaySource = VariantASPGW, asp.HTTPGatewayFailover
 	tb, err := NewTestbed(cfg)
 	if err != nil {
 		return nil, err
 	}
-	tr := NewTrace(TraceConfig{Accesses: 10000, Documents: 1000, ZipfS: 1.2, MeanSize: 6000, Seed: seed})
+	tr := NewTrace(TraceConfig{Accesses: 10000, Documents: 1000, ZipfS: 1.2, MeanSize: 6000, Seed: cfg.Seed})
 	client := NewClient(tb.Clients[0], VirtualAddr, rate, tr)
 	client.Start(end, 0)
 

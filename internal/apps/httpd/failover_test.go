@@ -19,7 +19,7 @@ func TestFailoverASPVerifies(t *testing.T) {
 }
 
 func TestFailoverTimeline(t *testing.T) {
-	res, err := RunFailover(planprt.EngineJIT, 3)
+	res, err := RunFailover(Config{Engine: planprt.EngineJIT, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}

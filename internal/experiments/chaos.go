@@ -102,8 +102,9 @@ type chaosAudioRow struct {
 	safety     string
 }
 
-func runChaosAudioCell(sc audioScenario, mode audio.Adaptation, engine planprt.EngineKind, seed int64) (*chaosAudioRow, error) {
-	tb, err := audio.NewTestbed(audio.Options{Adaptation: mode, Engine: engine, Seed: seed})
+func runChaosAudioCell(sc audioScenario, mode audio.Adaptation, opts Options, seed int64) (*chaosAudioRow, error) {
+	engine := opts.Engine
+	tb, err := audio.NewTestbed(audio.Options{Adaptation: mode, Engine: engine, Seed: seed, Shards: opts.Shards})
 	if err != nil {
 		return nil, err
 	}
@@ -163,7 +164,7 @@ func runChaosAudio(w io.Writer, opts Options) error {
 	errs := make([]error, len(rows))
 	par.Grid2(opts.Parallel, len(scenarios), len(modes), func(i, j int) {
 		k := i*len(modes) + j
-		rows[k], errs[k] = runChaosAudioCell(scenarios[i], modes[j], opts.Engine, int64(100+k))
+		rows[k], errs[k] = runChaosAudioCell(scenarios[i], modes[j], opts, int64(100+k))
 	})
 	if err := firstErr(errs); err != nil {
 		return err
@@ -247,8 +248,9 @@ type chaosGwRow struct {
 	safety      string
 }
 
-func runChaosGatewayCell(sc gwScenario, engine planprt.EngineKind, seed int64) (*chaosGwRow, error) {
-	tb, err := httpd.NewTestbed(httpd.Config{Variant: httpd.VariantASPGW, Engine: engine, Seed: seed})
+func runChaosGatewayCell(sc gwScenario, opts Options, seed int64) (*chaosGwRow, error) {
+	engine := opts.Engine
+	tb, err := httpd.NewTestbed(httpd.Config{Variant: httpd.VariantASPGW, Engine: engine, Seed: seed, Shards: opts.Shards})
 	if err != nil {
 		return nil, err
 	}
@@ -294,7 +296,7 @@ func runChaosGateway(w io.Writer, opts Options) error {
 	rows := make([]*chaosGwRow, len(scenarios))
 	errs := make([]error, len(rows))
 	par.ForEach(opts.Parallel, len(scenarios), func(i int) {
-		rows[i], errs[i] = runChaosGatewayCell(scenarios[i], opts.Engine, int64(200+i))
+		rows[i], errs[i] = runChaosGatewayCell(scenarios[i], opts, int64(200+i))
 	})
 	if err := firstErr(errs); err != nil {
 		return err

@@ -12,13 +12,13 @@ import (
 // wall-clock measurements.
 var deterministic = []string{
 	"fig6", "fig7", "fig8", "mpeg", "ablation-locus", "ablation-policy", "failover",
-	"chaos-audio", "chaos-gateway",
+	"chaos-audio", "chaos-gateway", "scale",
 }
 
 // slow marks the experiments skipped under the race detector (each is
 // tens of seconds at -race; the remaining grids cover the same sharing
 // surfaces).
-var slow = map[string]bool{"fig8": true, "ablation-policy": true, "fig7": true}
+var slow = map[string]bool{"fig8": true, "ablation-policy": true, "fig7": true, "scale": true}
 
 func find(t *testing.T, name string) Experiment {
 	t.Helper()
@@ -76,7 +76,7 @@ func firstDiff(a, b string) string {
 
 // TestExperimentRegistry pins the canonical names cmd/aspbench exposes.
 func TestExperimentRegistry(t *testing.T) {
-	want := []string{"fig3", "fig6", "fig7", "fig8", "mpeg", "engines", "ablation-locus", "ablation-policy", "failover", "chaos-audio", "chaos-gateway"}
+	want := []string{"fig3", "fig6", "fig7", "fig8", "mpeg", "engines", "ablation-locus", "ablation-policy", "failover", "chaos-audio", "chaos-gateway", "scale"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
@@ -104,5 +104,36 @@ func TestDriversWriteOnlyToWriter(t *testing.T) {
 	}
 	if err := find(t, "failover").Run(io.Discard, Options{}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestShardOutputMatchesSingle is the sharding acceptance gate at the
+// driver level: every deterministic experiment must produce
+// byte-identical output at Shards=1 and Shards=4. For the paper
+// experiments the topologies declare no boundaries and the engine
+// collapses to one shard, proving the option is inert there; for scale
+// the city actually splits into four event loops.
+func TestShardOutputMatchesSingle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every deterministic experiment twice")
+	}
+	for _, name := range deterministic {
+		if raceEnabled && slow[name] {
+			continue
+		}
+		name := name
+		t.Run(name, func(t *testing.T) {
+			e := find(t, name)
+			var one, four bytes.Buffer
+			if err := e.Run(&one, Options{Shards: 1}); err != nil {
+				t.Fatalf("shards=1: %v", err)
+			}
+			if err := e.Run(&four, Options{Shards: 4}); err != nil {
+				t.Fatalf("shards=4: %v", err)
+			}
+			if one.String() != four.String() {
+				t.Errorf("output differs between -shards 1 and -shards 4:\n%s", firstDiff(one.String(), four.String()))
+			}
+		})
 	}
 }

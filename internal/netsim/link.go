@@ -13,10 +13,11 @@ import (
 )
 
 // emitMedium publishes an enqueue/drop event for a transmission from
-// the given interface; callers guard with bus.Active().
-func emitMedium(sim *Simulator, kind obs.Kind, from *Iface, pkt *Packet, detail string) {
-	sim.bus.Publish(obs.Event{
-		Kind: kind, At: sim.now, Node: from.Name,
+// the given interface on the executing shard's bus; callers guard with
+// bus.Active().
+func emitMedium(sh *shard, kind obs.Kind, from *Iface, pkt *Packet, detail string) {
+	sh.bus.Publish(obs.Event{
+		Kind: kind, At: sh.now, Node: from.Name,
 		Src: uint32(pkt.IP.Src), Dst: uint32(pkt.IP.Dst),
 		Size: pkt.Size(), Detail: detail,
 	})
@@ -45,8 +46,8 @@ func applyFault(m Medium, from *Iface, pkt *Packet) (*Packet, int, time.Duration
 	act := from.fault(pkt)
 	if act.Drop {
 		m.faultDrop(from)
-		if from.Node.sim.bus.Active() {
-			emitMedium(from.Node.sim, obs.KindDrop, from, pkt, "fault")
+		if sh := from.Node.sh; sh.bus.Active() {
+			emitMedium(sh, obs.KindDrop, from, pkt, "fault")
 		}
 		return nil, 0, 0, false
 	}
@@ -90,7 +91,7 @@ func (i *Iface) Bandwidth() int64 { return i.medium.Bandwidth() }
 // direction.
 func (i *Iface) Load() int64 {
 	m := i.medium.MeterFor(i)
-	return m.Utilization(i.Node.sim.Now(), i.medium.Bandwidth())
+	return m.Utilization(i.Node.sh.now, i.medium.Bandwidth())
 }
 
 // Send transmits pkt out this interface.
@@ -110,10 +111,10 @@ type direction struct {
 // Link is a full-duplex point-to-point link with serialization delay,
 // propagation delay, and a drop-tail queue bounded in bytes.
 type Link struct {
-	sim        *Simulator
 	bandwidth  int64 // bits/s per direction
 	delay      time.Duration
 	queueLimit int64 // bytes of backlog before tail drop
+	boundary   bool  // eligible shard cut (LinkConfig.ShardBoundary)
 
 	a, b *Iface
 	dirs [2]direction // 0: a->b, 1: b->a
@@ -127,6 +128,14 @@ type LinkConfig struct {
 	Delay      time.Duration // propagation delay (default 1ms)
 	QueueLimit int64         // bytes (default 64 KiB)
 	Window     time.Duration // meter window (default DefaultMeterWindow)
+
+	// ShardBoundary marks the link as a permissible cut point for
+	// sharded runs (New's WithShards): the topology is partitioned into
+	// islands connected only by boundary links, and the minimum boundary
+	// Delay that actually crosses shards becomes the PDES lookahead (the
+	// parallel window length). Boundary links on ordinary single-shard
+	// runs behave like any other link.
+	ShardBoundary bool
 }
 
 func (c *LinkConfig) fill() {
@@ -141,8 +150,9 @@ func (c *LinkConfig) fill() {
 // Connect wires two nodes with a duplex link and returns it. Interface
 // names are derived from the peer node's name.
 func Connect(sim *Simulator, a, b *Node, cfg LinkConfig) *Link {
+	sim.assertMutable()
 	cfg.fill()
-	l := &Link{sim: sim, bandwidth: cfg.Bandwidth, delay: cfg.Delay, queueLimit: cfg.QueueLimit}
+	l := &Link{bandwidth: cfg.Bandwidth, delay: cfg.Delay, queueLimit: cfg.QueueLimit, boundary: cfg.ShardBoundary}
 	l.dirs[0].meter = NewRateMeter(cfg.Window)
 	l.dirs[1].meter = NewRateMeter(cfg.Window)
 	l.a = &Iface{Node: a, Name: fmt.Sprintf("%s->%s", a.Name, b.Name), medium: l}
@@ -150,6 +160,7 @@ func Connect(sim *Simulator, a, b *Node, cfg LinkConfig) *Link {
 	l.a.peer, l.b.peer = l.b, l.a
 	a.addIface(l.a)
 	b.addIface(l.b)
+	sim.links = append(sim.links, l)
 	return l
 }
 
@@ -225,17 +236,21 @@ func (l *Link) transmit(from *Iface, pkt *Packet, extra time.Duration) {
 		dst = l.a
 	}
 	dir := &l.dirs[di]
-	now := l.sim.Now()
+	sh := from.Node.sh
+	now := sh.now
 
 	// Backlog is whatever is still waiting to finish serialization.
+	// Per-direction state (busyUntil, meter, drop counters) is only ever
+	// touched by the sending node's shard, so sharded runs mutate it
+	// without locks.
 	backlogBits := int64(0)
 	if dir.busyUntil > now {
 		backlogBits = int64(dir.busyUntil-now) * l.bandwidth / int64(time.Second)
 	}
 	if backlogBits/8 > l.queueLimit {
 		dir.dropped++
-		if l.sim.bus.Active() {
-			emitMedium(l.sim, obs.KindDrop, from, pkt, "queue")
+		if sh.bus.Active() {
+			emitMedium(sh, obs.KindDrop, from, pkt, "queue")
 		}
 		return
 	}
@@ -247,12 +262,12 @@ func (l *Link) transmit(from *Iface, pkt *Packet, extra time.Duration) {
 	txTime := time.Duration(int64(pkt.Size()) * 8 * int64(time.Second) / l.bandwidth)
 	dir.busyUntil = start + txTime
 	dir.meter.Add(now, int64(pkt.Size()))
-	if l.sim.bus.Active() {
-		emitMedium(l.sim, obs.KindEnqueue, from, pkt, "")
+	if sh.bus.Active() {
+		emitMedium(sh, obs.KindEnqueue, from, pkt, "")
 	}
 
 	arrive := dir.busyUntil + l.delay + extra
-	l.sim.atReceive(arrive, pkt, dst)
+	sh.atReceive(arrive, pkt, dst)
 }
 
 // ---------------------------------------------------------------------------
@@ -278,17 +293,23 @@ type Segment struct {
 
 var _ Medium = (*Segment)(nil)
 
-// NewSegment creates a shared segment with the given capacity.
+// NewSegment creates a shared segment with the given capacity. Segments
+// are never shard boundaries: every attached node ends up in one island
+// (the shared busyUntil state must stay on one shard).
 func NewSegment(sim *Simulator, name string, cfg LinkConfig) *Segment {
+	sim.assertMutable()
 	cfg.fill()
-	return &Segment{
+	seg := &Segment{
 		sim: sim, Name: name, bandwidth: cfg.Bandwidth, delay: cfg.Delay,
 		queueLimit: cfg.QueueLimit, meter: NewRateMeter(cfg.Window),
 	}
+	sim.segs = append(sim.segs, seg)
+	return seg
 }
 
 // Attach connects a node to the segment and returns the new interface.
 func (s *Segment) Attach(n *Node) *Iface {
+	s.sim.assertMutable()
 	ifc := &Iface{Node: n, Name: fmt.Sprintf("%s@%s", n.Name, s.Name), medium: s}
 	s.ifaces = append(s.ifaces, ifc)
 	n.addIface(ifc)
@@ -332,15 +353,19 @@ func (s *Segment) Transmit(from *Iface, pkt *Packet) {
 }
 
 func (s *Segment) transmit(from *Iface, pkt *Packet, extra time.Duration) {
-	now := s.sim.Now()
+	// All of a segment's attachments live on one island (segments are
+	// never boundaries), so the shared busyUntil/meter state is only
+	// touched by that island's shard.
+	sh := from.Node.sh
+	now := sh.now
 	backlogBits := int64(0)
 	if s.busyUntil > now {
 		backlogBits = int64(s.busyUntil-now) * s.bandwidth / int64(time.Second)
 	}
 	if backlogBits/8 > s.queueLimit {
 		s.dropped++
-		if s.sim.bus.Active() {
-			emitMedium(s.sim, obs.KindDrop, from, pkt, "queue")
+		if sh.bus.Active() {
+			emitMedium(sh, obs.KindDrop, from, pkt, "queue")
 		}
 		return
 	}
@@ -351,8 +376,8 @@ func (s *Segment) transmit(from *Iface, pkt *Packet, extra time.Duration) {
 	txTime := time.Duration(int64(pkt.Size()) * 8 * int64(time.Second) / s.bandwidth)
 	s.busyUntil = start + txTime
 	s.meter.Add(now, int64(pkt.Size()))
-	if s.sim.bus.Active() {
-		emitMedium(s.sim, obs.KindEnqueue, from, pkt, "")
+	if sh.bus.Active() {
+		emitMedium(sh, obs.KindEnqueue, from, pkt, "")
 	}
 
 	arrive := s.busyUntil + s.delay + extra
@@ -372,7 +397,7 @@ func (s *Segment) transmit(from *Iface, pkt *Packet, extra time.Duration) {
 		if ifc == from || !ifc.wantsFrame(pkt) {
 			continue
 		}
-		s.sim.atReceive(arrive, pkt, ifc)
+		sh.atReceive(arrive, pkt, ifc)
 	}
 }
 

@@ -62,6 +62,9 @@ type Node struct {
 	Name string
 	Addr Addr
 	sim  *Simulator
+	sh   *shard // owning shard (shard 0 until a sharded run seals)
+	ix   int    // creation index (island partitioning)
+	env  nodeEnv
 
 	// Forwarding enables router behavior: packets addressed elsewhere
 	// are forwarded instead of dropped.
@@ -99,6 +102,7 @@ type Node struct {
 // NewNode registers a node with the simulator. Names and addresses must
 // be unique.
 func NewNode(sim *Simulator, name string, addr Addr) *Node {
+	sim.assertMutable()
 	if sim.nodes[addr] != nil {
 		panic(fmt.Sprintf("netsim: duplicate node address %s", addr))
 	}
@@ -107,12 +111,16 @@ func NewNode(sim *Simulator, name string, addr Addr) *Node {
 	}
 	n := &Node{
 		Name: name, Addr: addr, sim: sim,
+		sh:      sim.shards[0],
+		ix:      len(sim.order),
 		routes:  map[Addr]*Iface{},
 		mroutes: map[Addr][]*Iface{},
 		joined:  map[Addr]bool{},
 		apps:    map[appKey]AppFunc{},
 		ct:      newNodeCounters(sim.reg, name),
 	}
+	n.env.n = n
+	sim.order = append(sim.order, n)
 	sim.nodes[addr] = n
 	sim.nameIx[name] = n
 	return n
@@ -139,17 +147,18 @@ func (n *Node) Stats() Stats {
 // given reason (a static string: "ttl", "no-route", "no-binding").
 func (n *Node) drop(pkt *Packet, reason string) {
 	n.ct.dropPkts.Inc()
-	if n.sim.bus.Active() {
+	if n.sh.bus.Active() {
 		n.emit(KindDrop, pkt, reason)
 	}
 }
 
-// emit publishes one packet event for this node. Callers on hot paths
-// guard with n.sim.bus.Active() so the Event is never built when nobody
+// emit publishes one packet event for this node on its shard's bus
+// (the global bus in single-shard runs). Callers on hot paths guard
+// with n.sh.bus.Active() so the Event is never built when nobody
 // listens.
 func (n *Node) emit(kind obs.Kind, pkt *Packet, detail string) {
-	n.sim.bus.Publish(obs.Event{
-		Kind: kind, At: n.sim.now, Node: n.Name,
+	n.sh.bus.Publish(obs.Event{
+		Kind: kind, At: n.sh.now, Node: n.Name,
 		Src: uint32(pkt.IP.Src), Dst: uint32(pkt.IP.Dst),
 		Size: pkt.Size(), Detail: detail,
 	})
@@ -334,12 +343,12 @@ func (n *Node) Receive(pkt *Packet, in *Iface) {
 		return
 	}
 	if n.PerPacketCPU > 0 {
-		start := n.sim.Now()
+		start := n.sh.now
 		if n.cpuBusyUntil > start {
 			start = n.cpuBusyUntil
 		}
 		n.cpuBusyUntil = start + n.PerPacketCPU
-		n.sim.atReceiveNow(n.cpuBusyUntil, n, pkt, in)
+		n.sh.atReceiveNow(n.cpuBusyUntil, n, pkt, in)
 		return
 	}
 	n.receiveNow(pkt, in)
@@ -398,7 +407,7 @@ func (n *Node) deliverLocal(pkt *Packet) {
 	// delivery chain here.
 	pkt.Disown()
 	n.ct.dlvPkts.Inc()
-	if n.sim.bus.Active() {
+	if n.sh.bus.Active() {
 		n.emit(KindDeliver, pkt, "")
 	}
 	var fn AppFunc
@@ -462,9 +471,40 @@ func (n *Node) SetProcessor(p Processor) { n.Processor = p }
 // (substrate.Node).
 func (n *Node) CurrentProcessor() Processor { return n.Processor }
 
-// Env returns the simulation as the node's substrate environment
-// (substrate.Node).
-func (n *Node) Env() substrate.Env { return n.sim }
+// Env returns the node's substrate environment (substrate.Node): a
+// shard-local view whose clock, timers, and RNG resolve to the node's
+// owning shard at call time. On single-shard simulations it behaves
+// exactly like the Simulator itself; on sharded ones it is what keeps
+// a node's timers and randomness on the shard that executes the node.
+func (n *Node) Env() substrate.Env { return &n.env }
+
+// nodeEnv is the per-node substrate.Env. It delegates through n.sh
+// dynamically, so an Env captured before the first run (ASP downloads
+// resolve their Env at install time) follows the node to its shard.
+type nodeEnv struct{ n *Node }
+
+// Now returns the owning shard's virtual time.
+func (e *nodeEnv) Now() time.Duration { return e.n.sh.now }
+
+// After schedules fn on the owning shard, tagged with the node so the
+// event migrates with it at seal.
+func (e *nodeEnv) After(d time.Duration, fn func()) {
+	sh := e.n.sh
+	sh.at(sh.now+d, fn, e.n)
+}
+
+// Int63n draws from the owning shard's RNG stream.
+func (e *nodeEnv) Int63n(v int64) int64 { return e.n.sh.rng.Int63n(v) }
+
+// Events returns the bus this node's publish sites go to: the global
+// bus in single-shard runs, the shard-local buffering bus on sharded
+// ones (whose events merge into Simulator.Events at each horizon).
+// Subscribers that want the merged stream subscribe on the Simulator.
+func (e *nodeEnv) Events() *obs.Bus { return e.n.sh.bus }
+
+// Metrics returns the simulation-wide registry (atomic instruments;
+// race-free from any shard).
+func (e *nodeEnv) Metrics() *obs.Registry { return e.n.sim.reg }
 
 func (n *Node) forward(pkt *Packet, in *Iface) {
 	if pkt.IP.TTL <= 1 {
@@ -481,7 +521,7 @@ func (n *Node) forward(pkt *Packet, in *Iface) {
 	fwd.IP.TTL--
 	if n.transmit(fwd, in) {
 		n.ct.fwdPkts.Inc()
-		if n.sim.bus.Active() {
+		if n.sh.bus.Active() {
 			n.emit(KindForward, fwd, "")
 		}
 	} else {

@@ -9,9 +9,12 @@
 // windowed per-interface load measurement (RateMeter) — everything the
 // three ASP experiments exercise.
 //
-// The simulator is single-threaded and fully virtual-time: experiments
-// that ran for 500 wall-clock seconds in the paper replay in
-// milliseconds, identically on every run.
+// The simulator is fully virtual-time and, by default, single-threaded:
+// experiments that ran for 500 wall-clock seconds in the paper replay
+// in milliseconds, identically on every run. Topologies that declare
+// shard boundaries (LinkConfig.ShardBoundary) can additionally run
+// their islands on parallel event loops without giving up determinism;
+// see shard.go and New's WithShards option.
 package netsim
 
 import (
@@ -21,13 +24,28 @@ import (
 	"planp.dev/planp/internal/obs"
 )
 
-// Simulator owns virtual time and the event queue. The zero value is not
-// usable; call NewSimulator.
+// Simulator owns virtual time and the event queue(s). The zero value is
+// not usable; call New (or the NewSimulator shim).
+//
+// State lives on shards: shard 0 always exists and carries the legacy
+// clock, sequence counter, and seeded RNG, so a single-shard simulation
+// is bit-for-bit the pre-sharding engine. Simulator-level At/After/Now/
+// Rand address shard 0 — the control plane. Code running inside node
+// events on a sharded simulation must use Node.Env() instead, so timers
+// and randomness land on the executing node's shard.
 type Simulator struct {
-	now    time.Duration
-	queue  eventQueue
-	seq    uint64
-	rng    *rand.Rand
+	seed       int64
+	wantShards int
+
+	sealed  bool // topology partitioned (first run)
+	single  bool // collapsed to the legacy single-threaded engine
+	horizon time.Duration
+	shards  []*shard
+	mergeIx []int // flushObs scratch
+
+	order  []*Node // creation order (island discovery, determinism)
+	links  []*Link
+	segs   []*Segment
 	nodes  map[Addr]*Node
 	nameIx map[string]*Node
 
@@ -38,101 +56,50 @@ type Simulator struct {
 	reg *obs.Registry
 }
 
-// NewSimulator returns a simulator with the given RNG seed. All
-// randomness in a simulation flows from this seed, making runs
-// reproducible.
-func NewSimulator(seed int64) *Simulator {
-	return &Simulator{
-		rng:    rand.New(rand.NewSource(seed)),
-		nodes:  map[Addr]*Node{},
-		nameIx: map[string]*Node{},
-		bus:    &obs.Bus{},
-		reg:    obs.NewRegistry(),
-	}
-}
+// Now returns the current virtual time of the control plane (shard 0;
+// the one clock in single-shard runs). Between runs all shard clocks
+// agree.
+func (s *Simulator) Now() time.Duration { return s.shards[0].now }
 
-// Now returns the current virtual time.
-func (s *Simulator) Now() time.Duration { return s.now }
+// Rand returns the control plane's deterministic RNG (the one RNG in
+// single-shard runs; node code on sharded simulations draws through
+// Node.Env().Int63n instead).
+func (s *Simulator) Rand() *rand.Rand { return s.shards[0].rng }
 
-// Rand returns the simulation's deterministic RNG.
-func (s *Simulator) Rand() *rand.Rand { return s.rng }
-
-// Int63n returns a pseudo-random integer in [0, n) from the simulation
-// RNG (the substrate.Env randomness hook).
-func (s *Simulator) Int63n(n int64) int64 { return s.rng.Int63n(n) }
+// Int63n returns a pseudo-random integer in [0, n) from the control
+// plane RNG (the substrate.Env randomness hook).
+func (s *Simulator) Int63n(n int64) int64 { return s.shards[0].rng.Int63n(n) }
 
 // Events returns the simulation's event bus. Subscribing is allowed at
 // any point; with no subscribers the per-packet publish sites are free.
+// On sharded runs, events arrive merged in (at, seq, shard) order at
+// each synchronization horizon.
 func (s *Simulator) Events() *obs.Bus { return s.bus }
 
 // Metrics returns the simulation's metrics registry — the single source
-// node and runtime statistics are read from.
+// node and runtime statistics are read from. Instruments are atomic, so
+// sharded runs update them race-free.
 func (s *Simulator) Metrics() *obs.Registry { return s.reg }
 
-// At schedules fn at absolute virtual time t (clamped to now). It does
-// not allocate: the event is stored by value in the queue (append growth
-// amortizes to zero).
-func (s *Simulator) At(t time.Duration, fn func()) {
-	if t < s.now {
-		t = s.now
-	}
-	s.seq++
-	s.queue.push(event{at: t, seq: s.seq, fn: fn})
+// At schedules fn at absolute virtual time t (clamped to now) on the
+// control plane (shard 0). It does not allocate: the event is stored by
+// value in the queue (append growth amortizes to zero).
+func (s *Simulator) At(t time.Duration, fn func()) { s.shards[0].at(t, fn, nil) }
+
+// After schedules fn d after the current time on the control plane.
+func (s *Simulator) After(d time.Duration, fn func()) {
+	sh := s.shards[0]
+	sh.at(sh.now+d, fn, nil)
 }
 
-// After schedules fn d after the current time.
-func (s *Simulator) After(d time.Duration, fn func()) { s.At(s.now+d, fn) }
-
-// atReceive schedules delivery of pkt to dst's node at absolute time t.
-// Media use this instead of At so the packet hot path never allocates a
-// closure: the packet and interface ride inside the event value.
-func (s *Simulator) atReceive(t time.Duration, pkt *Packet, dst *Iface) {
-	if t < s.now {
-		t = s.now
-	}
-	s.seq++
-	s.queue.push(event{at: t, seq: s.seq, kind: evReceive, pkt: pkt, ifc: dst})
-}
-
-// atReceiveNow schedules the post-CPU half of Node.Receive (the node's
-// CPU frees up at t and processes pkt, which arrived on in).
-func (s *Simulator) atReceiveNow(t time.Duration, n *Node, pkt *Packet, in *Iface) {
-	if t < s.now {
-		t = s.now
-	}
-	s.seq++
-	s.queue.push(event{at: t, seq: s.seq, kind: evReceiveNow, node: n, pkt: pkt, ifc: in})
-}
-
-// runLoop is the single event-processing core every Run variant wraps:
-// process events in timestamp order until the queue drains, the next
-// event is past the deadline (when hasDeadline), or maxEvents have run
-// (when maxEvents > 0). It returns the number of events processed.
+// runLoop seals the topology on first use and dispatches to the legacy
+// single-threaded loop or the sharded coordinator.
 func (s *Simulator) runLoop(deadline time.Duration, hasDeadline bool, maxEvents int) int {
-	n := 0
-	for s.queue.len() > 0 {
-		if maxEvents > 0 && n >= maxEvents {
-			return n
-		}
-		if hasDeadline && s.queue.ev[0].at > deadline {
-			break
-		}
-		ev := s.queue.pop()
-		s.now = ev.at
-		switch ev.kind {
-		case evFunc:
-			ev.fn()
-		case evReceive:
-			ev.ifc.Node.Receive(ev.pkt, ev.ifc)
-		case evReceiveNow:
-			ev.node.receiveNow(ev.pkt, ev.ifc)
-		}
-		n++
+	s.seal()
+	if s.single {
+		return s.shards[0].runLegacy(deadline, hasDeadline, maxEvents)
 	}
-	if hasDeadline && s.now < deadline {
-		s.now = deadline
-	}
-	return n
+	return s.runSharded(deadline, hasDeadline, maxEvents)
 }
 
 // RunUntil processes events in timestamp order until the queue is empty
@@ -145,6 +112,8 @@ func (s *Simulator) RunUntil(deadline time.Duration) int {
 // RunBounded is RunUntil with an event budget: it additionally stops
 // after maxEvents events (the clock is NOT advanced to the deadline in
 // that case, so callers can resume). maxEvents <= 0 means unbounded.
+// On sharded runs the budget is enforced at horizon granularity: the
+// run stops at the first synchronization point where it is met.
 func (s *Simulator) RunBounded(deadline time.Duration, maxEvents int) int {
 	return s.runLoop(deadline, true, maxEvents)
 }
@@ -180,7 +149,10 @@ const (
 )
 
 // event is one scheduled occurrence, stored by value in the queue; seq
-// breaks timestamp ties FIFO.
+// breaks timestamp ties FIFO within a shard. node doubles as the CPU
+// target for evReceiveNow and the shard-affinity tag for evFunc events
+// scheduled through a node's Env (so pre-seal events migrate to their
+// owner shard).
 type event struct {
 	at   time.Duration
 	seq  uint64

@@ -111,7 +111,15 @@ func (p *Packet) Own() *Packet {
 
 // Disown clears exclusive ownership (the pointer is about to be shared
 // with more than one party, so nobody may reuse the packet in place).
-func (p *Packet) Disown() { p.owned = false }
+// The guard makes Disown idempotent without a write: once a packet is
+// shared, several parties may disown it concurrently (fan-out receivers
+// on different simulator shards), and a read of an already-false flag
+// is race-free where an unconditional store is not.
+func (p *Packet) Disown() {
+	if p.owned {
+		p.owned = false
+	}
+}
 
 // Owned reports whether the packet is exclusively referenced by its
 // current delivery chain (backends use this to elide hop copies).

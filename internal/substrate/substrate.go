@@ -30,7 +30,12 @@
 //
 //   - netsim promises bit-identical runs for a fixed seed and workload.
 //     Env.Now is virtual time; Env.After schedules on the simulation
-//     event queue; Env.Int63n draws from the single simulation RNG.
+//     event queue; Env.Int63n draws from the simulation RNG. On sharded
+//     simulations (netsim.WithShards) the Env a node hands out is
+//     shard-local: its clock, timers, and RNG stream belong to the
+//     event loop executing the node, which is what keeps multi-shard
+//     runs deterministic. Code holding an Env must treat it as scoped
+//     to the node it came from, never as a global clock.
 //   - rtnet promises race-cleanliness, not reproducibility. Env.Now is
 //     wall-clock time since the net started; Env.After uses real
 //     timers; Env.Int63n draws from a mutex-guarded RNG.

@@ -50,6 +50,7 @@ type Network struct {
 // networkConfig collects NewNetwork options.
 type networkConfig struct {
 	seed      int64
+	shards    int
 	observers []Observer
 	traceW    io.Writer
 }
@@ -61,6 +62,33 @@ type NetworkOption func(*networkConfig)
 // (default 1). Runs with the same seed and workload are identical.
 func WithSeed(seed int64) NetworkOption {
 	return func(c *networkConfig) { c.seed = seed }
+}
+
+// WithShards lets the simulation run on up to n parallel event loops
+// (default 1). The topology is partitioned into islands separated by
+// links marked LinkConfig.ShardBoundary; each island group runs its own
+// event heap on its own goroutine, and shards synchronize at horizons
+// equal to the minimum cross-shard link delay (conservative parallel
+// discrete-event simulation).
+//
+// Determinism contract: output is a function of the seed and workload,
+// never of the shard count or goroutine scheduling. Concretely:
+//
+//   - One shard is the plain single-threaded engine, bit-for-bit.
+//   - The effective shard count is capped at the number of islands. A
+//     topology that declares no boundary links always runs
+//     single-threaded, whatever n says — the engine refuses to cut
+//     where it cannot preserve determinism.
+//   - Event streams (Events), metrics, and clocks are byte-identical at
+//     any shard count provided node code takes time, timers, and
+//     randomness from Node.Env() (so they resolve to the executing
+//     shard) and no cross-boundary packet arrival shares an exact
+//     virtual-time tick with an unrelated event at the same island —
+//     stagger phases and boundary delays, as the built-in scenarios do.
+//
+// See docs/PERFORMANCE.md for the horizon math and when sharding helps.
+func WithShards(n int) NetworkOption {
+	return func(c *networkConfig) { c.shards = n }
 }
 
 // WithObserver subscribes an observer to the network's event bus before
@@ -81,11 +109,11 @@ func WithTraceWriter(w io.Writer) NetworkOption {
 // seeded with 1 and unobserved; see WithSeed, WithObserver, and
 // WithTraceWriter.
 func NewNetwork(opts ...NetworkOption) *Network {
-	cfg := networkConfig{seed: 1}
+	cfg := networkConfig{seed: 1, shards: 1}
 	for _, opt := range opts {
 		opt(&cfg)
 	}
-	n := &Network{sim: netsim.NewSimulator(cfg.seed)}
+	n := &Network{sim: netsim.New(netsim.WithSeed(cfg.seed), netsim.WithShards(cfg.shards))}
 	for _, o := range cfg.observers {
 		n.sim.Events().Subscribe(o)
 	}
