@@ -25,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -40,7 +41,11 @@ type result struct {
 }
 
 type snapshot struct {
-	Note       string             `json:"note"`
+	Note string `json:"note"`
+	// GOMAXPROCS records how many cores the run could actually use, so a
+	// snapshot from this single-core container is never mistaken for a
+	// parallel-speedup measurement.
+	GOMAXPROCS int                `json:"gomaxprocs"`
 	Baseline   json.RawMessage    `json:"baseline,omitempty"`
 	Benchmarks map[string]*result `json:"benchmarks"`
 }
@@ -52,6 +57,10 @@ func main() {
 	flag.Parse()
 
 	sums := map[string]*result{}
+	// The runner only appends a -N name suffix when GOMAXPROCS != 1, so
+	// start from this process's value (the Makefile pipes the runner into
+	// us on the same machine) and let any suffix override it.
+	procs := runtime.GOMAXPROCS(0)
 	sc := bufio.NewScanner(os.Stdin)
 	for sc.Scan() {
 		line := sc.Text()
@@ -66,6 +75,9 @@ func main() {
 		name := fields[0]
 		// Strip the -GOMAXPROCS suffix the runner appends.
 		if i := strings.LastIndex(name, "-"); i > 0 {
+			if n, err := strconv.Atoi(name[i+1:]); err == nil && n > 0 {
+				procs = n
+			}
 			name = name[:i]
 		}
 		r := sums[name]
@@ -114,6 +126,7 @@ func main() {
 
 	snap := snapshot{
 		Note:       *note,
+		GOMAXPROCS: procs,
 		Benchmarks: sums,
 	}
 	if prev, err := os.ReadFile(*out); err == nil {
@@ -134,6 +147,7 @@ func main() {
 	var buf strings.Builder
 	buf.WriteString("{\n")
 	fmt.Fprintf(&buf, "  %q: %q,\n", "note", snap.Note)
+	fmt.Fprintf(&buf, "  %q: %d,\n", "gomaxprocs", snap.GOMAXPROCS)
 	if len(snap.Baseline) > 0 {
 		var indented bytes.Buffer
 		if err := json.Indent(&indented, snap.Baseline, "  ", "  "); err == nil {

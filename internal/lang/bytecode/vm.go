@@ -14,11 +14,25 @@ import (
 	"planp.dev/planp/internal/lang/value"
 )
 
-// vm executes code objects for one instance.
+// vm executes code objects for one instance. The invoke-path vm is
+// persistent: it reuses one register frame per channel body and per
+// callee fun across invocations (instances are serialized by the
+// runtime, and the language has no recursion, so a fun is never active
+// twice on one stack — the same guarantees the JIT's frame reuse leans
+// on). The handler stack is shared across nested exec frames with a
+// base marker per frame, so try/handle costs no allocation once the
+// backing array has grown.
 type vm struct {
-	c       *compiled
-	ctx     prims.Context
-	globals []value.Value
+	c        *compiled
+	ctx      prims.Context
+	globals  []value.Value
+	handlers []int
+
+	// frames[i] is the reusable register file for channel body i;
+	// funFrames[i] for fun i. nil on the construction-time vm (globals
+	// and initstates run once; fresh frames keep that path simple).
+	frames    [][]value.Value
+	funFrames [][]value.Value
 }
 
 func (c *compiled) NewInstance(ctx prims.Context) (*engine.Instance, error) {
@@ -42,11 +56,24 @@ func (c *compiled) NewInstance(ctx prims.Context) (*engine.Instance, error) {
 	if err != nil {
 		return nil, err
 	}
+	rm := &vm{
+		c:         c,
+		globals:   m.globals,
+		frames:    make([][]value.Value, len(c.bodies)),
+		funFrames: make([][]value.Value, len(c.funs)),
+	}
+	for i, fn := range c.bodies {
+		rm.frames[i] = make([]value.Value, fn.NumRegs)
+	}
+	for i, fn := range c.funs {
+		rm.funFrames[i] = make([]value.Value, fn.NumRegs)
+	}
 	invoke := func(ci int, ctx prims.Context, ps, ss, pkt value.Value) (value.Value, value.Value, error) {
 		fn := c.bodies[ci]
-		frame := make([]value.Value, fn.NumRegs)
+		frame := rm.frames[ci]
 		frame[0], frame[1], frame[2] = ps, ss, pkt
-		res, err := (&vm{c: c, ctx: ctx, globals: m.globals}).exec(fn, frame)
+		rm.ctx = ctx
+		res, err := rm.exec(fn, frame)
 		if err != nil {
 			return value.Unit, value.Unit, err
 		}
@@ -56,22 +83,25 @@ func (c *compiled) NewInstance(ctx prims.Context) (*engine.Instance, error) {
 }
 
 // exec runs fn to completion, converting an unhandled PLAN-P exception
-// into an error.
+// into an error. Handlers pushed by this frame live above base on the
+// shared stack; both exits truncate back to base.
 func (m *vm) exec(fn *Fn, regs []value.Value) (value.Value, error) {
 	pc := 0
-	var handlers []int
+	base := len(m.handlers)
 	for {
-		res, newPC, err := m.run(fn, regs, pc, &handlers)
+		res, newPC, err := m.run(fn, regs, pc)
 		if err == nil && newPC < 0 {
+			m.handlers = m.handlers[:base]
 			return res, nil
 		}
 		if err != nil {
 			// Exception: transfer to the innermost handler if any.
-			if n := len(handlers); n > 0 {
-				pc = handlers[n-1]
-				handlers = handlers[:n-1]
+			if n := len(m.handlers); n > base {
+				pc = m.handlers[n-1]
+				m.handlers = m.handlers[:n-1]
 				continue
 			}
+			m.handlers = m.handlers[:base]
 			return value.Unit, err
 		}
 		pc = newPC
@@ -81,7 +111,7 @@ func (m *vm) exec(fn *Fn, regs []value.Value) (value.Value, error) {
 // run executes instructions from pc until OpReturn (newPC = -1) or a
 // PLAN-P exception (err != nil). It recovers panics carrying
 // value.Exception; other panics propagate (they are engine bugs).
-func (m *vm) run(fn *Fn, r []value.Value, pc int, handlers *[]int) (res value.Value, newPC int, err error) {
+func (m *vm) run(fn *Fn, r []value.Value, pc int) (res value.Value, newPC int, err error) {
 	defer func() {
 		if rec := recover(); rec != nil {
 			if ex, ok := rec.(value.Exception); ok {
@@ -146,6 +176,13 @@ func (m *vm) run(fn *Fn, r []value.Value, pc int, handlers *[]int) (res value.Va
 		case OpConcat:
 			r[in.A] = value.Str(r[in.B].S + r[in.C].S)
 
+		case OpAddK:
+			r[in.A] = value.Int(r[in.B].I + int64(in.C))
+		case OpSubK:
+			r[in.A] = value.Int(r[in.B].I - int64(in.C))
+		case OpMulK:
+			r[in.A] = value.Int(r[in.B].I * int64(in.C))
+
 		case OpEqI:
 			r[in.A] = value.Bool(r[in.B].I == r[in.C].I)
 		case OpNeI:
@@ -175,13 +212,95 @@ func (m *vm) run(fn *Fn, r []value.Value, pc int, handlers *[]int) (res value.Va
 		case OpGeS:
 			r[in.A] = value.Bool(r[in.B].S >= r[in.C].S)
 
+		case OpEqIK:
+			r[in.A] = value.Bool(r[in.B].I == int64(in.C))
+		case OpNeIK:
+			r[in.A] = value.Bool(r[in.B].I != int64(in.C))
+		case OpLtIK:
+			r[in.A] = value.Bool(r[in.B].I < int64(in.C))
+		case OpLeIK:
+			r[in.A] = value.Bool(r[in.B].I <= int64(in.C))
+		case OpGtIK:
+			r[in.A] = value.Bool(r[in.B].I > int64(in.C))
+		case OpGeIK:
+			r[in.A] = value.Bool(r[in.B].I >= int64(in.C))
+
+		case OpJEqI:
+			if r[in.B].I == r[in.C].I {
+				pc = in.A
+			}
+		case OpJNeI:
+			if r[in.B].I != r[in.C].I {
+				pc = in.A
+			}
+		case OpJLtI:
+			if r[in.B].I < r[in.C].I {
+				pc = in.A
+			}
+		case OpJLeI:
+			if r[in.B].I <= r[in.C].I {
+				pc = in.A
+			}
+		case OpJGtI:
+			if r[in.B].I > r[in.C].I {
+				pc = in.A
+			}
+		case OpJGeI:
+			if r[in.B].I >= r[in.C].I {
+				pc = in.A
+			}
+
+		case OpJEqIK:
+			if r[in.B].I == int64(in.C) {
+				pc = in.A
+			}
+		case OpJNeIK:
+			if r[in.B].I != int64(in.C) {
+				pc = in.A
+			}
+		case OpJLtIK:
+			if r[in.B].I < int64(in.C) {
+				pc = in.A
+			}
+		case OpJLeIK:
+			if r[in.B].I <= int64(in.C) {
+				pc = in.A
+			}
+		case OpJGtIK:
+			if r[in.B].I > int64(in.C) {
+				pc = in.A
+			}
+		case OpJGeIK:
+			if r[in.B].I >= int64(in.C) {
+				pc = in.A
+			}
+
+		case OpJEqS:
+			if r[in.B].S == r[in.C].S {
+				pc = in.A
+			}
+		case OpJNeS:
+			if r[in.B].S != r[in.C].S {
+				pc = in.A
+			}
+
+		case OpJProjF:
+			if r[in.B].Vs[in.C].I == 0 {
+				pc = in.A
+			}
+
 		case OpCallPrim:
-			fnp := prims.Get(in.B).Fn
+			fnp := m.c.primFns[in.B]
 			r[in.A] = fnp(m.ctx, r[in.C:in.C+in.Aux])
 
 		case OpCallFun:
 			callee := m.c.funs[in.B]
-			cframe := make([]value.Value, callee.NumRegs)
+			var cframe []value.Value
+			if m.funFrames != nil {
+				cframe = m.funFrames[in.B]
+			} else {
+				cframe = make([]value.Value, callee.NumRegs)
+			}
 			copy(cframe, r[in.C:in.C+in.Aux])
 			v, cerr := m.exec(callee, cframe)
 			if cerr != nil {
@@ -205,9 +324,9 @@ func (m *vm) run(fn *Fn, r []value.Value, pc int, handlers *[]int) (res value.Va
 			value.Raise("%s", r[in.A].S)
 
 		case OpTryPush:
-			*handlers = append(*handlers, in.A)
+			m.handlers = append(m.handlers, in.A)
 		case OpTryPop:
-			*handlers = (*handlers)[:len(*handlers)-1]
+			m.handlers = m.handlers[:len(m.handlers)-1]
 
 		case OpReturn:
 			return r[in.A], -1, nil

@@ -256,6 +256,30 @@ func (cc *compiler) compileNode(e ast.Expr) code {
 		}
 
 	case *ast.If:
+		// Conditions are always bool; compile them unboxed so the test
+		// never materializes a value.Value (mirrors compileInt/Bool's If
+		// cases, which the boxed result type of this node can't reach).
+		// A bare #n-of-variable condition — a protocol flag test — is
+		// not "beneficial" by the general gate but profits here, where
+		// the alternative copies a Value just to test its I field.
+		bc, ok := cc.tryCompileBool(e.Cond)
+		if !ok {
+			if p, isProj := e.Cond.(*ast.Proj); isProj {
+				if v, isVar := p.Tuple.(*ast.Var); isVar && v.Slot >= 0 && ast.Equal(cc.typeOf(e.Cond), ast.BoolT) {
+					bc, ok = cc.compileBool(e.Cond), true
+				}
+			}
+		}
+		if ok {
+			thenC := cc.compile(e.Then)
+			elseC := cc.compile(e.Else)
+			return func(m *machine, frame []value.Value) value.Value {
+				if bc(m, frame) {
+					return thenC(m, frame)
+				}
+				return elseC(m, frame)
+			}
+		}
 		cond := cc.compile(e.Cond)
 		thenC := cc.compile(e.Then)
 		elseC := cc.compile(e.Else)

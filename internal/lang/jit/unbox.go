@@ -292,6 +292,14 @@ func (cc *compiler) compileBool(e ast.Expr) bcode {
 		gi := e.Global
 		return func(m *machine, _ []value.Value) bool { return m.globals[gi].I != 0 }
 
+	case *ast.Proj:
+		// Mirrors compileInt's #n-of-variable fast path: bool tuple
+		// fields (flags in protocol state) test without boxing.
+		if v, ok := e.Tuple.(*ast.Var); ok && v.Slot >= 0 {
+			slot, idx := v.Slot, e.Index-1
+			return func(_ *machine, frame []value.Value) bool { return frame[slot].Vs[idx].I != 0 }
+		}
+
 	case *ast.Unary: // "not"
 		x := cc.compileBool(e.X)
 		return func(m *machine, frame []value.Value) bool { return !x(m, frame) }

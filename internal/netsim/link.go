@@ -74,6 +74,10 @@ type Iface struct {
 	// peer is the other endpoint for point-to-point links (nil on
 	// segments).
 	peer *Iface
+
+	// rxDir is the link direction that delivers INTO this interface
+	// (nil on segments) — the pending-delivery ring deliverBatch drains.
+	rxDir *direction
 }
 
 // SetFault installs (or, with nil, removes) the interface's fault layer
@@ -100,12 +104,41 @@ func (i *Iface) Send(pkt *Packet) { i.medium.Transmit(i, pkt) }
 // ---------------------------------------------------------------------------
 // Point-to-point link
 
+// pending is one in-flight link delivery waiting in a direction's
+// batch ring. at and seq are the packet's ORIGINAL schedule key,
+// assigned at transmit time exactly as the unbatched engine would —
+// reusing them when the drain event is rescheduled is what keeps the
+// queue's interleaving (and therefore all output) byte-identical.
+type pending struct {
+	at  time.Duration
+	seq uint64
+	pkt *Packet
+}
+
 // direction models one direction of a duplex link.
 type direction struct {
 	busyUntil    time.Duration
 	meter        *RateMeter
 	dropped      int64 // queue-overflow drops
 	faultDropped int64 // chaos-injected drops (distinct by contract)
+
+	// Batched delivery: instead of one queue event per in-flight packet,
+	// the direction keeps its deliveries here (arrival times are
+	// monotone on the faultless path — serialization is FIFO) and the
+	// queue holds at most ONE event per direction, carrying the head's
+	// original (at, seq). Chaos-delayed copies bypass the ring (their
+	// arrivals are not monotone), as do cross-shard deliveries (the
+	// outbox is the ordering mechanism there).
+	pend     []pending
+	head     int
+	inFlight bool
+
+	// lastSize/lastTx memoize the serialization-time division for
+	// back-to-back same-size packets (every streaming workload). The
+	// cached value is the exact division result, so timing is
+	// bit-identical.
+	lastSize int64
+	lastTx   time.Duration
 }
 
 // Link is a full-duplex point-to-point link with serialization delay,
@@ -158,6 +191,7 @@ func Connect(sim *Simulator, a, b *Node, cfg LinkConfig) *Link {
 	l.a = &Iface{Node: a, Name: fmt.Sprintf("%s->%s", a.Name, b.Name), medium: l}
 	l.b = &Iface{Node: b, Name: fmt.Sprintf("%s->%s", b.Name, a.Name), medium: l}
 	l.a.peer, l.b.peer = l.b, l.a
+	l.a.rxDir, l.b.rxDir = &l.dirs[1], &l.dirs[0] // dirs[0] is a->b: it delivers into b
 	a.addIface(l.a)
 	b.addIface(l.b)
 	sim.links = append(sim.links, l)
@@ -259,15 +293,79 @@ func (l *Link) transmit(from *Iface, pkt *Packet, extra time.Duration) {
 	if dir.busyUntil > start {
 		start = dir.busyUntil
 	}
-	txTime := time.Duration(int64(pkt.Size()) * 8 * int64(time.Second) / l.bandwidth)
-	dir.busyUntil = start + txTime
-	dir.meter.Add(now, int64(pkt.Size()))
+	size := int64(pkt.Size())
+	if size != dir.lastSize {
+		dir.lastSize = size
+		dir.lastTx = time.Duration(size * 8 * int64(time.Second) / l.bandwidth)
+	}
+	dir.busyUntil = start + dir.lastTx
+	dir.meter.Add(now, size)
 	if sh.bus.Active() {
 		emitMedium(sh, obs.KindEnqueue, from, pkt, "")
 	}
 
 	arrive := dir.busyUntil + l.delay + extra
-	sh.atReceive(arrive, pkt, dst)
+	dsh := dst.Node.sh
+	if dsh != sh {
+		// Cross-shard: the outbox is the delivery path (drained in
+		// canonical order at the next barrier; seq assigned then).
+		sh.out[dsh.id] = append(sh.out[dsh.id], xmsg{at: arrive, pkt: pkt, ifc: dst})
+		return
+	}
+	sh.seq++
+	if extra > 0 {
+		// A chaos-delayed copy may arrive out of FIFO order relative to
+		// the ring; schedule it as its own event, exactly as before.
+		sh.queue.push(event{at: arrive, seq: sh.seq, kind: evReceive, pkt: pkt, ifc: dst})
+		return
+	}
+	// Batched path: park the delivery in the direction's ring; the
+	// queue carries one event per direction, keyed by the ring head's
+	// original (at, seq).
+	dir.pend = append(dir.pend, pending{at: arrive, seq: sh.seq, pkt: pkt})
+	if !dir.inFlight {
+		dir.inFlight = true
+		sh.queue.push(event{at: arrive, seq: sh.seq, kind: evLinkDeliver, ifc: dst})
+	}
+}
+
+// deliverBatch dispatches the head of this interface's pending-delivery
+// ring, then either chains straight into the next delivery (when it
+// precedes everything else queued on the shard — the fan-out storm
+// case, where the whole burst drains in one dispatch) or reschedules
+// one queue event carrying the next head's original (at, seq). The
+// chain respects sh.limit (window end / deadline) so the PDES barrier
+// and deadline semantics are untouched, and is disabled under event
+// budgets so RunBounded counts like the unbatched engine.
+func (i *Iface) deliverBatch(sh *shard) {
+	d := i.rxDir
+	for {
+		p := d.pend[d.head]
+		d.pend[d.head] = pending{}
+		d.head++
+		sh.now = p.at
+		sh.execSeq = p.seq
+		i.Node.Receive(p.pkt, i)
+		if d.head == len(d.pend) {
+			d.pend = d.pend[:0]
+			d.head = 0
+			d.inFlight = false
+			return
+		}
+		n := &d.pend[d.head]
+		if sh.chainOK && n.at < sh.limit {
+			if sh.queue.len() == 0 {
+				sh.chained++
+				continue
+			}
+			if top := sh.queue.min(); n.at < top.at || (n.at == top.at && n.seq < top.seq) {
+				sh.chained++
+				continue
+			}
+		}
+		sh.queue.push(event{at: n.at, seq: n.seq, kind: evLinkDeliver, ifc: i})
+		return
+	}
 }
 
 // ---------------------------------------------------------------------------
@@ -289,6 +387,11 @@ type Segment struct {
 	dropped      int64 // queue-overflow drops
 	faultDropped int64 // chaos-injected drops
 	ifaces       []*Iface
+
+	// Serialization-time memo (same exact-division contract as
+	// direction.lastSize/lastTx).
+	lastSize int64
+	lastTx   time.Duration
 }
 
 var _ Medium = (*Segment)(nil)
@@ -373,9 +476,13 @@ func (s *Segment) transmit(from *Iface, pkt *Packet, extra time.Duration) {
 	if s.busyUntil > start {
 		start = s.busyUntil
 	}
-	txTime := time.Duration(int64(pkt.Size()) * 8 * int64(time.Second) / s.bandwidth)
-	s.busyUntil = start + txTime
-	s.meter.Add(now, int64(pkt.Size()))
+	size := int64(pkt.Size())
+	if size != s.lastSize {
+		s.lastSize = size
+		s.lastTx = time.Duration(size * 8 * int64(time.Second) / s.bandwidth)
+	}
+	s.busyUntil = start + s.lastTx
+	s.meter.Add(now, size)
 	if sh.bus.Active() {
 		emitMedium(sh, obs.KindEnqueue, from, pkt, "")
 	}

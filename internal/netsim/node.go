@@ -94,7 +94,27 @@ type Node struct {
 	rawApps   []AppFunc // receive every locally delivered packet
 	taps      []AppFunc // observe every packet seen by the node
 
+	// Single-entry lookup caches for the per-packet map lookups: the
+	// unicast route, the multicast fan-out slice, and the local app
+	// binding. Streams hit the same destination back to back, so one
+	// entry removes the map hash from the steady-state forward path.
+	// Mutating the underlying tables invalidates the caches.
+	cacheDst   Addr
+	cacheIfc   *Iface
+	cacheMDst  Addr
+	cacheMOuts []*Iface
+	cacheApp   appKey
+	cacheAppFn AppFunc
+
 	ct nodeCounters
+
+	// pc buffers counter increments between registry flushes: the hot
+	// path does plain adds (this node is only ever touched by its
+	// owning shard) and flushCounters folds the deltas into the atomic
+	// registry instruments at run/window end. Stats() folds pc in, so
+	// reads are exact at any time from the owning goroutine.
+	pc     Stats
+	dirtyC bool
 
 	ipID uint32
 }
@@ -129,24 +149,60 @@ func NewNode(sim *Simulator, name string, addr Addr) *Node {
 // Sim returns the owning simulator.
 func (n *Node) Sim() *Simulator { return n.sim }
 
-// Stats returns a snapshot of the node's traffic counters, read from
-// the simulation's metrics registry.
+// Stats returns a snapshot of the node's traffic counters: the
+// registry values plus any deltas still buffered on the node (zero
+// outside a run — runs flush at their end).
 func (n *Node) Stats() Stats {
 	return Stats{
-		ReceivedPkts:  n.ct.rxPkts.Value(),
-		ReceivedBytes: n.ct.rxBytes.Value(),
-		SentPkts:      n.ct.txPkts.Value(),
-		SentBytes:     n.ct.txBytes.Value(),
-		ForwardedPkts: n.ct.fwdPkts.Value(),
-		DeliveredPkts: n.ct.dlvPkts.Value(),
-		DroppedPkts:   n.ct.dropPkts.Value(),
+		ReceivedPkts:  n.ct.rxPkts.Value() + n.pc.ReceivedPkts,
+		ReceivedBytes: n.ct.rxBytes.Value() + n.pc.ReceivedBytes,
+		SentPkts:      n.ct.txPkts.Value() + n.pc.SentPkts,
+		SentBytes:     n.ct.txBytes.Value() + n.pc.SentBytes,
+		ForwardedPkts: n.ct.fwdPkts.Value() + n.pc.ForwardedPkts,
+		DeliveredPkts: n.ct.dlvPkts.Value() + n.pc.DeliveredPkts,
+		DroppedPkts:   n.ct.dropPkts.Value() + n.pc.DroppedPkts,
 	}
+}
+
+// touch registers the node on its shard's dirty list the first time a
+// buffered counter moves between flushes.
+func (n *Node) touch() {
+	if !n.dirtyC {
+		n.dirtyC = true
+		n.sh.dirty = append(n.sh.dirty, n)
+	}
+}
+
+// flushCounters folds the buffered deltas into the registry's atomic
+// instruments (the metrics readers' race-free view).
+func (n *Node) flushCounters() {
+	p := &n.pc
+	if p.ReceivedPkts != 0 {
+		n.ct.rxPkts.Add(p.ReceivedPkts)
+		n.ct.rxBytes.Add(p.ReceivedBytes)
+	}
+	if p.SentPkts != 0 {
+		n.ct.txPkts.Add(p.SentPkts)
+		n.ct.txBytes.Add(p.SentBytes)
+	}
+	if p.ForwardedPkts != 0 {
+		n.ct.fwdPkts.Add(p.ForwardedPkts)
+	}
+	if p.DeliveredPkts != 0 {
+		n.ct.dlvPkts.Add(p.DeliveredPkts)
+	}
+	if p.DroppedPkts != 0 {
+		n.ct.dropPkts.Add(p.DroppedPkts)
+	}
+	*p = Stats{}
+	n.dirtyC = false
 }
 
 // drop counts a dropped packet and publishes the drop event with the
 // given reason (a static string: "ttl", "no-route", "no-binding").
 func (n *Node) drop(pkt *Packet, reason string) {
-	n.ct.dropPkts.Inc()
+	n.pc.DroppedPkts++
+	n.touch()
 	if n.sh.bus.Active() {
 		n.emit(KindDrop, pkt, reason)
 	}
@@ -181,15 +237,32 @@ func (n *Node) addIface(i *Iface) {
 func (n *Node) Ifaces() []*Iface { return n.ifaces }
 
 // AddRoute installs a host route: traffic to dst leaves via ifc.
-func (n *Node) AddRoute(dst Addr, ifc *Iface) { n.routes[dst] = ifc }
+func (n *Node) AddRoute(dst Addr, ifc *Iface) {
+	n.routes[dst] = ifc
+	n.cacheIfc = nil
+}
 
 // SetDefaultRoute installs the default route.
-func (n *Node) SetDefaultRoute(ifc *Iface) { n.defaultIf = ifc }
+func (n *Node) SetDefaultRoute(ifc *Iface) {
+	n.defaultIf = ifc
+	n.cacheIfc = nil
+}
 
 // RouteTo resolves the outgoing interface for dst (nil if unroutable).
 // For multicast groups it returns the first multicast route, which is
 // the interface whose load the adaptation primitives measure.
 func (n *Node) RouteTo(dst Addr) *Iface {
+	if dst == n.cacheDst && n.cacheIfc != nil {
+		return n.cacheIfc
+	}
+	ifc := n.routeSlow(dst)
+	if ifc != nil {
+		n.cacheDst, n.cacheIfc = dst, ifc
+	}
+	return ifc
+}
+
+func (n *Node) routeSlow(dst Addr) *Iface {
 	if dst.IsMulticast() {
 		if m := n.mroutes[dst]; len(m) > 0 {
 			return m[0]
@@ -217,6 +290,8 @@ func (n *Node) TransmitFrom(pkt *Packet, in substrate.Iface) bool {
 // (routers on the multicast tree).
 func (n *Node) AddMulticastRoute(group Addr, ifc *Iface) {
 	n.mroutes[group] = append(n.mroutes[group], ifc)
+	n.cacheIfc = nil
+	n.cacheMOuts = nil
 }
 
 // JoinGroup subscribes the node to a multicast group for local delivery.
@@ -226,10 +301,16 @@ func (n *Node) JoinGroup(group Addr) { n.joined[group] = true }
 func (n *Node) LeaveGroup(group Addr) { delete(n.joined, group) }
 
 // BindUDP delivers local UDP traffic for port to fn.
-func (n *Node) BindUDP(port uint16, fn AppFunc) { n.apps[appKey{ProtoUDP, port}] = fn }
+func (n *Node) BindUDP(port uint16, fn AppFunc) {
+	n.apps[appKey{ProtoUDP, port}] = fn
+	n.cacheAppFn = nil
+}
 
 // BindTCP delivers local TCP traffic for port to fn.
-func (n *Node) BindTCP(port uint16, fn AppFunc) { n.apps[appKey{ProtoTCP, port}] = fn }
+func (n *Node) BindTCP(port uint16, fn AppFunc) {
+	n.apps[appKey{ProtoTCP, port}] = fn
+	n.cacheAppFn = nil
+}
 
 // BindRaw receives every packet delivered locally regardless of port
 // (after specific bindings).
@@ -261,8 +342,9 @@ func (n *Node) Send(pkt *Packet) {
 	if pkt.IP.ID == 0 {
 		pkt.IP.ID = n.NextIPID()
 	}
-	n.ct.txPkts.Inc()
-	n.ct.txBytes.Add(int64(pkt.Size()))
+	n.pc.SentPkts++
+	n.pc.SentBytes += int64(pkt.Size())
+	n.touch()
 	if pkt.IP.Dst == n.Addr {
 		n.deliverLocal(pkt)
 		return
@@ -276,13 +358,20 @@ func (n *Node) Send(pkt *Packet) {
 // multicast and split-horizon suppression) and reports whether the
 // packet was sent anywhere.
 func (n *Node) transmit(pkt *Packet, in *Iface) bool {
-	if pkt.IP.Dst.IsMulticast() {
+	if dst := pkt.IP.Dst; dst.IsMulticast() {
+		routes := n.cacheMOuts
+		if dst != n.cacheMDst || routes == nil {
+			routes = n.mroutes[dst]
+			if routes != nil {
+				n.cacheMDst, n.cacheMOuts = dst, routes
+			}
+		}
 		// Multicast fan-out shares one packet pointer across the outgoing
 		// media, so with more than one destination nobody downstream may
 		// reuse it in place.
 		if pkt.Owned() {
 			outs := 0
-			for _, ifc := range n.mroutes[pkt.IP.Dst] {
+			for _, ifc := range routes {
 				if ifc != in {
 					outs++
 				}
@@ -292,7 +381,7 @@ func (n *Node) transmit(pkt *Packet, in *Iface) bool {
 			}
 		}
 		sent := false
-		for _, ifc := range n.mroutes[pkt.IP.Dst] {
+		for _, ifc := range routes {
 			if ifc == in {
 				continue
 			}
@@ -361,8 +450,9 @@ func (n *Node) receiveNow(pkt *Packet, in *Iface) {
 		n.drop(pkt, "crashed")
 		return
 	}
-	n.ct.rxPkts.Inc()
-	n.ct.rxBytes.Add(int64(pkt.Size()))
+	n.pc.ReceivedPkts++
+	n.pc.ReceivedBytes += int64(pkt.Size())
+	n.touch()
 	if len(n.taps) > 0 {
 		// A tap may retain the packet, so it can no longer be reused in
 		// place by a downstream forward.
@@ -406,16 +496,17 @@ func (n *Node) deliverLocal(pkt *Packet) {
 	// Applications may retain delivered packets; the pointer leaves the
 	// delivery chain here.
 	pkt.Disown()
-	n.ct.dlvPkts.Inc()
+	n.pc.DeliveredPkts++
+	n.touch()
 	if n.sh.bus.Active() {
 		n.emit(KindDeliver, pkt, "")
 	}
 	var fn AppFunc
 	switch {
 	case pkt.TCP != nil:
-		fn = n.apps[appKey{ProtoTCP, pkt.TCP.DstPort}]
+		fn = n.appLookup(appKey{ProtoTCP, pkt.TCP.DstPort})
 	case pkt.UDP != nil:
-		fn = n.apps[appKey{ProtoUDP, pkt.UDP.DstPort}]
+		fn = n.appLookup(appKey{ProtoUDP, pkt.UDP.DstPort})
 	}
 	if fn != nil {
 		fn(pkt)
@@ -428,6 +519,18 @@ func (n *Node) deliverLocal(pkt *Packet) {
 		return
 	}
 	n.drop(pkt, "no-binding") // port unreachable
+}
+
+// appLookup resolves a local binding through the single-entry cache.
+func (n *Node) appLookup(k appKey) AppFunc {
+	if k == n.cacheApp && n.cacheAppFn != nil {
+		return n.cacheAppFn
+	}
+	fn := n.apps[k]
+	if fn != nil {
+		n.cacheApp, n.cacheAppFn = k, fn
+	}
+	return fn
 }
 
 // Forward applies router forwarding to pkt (TTL decrement and route
@@ -520,7 +623,8 @@ func (n *Node) forward(pkt *Packet, in *Iface) {
 	}
 	fwd.IP.TTL--
 	if n.transmit(fwd, in) {
-		n.ct.fwdPkts.Inc()
+		n.pc.ForwardedPkts++
+		n.touch()
 		if n.sh.bus.Active() {
 			n.emit(KindForward, fwd, "")
 		}

@@ -6,6 +6,7 @@ package netsim
 
 import (
 	"math/rand"
+	"os"
 
 	"planp.dev/planp/internal/obs"
 )
@@ -14,6 +15,8 @@ import (
 type config struct {
 	seed      int64
 	shards    int
+	wheel     bool
+	wheelSet  bool
 	observers []obs.Subscriber
 }
 
@@ -46,6 +49,22 @@ func WithShards(n int) Option {
 	}
 }
 
+// WithWheel enables or disables the hierarchical timing wheel in front
+// of each shard's event heap (wheel.go). The default is on, unless the
+// environment sets PLANP_NETSIM_WHEEL=off; either way pop order — and
+// therefore every deterministic experiment's output — is identical,
+// which the CI bench-smoke job verifies byte-for-byte. The knob exists
+// for that A/B check and for benchmarking the heap-only scheduler.
+func WithWheel(on bool) Option {
+	return func(c *config) {
+		c.wheel = on
+		c.wheelSet = true
+	}
+}
+
+// wheelDefault reads the environment override once per process.
+var wheelDefault = os.Getenv("PLANP_NETSIM_WHEEL") != "off"
+
 // WithObserver subscribes an observer to the simulation's event bus at
 // construction. May be given multiple times; observers fire in
 // subscription order. With no observers the per-packet publish sites
@@ -60,6 +79,9 @@ func New(opts ...Option) *Simulator {
 	for _, opt := range opts {
 		opt(&cfg)
 	}
+	if !cfg.wheelSet {
+		cfg.wheel = wheelDefault
+	}
 	s := &Simulator{
 		seed:       cfg.seed,
 		wantShards: cfg.shards,
@@ -72,10 +94,11 @@ func New(opts ...Option) *Simulator {
 	// numbers, and seeded RNG; with one shard its bus IS the global bus,
 	// so publish sites behave exactly as the pre-sharding engine did.
 	s.shards = []*shard{{
-		id:  0,
-		sim: s,
-		rng: rand.New(rand.NewSource(cfg.seed)),
-		bus: s.bus,
+		id:    0,
+		sim:   s,
+		queue: timerQueue{wheelOn: cfg.wheel},
+		rng:   rand.New(rand.NewSource(cfg.seed)),
+		bus:   s.bus,
 	}}
 	for _, o := range cfg.observers {
 		s.bus.Subscribe(o)

@@ -47,6 +47,7 @@ package netsim
 
 import (
 	"math/rand"
+	"runtime"
 	"sort"
 	"time"
 
@@ -57,6 +58,9 @@ import (
 // noHorizon is the window length used when shards share no boundary
 // link at all (fully independent islands need no synchronization).
 const noHorizon = time.Duration(1) << 60
+
+// maxDuration is the no-deadline chaining limit (see shard.limit).
+const maxDuration = time.Duration(1<<63 - 1)
 
 // shard is one event loop: a slice of the topology with its own clock,
 // heap, sequence counter, and RNG. Shard 0 doubles as the legacy
@@ -69,8 +73,24 @@ type shard struct {
 	now     time.Duration
 	seq     uint64
 	execSeq uint64 // seq of the event currently executing (obs merge key)
-	queue   eventQueue
+	queue   timerQueue
 	rng     *rand.Rand
+
+	// limit bounds in-dispatch event chaining (batched link delivery):
+	// a drained delivery may run immediately only if its time is before
+	// limit — the window end on sharded runs, the deadline on legacy
+	// runs. chainOK disables chaining entirely when an event budget is
+	// active (budgets are counted between dispatches); chained counts
+	// the extra deliveries executed inside dispatches so event totals
+	// match the unbatched engine exactly.
+	limit   time.Duration
+	chainOK bool
+	chained int
+
+	// dirty lists nodes with buffered counter deltas awaiting a flush
+	// to the (atomic) metrics registry; single-writer, owned by this
+	// shard's goroutine, flushed at run/window end.
+	dirty []*Node
 
 	// bus is where this shard's publish sites go: the simulation's
 	// global bus with one shard (direct, zero overhead), a local
@@ -161,7 +181,21 @@ func (sh *shard) dispatch(ev *event) {
 		ev.ifc.Node.Receive(ev.pkt, ev.ifc)
 	case evReceiveNow:
 		ev.node.receiveNow(ev.pkt, ev.ifc)
+	case evLinkDeliver:
+		ev.ifc.deliverBatch(sh)
 	}
+}
+
+// flushCounters pushes every dirty node's buffered traffic counters
+// into the metrics registry. Called at run/window end by the shard's
+// own goroutine (each node belongs to exactly one shard, so buffered
+// deltas are single-writer).
+func (sh *shard) flushCounters() {
+	for i, n := range sh.dirty {
+		n.flushCounters()
+		sh.dirty[i] = nil
+	}
+	sh.dirty = sh.dirty[:0]
 }
 
 // runLegacy is the pre-sharding event loop, verbatim: process events in
@@ -169,12 +203,29 @@ func (sh *shard) dispatch(ev *event) {
 // deadline, or maxEvents have run. The single-shard engine and every
 // existing experiment run through here.
 func (sh *shard) runLegacy(deadline time.Duration, hasDeadline bool, maxEvents int) int {
+	sh.chained = 0
+	sh.chainOK = maxEvents <= 0
+	sh.limit = maxDuration
+	if hasDeadline {
+		sh.limit = deadline + 1 // events AT the deadline still run
+	}
 	n := 0
+	if !hasDeadline && maxEvents <= 0 {
+		// The common case (Run()): no per-event bound checks at all.
+		for sh.queue.len() > 0 {
+			ev := sh.queue.pop()
+			sh.dispatch(&ev)
+			n++
+		}
+		sh.flushCounters()
+		return n + sh.chained
+	}
 	for sh.queue.len() > 0 {
 		if maxEvents > 0 && n >= maxEvents {
+			sh.flushCounters()
 			return n
 		}
-		if hasDeadline && sh.queue.ev[0].at > deadline {
+		if hasDeadline && sh.queue.minAt() > deadline {
 			break
 		}
 		ev := sh.queue.pop()
@@ -184,20 +235,25 @@ func (sh *shard) runLegacy(deadline time.Duration, hasDeadline bool, maxEvents i
 	if hasDeadline && sh.now < deadline {
 		sh.now = deadline
 	}
-	return n
+	sh.flushCounters()
+	return n + sh.chained
 }
 
 // runWindow executes every event strictly before end (events scheduled
 // mid-window for times inside the window run in the same pass; only
 // cross-shard arrivals are barred, by the lookahead argument).
 func (sh *shard) runWindow(end time.Duration) {
+	sh.chained = 0
+	sh.chainOK = true
+	sh.limit = end
 	n := 0
-	for sh.queue.len() > 0 && sh.queue.ev[0].at < end {
+	for sh.queue.len() > 0 && sh.queue.minAt() < end {
 		ev := sh.queue.pop()
 		sh.dispatch(&ev)
 		n++
 	}
-	sh.processed = n
+	sh.processed = n + sh.chained
+	sh.flushCounters()
 }
 
 // ---------------------------------------------------------------------------
@@ -303,13 +359,18 @@ func (s *Simulator) seal() {
 	// the construction-time draws); the others derive their streams from
 	// the seed and shard id.
 	sh0 := s.shards[0]
+	// Counters buffered during construction (setup-time sends) flush
+	// now, while every node still lives on shard 0 — after this, each
+	// node's deltas accumulate on its owner shard's dirty list.
+	sh0.flushCounters()
 	for id := 1; id < k; id++ {
 		s.shards = append(s.shards, &shard{
-			id:  id,
-			sim: s,
-			now: sh0.now,
-			rng: rand.New(rand.NewSource(s.seed ^ int64(uint64(id)*0x9E3779B97F4A7C15))),
-			bus: &obs.Bus{},
+			id:    id,
+			sim:   s,
+			now:   sh0.now,
+			queue: timerQueue{wheelOn: sh0.queue.wheelOn},
+			rng:   rand.New(rand.NewSource(s.seed ^ int64(uint64(id)*0x9E3779B97F4A7C15))),
+			bus:   &obs.Bus{},
 		})
 	}
 	// Shard 0's publishes must buffer like everyone else's from now on;
@@ -340,13 +401,40 @@ func (s *Simulator) seal() {
 		}
 	}
 
+	// Batched deliveries staged before the first run re-expand into
+	// individual receive events (everything pre-seal lives on shard 0,
+	// so their stored seqs are shard-0 seqs and sort correctly), and
+	// the now-stale drain events are dropped during migration below.
+	for _, l := range s.links {
+		for di := range l.dirs {
+			d := &l.dirs[di]
+			if len(d.pend) == 0 {
+				continue
+			}
+			dst := l.b
+			if di == 1 {
+				dst = l.a
+			}
+			for _, p := range d.pend[d.head:] {
+				sh0.queue.push(event{at: p.at, seq: p.seq, kind: evReceive, pkt: p.pkt, ifc: dst})
+			}
+			for i := range d.pend {
+				d.pend[i] = pending{}
+			}
+			d.pend, d.head, d.inFlight = d.pend[:0], 0, false
+		}
+	}
+
 	// Migrate pre-seal events to their owner shards in (at, seq) order,
 	// renumbering per shard: relative order within a shard is preserved,
 	// which is all the heap's tie-break means.
 	q := sh0.queue
-	sh0.queue = eventQueue{}
+	sh0.queue = timerQueue{wheelOn: q.wheelOn}
 	for q.len() > 0 {
 		ev := q.pop()
+		if ev.kind == evLinkDeliver {
+			continue // re-expanded above
+		}
 		owner := sh0
 		switch {
 		case ev.node != nil:
@@ -374,6 +462,14 @@ func (s *Simulator) ShardCount() int {
 // runSharded is the coordinator loop: ingest mailboxes, pick the next
 // window, run every shard in parallel, merge observability, repeat.
 func (s *Simulator) runSharded(deadline time.Duration, hasDeadline bool, maxEvents int) int {
+	// More workers than cores just adds scheduler churn to every
+	// barrier; on one core par.ForEach degrades to a plain loop, so the
+	// shards run cooperatively with no goroutines or channel handoffs
+	// at all (the single-core regression fix — windows are frequent).
+	workers := len(s.shards)
+	if mp := runtime.GOMAXPROCS(0); workers > mp {
+		workers = mp
+	}
 	total := 0
 	for {
 		s.drainMailboxes()
@@ -397,7 +493,7 @@ func (s *Simulator) runSharded(deadline time.Duration, hasDeadline bool, maxEven
 			wend = deadline + 1 // events AT the deadline still run
 		}
 		s.syncShardObs()
-		par.ForEach(len(s.shards), len(s.shards), func(i int) {
+		par.ForEach(workers, len(s.shards), func(i int) {
 			s.shards[i].runWindow(wend)
 		})
 		for _, sh := range s.shards {
@@ -432,7 +528,7 @@ func (s *Simulator) nextEventTime() (time.Duration, bool) {
 		if sh.queue.len() == 0 {
 			continue
 		}
-		if t := sh.queue.ev[0].at; !any || t < next {
+		if t := sh.queue.minAt(); !any || t < next {
 			next, any = t, true
 		}
 	}

@@ -143,9 +143,10 @@ func (s *Simulator) NodeByName(name string) *Node { return s.nameIx[name] }
 type evKind uint8
 
 const (
-	evFunc       evKind = iota // run fn
-	evReceive                  // ifc.Node.Receive(pkt, ifc)
-	evReceiveNow               // node.receiveNow(pkt, ifc) — post-CPU half
+	evFunc        evKind = iota // run fn
+	evReceive                   // ifc.Node.Receive(pkt, ifc)
+	evReceiveNow                // node.receiveNow(pkt, ifc) — post-CPU half
+	evLinkDeliver               // ifc.deliverBatch: next pending link delivery
 )
 
 // event is one scheduled occurrence, stored by value in the queue; seq

@@ -1,0 +1,250 @@
+// Hierarchical timing wheel: the shard event queue for dense
+// short-horizon timers (link deliveries, retransmits, Env.After).
+//
+// # Why a wheel
+//
+// The 4-ary heap pays O(log n) value moves per operation, and at
+// city scale a shard's heap holds tens of thousands of pending
+// deliveries: sift traffic dominates the scheduler (BenchmarkEventQueue
+// vs BenchmarkTimerWheel in bench_test.go). A hashed wheel makes the
+// common schedule an O(1) append into a time-bucketed slot and only
+// pays heap cost for the handful of events that are actually next.
+//
+// # Structure
+//
+// timerQueue is a hybrid: a 3-level power-of-two wheel in front of the
+// existing eventQueue heap. Level 0 buckets time into ~8.2 µs ticks
+// (256 slots ≈ 2.1 ms of horizon), level 1 into ~2.1 ms (≈ 537 ms),
+// level 2 into ~537 ms (≈ 137 s). Events beyond the outermost horizon,
+// or behind a level's drained frontier, overflow into the heap — the
+// heap is both the far-future store and the near-term staging area.
+//
+// # Exact (at, seq) order
+//
+// The determinism contract requires pops in exactly the (at, seq)
+// order the pure heap produces. The wheel never orders events itself:
+// before any pop or peek, ensure() drains the earliest occupied slot
+// into the heap until the heap's top is strictly earlier than the
+// earliest possible wheel event (wheelMin, the earliest occupied
+// slot's start time — a lower bound). Draining moves whole slots, so
+// same-slot events are tie-broken by the heap's (at, seq) comparison,
+// and a strict `<` test means a heap/wheel tie always drains the slot
+// first; order is therefore bit-identical to the heap-only engine
+// (property-tested in wheel_test.go, plus the wheel on/off CI diff).
+//
+// # Small queues
+//
+// Below wheelMinLoad pending events the wheel is bypassed entirely —
+// push goes straight to the heap (a 64-event 4-ary heap is 3 levels
+// deep; slot bookkeeping costs more than it saves). The crossover is a
+// pure performance choice: routing decisions never affect pop order.
+package netsim
+
+import (
+	"math"
+	"math/bits"
+	"time"
+)
+
+const (
+	// wheelTickShift buckets level 0 into 2^13 ns ≈ 8.2 µs ticks: fine
+	// enough that a 1 Gb/s link's per-packet serialization (≈ 8–12 µs)
+	// lands in distinct-or-adjacent slots, coarse enough that 256 slots
+	// cover every sub-millisecond retransmit/delivery horizon.
+	wheelTickShift = 13
+	wheelSlotBits  = 8 // 256 slots per level
+	wheelSlots     = 1 << wheelSlotBits
+	wheelMask      = wheelSlots - 1
+	wheelLevels    = 3
+	wheelWords     = wheelSlots / 64 // occupancy bitmap words per level
+
+	// wheelMinLoad is the pending-event count below which push bypasses
+	// the wheel and uses the heap directly.
+	wheelMinLoad = 64
+)
+
+// timerQueue is the per-shard event queue: a hierarchical timing wheel
+// hybridized with the 4-ary eventQueue heap. The zero value is a valid
+// empty queue with the wheel disabled; shards enable it via the
+// simulator's wheel flag (WithWheel / PLANP_NETSIM_WHEEL).
+type timerQueue struct {
+	heap    eventQueue
+	wheelOn bool
+
+	wcount int                          // events currently parked in wheel slots
+	cur    [wheelLevels]int64           // per-level frontier (absolute slot number)
+	occ    [wheelLevels][wheelWords]uint64
+	slots  [wheelLevels][wheelSlots][]event
+
+	// wheelMin is the start time (ns) of the earliest occupied slot — a
+	// lower bound on every wheel event's at. Maintained on insert,
+	// recomputed after each drain; meaningless when wcount == 0.
+	wheelMin int64
+}
+
+func (q *timerQueue) len() int { return q.heap.len() + q.wcount }
+
+// push schedules e. Routing (wheel slot vs heap) is invisible to pop
+// order; see the package comment's exactness argument.
+func (q *timerQueue) push(e event) {
+	if !q.wheelOn || q.heap.len()+q.wcount < wheelMinLoad {
+		q.heap.push(e)
+		return
+	}
+	q.route(e)
+}
+
+// route places e in the finest wheel slot that covers it, falling back
+// to the heap for events behind a frontier or beyond the outermost
+// horizon.
+func (q *timerQueue) route(e event) {
+	sl := int64(e.at) >> wheelTickShift
+	for l := 0; l < wheelLevels; l++ {
+		if sl < q.cur[l] {
+			// Behind this level's drained frontier: the heap is the
+			// always-correct home (ensure compares against it directly).
+			break
+		}
+		if sl < q.cur[l]+wheelSlots {
+			idx := int(sl & wheelMask)
+			q.slots[l][idx] = append(q.slots[l][idx], e)
+			q.occ[l][idx>>6] |= 1 << uint(idx&63)
+			q.wcount++
+			start := sl << uint(wheelTickShift+l*wheelSlotBits)
+			if q.wcount == 1 || start < q.wheelMin {
+				q.wheelMin = start
+			}
+			return
+		}
+		sl >>= wheelSlotBits
+	}
+	q.heap.push(e)
+}
+
+// ensure establishes the invariant pop and minAt rely on: the heap top
+// is the global minimum. It drains earliest slots until the heap's top
+// is strictly before every event still parked in the wheel.
+func (q *timerQueue) ensure() {
+	for q.wcount > 0 {
+		if q.heap.len() > 0 && int64(q.heap.ev[0].at) < q.wheelMin {
+			return
+		}
+		q.advance()
+	}
+}
+
+// pop removes and returns the earliest event in exact (at, seq) order.
+func (q *timerQueue) pop() event {
+	if q.wcount > 0 {
+		q.ensure()
+	}
+	return q.heap.pop()
+}
+
+// minAt returns the earliest pending event time. The queue must be
+// non-empty.
+func (q *timerQueue) minAt() time.Duration {
+	if q.wcount > 0 {
+		q.ensure()
+	}
+	return q.heap.ev[0].at
+}
+
+// min returns the earliest pending event (valid until the next queue
+// operation). The queue must be non-empty.
+func (q *timerQueue) min() *event {
+	if q.wcount > 0 {
+		q.ensure()
+	}
+	return &q.heap.ev[0]
+}
+
+// advance drains the globally earliest occupied slot: level 0 slots
+// empty into the heap (which resolves intra-slot (at, seq) order),
+// coarser slots cascade their events down through route. Frontiers
+// move forward so every drained slot index is free for reuse one full
+// rotation later.
+func (q *timerQueue) advance() {
+	bestL := -1
+	var bestSlot, bestStart int64
+	for l := 0; l < wheelLevels; l++ {
+		sl, ok := q.firstOcc(l)
+		if !ok {
+			continue
+		}
+		start := sl << uint(wheelTickShift+l*wheelSlotBits)
+		if bestL < 0 || start < bestStart {
+			bestL, bestSlot, bestStart = l, sl, start
+		}
+	}
+
+	idx := int(bestSlot & wheelMask)
+	evs := q.slots[bestL][idx]
+	q.slots[bestL][idx] = evs[:0]
+	q.occ[bestL][idx>>6] &^= 1 << uint(idx&63)
+	q.wcount -= len(evs)
+
+	// This slot was the global earliest, so every finer level is empty
+	// before its start: fast-forward their frontiers to it, then step
+	// this level past the drained slot.
+	q.cur[bestL] = bestSlot + 1
+	for f := 0; f < bestL; f++ {
+		q.cur[f] = bestSlot << uint((bestL-f)*wheelSlotBits)
+	}
+
+	for i := range evs {
+		e := evs[i]
+		evs[i] = event{} // release fn/pkt references for GC
+		if bestL == 0 {
+			q.heap.push(e)
+		} else {
+			q.route(e)
+		}
+	}
+
+	// Recompute the lower bound for the remaining wheel population.
+	q.wheelMin = math.MaxInt64
+	for l := 0; l < wheelLevels; l++ {
+		if sl, ok := q.firstOcc(l); ok {
+			if start := sl << uint(wheelTickShift+l*wheelSlotBits); start < q.wheelMin {
+				q.wheelMin = start
+			}
+		}
+	}
+}
+
+// firstOcc returns the absolute slot number of the first occupied slot
+// at level l, scanning the occupancy bitmap circularly from the
+// frontier. All occupied slots live within one rotation of cur[l], so
+// bit position p maps to exactly one absolute slot.
+func (q *timerQueue) firstOcc(l int) (int64, bool) {
+	base := q.cur[l]
+	idx := int(base & wheelMask)
+	occ := &q.occ[l]
+	// Same rotation: bit positions >= idx.
+	w := idx >> 6
+	word := occ[w] &^ (1<<uint(idx&63) - 1)
+	for {
+		if word != 0 {
+			p := w<<6 + bits.TrailingZeros64(word)
+			return base + int64(p-idx), true
+		}
+		w++
+		if w >= wheelWords {
+			break
+		}
+		word = occ[w]
+	}
+	// Wrapped: bit positions < idx belong to the next rotation window.
+	for w = 0; w <= idx>>6; w++ {
+		word = occ[w]
+		if w == idx>>6 {
+			word &= 1<<uint(idx&63) - 1
+		}
+		if word != 0 {
+			p := w<<6 + bits.TrailingZeros64(word)
+			return base + int64(wheelSlots-idx+p), true
+		}
+	}
+	return 0, false
+}
