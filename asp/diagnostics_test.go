@@ -1,0 +1,178 @@
+package asp_test
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"planp.dev/planp/asp"
+	"planp.dev/planp/internal/lang/diag"
+	"planp.dev/planp/internal/lang/parser"
+	"planp.dev/planp/internal/lang/typecheck"
+)
+
+// wantRe matches one expectation annotation inside a malformed program:
+//
+//	-- want: <line>:<col>-<line>:<col> <message substring>
+var wantRe = regexp.MustCompile(`(?m)^-- want: (\d+):(\d+)-(\d+):(\d+) (.+)$`)
+
+// TestMalformedCorpus runs the checker over every program in
+// testdata/malformed and compares the collected diagnostics — all of
+// them, with exact start and end positions — against the program's own
+// "-- want:" annotations. This pins multi-error collection (independent
+// errors in one run) and span accuracy (both columns of the underline).
+func TestMalformedCorpus(t *testing.T) {
+	files, err := filepath.Glob("testdata/malformed/*.planp")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no malformed corpus found: %v", err)
+	}
+	for _, path := range files {
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			src := string(raw)
+			wants := wantRe.FindAllStringSubmatch(src, -1)
+			if len(wants) == 0 {
+				t.Fatalf("%s has no -- want: annotations", path)
+			}
+
+			prog, err := parser.Parse(src)
+			if err == nil {
+				_, err = typecheck.Check(prog)
+			}
+			if err == nil {
+				t.Fatalf("%s checked cleanly, want %d diagnostics", path, len(wants))
+			}
+			ds := diag.Of(err)
+			if len(ds) != len(wants) {
+				t.Fatalf("%s produced %d diagnostics, want %d:\n%v", path, len(ds), len(wants), err)
+			}
+			for i, w := range wants {
+				want := fmt.Sprintf("%s:%s - %s:%s", w[1], w[2], w[3], w[4])
+				got := fmt.Sprintf("%s - %s", ds[i].Pos, ds[i].End)
+				if got != want {
+					t.Errorf("diagnostic %d spans %s, want %s (%s)", i, got, want, ds[i].Msg)
+				}
+				if !strings.Contains(ds[i].Msg, w[5]) {
+					t.Errorf("diagnostic %d = %q, want substring %q", i, ds[i].Msg, w[5])
+				}
+			}
+		})
+	}
+}
+
+// TestTypecheckErrorAccessors: a multi-error check is one *typecheck.
+// Error, reachable via errors.As, exposing every diagnostic and the
+// first one individually; its rendered form names each position.
+func TestTypecheckErrorAccessors(t *testing.T) {
+	raw, err := os.ReadFile("testdata/malformed/scalars.planp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := parser.Parse(string(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = typecheck.Check(prog)
+	var te *typecheck.Error
+	if !errors.As(err, &te) {
+		t.Fatalf("error is %T, want *typecheck.Error: %v", err, err)
+	}
+	if len(te.Diagnostics()) != 3 {
+		t.Fatalf("Diagnostics() = %d entries, want 3", len(te.Diagnostics()))
+	}
+	if first := te.First(); first != te.Diagnostics()[0] {
+		t.Errorf("First() = %+v, want the first diagnostic", first)
+	}
+	// One rendered line per error, each carrying its position.
+	lines := strings.Split(err.Error(), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("rendered error has %d lines, want 3:\n%s", len(lines), err)
+	}
+	for i, ln := range lines {
+		if !strings.Contains(ln, te.Diagnostics()[i].Pos.String()) {
+			t.Errorf("line %d %q does not name its position %s", i, ln, te.Diagnostics()[i].Pos)
+		}
+	}
+}
+
+// TestSignatureExtraction: every in-tree program yields a channel
+// signature with resolved packet types and valid source spans — the
+// artifact the fleet compatibility gate compares across versions.
+func TestSignatureExtraction(t *testing.T) {
+	files, err := filepath.Glob("*.planp")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no in-tree programs found: %v", err)
+	}
+	for _, path := range files {
+		t.Run(path, func(t *testing.T) {
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			info := check(t, path, string(raw))
+			sig := info.Sig
+			if sig == nil {
+				t.Fatal("Check left Info.Sig nil")
+			}
+			if sig.ProtoState == "" {
+				t.Error("signature has no protocol-state type")
+			}
+			if len(sig.Channels) == 0 {
+				t.Fatal("signature lists no channels")
+			}
+			for _, ch := range sig.Channels {
+				if ch.Name == "" || ch.Packet == "" {
+					t.Errorf("channel entry incomplete: %+v", ch)
+				}
+				if !ch.Pos.IsValid() || !ch.End.IsValid() {
+					t.Errorf("channel %s(%s) header span invalid: %s-%s", ch.Name, ch.Packet, ch.Pos, ch.End)
+				}
+				for _, snd := range ch.Sends {
+					if snd.Channel == "" || snd.Packet == "" {
+						t.Errorf("channel %s: unresolved send %+v", ch.Name, snd)
+					}
+					if !snd.Pos.IsValid() || !snd.End.IsValid() {
+						t.Errorf("channel %s: send to %s has invalid span %s-%s", ch.Name, snd.Channel, snd.Pos, snd.End)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSignatureMPEGMonitor pins the richest in-tree signature: the
+// monitor's four channel definitions (one reply channel plus three
+// network overloads) and its cross-channel send.
+func TestSignatureMPEGMonitor(t *testing.T) {
+	info := check(t, "mpeg-monitor", asp.MPEGMonitor)
+	sig := info.Sig
+	if got := len(sig.Channels); got != 4 {
+		t.Fatalf("mpeg-monitor defines %d channels, want 4", got)
+	}
+	if got := len(sig.ChannelsNamed("network")); got != 3 {
+		t.Errorf("network has %d overloads, want 3", got)
+	}
+	var query *typecheck.ChannelSig
+	for i := range sig.Channels {
+		if sig.Channels[i].Name == "network" && sig.Channels[i].Packet == "ip*udp*char*int" {
+			query = &sig.Channels[i]
+		}
+	}
+	if query == nil {
+		t.Fatal("query overload ip*udp*char*int not in signature")
+	}
+	if len(query.Sends) != 1 {
+		t.Fatalf("query overload records %d sends, want 1: %+v", len(query.Sends), query.Sends)
+	}
+	snd := query.Sends[0]
+	if snd.Channel != "mreply" || snd.Packet != "ip*udp*host*int*blob" || snd.Flood {
+		t.Errorf("query send = %+v, want OnRemote(mreply, ip*udp*host*int*blob)", snd)
+	}
+}

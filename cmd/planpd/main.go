@@ -46,6 +46,7 @@ import (
 	"time"
 
 	"planp.dev/planp/internal/fleet"
+	"planp.dev/planp/internal/lang/diag"
 	"planp.dev/planp/internal/planpd"
 	"planp.dev/planp/internal/substrate"
 )
@@ -104,10 +105,12 @@ func runServe(args []string) int {
 			return
 		}
 		spec := fleet.Spec{
-			Version: r.URL.Query().Get("version"),
-			Source:  src,
-			Engine:  r.URL.Query().Get("engine"),
-			Verify:  r.URL.Query().Get("verify"),
+			Version:           r.URL.Query().Get("version"),
+			Source:            src,
+			Engine:            r.URL.Query().Get("engine"),
+			Verify:            r.URL.Query().Get("verify"),
+			SourceName:        r.URL.Query().Get("src_name"),
+			AllowIncompatible: r.URL.Query().Get("allow_incompatible") == "true",
 		}
 		d, deployErr := ctl.Deploy(r.Context(), spec, targets)
 		status := http.StatusOK
@@ -115,6 +118,12 @@ func runServe(args []string) int {
 		if deployErr != nil {
 			status = http.StatusConflict
 			resp["error"] = deployErr.Error()
+			// Compatibility-gate and stage rejections carry source spans;
+			// surface them structurally, like planpd's own 422 bodies.
+			if ds := diag.Of(deployErr); len(ds) > 0 {
+				status = http.StatusUnprocessableEntity
+				resp["diagnostics"] = ds
+			}
 		}
 		if d != nil {
 			resp["deployment"] = d.View()
@@ -188,6 +197,8 @@ func runDeploy(args []string) int {
 	engine := fs.String("engine", "", "execution engine: jit, bytecode, interp")
 	verify := fs.String("verify", "", "verification policy: network, single, privileged")
 	timeout := fs.Duration("timeout", 30*time.Second, "overall rollout deadline")
+	allowIncompat := fs.Bool("allow-incompatible", false,
+		"proceed past the fleet compatibility gate; its findings are recorded on the deployment instead of rejecting it")
 	fs.Parse(args)
 
 	if *srcPath == "" || *nodesFlag == "" {
@@ -210,6 +221,7 @@ func runDeploy(args []string) int {
 	ctl := fleet.New(fleet.Config{Logf: log.Printf})
 	d, deployErr := ctl.Deploy(ctx, fleet.Spec{
 		Version: *version, Source: string(src), Engine: *engine, Verify: *verify,
+		SourceName: *srcPath, AllowIncompatible: *allowIncompat,
 	}, targets)
 
 	if d != nil {
@@ -218,6 +230,12 @@ func runDeploy(args []string) int {
 	}
 	if deployErr != nil {
 		fmt.Fprintln(os.Stderr, deployErr)
+		// Rejections that carry source spans (the compatibility gate, a
+		// node's stage 422) are re-rendered with the offending source
+		// lines excerpted and underlined.
+		if ds := diag.Of(deployErr); len(ds) > 0 {
+			fmt.Fprint(os.Stderr, diag.Render(string(src), *srcPath, ds))
+		}
 		return 1
 	}
 	return 0

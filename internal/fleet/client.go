@@ -14,6 +14,9 @@ import (
 	"net/http"
 	"net/url"
 	"strings"
+
+	"planp.dev/planp/internal/lang/diag"
+	"planp.dev/planp/internal/lang/typecheck"
 )
 
 // maxErrBody bounds how much of an error response is kept for messages.
@@ -27,9 +30,36 @@ type httpResult struct {
 
 func (r *httpResult) ok() bool { return r.status >= 200 && r.status < 300 }
 
+// DiagError is a control-plane rejection whose response body carried
+// structured diagnostics (planpd's 422 bodies). It keeps the individual
+// span-carrying records so deploy tooling can point at source lines
+// instead of echoing the node's rendered string.
+type DiagError struct {
+	Op      string
+	Status  int
+	Message string
+	Diags   diag.List
+}
+
+func (e *DiagError) Error() string {
+	return fmt.Sprintf("%s: HTTP %d: %s", e.Op, e.Status, e.Message)
+}
+
+// Diagnostics implements diag.Provider.
+func (e *DiagError) Diagnostics() diag.List { return e.Diags }
+
 func (r *httpResult) err(op string) error {
 	if r.ok() {
 		return nil
+	}
+	// planpd rejections are JSON {"error": ..., "diagnostics": [...]};
+	// anything else (plain-text errors, proxies) degrades to the body.
+	var rej struct {
+		Error       string    `json:"error"`
+		Diagnostics diag.List `json:"diagnostics"`
+	}
+	if jsonErr := json.Unmarshal(r.body, &rej); jsonErr == nil && rej.Error != "" {
+		return &DiagError{Op: op, Status: r.status, Message: rej.Error, Diags: rej.Diagnostics}
 	}
 	return fmt.Errorf("%s: HTTP %d: %s", op, r.status, strings.TrimSpace(string(r.body)))
 }
@@ -89,26 +119,29 @@ func (nc *nodeClient) do(ctx context.Context, method, path string, query url.Val
 }
 
 // health probes GET /healthz and returns the node's active protocol
-// version (empty if none).
-func (nc *nodeClient) health(ctx context.Context) (version string, err error) {
+// version (empty if none) plus that version's channel-interface
+// signature (nil when the node is bare or its daemon predates
+// signatures) — the input to the deploy-time compatibility gate.
+func (nc *nodeClient) health(ctx context.Context) (version string, sig *typecheck.Signature, err error) {
 	res, err := nc.do(ctx, http.MethodGet, "/healthz", nil, nil)
 	if err != nil {
-		return "", err
+		return "", nil, err
 	}
 	if err := res.err("healthz"); err != nil {
-		return "", err
+		return "", nil, err
 	}
 	var h struct {
-		OK      bool   `json:"ok"`
-		Version string `json:"version"`
+		OK        bool                 `json:"ok"`
+		Version   string               `json:"version"`
+		Signature *typecheck.Signature `json:"signature"`
 	}
 	if err := json.Unmarshal(res.body, &h); err != nil {
-		return "", fmt.Errorf("healthz: decoding: %w", err)
+		return "", nil, fmt.Errorf("healthz: decoding: %w", err)
 	}
 	if !h.OK {
-		return "", fmt.Errorf("healthz: node reports not ok")
+		return "", nil, fmt.Errorf("healthz: node reports not ok")
 	}
-	return h.Version, nil
+	return h.Version, h.Signature, nil
 }
 
 // stage runs phase 1 on the node.

@@ -99,6 +99,16 @@ type Spec struct {
 	Source  string
 	Engine  string
 	Verify  string
+
+	// SourceName labels Source in compatibility diagnostics (a file
+	// name, typically); empty falls back to "staged:<version>".
+	SourceName string
+
+	// AllowIncompatible lets an intentionally breaking rollout proceed
+	// past the compatibility gate. The gate still runs; its findings
+	// are recorded on the deployment (CompatWarnings) and in the
+	// persisted history instead of rejecting the rollout.
+	AllowIncompatible bool
 }
 
 // Node is one target's record within a deployment. Fields are guarded
@@ -127,6 +137,12 @@ type Deployment struct {
 	nodes    []*Node
 	started  time.Time
 	finished time.Time
+
+	// compatOverride records that the compatibility gate found
+	// mismatches and AllowIncompatible forced the rollout through;
+	// compatWarnings holds the gate's findings either way.
+	compatOverride bool
+	compatWarnings []string
 }
 
 // NodeView is a consistent copy of one node record.
@@ -149,6 +165,12 @@ type View struct {
 	Verify    string     `json:"verify,omitempty"`
 	Error     string     `json:"error,omitempty"`
 	Nodes     []NodeView `json:"nodes"`
+
+	// CompatOverride marks a rollout that the compatibility gate
+	// flagged as breaking but AllowIncompatible forced through;
+	// CompatWarnings lists what the gate found.
+	CompatOverride bool     `json:"compat_override,omitempty"`
+	CompatWarnings []string `json:"compat_warnings,omitempty"`
 }
 
 // View snapshots the deployment under its lock.
@@ -158,6 +180,8 @@ func (d *Deployment) View() View {
 	v := View{
 		ID: d.ID, Version: d.Version, State: d.state,
 		SourceSHA: d.SourceSHA, Engine: d.Engine, Verify: d.Verify, Error: d.err,
+		CompatOverride: d.compatOverride,
+		CompatWarnings: append([]string(nil), d.compatWarnings...),
 	}
 	for _, n := range d.nodes {
 		v.Nodes = append(v.Nodes, NodeView{
@@ -558,18 +582,35 @@ func (c *Controller) Deploy(ctx context.Context, spec Spec, targets []Target) (*
 	}
 
 	// Phase 0: health. Nothing is staged on a fleet with a dead member.
+	// The probe also collects each peer's active channel signature for
+	// the compatibility gate below.
+	peers := make(map[string]peerSig, len(targets))
+	var peersMu sync.Mutex
 	errs := c.forEach(d, func(nc *nodeClient) error {
-		v, err := nc.health(ctx)
+		v, sig, err := nc.health(ctx)
 		if err != nil {
 			d.setNodeError(nc.n, NodeFailed, err)
 			c.publish(obs.KindDeploy, nc.n.Name, "health:failed")
 			return err
 		}
 		d.setPrev(nc.n, v)
+		peersMu.Lock()
+		peers[nc.n.Name] = peerSig{version: v, sig: sig}
+		peersMu.Unlock()
 		return nil
 	})
 	if err := firstErr(errs); err != nil {
 		return d, c.fail(d, fmt.Errorf("fleet: health probe failed on [%s]: %w", failedNames(d, errs), err))
+	}
+
+	// Compatibility gate: before anything is staged, check the new
+	// version's channel signature against what every peer currently
+	// runs. A mixed-version rollout in which the fleet's in-flight
+	// sends and the new program's channels disagree is rejected here —
+	// with diagnostics pointing into the staged source — unless the
+	// spec explicitly allows the break (recorded in the history).
+	if err := c.compatGate(d, spec, prog.Signature(), peers); err != nil {
+		return d, c.fail(d, err)
 	}
 
 	// Phase 1: stage everywhere. A failure anywhere aborts the stage

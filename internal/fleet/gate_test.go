@@ -1,0 +1,299 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"planp.dev/planp/internal/obs"
+)
+
+// gatewayV1 is the running fleet's protocol: a gateway channel with two
+// packet variants (plain and tagged) and a network channel that routes
+// tagged traffic to the gateway. Its signature therefore records a send
+// of ip*udp*char*blob to gateway.
+const gatewayV1 = `
+channel gateway(ps : int, ss : unit, p : ip*udp*blob) is
+  (deliver(p); (ps + 1, ss))
+
+channel gateway(ps : int, ss : unit, p : ip*udp*char*blob) is
+  (deliver(p); (ps + 1, ss))
+
+channel network(ps : int, ss : unit, p : ip*udp*char*blob) is
+  (OnRemote(gateway, p); (ps, ss))
+`
+
+// gatewayV2DropsVariant drops the tagged gateway variant that v1 peers
+// still send: a breaking upgrade the compatibility gate must reject.
+// The gateway header sits on line 2 of the source.
+const gatewayV2DropsVariant = `channel gateway(ps : int, ss : unit, p : ip*udp*blob) is
+  (deliver(p); (ps + 2, ss))
+
+channel network(ps : int, ss : unit, p : ip*udp*char*blob) is
+  (deliver(p); (ps, ss))
+`
+
+// gatewayV1Base is a reduced running protocol whose gateway only knows
+// the plain variant and that never sends.
+const gatewayV1Base = `
+channel gateway(ps : int, ss : unit, p : ip*udp*blob) is
+  (deliver(p); (ps + 1, ss))
+`
+
+// gatewayV2NewSend is self-consistent but introduces a send of the
+// tagged variant, which a peer still running gatewayV1Base cannot
+// dispatch — the gate must reject it at the send site.
+const gatewayV2NewSend = `
+channel gateway(ps : int, ss : unit, p : ip*udp*blob) is
+  (deliver(p); (ps + 1, ss))
+
+channel gateway(ps : int, ss : unit, p : ip*udp*char*blob) is
+  (deliver(p); (ps + 1, ss))
+
+channel network(ps : int, ss : unit, p : ip*udp*char*blob) is
+  (OnRemote(gateway, p); (ps, ss))
+`
+
+// TestFleetCompatGateRejectsDroppedVariant is the acceptance scenario:
+// staging an ASP whose gateway channel drops a message variant a running
+// peer still sends is rejected at stage time, with a diagnostic naming
+// the staged source's file and line, and no node is touched.
+func TestFleetCompatGateRejectsDroppedVariant(t *testing.T) {
+	tf := newTestFleet(t, 3)
+	bus := &obs.Bus{}
+	events := newEventCounter(bus)
+	c := tf.controller(Config{Bus: bus})
+
+	if _, err := c.Deploy(context.Background(), Spec{Version: "v1", Source: gatewayV1}, tf.targets); err != nil {
+		t.Fatalf("baseline deploy: %v", err)
+	}
+
+	d, err := c.Deploy(context.Background(), Spec{
+		Version: "v2", Source: gatewayV2DropsVariant, SourceName: "gateway_v2.planp",
+	}, tf.targets)
+	if err == nil {
+		t.Fatal("dropping a variant a running peer still sends must be rejected")
+	}
+	var ce *CompatError
+	if !errors.As(err, &ce) {
+		t.Fatalf("error is %T, want *CompatError: %v", err, err)
+	}
+	if len(ce.Nodes) != 3 {
+		t.Errorf("gate flagged %d nodes, want all 3: %v", len(ce.Nodes), ce.Nodes)
+	}
+	// The rejection names the staged source's file and line: the dropped
+	// variant is reported at the staged gateway channel's header (line 1
+	// of gatewayV2DropsVariant).
+	if !strings.Contains(err.Error(), "gateway_v2.planp:1:1:") {
+		t.Errorf("rejection does not name the offending source line:\n%v", err)
+	}
+	if !strings.Contains(err.Error(), "ip*udp*char*blob") {
+		t.Errorf("rejection does not name the dropped packet variant:\n%v", err)
+	}
+	// The diagnostics survive errors.As-style extraction for rendering.
+	if ds := ce.Diagnostics(); len(ds) == 0 || !ds[0].Pos.IsValid() {
+		t.Errorf("CompatError carries no span diagnostics: %+v", ds)
+	}
+
+	if got := d.State(); got != StateFailed {
+		t.Errorf("deployment state = %s, want Failed", got)
+	}
+	// Rejected before phase 1: nothing was staged anywhere, every node
+	// still runs v1.
+	for _, tgt := range tf.targets {
+		active, staged := tf.nodeState(t, tgt.Name)
+		if active != "v1" || staged != "" {
+			t.Errorf("node %s: active %q staged %q, want v1 untouched", tgt.Name, active, staged)
+		}
+	}
+	if got := events.count("deploy:compat:mismatch"); got != 3 {
+		t.Errorf("deploy:compat:mismatch events = %d, want 3", got)
+	}
+	if got := events.count("deploy:stage:ok"); got != 3 {
+		t.Errorf("deploy:stage:ok events = %d, want 3 (baseline only)", got)
+	}
+}
+
+// TestFleetCompatGateRejectsNewSend covers the other direction of the
+// mixed-version window: the staged program emits a packet variant the
+// running peers cannot dispatch. The rejection is anchored at the send
+// site in the staged source.
+func TestFleetCompatGateRejectsNewSend(t *testing.T) {
+	tf := newTestFleet(t, 2)
+	c := tf.controller(Config{})
+	if _, err := c.Deploy(context.Background(), Spec{Version: "v1", Source: gatewayV1Base}, tf.targets); err != nil {
+		t.Fatalf("baseline deploy: %v", err)
+	}
+	_, err := c.Deploy(context.Background(), Spec{
+		Version: "v2", Source: gatewayV2NewSend, SourceName: "gateway_v2.planp",
+	}, tf.targets)
+	if err == nil {
+		t.Fatal("a send no running peer can receive must be rejected")
+	}
+	var ce *CompatError
+	if !errors.As(err, &ce) {
+		t.Fatalf("error is %T, want *CompatError: %v", err, err)
+	}
+	// The OnRemote(gateway, p) send sits on line 9 of gatewayV2NewSend.
+	if !strings.Contains(err.Error(), "gateway_v2.planp:9:4:") {
+		t.Errorf("rejection does not point at the send site:\n%v", err)
+	}
+}
+
+// TestFleetCompatOverride: the same breaking rollout with the override
+// set proceeds — and both the live record and the persisted history
+// carry the override flag and the gate's findings.
+func TestFleetCompatOverride(t *testing.T) {
+	histPath := filepath.Join(t.TempDir(), "history.jsonl")
+	tf := newTestFleet(t, 3)
+	c := tf.controller(Config{HistoryPath: histPath})
+	if _, err := c.Deploy(context.Background(), Spec{Version: "v1", Source: gatewayV1}, tf.targets); err != nil {
+		t.Fatalf("baseline deploy: %v", err)
+	}
+	d, err := c.Deploy(context.Background(), Spec{
+		Version: "v2", Source: gatewayV2DropsVariant,
+		SourceName: "gateway_v2.planp", AllowIncompatible: true,
+	}, tf.targets)
+	if err != nil {
+		t.Fatalf("override deploy: %v", err)
+	}
+	if got := d.State(); got != StateActive {
+		t.Fatalf("deployment state = %s, want Active", got)
+	}
+	for _, tgt := range tf.targets {
+		if active, _ := tf.nodeState(t, tgt.Name); active != "v2" {
+			t.Errorf("node %s runs %q, want v2", tgt.Name, active)
+		}
+	}
+	v := d.View()
+	if !v.CompatOverride {
+		t.Error("override rollout not marked CompatOverride")
+	}
+	if len(v.CompatWarnings) == 0 || !strings.Contains(v.CompatWarnings[0], "gateway_v2.planp:1:1:") {
+		t.Errorf("gate findings not recorded: %v", v.CompatWarnings)
+	}
+
+	// The persisted history record carries the same evidence.
+	raw, err := os.ReadFile(histPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("history has %d records, want 2", len(lines))
+	}
+	var rec View
+	if err := json.Unmarshal([]byte(lines[1]), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if !rec.CompatOverride || len(rec.CompatWarnings) == 0 {
+		t.Errorf("persisted record lost the override evidence: %+v", rec)
+	}
+}
+
+// TestFleetDeployTree: a multicast distribution tree deploys through the
+// same pipeline as a flat fleet — including the compatibility gate,
+// applied per recipient, so one stale leaf rejects the whole tree.
+func TestFleetDeployTree(t *testing.T) {
+	tf := newTestFleet(t, 3)
+	c := tf.controller(Config{})
+	root := &Tree{
+		Node: tf.targets[0],
+		Children: []*Tree{
+			{Node: tf.targets[1]},
+			{Node: tf.targets[2]},
+		},
+	}
+	if got := root.Edges(); len(got) != 2 || got[0] != "alpha->beta" || got[1] != "alpha->gamma" {
+		t.Fatalf("tree edges = %v, want [alpha->beta alpha->gamma]", got)
+	}
+
+	d, err := c.DeployTree(context.Background(), Spec{Version: "v1", Source: gatewayV1}, root)
+	if err != nil {
+		t.Fatalf("tree deploy: %v", err)
+	}
+	if got := d.State(); got != StateActive {
+		t.Fatalf("deployment state = %s, want Active", got)
+	}
+	for _, tgt := range root.Targets() {
+		if active, _ := tf.nodeState(t, tgt.Name); active != "v1" {
+			t.Errorf("tree member %s runs %q, want v1", tgt.Name, active)
+		}
+	}
+
+	// A breaking upgrade is gated per recipient: the leaves still send
+	// the variant the new root version drops.
+	_, err = c.DeployTree(context.Background(), Spec{
+		Version: "v2", Source: gatewayV2DropsVariant,
+	}, root)
+	var ce *CompatError
+	if !errors.As(err, &ce) {
+		t.Fatalf("breaking tree rollout: error is %T, want *CompatError: %v", err, err)
+	}
+
+	if _, err := c.DeployTree(context.Background(), Spec{Version: "v2", Source: gatewayV1}, nil); err == nil {
+		t.Error("nil tree root must be rejected")
+	}
+	dup := &Tree{Node: tf.targets[0], Children: []*Tree{{Node: tf.targets[0]}}}
+	if _, err := c.DeployTree(context.Background(), Spec{Version: "v2", Source: gatewayV1}, dup); err == nil {
+		t.Error("duplicate tree membership must be rejected")
+	}
+}
+
+// TestDiagErrorDecoding: a planpd 422 body with structured diagnostics
+// decodes into a DiagError that keeps the spans; a non-JSON rejection
+// degrades to the plain-text form.
+func TestDiagErrorDecoding(t *testing.T) {
+	r := &httpResult{
+		status: http.StatusUnprocessableEntity,
+		body: []byte(`{"error":"stage rejected: type error",` +
+			`"diagnostics":[{"pos":{"line":3,"col":7},"end":{"line":3,"col":12},"msg":"boom"}]}`),
+	}
+	err := r.err("stage")
+	var de *DiagError
+	if !errors.As(err, &de) {
+		t.Fatalf("error is %T, want *DiagError: %v", err, err)
+	}
+	if de.Status != http.StatusUnprocessableEntity || de.Message != "stage rejected: type error" {
+		t.Errorf("decoded %+v", de)
+	}
+	ds := de.Diagnostics()
+	if len(ds) != 1 || ds[0].Pos.Line != 3 || ds[0].Pos.Col != 7 || ds[0].Msg != "boom" {
+		t.Errorf("diagnostics = %+v", ds)
+	}
+
+	plain := &httpResult{status: http.StatusBadGateway, body: []byte("upstream sad")}
+	if err := plain.err("stage"); errors.As(err, &de) {
+		t.Errorf("plain-text rejection decoded as DiagError: %v", err)
+	} else if !strings.Contains(err.Error(), "upstream sad") {
+		t.Errorf("plain-text body lost: %v", err)
+	}
+}
+
+// eventCounter tallies bus events by kind:detail.
+type eventCounter struct {
+	mu  sync.Mutex
+	got map[string]int
+}
+
+func newEventCounter(bus *obs.Bus) *eventCounter {
+	ec := &eventCounter{got: map[string]int{}}
+	bus.Subscribe(obs.Func(func(e obs.Event) {
+		ec.mu.Lock()
+		ec.got[e.Kind.String()+":"+e.Detail]++
+		ec.mu.Unlock()
+	}))
+	return ec
+}
+
+func (ec *eventCounter) count(key string) int {
+	ec.mu.Lock()
+	defer ec.mu.Unlock()
+	return ec.got[key]
+}

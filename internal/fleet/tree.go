@@ -1,0 +1,65 @@
+// Multicast-tree rollouts. The paper's audio experiment (§3.1) deploys
+// a router protocol onto every router of a multicast distribution tree;
+// fleet mirrors that shape for live fleets: a Tree names the root and
+// its per-hop children, DeployTree flattens it root-first and runs the
+// standard two-phase rollout over the members — including the
+// compatibility gate, applied per recipient, so one stale leaf rejects
+// the rollout before any tree node is touched.
+package fleet
+
+import (
+	"context"
+	"fmt"
+)
+
+// Tree is a distribution tree of deployment targets.
+type Tree struct {
+	Node     Target
+	Children []*Tree
+}
+
+// Targets flattens the tree in preorder (root first, then each child
+// subtree in order) — parents are staged and activated no later than
+// their children appear in the fan-out sequence.
+func (t *Tree) Targets() []Target {
+	if t == nil {
+		return nil
+	}
+	out := []Target{t.Node}
+	for _, ch := range t.Children {
+		out = append(out, ch.Targets()...)
+	}
+	return out
+}
+
+// Edges renders the tree's parent→child links, for logs and rollout
+// records.
+func (t *Tree) Edges() []string {
+	if t == nil {
+		return nil
+	}
+	var out []string
+	for _, ch := range t.Children {
+		out = append(out, t.Node.Name+"->"+ch.Node.Name)
+		out = append(out, ch.Edges()...)
+	}
+	return out
+}
+
+// DeployTree rolls spec out to every member of a multicast tree. The
+// members go through the same pipeline as a flat Deploy — health probe,
+// per-recipient compatibility gate, stage everywhere, activate
+// everywhere with rollback on partial failure — so either the whole
+// tree ends up on the new version or every reachable member is restored.
+// Duplicate membership (a node reachable through two branches) is
+// rejected, as it would double-activate.
+func (c *Controller) DeployTree(ctx context.Context, spec Spec, root *Tree) (*Deployment, error) {
+	if root == nil {
+		return nil, fmt.Errorf("fleet: tree deployment needs a root")
+	}
+	targets := root.Targets()
+	for _, e := range root.Edges() {
+		c.logf("fleet: tree edge %s", e)
+	}
+	return c.Deploy(ctx, spec, targets)
+}

@@ -169,52 +169,71 @@ func IsEquality(t Type) bool {
 // ---------------------------------------------------------------------------
 // Expressions
 
-// Expr is a PLAN-P expression node.
+// Expr is a PLAN-P expression node. Pos is the position of its first
+// token; End is one column past its last token (the parser fills both,
+// and End falls back to Pos on hand-built nodes with no span).
 type Expr interface {
 	Pos() token.Pos
+	End() token.Pos
 	expr()
+}
+
+// endOr returns end when the parser recorded one, else the start
+// position, so diagnostics on synthesized nodes still point somewhere.
+func endOr(end, at token.Pos) token.Pos {
+	if end.IsValid() {
+		return end
+	}
+	return at
 }
 
 // IntLit is an integer literal.
 type IntLit struct {
 	Value int64
 	At    token.Pos
+	EndAt token.Pos
 }
 
 // BoolLit is true or false.
 type BoolLit struct {
 	Value bool
 	At    token.Pos
+	EndAt token.Pos
 }
 
 // StringLit is a double-quoted string literal.
 type StringLit struct {
 	Value string
 	At    token.Pos
+	EndAt token.Pos
 }
 
 // CharLit is a character literal.
 type CharLit struct {
 	Value byte
 	At    token.Pos
+	EndAt token.Pos
 }
 
 // UnitLit is the value (), written as an empty parenthesis pair.
 type UnitLit struct {
-	At token.Pos
+	At    token.Pos
+	EndAt token.Pos
 }
 
 // HostLit is a dotted-quad IP address literal such as 131.254.60.81.
 type HostLit struct {
-	Addr uint32 // big-endian packed IPv4 address
-	Text string
-	At   token.Pos
+	Addr  uint32 // big-endian packed IPv4 address
+	Text  string
+	At    token.Pos
+	EndAt token.Pos
 }
 
 // Var is an identifier reference.
 type Var struct {
-	Name string
-	At   token.Pos
+	Name  string
+	At    token.Pos
+	EndAt token.Pos
 
 	// Slot is filled by the type checker: the resolved lexical slot in
 	// the flat frame layout, used by the compiled engines. -1 for
@@ -228,25 +247,34 @@ type Proj struct {
 	Index int // 1-based
 	Tuple Expr
 	At    token.Pos
+	EndAt token.Pos
 }
 
 // Call is a call to a primitive, a user fun, or a channel-valued argument
 // position (OnRemote's first argument is a channel name and is treated
 // specially by the checker).
 type Call struct {
-	Name string
-	Args []Expr
-	At   token.Pos
+	Name  string
+	Args  []Expr
+	At    token.Pos
+	EndAt token.Pos
 
 	// Resolution, filled by the type checker.
 	PrimIndex int // >= 0 when calling a primitive
 	FunIndex  int // >= 0 when calling a user fun
+
+	// SendPacket is filled by the type checker on OnRemote/OnNeighbor
+	// calls: the resolved packet type of the send. Signature extraction
+	// (typecheck.Signature) and the verifier's duplication analysis read
+	// it instead of re-deriving the type.
+	SendPacket Type
 }
 
 // ChanRef is a channel name used as an argument to OnRemote/OnNeighbor.
 type ChanRef struct {
-	Name string
-	At   token.Pos
+	Name  string
+	At    token.Pos
+	EndAt token.Pos
 }
 
 // Let is "let val x1 : t1 = e1 ... in body end".
@@ -254,6 +282,7 @@ type Let struct {
 	Binds []LetBind
 	Body  Expr
 	At    token.Pos
+	EndAt token.Pos
 }
 
 // LetBind is one "val x : t = e" binding inside a let.
@@ -267,37 +296,42 @@ type LetBind struct {
 // If is "if cond then a else b". Both arms are mandatory (expressions,
 // not statements).
 type If struct {
-	Cond Expr
-	Then Expr
-	Else Expr
-	At   token.Pos
+	Cond  Expr
+	Then  Expr
+	Else  Expr
+	At    token.Pos
+	EndAt token.Pos
 }
 
 // Seq is "(e1; e2; ...; en)" — evaluates all, yields the last.
 type Seq struct {
 	Exprs []Expr
 	At    token.Pos
+	EndAt token.Pos
 }
 
 // TupleExpr is "(e1, e2, ..., en)" with n >= 2.
 type TupleExpr struct {
 	Elems []Expr
 	At    token.Pos
+	EndAt token.Pos
 }
 
 // Unary is "not e" or unary minus.
 type Unary struct {
-	Op string // "not" | "-"
-	X  Expr
-	At token.Pos
+	Op    string // "not" | "-"
+	X     Expr
+	At    token.Pos
+	EndAt token.Pos
 }
 
 // Binary is a binary operation. Op is the source operator: one of
 // = <> < <= > >= + - * / mod ^ andalso orelse.
 type Binary struct {
-	Op   string
-	L, R Expr
-	At   token.Pos
+	Op    string
+	L, R  Expr
+	At    token.Pos
+	EndAt token.Pos
 
 	// OperandType is filled by the checker for = and <> so the engines
 	// can pick a comparison routine.
@@ -310,13 +344,15 @@ type Try struct {
 	Body    Expr
 	Handler Expr
 	At      token.Pos
+	EndAt   token.Pos
 }
 
 // Raise is "raise s": raises a PLAN-P exception carrying message s.
 // A raise expression has any type required by context.
 type Raise struct {
-	Msg Expr // must be string
-	At  token.Pos
+	Msg   Expr // must be string
+	At    token.Pos
+	EndAt token.Pos
 }
 
 func (e *IntLit) Pos() token.Pos    { return e.At }
@@ -337,6 +373,25 @@ func (e *Unary) Pos() token.Pos     { return e.At }
 func (e *Binary) Pos() token.Pos    { return e.At }
 func (e *Try) Pos() token.Pos       { return e.At }
 func (e *Raise) Pos() token.Pos     { return e.At }
+
+func (e *IntLit) End() token.Pos    { return endOr(e.EndAt, e.At) }
+func (e *BoolLit) End() token.Pos   { return endOr(e.EndAt, e.At) }
+func (e *StringLit) End() token.Pos { return endOr(e.EndAt, e.At) }
+func (e *CharLit) End() token.Pos   { return endOr(e.EndAt, e.At) }
+func (e *UnitLit) End() token.Pos   { return endOr(e.EndAt, e.At) }
+func (e *HostLit) End() token.Pos   { return endOr(e.EndAt, e.At) }
+func (e *Var) End() token.Pos       { return endOr(e.EndAt, e.At) }
+func (e *Proj) End() token.Pos      { return endOr(e.EndAt, e.At) }
+func (e *Call) End() token.Pos      { return endOr(e.EndAt, e.At) }
+func (e *ChanRef) End() token.Pos   { return endOr(e.EndAt, e.At) }
+func (e *Let) End() token.Pos       { return endOr(e.EndAt, e.At) }
+func (e *If) End() token.Pos        { return endOr(e.EndAt, e.At) }
+func (e *Seq) End() token.Pos       { return endOr(e.EndAt, e.At) }
+func (e *TupleExpr) End() token.Pos { return endOr(e.EndAt, e.At) }
+func (e *Unary) End() token.Pos     { return endOr(e.EndAt, e.At) }
+func (e *Binary) End() token.Pos    { return endOr(e.EndAt, e.At) }
+func (e *Try) End() token.Pos       { return endOr(e.EndAt, e.At) }
+func (e *Raise) End() token.Pos     { return endOr(e.EndAt, e.At) }
 
 func (*IntLit) expr()    {}
 func (*BoolLit) expr()   {}
@@ -368,10 +423,11 @@ type Param struct {
 
 // ValDecl is a top-level "val name : type = expr".
 type ValDecl struct {
-	Name string
-	Type Type
-	Init Expr
-	At   token.Pos
+	Name  string
+	Type  Type
+	Init  Expr
+	At    token.Pos
+	EndAt token.Pos
 }
 
 // FunDecl is "fun name(p1 : t1, ...) : ret = body". Functions are not
@@ -384,6 +440,7 @@ type FunDecl struct {
 	Ret    Type
 	Body   Expr
 	At     token.Pos
+	EndAt  token.Pos
 }
 
 // ChannelDecl is a channel function:
@@ -399,6 +456,12 @@ type ChannelDecl struct {
 	InitState Expr    // optional; nil means zero value of ST
 	Body      Expr
 	At        token.Pos
+	EndAt     token.Pos
+
+	// HeaderEnd is one column past the parameter list's closing paren:
+	// the span At..HeaderEnd covers the channel's declared interface,
+	// which is what signature-compatibility diagnostics point at.
+	HeaderEnd token.Pos
 }
 
 // ProtoState returns the declared protocol-state type.
@@ -414,6 +477,7 @@ func (c *ChannelDecl) PacketType() Type { return c.Params[2].Type }
 type Decl interface {
 	DeclName() string
 	DeclPos() token.Pos
+	DeclEnd() token.Pos
 }
 
 func (d *ValDecl) DeclName() string     { return d.Name }
@@ -423,6 +487,10 @@ func (d *ChannelDecl) DeclName() string { return d.Name }
 func (d *ValDecl) DeclPos() token.Pos     { return d.At }
 func (d *FunDecl) DeclPos() token.Pos     { return d.At }
 func (d *ChannelDecl) DeclPos() token.Pos { return d.At }
+
+func (d *ValDecl) DeclEnd() token.Pos     { return endOr(d.EndAt, d.At) }
+func (d *FunDecl) DeclEnd() token.Pos     { return endOr(d.EndAt, d.At) }
+func (d *ChannelDecl) DeclEnd() token.Pos { return endOr(d.EndAt, d.At) }
 
 // Program is a parsed PLAN-P protocol: an ordered list of declarations.
 type Program struct {

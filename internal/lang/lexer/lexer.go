@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"strconv"
 
+	"planp.dev/planp/internal/lang/diag"
 	"planp.dev/planp/internal/lang/token"
 )
 
@@ -23,6 +24,9 @@ type Error struct {
 }
 
 func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Diagnostics implements diag.Provider.
+func (e *Error) Diagnostics() diag.List { return diag.List{{Pos: e.Pos, Msg: e.Msg}} }
 
 // Lexer scans a source buffer into tokens.
 type Lexer struct {
@@ -134,8 +138,20 @@ func isIdentStart(c byte) bool {
 
 func isIdentCont(c byte) bool { return isIdentStart(c) || isDigit(c) || c == '\'' }
 
-// Next returns the next token.
+// Next returns the next token, with its End span set to one column past
+// its last character.
 func (lx *Lexer) Next() (token.Token, error) {
+	t, err := lx.scan()
+	if err == nil {
+		t.End = lx.pos()
+	}
+	return t, err
+}
+
+// scan produces the next token without filling End (Next does that —
+// the scanner stops exactly one byte past each token, so the position
+// after scanning IS the token's end).
+func (lx *Lexer) scan() (token.Token, error) {
 	if err := lx.skipSpace(); err != nil {
 		return token.Token{}, err
 	}

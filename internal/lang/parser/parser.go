@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"planp.dev/planp/internal/lang/ast"
+	"planp.dev/planp/internal/lang/diag"
 	"planp.dev/planp/internal/lang/lexer"
 	"planp.dev/planp/internal/lang/token"
 )
@@ -25,6 +26,11 @@ type Error struct {
 }
 
 func (e *Error) Error() string { return fmt.Sprintf("%s: syntax error: %s", e.Pos, e.Msg) }
+
+// Diagnostics implements diag.Provider.
+func (e *Error) Diagnostics() diag.List {
+	return diag.List{{Pos: e.Pos, Msg: "syntax error: " + e.Msg}}
+}
 
 type parser struct {
 	toks []token.Token
@@ -135,7 +141,7 @@ func (p *parser) parseValDecl() (*ast.ValDecl, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &ast.ValDecl{Name: name.Text, Type: ty, Init: init, At: at}, nil
+	return &ast.ValDecl{Name: name.Text, Type: ty, Init: init, At: at, EndAt: init.End()}, nil
 }
 
 func (p *parser) parseFunDecl() (*ast.FunDecl, error) {
@@ -144,7 +150,7 @@ func (p *parser) parseFunDecl() (*ast.FunDecl, error) {
 	if err != nil {
 		return nil, err
 	}
-	params, err := p.parseParams()
+	params, _, err := p.parseParams()
 	if err != nil {
 		return nil, err
 	}
@@ -162,7 +168,7 @@ func (p *parser) parseFunDecl() (*ast.FunDecl, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &ast.FunDecl{Name: name.Text, Params: params, Ret: ret, Body: body, At: at}, nil
+	return &ast.FunDecl{Name: name.Text, Params: params, Ret: ret, Body: body, At: at, EndAt: body.End()}, nil
 }
 
 func (p *parser) parseChannelDecl() (*ast.ChannelDecl, error) {
@@ -171,7 +177,7 @@ func (p *parser) parseChannelDecl() (*ast.ChannelDecl, error) {
 	if err != nil {
 		return nil, err
 	}
-	params, err := p.parseParams()
+	params, headerEnd, err := p.parseParams()
 	if err != nil {
 		return nil, err
 	}
@@ -193,29 +199,32 @@ func (p *parser) parseChannelDecl() (*ast.ChannelDecl, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &ast.ChannelDecl{Name: name.Text, Params: params, InitState: initState, Body: body, At: at}, nil
+	return &ast.ChannelDecl{Name: name.Text, Params: params, InitState: initState, Body: body,
+		At: at, EndAt: body.End(), HeaderEnd: headerEnd}, nil
 }
 
-func (p *parser) parseParams() ([]ast.Param, error) {
+// parseParams parses "(name : type, ...)" and also returns the position
+// one past the closing paren (the end of the declared header).
+func (p *parser) parseParams() ([]ast.Param, token.Pos, error) {
 	if _, err := p.expect(token.LParen); err != nil {
-		return nil, err
+		return nil, token.Pos{}, err
 	}
 	var params []ast.Param
 	if p.peek().Kind == token.RParen {
-		p.next()
-		return params, nil
+		rp := p.next()
+		return params, rp.End, nil
 	}
 	for {
 		name, err := p.expect(token.Ident)
 		if err != nil {
-			return nil, err
+			return nil, token.Pos{}, err
 		}
 		if _, err := p.expect(token.Colon); err != nil {
-			return nil, err
+			return nil, token.Pos{}, err
 		}
 		ty, err := p.parseType()
 		if err != nil {
-			return nil, err
+			return nil, token.Pos{}, err
 		}
 		params = append(params, ast.Param{Name: name.Text, Type: ty})
 		if p.peek().Kind != token.Comma {
@@ -223,10 +232,11 @@ func (p *parser) parseParams() ([]ast.Param, error) {
 		}
 		p.next()
 	}
-	if _, err := p.expect(token.RParen); err != nil {
-		return nil, err
+	rp, err := p.expect(token.RParen)
+	if err != nil {
+		return nil, token.Pos{}, err
 	}
-	return params, nil
+	return params, rp.End, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -371,7 +381,7 @@ func (p *parser) parseBinary(level int) (ast.Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		left = &ast.Binary{Op: op, L: left, R: right, At: t.Pos}
+		left = &ast.Binary{Op: op, L: left, R: right, At: left.Pos(), EndAt: right.End()}
 	}
 }
 
@@ -384,7 +394,7 @@ func (p *parser) parseUnary() (ast.Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &ast.Unary{Op: "not", X: x, At: t.Pos}, nil
+		return &ast.Unary{Op: "not", X: x, At: t.Pos, EndAt: x.End()}, nil
 	case token.Minus:
 		p.next()
 		x, err := p.parseUnary()
@@ -393,16 +403,16 @@ func (p *parser) parseUnary() (ast.Expr, error) {
 		}
 		// Fold -literal immediately for cleaner ASTs.
 		if lit, ok := x.(*ast.IntLit); ok {
-			return &ast.IntLit{Value: -lit.Value, At: t.Pos}, nil
+			return &ast.IntLit{Value: -lit.Value, At: t.Pos, EndAt: lit.End()}, nil
 		}
-		return &ast.Unary{Op: "-", X: x, At: t.Pos}, nil
+		return &ast.Unary{Op: "-", X: x, At: t.Pos, EndAt: x.End()}, nil
 	case token.KwRaise:
 		p.next()
 		msg, err := p.parseUnary()
 		if err != nil {
 			return nil, err
 		}
-		return &ast.Raise{Msg: msg, At: t.Pos}, nil
+		return &ast.Raise{Msg: msg, At: t.Pos, EndAt: msg.End()}, nil
 	}
 	return p.parseProj()
 }
@@ -424,7 +434,7 @@ func (p *parser) parseProj() (ast.Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &ast.Proj{Index: idx, Tuple: tuple, At: t.Pos}, nil
+		return &ast.Proj{Index: idx, Tuple: tuple, At: t.Pos, EndAt: tuple.End()}, nil
 	}
 	return p.parseAtom()
 }
@@ -438,32 +448,32 @@ func (p *parser) parseAtom() (ast.Expr, error) {
 		if err != nil {
 			return nil, p.errorf(t.Pos, "integer literal %s out of range", t.Text)
 		}
-		return &ast.IntLit{Value: v, At: t.Pos}, nil
+		return &ast.IntLit{Value: v, At: t.Pos, EndAt: t.End}, nil
 	case token.String:
 		p.next()
-		return &ast.StringLit{Value: t.Text, At: t.Pos}, nil
+		return &ast.StringLit{Value: t.Text, At: t.Pos, EndAt: t.End}, nil
 	case token.Char:
 		p.next()
-		return &ast.CharLit{Value: t.Text[0], At: t.Pos}, nil
+		return &ast.CharLit{Value: t.Text[0], At: t.Pos, EndAt: t.End}, nil
 	case token.KwTrue:
 		p.next()
-		return &ast.BoolLit{Value: true, At: t.Pos}, nil
+		return &ast.BoolLit{Value: true, At: t.Pos, EndAt: t.End}, nil
 	case token.KwFalse:
 		p.next()
-		return &ast.BoolLit{Value: false, At: t.Pos}, nil
+		return &ast.BoolLit{Value: false, At: t.Pos, EndAt: t.End}, nil
 	case token.HostLit:
 		p.next()
 		addr, err := ParseHost(t.Text)
 		if err != nil {
 			return nil, p.errorf(t.Pos, "%v", err)
 		}
-		return &ast.HostLit{Addr: addr, Text: t.Text, At: t.Pos}, nil
+		return &ast.HostLit{Addr: addr, Text: t.Text, At: t.Pos, EndAt: t.End}, nil
 	case token.Ident:
 		p.next()
 		if p.peek().Kind == token.LParen {
 			return p.parseCallArgs(t)
 		}
-		return &ast.Var{Name: t.Text, At: t.Pos, Slot: -1, Global: -1}, nil
+		return &ast.Var{Name: t.Text, At: t.Pos, EndAt: t.End, Slot: -1, Global: -1}, nil
 	case token.KwLet:
 		return p.parseLet()
 	case token.KwIf:
@@ -481,7 +491,7 @@ func (p *parser) parseCallArgs(name token.Token) (ast.Expr, error) {
 	p.next() // (
 	call := &ast.Call{Name: name.Text, At: name.Pos, PrimIndex: -1, FunIndex: -1}
 	if p.peek().Kind == token.RParen {
-		p.next()
+		call.EndAt = p.next().End
 		return call, nil
 	}
 	for {
@@ -495,9 +505,11 @@ func (p *parser) parseCallArgs(name token.Token) (ast.Expr, error) {
 		}
 		p.next()
 	}
-	if _, err := p.expect(token.RParen); err != nil {
+	rp, err := p.expect(token.RParen)
+	if err != nil {
 		return nil, err
 	}
+	call.EndAt = rp.End
 	return call, nil
 }
 
@@ -536,10 +548,11 @@ func (p *parser) parseLet() (ast.Expr, error) {
 	if err != nil {
 		return nil, err
 	}
-	if _, err := p.expect(token.KwEnd); err != nil {
+	endTok, err := p.expect(token.KwEnd)
+	if err != nil {
 		return nil, err
 	}
-	return &ast.Let{Binds: binds, Body: body, At: at}, nil
+	return &ast.Let{Binds: binds, Body: body, At: at, EndAt: endTok.End}, nil
 }
 
 func (p *parser) parseIf() (ast.Expr, error) {
@@ -562,7 +575,7 @@ func (p *parser) parseIf() (ast.Expr, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &ast.If{Cond: cond, Then: thenE, Else: elseE, At: at}, nil
+	return &ast.If{Cond: cond, Then: thenE, Else: elseE, At: at, EndAt: elseE.End()}, nil
 }
 
 func (p *parser) parseTry() (ast.Expr, error) {
@@ -578,10 +591,11 @@ func (p *parser) parseTry() (ast.Expr, error) {
 	if err != nil {
 		return nil, err
 	}
-	if _, err := p.expect(token.KwEnd); err != nil {
+	endTok, err := p.expect(token.KwEnd)
+	if err != nil {
 		return nil, err
 	}
-	return &ast.Try{Body: body, Handler: handler, At: at}, nil
+	return &ast.Try{Body: body, Handler: handler, At: at, EndAt: endTok.End}, nil
 }
 
 // parseParen disambiguates between unit (), a parenthesized expression
@@ -589,8 +603,7 @@ func (p *parser) parseTry() (ast.Expr, error) {
 func (p *parser) parseParen() (ast.Expr, error) {
 	at := p.next().Pos // (
 	if p.peek().Kind == token.RParen {
-		p.next()
-		return &ast.UnitLit{At: at}, nil
+		return &ast.UnitLit{At: at, EndAt: p.next().End}, nil
 	}
 	first, err := p.parseExpr()
 	if err != nil {
@@ -610,10 +623,11 @@ func (p *parser) parseParen() (ast.Expr, error) {
 			}
 			exprs = append(exprs, e)
 		}
-		if _, err := p.expect(token.RParen); err != nil {
+		rp, err := p.expect(token.RParen)
+		if err != nil {
 			return nil, err
 		}
-		return &ast.Seq{Exprs: exprs, At: at}, nil
+		return &ast.Seq{Exprs: exprs, At: at, EndAt: rp.End}, nil
 	case token.Comma:
 		elems := []ast.Expr{first}
 		for p.peek().Kind == token.Comma {
@@ -624,10 +638,11 @@ func (p *parser) parseParen() (ast.Expr, error) {
 			}
 			elems = append(elems, e)
 		}
-		if _, err := p.expect(token.RParen); err != nil {
+		rp, err := p.expect(token.RParen)
+		if err != nil {
 			return nil, err
 		}
-		return &ast.TupleExpr{Elems: elems, At: at}, nil
+		return &ast.TupleExpr{Elems: elems, At: at, EndAt: rp.End}, nil
 	default:
 		return nil, p.errorf(p.peek().Pos, "expected ')', ';' or ',' in parenthesized expression, got %s", p.peek())
 	}

@@ -152,8 +152,8 @@ var Keywords = map[string]Kind{
 // Pos is a position within a source file. Line and Col are 1-based;
 // a zero Pos means "unknown".
 type Pos struct {
-	Line int
-	Col  int
+	Line int `json:"line"`
+	Col  int `json:"col"`
 }
 
 // IsValid reports whether p refers to an actual source location.
@@ -167,11 +167,13 @@ func (p Pos) String() string {
 	return fmt.Sprintf("%d:%d", p.Line, p.Col)
 }
 
-// Token is a single lexeme with its source position.
+// Token is a single lexeme with its source span. Pos is the first
+// character; End is one column past the last (tokens never span lines).
 type Token struct {
 	Kind Kind
 	Text string // raw text for Ident/Int/String/Char/HostLit
 	Pos  Pos
+	End  Pos
 }
 
 // String renders the token for diagnostics.

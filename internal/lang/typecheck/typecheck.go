@@ -16,19 +16,42 @@ package typecheck
 
 import (
 	"fmt"
+	"strings"
 
 	"planp.dev/planp/internal/lang/ast"
+	"planp.dev/planp/internal/lang/diag"
 	"planp.dev/planp/internal/lang/prims"
 	"planp.dev/planp/internal/lang/token"
 )
 
-// Error is a type error with its source position.
+// Error is the checker's report: every independent type error found in
+// one run, each with its source span. Callers that only care about the
+// first failure can use First; callers that render reports extract the
+// full list through Diagnostics (or diag.Of on a wrapped chain).
 type Error struct {
-	Pos token.Pos
-	Msg string
+	Diags diag.List
 }
 
-func (e *Error) Error() string { return fmt.Sprintf("%s: type error: %s", e.Pos, e.Msg) }
+// Error renders every diagnostic, one "line:col: type error: msg" per line.
+func (e *Error) Error() string {
+	parts := make([]string, len(e.Diags))
+	for i, d := range e.Diags {
+		parts[i] = fmt.Sprintf("%s: type error: %s", d.Pos, d.Msg)
+	}
+	return strings.Join(parts, "\n")
+}
+
+// Diagnostics implements diag.Provider.
+func (e *Error) Diagnostics() diag.List { return e.Diags }
+
+// First returns the first diagnostic (the one a pre-multi-error caller
+// would have seen).
+func (e *Error) First() diag.Diagnostic {
+	if len(e.Diags) == 0 {
+		return diag.Diagnostic{}
+	}
+	return e.Diags[0]
+}
 
 // Fun is a checked user function.
 type Fun struct {
@@ -62,6 +85,12 @@ type Info struct {
 	// ProtoState is the protocol-state type shared by all channels.
 	ProtoState ast.Type
 
+	// Sig is the program's channel-interface signature, extracted by the
+	// constraint pass once checking succeeds (see signature.go). It is
+	// the artifact the runtime caches and the fleet compatibility gate
+	// exchanges between nodes.
+	Sig *Signature
+
 	globalIdx map[string]int
 	funIdx    map[string]int
 	// chanIdx maps a channel name to the indices of its (possibly
@@ -93,11 +122,29 @@ func (in *Info) ChannelsByName(name string) []*Channel {
 type checker struct {
 	info *Info
 
+	// diags accumulates every independent error across the staged
+	// passes; checking continues past a failed declaration so one run
+	// reports as much as possible.
+	diags diag.List
+
 	// Current declaration context.
 	scope     *scope
 	nextSlot  int
 	frameMax  int
 	inChannel bool // OnRemote/OnNeighbor only legal inside channel bodies
+}
+
+// report records a declaration-level failure and lets checking continue
+// with the next declaration.
+func (c *checker) report(err error) {
+	if err == nil {
+		return
+	}
+	if ds := diag.Of(err); ds != nil {
+		c.diags = append(c.diags, ds...)
+		return
+	}
+	c.diags = append(c.diags, diag.Diagnostic{Msg: err.Error()})
 }
 
 type scope struct {
@@ -133,11 +180,39 @@ func (c *checker) lookup(name string) (binding, bool) {
 }
 
 func errf(pos token.Pos, format string, args ...any) error {
-	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+	return &Error{Diags: diag.List{{Pos: pos, Msg: fmt.Sprintf(format, args...)}}}
+}
+
+// errSpan is errf carrying a full source span (pos up to, not
+// including, end).
+func errSpan(pos, end token.Pos, format string, args ...any) error {
+	return &Error{Diags: diag.List{{Pos: pos, End: end, Msg: fmt.Sprintf(format, args...)}}}
 }
 
 // Check type-checks a parsed program and returns the resolution info.
 // The input AST is annotated in place (slots, indices, operand types).
+//
+// Checking runs in three staged passes:
+//
+//  1. Declarations — every channel header is registered (packet type
+//     validated, overloads deduplicated, the shared protocol-state type
+//     unified) so bodies can send to any channel, including the one
+//     being defined (OnRemote is a recursive call on a remote machine,
+//     §2.1) and channels declared later (the MPEG monitor forwards to
+//     the client channel).
+//
+//  2. Inference — declarations are checked in order (vals and funs may
+//     only reference names declared before them: no recursion — local
+//     termination by construction). A failed declaration no longer
+//     aborts the run: its error is recorded, its name stays bound at
+//     the declared type to suppress cascading "undefined name" noise,
+//     and checking proceeds with the next declaration.
+//
+//  3. Constraints — whole-program requirements (at least one channel)
+//     and, on success, extraction of the channel-interface Signature.
+//
+// On failure the returned error is an *Error carrying every diagnostic
+// found, in source order.
 func Check(prog *ast.Program) (*Info, error) {
 	info := &Info{
 		Prog:      prog,
@@ -147,44 +222,35 @@ func Check(prog *ast.Program) (*Info, error) {
 	}
 	c := &checker{info: info}
 
-	// Pass 1: register every channel's signature so bodies can send to
-	// any channel, including the one being defined (OnRemote is a
-	// recursive call on a remote machine, §2.1) and channels declared
-	// later (the MPEG monitor forwards to the client channel).
+	// Pass 1: declarations.
 	for _, d := range prog.Decls {
-		ch, ok := d.(*ast.ChannelDecl)
-		if !ok {
-			continue
-		}
-		if err := c.registerChannel(ch); err != nil {
-			return nil, err
+		if ch, ok := d.(*ast.ChannelDecl); ok {
+			c.report(c.registerChannel(ch))
 		}
 	}
 
-	// Pass 2: check declarations in order. Vals and funs may only
-	// reference names declared before them (no recursion — local
-	// termination by construction).
+	// Pass 2: inference.
 	for _, d := range prog.Decls {
 		switch d := d.(type) {
 		case *ast.ValDecl:
-			if err := c.checkValDecl(d); err != nil {
-				return nil, err
-			}
+			c.report(c.checkValDecl(d))
 		case *ast.FunDecl:
-			if err := c.checkFunDecl(d); err != nil {
-				return nil, err
-			}
+			c.report(c.checkFunDecl(d))
 		case *ast.ChannelDecl:
-			if err := c.checkChannelDecl(d); err != nil {
-				return nil, err
-			}
+			c.report(c.checkChannelDecl(d))
 		default:
-			return nil, errf(d.DeclPos(), "unknown declaration kind")
+			c.report(errf(d.DeclPos(), "unknown declaration kind"))
 		}
 	}
-	if len(info.Channels) == 0 {
-		return nil, errf(prog.Decls[0].DeclPos(), "program defines no channels")
+
+	// Pass 3: constraints.
+	if len(info.Channels) == 0 && len(c.diags) == 0 {
+		c.report(errf(prog.Decls[0].DeclPos(), "program defines no channels"))
 	}
+	if len(c.diags) > 0 {
+		return nil, &Error{Diags: c.diags}
+	}
+	info.Sig = ExtractSignature(info)
 	return info, nil
 }
 
@@ -210,15 +276,15 @@ func (c *checker) checkValDecl(d *ast.ValDecl) error {
 	}
 	c.resetFrame()
 	got, err := c.checkExpr(d.Init, d.Type)
-	if err != nil {
-		return err
+	if err == nil && !ast.Equal(got, d.Type) {
+		err = errSpan(d.Init.Pos(), d.Init.End(), "val %s declared %s but initializer has type %s", d.Name, d.Type, got)
 	}
-	if !ast.Equal(got, d.Type) {
-		return errf(d.At, "val %s declared %s but initializer has type %s", d.Name, d.Type, got)
-	}
+	// Register the name even when the initializer failed: the declared
+	// type is still trustworthy, and keeping the binding suppresses
+	// cascading "undefined name" errors in later declarations.
 	c.info.globalIdx[d.Name] = len(c.info.Globals)
 	c.info.Globals = append(c.info.Globals, Global{Decl: d, Index: len(c.info.Globals), FrameSize: c.frameMax})
-	return nil
+	return err
 }
 
 func (c *checker) checkFunDecl(d *ast.FunDecl) error {
@@ -241,16 +307,15 @@ func (c *checker) checkFunDecl(d *ast.FunDecl) error {
 	}
 	got, err := c.checkExpr(d.Body, d.Ret)
 	c.pop()
-	if err != nil {
-		return err
+	if err == nil && !ast.Equal(got, d.Ret) {
+		err = errSpan(d.Body.Pos(), d.Body.End(), "fun %s declared to return %s but body has type %s", d.Name, d.Ret, got)
 	}
-	if !ast.Equal(got, d.Ret) {
-		return errf(d.At, "fun %s declared to return %s but body has type %s", d.Name, d.Ret, got)
-	}
+	// As with vals, a failed body does not unbind the fun: callers are
+	// checked against the declared signature.
 	idx := len(c.info.Funs)
 	c.info.funIdx[d.Name] = idx
 	c.info.Funs = append(c.info.Funs, Fun{Decl: d, Index: idx, FrameSize: c.frameMax})
-	return nil
+	return err
 }
 
 // registerChannel records a channel's signature (pass 1) so sends can
@@ -261,13 +326,13 @@ func (c *checker) registerChannel(d *ast.ChannelDecl) error {
 	}
 	pktType := d.PacketType()
 	if err := ValidatePacketType(pktType); err != nil {
-		return errf(d.At, "channel %s: %v", d.Name, err)
+		return errSpan(d.At, d.HeaderEnd, "channel %s: %v", d.Name, err)
 	}
 	// Overloads of the same channel name must have distinct packet types
 	// (otherwise dispatch is ambiguous).
 	for _, prev := range c.info.chanIdx[d.Name] {
 		if ast.Equal(c.info.Channels[prev].Decl.PacketType(), pktType) {
-			return errf(d.At, "channel %s redefined with the same packet type %s", d.Name, pktType)
+			return errSpan(d.At, d.HeaderEnd, "channel %s redefined with the same packet type %s", d.Name, pktType)
 		}
 	}
 	// The protocol state is shared between all channels (§2): every
@@ -275,7 +340,7 @@ func (c *checker) registerChannel(d *ast.ChannelDecl) error {
 	if c.info.ProtoState == nil {
 		c.info.ProtoState = d.ProtoState()
 	} else if !ast.Equal(c.info.ProtoState, d.ProtoState()) {
-		return errf(d.At, "channel %s declares protocol state %s but earlier channels declared %s (the protocol state is shared)",
+		return errSpan(d.At, d.HeaderEnd, "channel %s declares protocol state %s but earlier channels declared %s (the protocol state is shared)",
 			d.Name, d.ProtoState(), c.info.ProtoState)
 	}
 	idx := len(c.info.Channels)
@@ -328,7 +393,7 @@ func (c *checker) checkChannelDecl(d *ast.ChannelDecl) error {
 		return err
 	}
 	if !ast.Equal(got, want) {
-		return errf(d.At, "channel %s: body has type %s, want %s (new protocol state, new channel state)", d.Name, got, want)
+		return errSpan(d.At, d.HeaderEnd, "channel %s: body has type %s, want %s (new protocol state, new channel state)", d.Name, got, want)
 	}
 	// Fill in the frame size on the entry registered in pass 1.
 	for i := range c.info.Channels {
@@ -418,7 +483,7 @@ func (c *checker) checkExpr(e ast.Expr, expected ast.Type) (ast.Type, error) {
 		if len(c.info.chanIdx[e.Name]) > 0 {
 			return nil, errf(e.At, "%s is a channel; channels may only appear as the first argument of OnRemote/OnNeighbor", e.Name)
 		}
-		return nil, errf(e.At, "undefined name %s", e.Name)
+		return nil, errSpan(e.At, e.End(), "undefined name %s", e.Name)
 
 	case *ast.Proj:
 		tt, err := c.checkExpr(e.Tuple, nil)
@@ -444,7 +509,7 @@ func (c *checker) checkExpr(e ast.Expr, expected ast.Type) (ast.Type, error) {
 				return nil, err
 			}
 			if !ast.Equal(got, b.Type) {
-				return nil, errf(e.At, "val %s declared %s but initializer has type %s", b.Name, b.Type, got)
+				return nil, errSpan(b.Init.Pos(), b.Init.End(), "val %s declared %s but initializer has type %s", b.Name, b.Type, got)
 			}
 			b.Slot = c.bind(b.Name, b.Type)
 		}
@@ -572,7 +637,7 @@ func (c *checker) checkBinary(e *ast.Binary) (ast.Type, error) {
 			return nil, err
 		}
 		if !ast.Equal(lt, ast.BoolT) || !ast.Equal(rt, ast.BoolT) {
-			return nil, errf(e.At, "%s requires bool operands, got %s and %s", e.Op, lt, rt)
+			return nil, errSpan(e.At, e.End(), "%s requires bool operands, got %s and %s", e.Op, lt, rt)
 		}
 		return ast.BoolT, nil
 
@@ -586,7 +651,7 @@ func (c *checker) checkBinary(e *ast.Binary) (ast.Type, error) {
 			return nil, err
 		}
 		if !ast.Equal(lt, ast.IntT) || !ast.Equal(rt, ast.IntT) {
-			return nil, errf(e.At, "%s requires int operands, got %s and %s", e.Op, lt, rt)
+			return nil, errSpan(e.At, e.End(), "%s requires int operands, got %s and %s", e.Op, lt, rt)
 		}
 		return ast.IntT, nil
 
@@ -600,7 +665,7 @@ func (c *checker) checkBinary(e *ast.Binary) (ast.Type, error) {
 			return nil, err
 		}
 		if !ast.Equal(lt, ast.StringT) || !ast.Equal(rt, ast.StringT) {
-			return nil, errf(e.At, "^ requires string operands, got %s and %s", lt, rt)
+			return nil, errSpan(e.At, e.End(), "^ requires string operands, got %s and %s", lt, rt)
 		}
 		return ast.StringT, nil
 
@@ -614,10 +679,10 @@ func (c *checker) checkBinary(e *ast.Binary) (ast.Type, error) {
 			return nil, err
 		}
 		if !ast.Equal(lt, rt) {
-			return nil, errf(e.At, "%s requires operands of the same type, got %s and %s", e.Op, lt, rt)
+			return nil, errSpan(e.At, e.End(), "%s requires operands of the same type, got %s and %s", e.Op, lt, rt)
 		}
 		if !ast.Equal(lt, ast.IntT) && !ast.Equal(lt, ast.StringT) && !ast.Equal(lt, ast.CharT) {
-			return nil, errf(e.At, "%s is not defined on %s", e.Op, lt)
+			return nil, errSpan(e.At, e.End(), "%s is not defined on %s", e.Op, lt)
 		}
 		e.OperandType = lt
 		return ast.BoolT, nil
@@ -632,11 +697,11 @@ func (c *checker) checkBinary(e *ast.Binary) (ast.Type, error) {
 			return nil, err
 		}
 		if !ast.Equal(lt, rt) {
-			return nil, errf(e.At, "%s compares operands of different types: %s vs %s", e.Op, lt, rt)
+			return nil, errSpan(e.At, e.End(), "%s compares operands of different types: %s vs %s", e.Op, lt, rt)
 		}
 		if !ast.IsEquality(lt) {
 			if _, isTable := lt.(ast.Table); isTable {
-				return nil, errf(e.At, "hash tables cannot be compared with %s", e.Op)
+				return nil, errSpan(e.At, e.End(), "hash tables cannot be compared with %s", e.Op)
 			}
 		}
 		e.OperandType = lt
@@ -742,8 +807,11 @@ func (c *checker) checkSend(e *ast.Call) (ast.Type, error) {
 		}
 	}
 	if !matched {
-		return nil, errf(e.At, "%s: packet type %s matches no definition of channel %s", e.Name, pktT, cref.Name)
+		return nil, errSpan(e.At, e.End(), "%s: packet type %s matches no definition of channel %s", e.Name, pktT, cref.Name)
 	}
 	e.PrimIndex, e.FunIndex = -1, -1
+	// Annotate the send with its resolved packet type: signature
+	// extraction and the verifier read it instead of re-deriving.
+	e.SendPacket = pktT
 	return ast.UnitT, nil
 }

@@ -308,13 +308,13 @@ func hostOf(v aval) ahost {
 // ---------------------------------------------------------------------------
 // State exploration
 
-// token is a concrete abstract address in the explored state space.
-type token struct {
+// addrTok is a concrete abstract address in the explored state space.
+type addrTok struct {
 	kind ahKind // ahPSrc = original source, ahPDst = original destination, ahLit, ahUnknown
 	lit  value.Host
 }
 
-func (t token) String() string {
+func (t addrTok) String() string {
 	switch t.kind {
 	case ahPSrc:
 		return "S0"
@@ -330,28 +330,28 @@ func (t token) String() string {
 // state is one node of the abstract transition system.
 type state struct {
 	chanIdx  int
-	src, dst token
+	src, dst addrTok
 }
 
 // substitute resolves an abstract host (in terms of the incoming packet)
-// against the current state, returning the concrete token and whether
+// against the current state, returning the concrete addrTok and whether
 // the result is a local delivery (dst == this node) rather than a
 // transmission.
-func substitute(a ahost, st state) (token, bool) {
+func substitute(a ahost, st state) (addrTok, bool) {
 	switch a.kind {
 	case ahPSrc:
 		return st.src, false
 	case ahPDst:
 		return st.dst, false
 	case ahLit:
-		return token{kind: ahLit, lit: a.lit}, false
+		return addrTok{kind: ahLit, lit: a.lit}, false
 	case ahThis:
 		// A destination equal to the sending node is delivered locally
 		// and never transmitted; as a source it is an address the
 		// exploration cannot name.
-		return token{kind: ahUnknown}, true
+		return addrTok{kind: ahUnknown}, true
 	default:
-		return token{kind: ahUnknown}, false
+		return addrTok{kind: ahUnknown}, false
 	}
 }
 
@@ -388,7 +388,7 @@ func exploreStates(info *typecheck.Info) (int, string) {
 	// source and destination are the opaque originals.
 	work := []int{}
 	for ci := range info.Channels {
-		work = append(work, intern(state{chanIdx: ci, src: token{kind: ahPSrc}, dst: token{kind: ahPDst}}))
+		work = append(work, intern(state{chanIdx: ci, src: addrTok{kind: ahPSrc}, dst: addrTok{kind: ahPDst}}))
 	}
 
 	for len(work) > 0 {

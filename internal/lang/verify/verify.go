@@ -23,7 +23,9 @@ import (
 	"strings"
 
 	"planp.dev/planp/internal/lang/ast"
+	"planp.dev/planp/internal/lang/diag"
 	"planp.dev/planp/internal/lang/prims"
+	"planp.dev/planp/internal/lang/token"
 	"planp.dev/planp/internal/lang/typecheck"
 )
 
@@ -32,6 +34,37 @@ type Check struct {
 	Name   string
 	OK     bool
 	Detail string // reason when !OK; short confirmation when OK
+
+	// Pos..End anchors a failure at the offending construct (usually a
+	// channel header); both are zero when the failure has no single
+	// source location (e.g. a cycle through several channels).
+	Pos token.Pos
+	End token.Pos
+}
+
+// Error is a failed verification: the subset of checks that did not
+// pass, with their source anchors.
+type Error struct {
+	Fails []Check
+}
+
+// Error keeps the historical "verification failed: name: detail; ..."
+// rendering.
+func (e *Error) Error() string {
+	parts := make([]string, len(e.Fails))
+	for i, c := range e.Fails {
+		parts[i] = fmt.Sprintf("%s: %s", c.Name, c.Detail)
+	}
+	return "verification failed: " + strings.Join(parts, "; ")
+}
+
+// Diagnostics implements diag.Provider.
+func (e *Error) Diagnostics() diag.List {
+	out := make(diag.List, len(e.Fails))
+	for i, c := range e.Fails {
+		out[i] = diag.Diagnostic{Pos: c.Pos, End: c.End, Msg: fmt.Sprintf("%s: %s", c.Name, c.Detail)}
+	}
+	return out
 }
 
 // Result bundles the four safety analyses.
@@ -55,13 +88,13 @@ func (r *Result) Err() error {
 	if r.AllOK() {
 		return nil
 	}
-	var fails []string
+	var fails []Check
 	for _, c := range []Check{r.LocalTermination, r.GlobalTermination, r.Delivery, r.Duplication} {
 		if !c.OK {
-			fails = append(fails, fmt.Sprintf("%s: %s", c.Name, c.Detail))
+			fails = append(fails, c)
 		}
 	}
-	return fmt.Errorf("verification failed: %s", strings.Join(fails, "; "))
+	return &Error{Fails: fails}
 }
 
 // String renders a verification report.
@@ -131,7 +164,8 @@ func localTermination(info *typecheck.Info) Check {
 		})
 		if bad {
 			return Check{Name: "local-termination", OK: false,
-				Detail: fmt.Sprintf("fun %s calls itself or a later fun", f.Decl.Name)}
+				Detail: fmt.Sprintf("fun %s calls itself or a later fun", f.Decl.Name),
+				Pos:    f.Decl.At, End: f.Decl.DeclEnd()}
 		}
 	}
 	return Check{Name: "local-termination", OK: true, Detail: "no recursion, no loops (by construction)"}
@@ -191,11 +225,13 @@ func delivery(info *typecheck.Info, noCycle bool) Check {
 		ch := &info.Channels[i]
 		if mayRaise(info, ch.Decl.Body, nil) {
 			return Check{Name: "delivery", OK: false,
-				Detail: fmt.Sprintf("channel %s may terminate with an unhandled exception", ch.Decl.Name)}
+				Detail: fmt.Sprintf("channel %s may terminate with an unhandled exception", ch.Decl.Name),
+				Pos:    ch.Decl.At, End: ch.Decl.HeaderEnd}
 		}
 		if !allPathsSend(ch.Decl.Body) {
 			return Check{Name: "delivery", OK: false,
-				Detail: fmt.Sprintf("channel %s drops the packet on some execution path (no OnRemote/OnNeighbor/deliver)", ch.Decl.Name)}
+				Detail: fmt.Sprintf("channel %s drops the packet on some execution path (no OnRemote/OnNeighbor/deliver)", ch.Decl.Name),
+				Pos:    ch.Decl.At, End: ch.Decl.HeaderEnd}
 		}
 	}
 	return Check{Name: "delivery", OK: true, Detail: "all exceptions handled, all paths forward or deliver"}
@@ -530,29 +566,31 @@ func allPathsSend(e ast.Expr) bool {
 // duplication runs the fix-point analysis: a program can duplicate
 // packets exponentially iff a channel that emits more than one packet on
 // some execution path lies on a cycle of the channel send graph.
+//
+// Both inputs — per-channel send multiplicity and the send graph — come
+// from the channel-interface signature the typechecker extracted, so
+// the analysis no longer re-walks channel bodies.
 func duplication(info *typecheck.Info) Check {
+	sig := info.Sig
+	if sig == nil {
+		sig = typecheck.ExtractSignature(info)
+	}
 	n := len(info.Channels)
 	// copies[i]: maximum sends on any execution path of channel i
 	// (saturated at 2). edges[i]: channel indices i can send to.
 	copies := make([]int, n)
 	edges := make([][]int, n)
-	for i := range info.Channels {
-		ch := &info.Channels[i]
-		copies[i] = maxSendsPerPath(ch.Decl.Body)
+	for i, ch := range sig.Channels {
+		copies[i] = ch.MaxSendsPerPath
 		seen := map[int]bool{}
-		walk(ch.Decl.Body, func(e ast.Expr) {
-			call, ok := e.(*ast.Call)
-			if !ok || (call.Name != "OnRemote" && call.Name != "OnNeighbor") {
-				return
-			}
-			cref := call.Args[0].(*ast.ChanRef)
-			for _, target := range info.ChannelsByName(cref.Name) {
+		for _, snd := range ch.Sends {
+			for _, target := range info.ChannelsByName(snd.Channel) {
 				if !seen[target.Index] {
 					seen[target.Index] = true
 					edges[i] = append(edges[i], target.Index)
 				}
 			}
-		})
+		}
 	}
 
 	// reaches[i][j]: transitive closure of the send graph (fix-point).
@@ -584,69 +622,10 @@ func duplication(info *typecheck.Info) Check {
 		if copies[i] >= 2 && reaches[i][i] {
 			return Check{Name: "duplication", OK: false,
 				Detail: fmt.Sprintf("channel %s copies packets (%d+ sends on one path) and lies on a send cycle: duplication may be exponential",
-					info.Channels[i].Decl.Name, copies[i])}
+					info.Channels[i].Decl.Name, copies[i]),
+				Pos: info.Channels[i].Decl.At, End: info.Channels[i].Decl.HeaderEnd}
 		}
 	}
 	return Check{Name: "duplication", OK: true, Detail: "packet duplication is linear"}
 }
 
-// maxSendsPerPath computes the maximum number of OnRemote/OnNeighbor
-// calls on any single execution path, saturating at 2. OnNeighbor counts
-// as 2 because it transmits to every neighbor.
-func maxSendsPerPath(e ast.Expr) int {
-	sat := func(n int) int {
-		if n > 2 {
-			return 2
-		}
-		return n
-	}
-	switch e := e.(type) {
-	case *ast.Call:
-		n := 0
-		if e.Name == "OnRemote" {
-			n = 1
-		} else if e.Name == "OnNeighbor" {
-			n = 2
-		}
-		for _, a := range e.Args {
-			n += maxSendsPerPath(a)
-		}
-		return sat(n)
-	case *ast.Proj:
-		return maxSendsPerPath(e.Tuple)
-	case *ast.Let:
-		n := 0
-		for _, b := range e.Binds {
-			n += maxSendsPerPath(b.Init)
-		}
-		return sat(n + maxSendsPerPath(e.Body))
-	case *ast.If:
-		branch := maxSendsPerPath(e.Then)
-		if el := maxSendsPerPath(e.Else); el > branch {
-			branch = el
-		}
-		return sat(maxSendsPerPath(e.Cond) + branch)
-	case *ast.Seq:
-		n := 0
-		for _, sub := range e.Exprs {
-			n += maxSendsPerPath(sub)
-		}
-		return sat(n)
-	case *ast.TupleExpr:
-		n := 0
-		for _, sub := range e.Elems {
-			n += maxSendsPerPath(sub)
-		}
-		return sat(n)
-	case *ast.Unary:
-		return maxSendsPerPath(e.X)
-	case *ast.Binary:
-		return sat(maxSendsPerPath(e.L) + maxSendsPerPath(e.R))
-	case *ast.Try:
-		// Body sends may occur before the exception, then the handler
-		// sends again: worst case is their sum.
-		return sat(maxSendsPerPath(e.Body) + maxSendsPerPath(e.Handler))
-	default:
-		return 0
-	}
-}

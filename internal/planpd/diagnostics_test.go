@@ -1,0 +1,110 @@
+package planpd
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// rawCall performs one request and returns status + raw body, so error
+// responses can be decoded too.
+func rawCall(t *testing.T, method, url, body string) (int, []byte) {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, raw
+}
+
+// TestStageRejectionCarriesDiagnostics pins the structured 422 body: a
+// rejected stage reports every type error as {pos, end, msg}, not one
+// opaque string.
+func TestStageRejectionCarriesDiagnostics(t *testing.T) {
+	_, base := stageNode(t)
+	// Two independent type errors plus a valid channel.
+	src := `
+val a : int = "not an int"
+val b : bool = 3
+channel network(ps : int, ss : unit, p : ip*udp*blob) is
+  (OnRemote(network, p); (ps + 1, ss))
+`
+	code, raw := rawCall(t, http.MethodPost, base+"/asp/stage?version=v1", src)
+	if code != http.StatusUnprocessableEntity {
+		t.Fatalf("stage: %d, want 422 (body %s)", code, raw)
+	}
+	var body struct {
+		Error       string `json:"error"`
+		Diagnostics []struct {
+			Pos struct {
+				Line int `json:"line"`
+				Col  int `json:"col"`
+			} `json:"pos"`
+			Msg string `json:"msg"`
+		} `json:"diagnostics"`
+	}
+	if err := json.Unmarshal(raw, &body); err != nil {
+		t.Fatalf("422 body is not JSON: %q: %v", raw, err)
+	}
+	if !strings.Contains(body.Error, "stage rejected") {
+		t.Errorf("error = %q, want a 'stage rejected' message", body.Error)
+	}
+	if len(body.Diagnostics) != 2 {
+		t.Fatalf("got %d diagnostics, want 2: %+v", len(body.Diagnostics), body.Diagnostics)
+	}
+	if body.Diagnostics[0].Pos.Line != 2 || body.Diagnostics[1].Pos.Line != 3 {
+		t.Errorf("diagnostic lines = %d, %d; want 2, 3",
+			body.Diagnostics[0].Pos.Line, body.Diagnostics[1].Pos.Line)
+	}
+	for _, d := range body.Diagnostics {
+		if d.Pos.Col == 0 || d.Msg == "" {
+			t.Errorf("incomplete diagnostic %+v", d)
+		}
+	}
+}
+
+// TestStatusServesActiveSignature pins the signature round-trip: stage
+// returns the staged program's channel interface, and once activated
+// GET /asp serves it for peers running the compatibility gate.
+func TestStatusServesActiveSignature(t *testing.T) {
+	_, base := stageNode(t)
+	code, body := call(t, http.MethodPost, base+"/asp/stage?version=v1", stageForwarder)
+	if code != http.StatusOK {
+		t.Fatalf("stage: %d", code)
+	}
+	sig, ok := body["signature"].(map[string]any)
+	if !ok {
+		t.Fatalf("stage response has no signature: %v", body)
+	}
+	chans, _ := sig["channels"].([]any)
+	if len(chans) != 1 {
+		t.Fatalf("staged signature has %d channels, want 1", len(chans))
+	}
+	ch := chans[0].(map[string]any)
+	if ch["name"] != "network" || ch["packet"] != "ip*udp*blob" {
+		t.Errorf("channel signature = %v", ch)
+	}
+
+	if code, _ := call(t, http.MethodPost, base+"/asp/activate?version=v1", ""); code != http.StatusOK {
+		t.Fatalf("activate: %d", code)
+	}
+	code, status := call(t, http.MethodGet, base+"/asp", "")
+	if code != http.StatusOK {
+		t.Fatalf("GET /asp: %d", code)
+	}
+	if _, ok := status["signature"].(map[string]any); !ok {
+		t.Fatalf("GET /asp does not serve the active signature: %v", status)
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"net/http"
 	"sync"
 
+	"planp.dev/planp/internal/lang/diag"
 	"planp.dev/planp/internal/planprt"
 	"planp.dev/planp/internal/substrate"
 )
@@ -165,12 +166,12 @@ func (s *Server) install(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		// Parse/type/verify rejection: the protocol is at fault, not
 		// the request framing.
-		http.Error(w, fmt.Sprintf("download rejected: %v", err), http.StatusUnprocessableEntity)
+		writeReject(w, http.StatusUnprocessableEntity, fmt.Sprintf("download rejected: %v", err), err)
 		return
 	}
 	rt, err := planprt.Install(s.node, prog, s.out)
 	if err != nil {
-		http.Error(w, fmt.Sprintf("install rejected: %v", err), http.StatusUnprocessableEntity)
+		writeReject(w, http.StatusUnprocessableEntity, fmt.Sprintf("install rejected: %v", err), err)
 		return
 	}
 	s.active = &installed{
@@ -215,6 +216,12 @@ func (s *Server) status(w http.ResponseWriter) {
 		"staged": versionOf(s.staged),
 		"prev":   versionOf(s.prev),
 	}
+	// The active version's channel-interface signature, for peers (the
+	// fleet compatibility gate) deciding whether a new version can
+	// coexist with what this node runs.
+	if s.active != nil {
+		resp["signature"] = s.active.prog.Signature()
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -240,17 +247,43 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Lock()
 	version := versionOf(s.active)
+	var sig any
+	if s.active != nil {
+		if sg := s.active.prog.Signature(); sg != nil {
+			sig = sg
+		}
+	}
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]any{
+	resp := map[string]any{
 		"ok":      true,
 		"node":    s.node.Hostname(),
 		"asp":     s.node.CurrentProcessor() != nil,
 		"version": version,
-	})
+	}
+	// The active version's channel-interface signature rides the health
+	// probe so the fleet's compatibility gate needs no extra round-trip.
+	if sig != nil {
+		resp["signature"] = sig
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(v)
+}
+
+// writeReject reports a rejected protocol as structured JSON: the
+// rendered error plus the individual span-carrying diagnostics, so the
+// deploy tooling can point at the offending source lines instead of
+// echoing one opaque string.
+//
+//	{"error": "stage rejected: ...", "diagnostics": [{"pos": {...}, "end": {...}, "msg": "..."}]}
+func writeReject(w http.ResponseWriter, status int, msg string, err error) {
+	body := map[string]any{"error": msg}
+	if ds := diag.Of(err); len(ds) > 0 {
+		body["diagnostics"] = ds
+	}
+	writeJSON(w, status, body)
 }

@@ -52,7 +52,7 @@ func (s *Server) stage(w http.ResponseWriter, r *http.Request) {
 	// processing is untouched until activate.
 	prog, err := planprt.Load(src, cfg)
 	if err != nil {
-		http.Error(w, fmt.Sprintf("stage rejected: %v", err), http.StatusUnprocessableEntity)
+		writeReject(w, http.StatusUnprocessableEntity, fmt.Sprintf("stage rejected: %v", err), err)
 		return
 	}
 
@@ -60,10 +60,11 @@ func (s *Server) stage(w http.ResponseWriter, r *http.Request) {
 	defer s.mu.Unlock()
 	s.staged = &installed{version: version, source: src, cfg: cfg, prog: prog}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"staged":  true,
-		"version": version,
-		"node":    s.node.Hostname(),
-		"engine":  string(cfg.Engine),
+		"staged":    true,
+		"version":   version,
+		"node":      s.node.Hostname(),
+		"engine":    string(cfg.Engine),
+		"signature": prog.Signature(),
 	})
 }
 

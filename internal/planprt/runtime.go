@@ -108,6 +108,12 @@ type Program struct {
 // count exactly where it found it.
 func (p *Program) Installs() int { return p.installs }
 
+// Signature returns the program's channel-interface signature, as
+// extracted by the typechecker. Because the signature lives on the
+// shared Info, cache hits return the very same artifact — exposing it
+// here costs nothing beyond the compile that already happened.
+func (p *Program) Signature() *typecheck.Signature { return p.Info.Sig }
+
 // compileWith returns the engine's compile function.
 func compileWith(kind EngineKind) (func(*typecheck.Info) (engine.Compiled, error), error) {
 	switch kind {
