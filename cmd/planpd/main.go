@@ -45,6 +45,7 @@ import (
 	"syscall"
 	"time"
 
+	"planp.dev/planp/internal/adapt"
 	"planp.dev/planp/internal/fleet"
 	"planp.dev/planp/internal/lang/diag"
 	"planp.dev/planp/internal/planpd"
@@ -52,8 +53,13 @@ import (
 )
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "deploy" {
-		os.Exit(runDeploy(os.Args[2:]))
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "deploy":
+			os.Exit(runDeploy(os.Args[2:]))
+		case "adapt":
+			os.Exit(runAdapt(os.Args[2:]))
+		}
 	}
 	os.Exit(runServe(os.Args[1:]))
 }
@@ -89,6 +95,12 @@ func runServe(args []string) int {
 	// per-node mounts unless the request names full URLs.
 	ctl := fleet.New(fleet.Config{Logf: log.Printf, HistoryPath: *history})
 	mux.Handle("/deployments", ctl.Handler())
+
+	// The adaptation controller: POST /adapt starts a self-promoting
+	// canary against the same fleet controller (so canary, promote, and
+	// rollback records all land in one history); GET /adapt watches it.
+	adaptCtl := adapt.New(adapt.Config{Fleet: ctl, Logf: log.Printf})
+	mux.Handle("/adapt", adaptCtl.Handler())
 	mux.HandleFunc("/deploy", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
@@ -236,6 +248,95 @@ func runDeploy(args []string) int {
 		if ds := diag.Of(deployErr); len(ds) > 0 {
 			fmt.Fprint(os.Stderr, diag.Render(string(src), *srcPath, ds))
 		}
+		return 1
+	}
+	return 0
+}
+
+// guardList collects repeatable -guard flags.
+type guardList []string
+
+func (g *guardList) String() string     { return strings.Join(*g, ",") }
+func (g *guardList) Set(s string) error { *g = append(*g, s); return nil }
+
+// runAdapt drives one self-promoting canary from the command line: the
+// candidate is staged on the -canary cohort, guard metrics are watched
+// for -windows windows against the -baseline cohort, then the rollout
+// promotes fleet-wide or rolls back on its own. Exit status: 0
+// promoted, 1 rolled back or failed, 2 usage.
+//
+//	planpd adapt -canary gateway -baseline server0,server1 \
+//	    -src asp/http_gateway_leastconn.planp -verify single \
+//	    -guard 'node.{node}.drops<=5' -guard 'asp.{node}.faults<=1x+2' \
+//	    -windows 3 -interval 2s
+func runAdapt(args []string) int {
+	fs := flag.NewFlagSet("planpd adapt", flag.ExitOnError)
+	canaryFlag := fs.String("canary", "", "comma-separated canary cohort: name=url, or bare node names resolved against -daemon")
+	baselineFlag := fs.String("baseline", "", "comma-separated baseline cohort (receives the promote rollout)")
+	daemon := fs.String("daemon", "http://127.0.0.1:8377", "planpd daemon base URL for bare node names")
+	srcPath := fs.String("src", "", "PLAN-P protocol source file")
+	version := fs.String("version", "", "version label (auto-assigned when empty)")
+	engine := fs.String("engine", "", "execution engine: jit, bytecode, interp")
+	verify := fs.String("verify", "", "verification policy: network, single, privileged")
+	windows := fs.Int("windows", 3, "observation windows before promotion")
+	interval := fs.Duration("interval", 2*time.Second, "observation window length")
+	timeout := fs.Duration("timeout", 2*time.Minute, "overall run deadline")
+	var guards guardList
+	fs.Var(&guards, "guard", "guard metric, metric<=N | metric<=Rx+S (repeatable; {node} expands per node)")
+	fs.Parse(args)
+
+	if *srcPath == "" || *canaryFlag == "" {
+		fmt.Fprintln(os.Stderr, "planpd adapt: -src and -canary are required")
+		return 2
+	}
+	src, err := os.ReadFile(*srcPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	canary, err := parseTargets(*canaryFlag, *daemon)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	var baseline []fleet.Target
+	if *baselineFlag != "" {
+		if baseline, err = parseTargets(*baselineFlag, *daemon); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+	parsed, err := adapt.ParseGuards(guards)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	ctl := adapt.New(adapt.Config{
+		Fleet: fleet.New(fleet.Config{Logf: log.Printf}),
+		Logf:  log.Printf,
+	})
+	out, runErr := ctl.Canary(ctx, adapt.CanaryPlan{
+		Spec: fleet.Spec{
+			Version: *version, Source: string(src),
+			Engine: *engine, Verify: *verify, SourceName: *srcPath,
+		},
+		Canary: canary, Baseline: baseline,
+		Guards: parsed, Windows: *windows, Interval: *interval,
+	})
+	if out != nil {
+		enc, _ := json.MarshalIndent(map[string]any{
+			"verdict": out.Verdict, "reason": out.Reason,
+		}, "", "  ")
+		fmt.Println(string(enc))
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, runErr)
+		return 1
+	}
+	if out.Verdict != adapt.VerdictPromoted {
 		return 1
 	}
 	return 0

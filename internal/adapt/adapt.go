@@ -1,0 +1,248 @@
+// Package adapt is the closed-loop adaptation controller: the layer
+// that turns the paper's downloadable protocols from an operator tool
+// into a feedback system. It watches running nodes through planpd's
+// GET /stats, judges what it sees with pure functions over metric
+// windows, and acts through the internal/fleet rollout machinery —
+// never touching a node except via the same two-phase deploys an
+// operator would issue.
+//
+// Two loops share the machinery:
+//
+//   - Canary (canary.go): stage a candidate on a cohort, watch
+//     operator-declared guard metrics for a few windows against the
+//     baseline cohort, then self-promote fleet-wide or roll back.
+//   - RunPolicy (policy.go): continuously select among registered
+//     protocol variants (the §3.2 gateway round-robin / least-conn /
+//     failover family) from metric trends, redeploying when the choice
+//     changes — debounced by hysteresis and cooldown so the fleet
+//     never flaps.
+//
+// Every decision input is a Window (two mono_ns-stamped snapshots) and
+// every decision function is pure with an injected clock, so verdicts
+// are reproducible from the snapshots that produced them and the whole
+// controller unit-tests without sleeping. Every action lands in the
+// fleet history (kinds "canary", "promote", "rollback", "adapt") and on
+// the obs bus (KindCanary/KindAdapt), so GET /deployments tells the
+// complete adaptation story after the fact. See docs/ADAPTATION.md.
+package adapt
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"time"
+
+	"planp.dev/planp/internal/fleet"
+	"planp.dev/planp/internal/obs"
+)
+
+// Config configures a Controller. Fleet is required; everything else
+// defaults sanely.
+type Config struct {
+	// Fleet executes every deploy/promote/rollback this controller
+	// decides on (and records them in its history).
+	Fleet *fleet.Controller
+	// Client polls GET /stats; wrap its Transport in a fleet.Injector
+	// for fault testing. Defaults to http.DefaultClient.
+	Client *http.Client
+	// Bus, when set, receives KindCanary/KindAdapt events.
+	Bus *obs.Bus
+	// Metrics, when set, receives the "adapt.*" counters.
+	Metrics *obs.Registry
+	// Logf, when set, receives one line per decision.
+	Logf func(format string, args ...any)
+}
+
+// Controller runs canary and policy loops against one fleet.
+type Controller struct {
+	fleet  *fleet.Controller
+	client *http.Client
+	bus    *obs.Bus
+	busMu  sync.Mutex
+	logf   func(string, ...any)
+	start  time.Time
+
+	// Injected clocks: tests replace these to run the loops without
+	// real time passing.
+	now     func() time.Time
+	sleepFn func(context.Context, time.Duration)
+
+	ctCanaries, ctPromoted, ctRolledBack, ctFailed *obs.Counter
+	ctWindowsOK, ctWindowsViolation                *obs.Counter
+	ctSwitches, ctHolds                            *obs.Counter
+
+	mu     sync.Mutex
+	runs   []*Run
+	nextID int
+}
+
+// New returns a Controller driving cfg.Fleet.
+func New(cfg Config) *Controller {
+	c := &Controller{
+		fleet:   cfg.Fleet,
+		client:  cfg.Client,
+		bus:     cfg.Bus,
+		logf:    cfg.Logf,
+		start:   time.Now(),
+		now:     time.Now,
+		sleepFn: sleepCtx,
+		nextID:  1,
+	}
+	if c.fleet == nil {
+		panic("adapt: Config.Fleet is required")
+	}
+	if c.client == nil {
+		c.client = http.DefaultClient
+	}
+	if c.logf == nil {
+		c.logf = func(string, ...any) {}
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	c.ctCanaries = reg.Counter("adapt.canaries")
+	c.ctPromoted = reg.Counter("adapt.promoted")
+	c.ctRolledBack = reg.Counter("adapt.rolled_back")
+	c.ctFailed = reg.Counter("adapt.failed")
+	c.ctWindowsOK = reg.Counter("adapt.windows_ok")
+	c.ctWindowsViolation = reg.Counter("adapt.windows_violation")
+	c.ctSwitches = reg.Counter("adapt.switches")
+	c.ctHolds = reg.Counter("adapt.holds")
+	return c
+}
+
+// sleepCtx is the default sleep: context-aware real time.
+func sleepCtx(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}
+
+// sleep routes through the controller's hook (tests replace it).
+func (c *Controller) sleep(ctx context.Context, d time.Duration) { c.sleepFn(ctx, d) }
+
+// publish serializes adaptation events onto the bus (obs.Bus is not
+// internally synchronized).
+func (c *Controller) publish(kind obs.Kind, node, detail string) {
+	if !c.bus.Active() {
+		return
+	}
+	c.busMu.Lock()
+	c.bus.Publish(obs.Event{Kind: kind, At: time.Since(c.start), Node: node, Detail: detail})
+	c.busMu.Unlock()
+}
+
+// ---------------------------------------------------------------------------
+// Run records: what GET /adapt reports.
+
+// RunView is a consistent snapshot of one canary run.
+type RunView struct {
+	ID      int    `json:"id"`
+	Version string `json:"version"`
+	Canary  string `json:"canary"`
+	Phase   string `json:"phase"` // deploying, observing, promoting, rolling-back, done
+	// WindowsDone counts fully judged healthy windows of WindowsTotal.
+	WindowsDone  int `json:"windows_done"`
+	WindowsTotal int `json:"windows_total"`
+	// Verdict and Reason are set once the run is done.
+	Verdict    string   `json:"verdict,omitempty"`
+	Reason     string   `json:"reason,omitempty"`
+	Violations []string `json:"violations,omitempty"`
+	// Deployment IDs in the fleet history: the canary rollout and the
+	// follow-up (promote or rollback) record.
+	CanaryDeployment int `json:"canary_deployment,omitempty"`
+	FinalDeployment  int `json:"final_deployment,omitempty"`
+}
+
+// Run is one canary run's live record.
+type Run struct {
+	mu   sync.Mutex
+	view RunView
+}
+
+// View snapshots the run.
+func (r *Run) View() RunView {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v := r.view
+	v.Violations = append([]string(nil), r.view.Violations...)
+	return v
+}
+
+func (r *Run) setPhase(p string) {
+	r.mu.Lock()
+	r.view.Phase = p
+	r.mu.Unlock()
+}
+
+func (r *Run) setWindowsDone(n int) {
+	r.mu.Lock()
+	r.view.WindowsDone = n
+	r.mu.Unlock()
+}
+
+func (r *Run) setCanary(d *fleet.Deployment) {
+	if d == nil {
+		return
+	}
+	r.mu.Lock()
+	r.view.CanaryDeployment = d.ID
+	// The fleet may have auto-assigned the version label.
+	r.view.Version = d.Version
+	r.mu.Unlock()
+}
+
+func (r *Run) setFinal(d *fleet.Deployment) {
+	if d == nil {
+		return
+	}
+	r.mu.Lock()
+	r.view.FinalDeployment = d.ID
+	r.mu.Unlock()
+}
+
+func (r *Run) setOutcome(out *Outcome) {
+	r.mu.Lock()
+	r.view.Verdict = out.Verdict
+	r.view.Reason = out.Reason
+	for _, v := range out.Violations {
+		r.view.Violations = append(r.view.Violations, v.String())
+	}
+	if out.Final != nil {
+		r.view.FinalDeployment = out.Final.ID
+	}
+	r.mu.Unlock()
+}
+
+func (c *Controller) newRun(version string, plan CanaryPlan) *Run {
+	r := &Run{view: RunView{
+		Version:      version,
+		Canary:       targetNames(plan.Canary),
+		Phase:        "deploying",
+		WindowsTotal: plan.Windows,
+	}}
+	c.mu.Lock()
+	r.view.ID = c.nextID
+	c.nextID++
+	c.runs = append(c.runs, r)
+	c.mu.Unlock()
+	return r
+}
+
+func (c *Controller) finishRun(r *Run) { r.setPhase("done") }
+
+// Runs returns snapshots of every canary run, oldest first.
+func (c *Controller) Runs() []RunView {
+	c.mu.Lock()
+	runs := append([]*Run(nil), c.runs...)
+	c.mu.Unlock()
+	views := make([]RunView, len(runs))
+	for i, r := range runs {
+		views[i] = r.View()
+	}
+	return views
+}

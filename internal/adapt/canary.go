@@ -1,0 +1,256 @@
+// The self-promoting canary: stage a candidate on a small cohort, watch
+// operator-declared guard metrics for a few windows against the
+// baseline cohort, then promote fleet-wide or roll back — the full §4
+// "adapt a running network" story with the judgment call automated.
+//
+// The loop's shape keeps every verdict explainable: deploys and
+// rollbacks are ordinary fleet history records (kinds "canary",
+// "promote", "rollback"), each window's judgment is a pure EvalGuards
+// call over snapshots, and the final Outcome carries the violations
+// that decided it.
+package adapt
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"planp.dev/planp/internal/fleet"
+	"planp.dev/planp/internal/obs"
+)
+
+// Canary verdicts.
+const (
+	// VerdictPromoted: every window passed and the candidate now runs
+	// fleet-wide.
+	VerdictPromoted = "promoted"
+	// VerdictRolledBack: a guard violated (or the canary went
+	// unobservable, or promotion failed) and the canary cohort was
+	// returned to its previous version.
+	VerdictRolledBack = "rolled-back"
+	// VerdictFailed: the run could not reach a clean end state — the
+	// canary deploy itself failed, or a rollback did not converge.
+	VerdictFailed = "failed"
+)
+
+// CanaryPlan configures one canary run.
+type CanaryPlan struct {
+	// Spec is the candidate rollout; its Kind is forced to "canary".
+	Spec fleet.Spec
+	// Canary is the cohort that stages the candidate; Baseline is the
+	// comparison cohort (it keeps running the incumbent and receives the
+	// promote rollout on success). Baseline may be empty: guards then
+	// have no relative comparison and promotion is canary-only.
+	Canary   []fleet.Target
+	Baseline []fleet.Target
+	// Guards declare what "healthy" means; an empty list auto-promotes
+	// after the observation windows (useful only for drills).
+	Guards []Guard
+	// Windows (default 3) observation windows of Interval (default 2s)
+	// each.
+	Windows  int
+	Interval time.Duration
+}
+
+// Outcome is a finished canary run.
+type Outcome struct {
+	Verdict    string
+	Reason     string
+	Violations []Violation
+	// Canary is the cohort rollout record; Final is the follow-up record
+	// (the promote deploy or the rollback), nil when there was none.
+	Canary *fleet.Deployment
+	Final  *fleet.Deployment
+}
+
+// Canary runs one self-promoting canary rollout to completion. The
+// returned error is non-nil only for VerdictFailed — a rollback verdict
+// is the controller doing its job, not an error.
+func (c *Controller) Canary(ctx context.Context, plan CanaryPlan) (*Outcome, error) {
+	if plan.Windows <= 0 {
+		plan.Windows = 3
+	}
+	if plan.Interval <= 0 {
+		plan.Interval = 2 * time.Second
+	}
+	return c.canaryRun(ctx, plan, c.newRun(plan.Spec.Version, plan))
+}
+
+// canaryRun drives one run against an already-registered run record
+// (plan defaults are resolved by the callers so the record is honest).
+func (c *Controller) canaryRun(ctx context.Context, plan CanaryPlan, run *Run) (*Outcome, error) {
+	defer c.finishRun(run)
+	if len(plan.Canary) == 0 {
+		out := &Outcome{Verdict: VerdictFailed, Reason: "canary needs at least one canary target"}
+		run.setOutcome(out)
+		return nil, fmt.Errorf("adapt: %s", out.Reason)
+	}
+	spec := plan.Spec
+	spec.Kind = "canary"
+	if spec.Reason == "" {
+		spec.Reason = fmt.Sprintf("canary on %d of %d node(s), %d window(s) of %s",
+			len(plan.Canary), len(plan.Canary)+len(plan.Baseline), plan.Windows, plan.Interval)
+	}
+
+	// Stage + activate on the canary cohort. A failure here is already
+	// converged by fleet's own in-flight rollback.
+	run.setPhase("deploying")
+	c.ctCanaries.Inc()
+	canaryDep, err := c.fleet.Deploy(ctx, spec, plan.Canary)
+	run.setCanary(canaryDep)
+	if err != nil {
+		c.ctFailed.Inc()
+		out := &Outcome{Verdict: VerdictFailed, Reason: fmt.Sprintf("canary deploy failed: %v", err), Canary: canaryDep}
+		run.setOutcome(out)
+		return out, fmt.Errorf("adapt: %s", out.Reason)
+	}
+	for _, t := range plan.Canary {
+		c.publish(obs.KindCanary, t.Name, "active")
+	}
+	c.logf("adapt: canary %s active on %s; observing %d window(s) of %s",
+		spec.Version, targetNames(plan.Canary), plan.Windows, plan.Interval)
+
+	// Observe: consecutive windows of (canary, baseline) snapshots,
+	// judged by the pure guard evaluator. An unobservable canary node is
+	// itself a violation — a canary that cannot be watched cannot be
+	// promoted.
+	run.setPhase("observing")
+	prevCanary, prevBase, err := c.snapshotCohorts(ctx, plan)
+	if err != nil {
+		return c.revoke(ctx, run, canaryDep, nil, fmt.Sprintf("canary unobservable: %v", err))
+	}
+	for w := 1; w <= plan.Windows; w++ {
+		c.sleep(ctx, plan.Interval)
+		if err := ctx.Err(); err != nil {
+			return c.revoke(ctx, run, canaryDep, nil, fmt.Sprintf("canceled during window %d: %v", w, err))
+		}
+		curCanary, curBase, err := c.snapshotCohorts(ctx, plan)
+		if err != nil {
+			for _, t := range plan.Canary {
+				c.publish(obs.KindCanary, t.Name, "unobservable")
+			}
+			return c.revoke(ctx, run, canaryDep, nil, fmt.Sprintf("canary unobservable in window %d: %v", w, err))
+		}
+		canaryWin := pairWindows(prevCanary, curCanary)
+		baseWin := pairWindows(prevBase, curBase)
+		prevCanary, prevBase = curCanary, curBase
+
+		viols := EvalGuards(plan.Guards, canaryWin, baseWin)
+		if len(viols) > 0 {
+			c.ctWindowsViolation.Inc()
+			for _, t := range plan.Canary {
+				c.publish(obs.KindCanary, t.Name, fmt.Sprintf("window:%d:violation", w))
+			}
+			reasons := make([]string, len(viols))
+			for i, v := range viols {
+				reasons[i] = v.String()
+			}
+			return c.revoke(ctx, run, canaryDep, viols,
+				fmt.Sprintf("guard violated in window %d/%d: %s", w, plan.Windows, strings.Join(reasons, "; ")))
+		}
+		c.ctWindowsOK.Inc()
+		run.setWindowsDone(w)
+		for _, t := range plan.Canary {
+			c.publish(obs.KindCanary, t.Name, fmt.Sprintf("window:%d:ok", w))
+		}
+		c.logf("adapt: canary %s window %d/%d ok", spec.Version, w, plan.Windows)
+	}
+
+	// Promote: extend the candidate to the baseline cohort. The canary
+	// cohort already runs it, so convergence is the whole fleet on one
+	// version. A failed promotion revokes the canary too — a clean
+	// all-old fleet beats a wedged mixed one.
+	reason := fmt.Sprintf("canary %s healthy for %d window(s) on %s", spec.Version, plan.Windows, targetNames(plan.Canary))
+	var finalDep *fleet.Deployment
+	if len(plan.Baseline) > 0 {
+		run.setPhase("promoting")
+		promote := spec
+		promote.Kind = "promote"
+		promote.Reason = reason
+		finalDep, err = c.fleet.Deploy(ctx, promote, plan.Baseline)
+		run.setFinal(finalDep)
+		if err != nil {
+			return c.revoke(ctx, run, canaryDep, nil, fmt.Sprintf("promotion failed, revoking canary: %v", err))
+		}
+	}
+	c.ctPromoted.Inc()
+	for _, t := range plan.Canary {
+		c.publish(obs.KindCanary, t.Name, "promoted")
+	}
+	c.logf("adapt: canary %s promoted (%s)", spec.Version, reason)
+	out := &Outcome{Verdict: VerdictPromoted, Reason: reason, Canary: canaryDep, Final: finalDep}
+	run.setOutcome(out)
+	return out, nil
+}
+
+// revoke rolls the canary cohort back and closes the run with a
+// rolled-back (or, if even the rollback failed, failed) outcome.
+func (c *Controller) revoke(ctx context.Context, run *Run, canaryDep *fleet.Deployment, viols []Violation, reason string) (*Outcome, error) {
+	run.setPhase("rolling-back")
+	c.logf("adapt: canary %s: %s", canaryDep.Version, reason)
+	// The deadline that canceled the observation must not also doom the
+	// rollback; revocation gets its own context.
+	rbCtx := ctx
+	if rbCtx.Err() != nil {
+		rbCtx = context.WithoutCancel(ctx)
+	}
+	rb, err := c.fleet.RollbackDeployment(rbCtx, canaryDep, reason)
+	out := &Outcome{Reason: reason, Violations: viols, Canary: canaryDep, Final: rb}
+	if err != nil {
+		c.ctFailed.Inc()
+		out.Verdict = VerdictFailed
+		out.Reason = fmt.Sprintf("%s; rollback did not converge: %v", reason, err)
+		run.setOutcome(out)
+		return out, fmt.Errorf("adapt: %s", out.Reason)
+	}
+	c.ctRolledBack.Inc()
+	for _, t := range cohortOf(canaryDep) {
+		c.publish(obs.KindCanary, t, "rolled-back")
+	}
+	out.Verdict = VerdictRolledBack
+	run.setOutcome(out)
+	return out, nil
+}
+
+// snapshotCohorts polls both cohorts' stats. Canary failures are fatal
+// to the run (reported as the returned error); a baseline node that
+// cannot be polled merely drops out of the comparison mean.
+func (c *Controller) snapshotCohorts(ctx context.Context, plan CanaryPlan) (canary, baseline map[string]Snapshot, err error) {
+	canary = make(map[string]Snapshot, len(plan.Canary))
+	for _, t := range plan.Canary {
+		s, err := FetchStats(ctx, c.client, t.URL)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", t.Name, err)
+		}
+		canary[t.Name] = s
+	}
+	baseline = make(map[string]Snapshot, len(plan.Baseline))
+	for _, t := range plan.Baseline {
+		s, err := FetchStats(ctx, c.client, t.URL)
+		if err != nil {
+			c.logf("adapt: baseline %s unobservable, dropped from comparison: %v", t.Name, err)
+			continue
+		}
+		baseline[t.Name] = s
+	}
+	return canary, baseline, nil
+}
+
+func targetNames(ts []fleet.Target) string {
+	names := make([]string, len(ts))
+	for i, t := range ts {
+		names[i] = t.Name
+	}
+	return strings.Join(names, ",")
+}
+
+// cohortOf lists a deployment's node names from its public view.
+func cohortOf(d *fleet.Deployment) []string {
+	v := d.View()
+	names := make([]string, len(v.Nodes))
+	for i, n := range v.Nodes {
+		names[i] = n.Name
+	}
+	return names
+}

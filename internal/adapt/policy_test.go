@@ -1,0 +1,234 @@
+// Policy-engine integration tests: scripted load trends drive the
+// observe→decide→redeploy loop against real planpd nodes, asserting the
+// acceptance property directly — a shifting load switches the variant
+// exactly once, and the same snapshots replay to the same decisions.
+package adapt
+
+import (
+	"context"
+	"net/http"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"planp.dev/planp/internal/fleet"
+)
+
+// policyCandidates is the two-variant catalogue the tests select among:
+// "rr" is the incumbent, "lc" the alternative.
+func policyCandidates() []Candidate {
+	return []Candidate{
+		{Name: "rr", Source: fwdV1},
+		{Name: "lc", Source: fwdV2},
+	}
+}
+
+// loadAbove prefers "lc" whenever alpha's load counter rises faster
+// than threshold/s, "rr" otherwise — a minimal trend-following policy.
+func loadAbove(threshold float64) DecideFunc {
+	return func(windows map[string]Window) string {
+		if windows["alpha"].Rate("load") > threshold {
+			return "lc"
+		}
+		return "rr"
+	}
+}
+
+// scriptLoad scripts alpha's stats as one baseline poll plus one poll
+// per round, with the given per-round load rates (counter deltas over
+// 1-second windows).
+func (r *rig) scriptLoad(rates ...int64) {
+	snaps := []Snapshot{snapAt("alpha", time.Second, "load", 0)}
+	total := int64(0)
+	for i, rate := range rates {
+		total += rate
+		snaps = append(snaps, snapAt("alpha", time.Duration(i+2)*time.Second, "load", total))
+	}
+	r.scripts["alpha"].set(snaps...)
+}
+
+func (r *rig) deployInitial(t *testing.T, version string) {
+	t.Helper()
+	if _, err := r.fleet.Deploy(context.Background(), fleet.Spec{Version: version, Source: fwdV1}, r.targets); err != nil {
+		t.Fatalf("initial deploy: %v", err)
+	}
+}
+
+// TestPolicySwitchesExactlyOnce is the acceptance test: load shifts up
+// and stays up, the policy switches round-robin → least-connections
+// after the hysteresis is met, and when load later falls the cooldown
+// holds the fleet steady — one switch total, no flapping.
+func TestPolicySwitchesExactlyOnce(t *testing.T) {
+	r := newRig(t, 1)
+	r.deployInitial(t, "rr-v0")
+	// Rounds 1-4: load rising at 100/s; rounds 5-8: flat.
+	r.scriptLoad(100, 100, 100, 100, 0, 0, 0, 0)
+
+	report, err := r.ctl.RunPolicy(context.Background(), PolicyPlan{
+		Candidates: policyCandidates(),
+		Decide:     loadAbove(10),
+		Current:    "rr",
+		Targets:    r.targets,
+		Interval:   time.Second,
+		Rounds:     8,
+		Hysteresis: 2,
+		Cooldown:   100 * time.Second, // longer than the run: one switch max
+	})
+	if err != nil {
+		t.Fatalf("RunPolicy: %v", err)
+	}
+	if len(report.Switches) != 1 {
+		t.Fatalf("switches = %+v, want exactly one", report.Switches)
+	}
+	sw := report.Switches[0]
+	if sw.Round != 2 || sw.From != "rr" || sw.To != "lc" {
+		t.Errorf("switch = %+v, want round 2 rr->lc (hysteresis 2)", sw)
+	}
+	if report.Final != "lc" || report.Rounds != 8 {
+		t.Errorf("report = final %q after %d rounds, want lc after 8", report.Final, report.Rounds)
+	}
+	if got := r.active(t, "alpha"); got != "lc-r2" {
+		t.Errorf("node runs %q, want lc-r2", got)
+	}
+
+	// The switch is one kind-"adapt" history record explaining the trend.
+	var adapts []fleet.View
+	for _, v := range r.fleet.Deployments() {
+		if v.Kind == "adapt" {
+			adapts = append(adapts, v)
+		}
+	}
+	if len(adapts) != 1 || adapts[0].State != fleet.StateActive {
+		t.Fatalf("adapt history records = %+v, want one active", adapts)
+	}
+	if !strings.Contains(adapts[0].Reason, "preferred lc over rr for 2 consecutive") {
+		t.Errorf("adapt reason %q does not explain the trend", adapts[0].Reason)
+	}
+
+	snap := r.reg.Snapshot()
+	if snap["adapt.switches"] != 1 || snap["adapt.holds"] != 7 {
+		t.Errorf("metrics switches %d, holds %d; want 1, 7", snap["adapt.switches"], snap["adapt.holds"])
+	}
+	if r.events.count("adapt:switch:rr->lc") != 1 {
+		t.Error("no switch event published")
+	}
+}
+
+// TestPolicyFailedSwitchRetries: the redeploy behind a switch decision
+// fails (the fleet converges back); because Observe proposes and only a
+// successful deploy Commits, the selector keeps demanding the switch
+// and the next round lands it.
+func TestPolicyFailedSwitchRetries(t *testing.T) {
+	r := newRig(t, 1)
+	r.deployInitial(t, "rr-v0")
+	r.scriptLoad(100, 100, 100, 100, 100, 100)
+	// The first switch attempt's activation 503s through all fleet
+	// retries (2 attempts); the second attempt sails through.
+	r.inj.Inject(fleet.Fault{
+		Method: http.MethodPost, Host: r.host("alpha"), Path: "/asp/activate",
+		Action: fleet.FaultStatus, Status: http.StatusServiceUnavailable, Count: 2,
+	})
+
+	report, err := r.ctl.RunPolicy(context.Background(), PolicyPlan{
+		Candidates: policyCandidates(),
+		Decide:     loadAbove(10),
+		Current:    "rr",
+		Targets:    r.targets,
+		Interval:   time.Second,
+		Rounds:     4,
+		Hysteresis: 2,
+	})
+	if err != nil {
+		t.Fatalf("RunPolicy: %v", err)
+	}
+	if len(report.Switches) != 1 || report.Switches[0].Round != 3 {
+		t.Fatalf("switches = %+v, want exactly one at round 3 (round 2's deploy failed)", report.Switches)
+	}
+	if got := r.active(t, "alpha"); got != "lc-r3" {
+		t.Errorf("node runs %q, want lc-r3", got)
+	}
+	// History shows both the failed attempt (converged back by fleet's
+	// own rollback) and the successful one.
+	var states []fleet.State
+	for _, v := range r.fleet.Deployments() {
+		if v.Kind == "adapt" {
+			states = append(states, v.State)
+		}
+	}
+	if len(states) != 2 || states[0] != fleet.StateRolledBack || states[1] != fleet.StateActive {
+		t.Fatalf("adapt record states = %v, want [RolledBack, Active]", states)
+	}
+}
+
+// TestPolicyBlindRoundHolds: a failed stats poll is a blind round — it
+// feeds the selector "no opinion", so blindness resets the streak and
+// can never accumulate toward a switch.
+func TestPolicyBlindRoundHolds(t *testing.T) {
+	r := newRig(t, 1)
+	r.deployInitial(t, "rr-v0")
+	r.scriptLoad(100, 100, 100, 100)
+	// Round 2's poll fails (After skips the baseline poll and round 1).
+	r.inj.Inject(fleet.Fault{
+		Method: http.MethodGet, Host: r.host("alpha"), Path: "/stats",
+		Action: fleet.FaultStatus, Status: http.StatusInternalServerError, After: 2, Count: 1,
+	})
+
+	report, err := r.ctl.RunPolicy(context.Background(), PolicyPlan{
+		Candidates: policyCandidates(),
+		Decide:     loadAbove(10),
+		Current:    "rr",
+		Targets:    r.targets,
+		Interval:   time.Second,
+		Rounds:     4,
+		Hysteresis: 2,
+	})
+	if err != nil {
+		t.Fatalf("RunPolicy: %v", err)
+	}
+	// Dissent at round 1, blind at round 2 (streak reset), dissent at
+	// rounds 3 and 4 → the switch lands at round 4, not 2.
+	if len(report.Switches) != 1 || report.Switches[0].Round != 4 {
+		t.Fatalf("switches = %+v, want exactly one at round 4 (blind round reset the streak)", report.Switches)
+	}
+}
+
+// TestPolicyReproducible: two fresh rigs fed the identical snapshot
+// script produce the identical switch sequence — the decision path is a
+// function of its inputs.
+func TestPolicyReproducible(t *testing.T) {
+	run := func() []Switch {
+		r := newRig(t, 1)
+		r.deployInitial(t, "rr-v0")
+		r.scriptLoad(100, 100, 0, 100, 100, 100, 0, 0)
+		report, err := r.ctl.RunPolicy(context.Background(), PolicyPlan{
+			Candidates: policyCandidates(),
+			Decide:     loadAbove(10),
+			Current:    "rr",
+			Targets:    r.targets,
+			Interval:   time.Second,
+			Rounds:     8,
+			Hysteresis: 2,
+			Cooldown:   3 * time.Second,
+		})
+		if err != nil {
+			t.Fatalf("RunPolicy: %v", err)
+		}
+		// Deployment IDs vary with rig internals; the decisions must not.
+		out := make([]Switch, len(report.Switches))
+		for i, s := range report.Switches {
+			s.Deployment = 0
+			out[i] = s
+		}
+		return out
+	}
+	first := run()
+	if len(first) == 0 {
+		t.Fatal("script produced no switches; test is vacuous")
+	}
+	for i := 0; i < 3; i++ {
+		if again := run(); !reflect.DeepEqual(first, again) {
+			t.Fatalf("replay %d: %v vs %v", i, first, again)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+// Metric snapshots and windows: the adaptation controller's eyes.
+//
+// planpd's GET /stats stamps every counter snapshot with mono_ns — a
+// monotonic timestamp taken on the node at snapshot time. A Window is
+// two such snapshots from the same node; its rates divide counter
+// deltas by the *node's* elapsed time, so a rate is internally
+// consistent no matter how long the poll responses spent in flight or
+// how the controller's own clock drifts. All decision logic downstream
+// (guards, policies) consumes Windows, never raw timestamps.
+package adapt
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// maxStatsBody bounds a /stats response.
+const maxStatsBody = 1 << 20
+
+// Snapshot is one node's counter registry at one instant, as served by
+// planpd's GET /stats.
+type Snapshot struct {
+	Node   string           `json:"node"`
+	MonoNS int64            `json:"mono_ns"`
+	Stats  map[string]int64 `json:"stats"`
+}
+
+// Window is two snapshots of the same node's registry, Before taken
+// earlier than After. The zero value is empty (all deltas and rates 0).
+type Window struct {
+	Before, After Snapshot
+}
+
+// Duration is the node-measured time between the snapshots.
+func (w Window) Duration() time.Duration {
+	return time.Duration(w.After.MonoNS - w.Before.MonoNS)
+}
+
+// Delta returns how much the named counter grew across the window
+// (missing counters count as 0 — registries only ever add names).
+func (w Window) Delta(name string) int64 {
+	return w.After.Stats[name] - w.Before.Stats[name]
+}
+
+// Rate returns the counter's growth in events per second, computed
+// entirely from node-side measurements. A degenerate window (zero or
+// negative duration — e.g. the daemon restarted between polls and
+// mono_ns went backwards) rates as 0.
+func (w Window) Rate(name string) float64 {
+	d := w.Duration()
+	if d <= 0 {
+		return 0
+	}
+	return float64(w.Delta(name)) / d.Seconds()
+}
+
+// FetchStats polls one planpd node's GET /stats. baseURL is the node's
+// control API base (a fleet.Target URL); "/stats" is appended.
+func FetchStats(ctx context.Context, client *http.Client, baseURL string) (Snapshot, error) {
+	u := strings.TrimRight(baseURL, "/") + "/stats"
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return Snapshot{}, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return Snapshot{}, err
+	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, maxStatsBody))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return Snapshot{}, fmt.Errorf("GET %s: HTTP %d: %s", u, resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	var s Snapshot
+	if err := json.Unmarshal(body, &s); err != nil {
+		return Snapshot{}, fmt.Errorf("GET %s: decoding: %w", u, err)
+	}
+	return s, nil
+}

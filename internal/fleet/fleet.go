@@ -109,6 +109,17 @@ type Spec struct {
 	// are recorded on the deployment (CompatWarnings) and in the
 	// persisted history instead of rejecting the rollout.
 	AllowIncompatible bool
+
+	// Kind classifies the rollout in the deployment history: "" for a
+	// plain operator deploy, or one of the adaptation controller's
+	// decision kinds — "canary" (staged on a canary cohort), "promote"
+	// (canary verdict extended fleet-wide), "adapt" (the policy engine
+	// switched protocol variants). Rollback records written by
+	// RollbackDeployment carry kind "rollback".
+	Kind string
+	// Reason is a free-form explanation recorded alongside Kind — which
+	// guard promoted the canary, which metric trend switched variants.
+	Reason string
 }
 
 // Node is one target's record within a deployment. Fields are guarded
@@ -130,6 +141,8 @@ type Deployment struct {
 	SourceSHA string
 	Engine    string
 	Verify    string
+	Kind      string
+	Reason    string
 
 	mu       sync.Mutex
 	state    State
@@ -143,6 +156,11 @@ type Deployment struct {
 	// compatWarnings holds the gate's findings either way.
 	compatOverride bool
 	compatWarnings []string
+
+	// sigDiff is what this version changes relative to what the peers
+	// ran at health-probe time (typecheck.Diff lines) — the operator's
+	// preview of an upgrade, recorded whether or not it shipped.
+	sigDiff []string
 }
 
 // NodeView is a consistent copy of one node record.
@@ -164,6 +182,8 @@ type View struct {
 	Engine    string     `json:"engine,omitempty"`
 	Verify    string     `json:"verify,omitempty"`
 	Error     string     `json:"error,omitempty"`
+	Kind      string     `json:"kind,omitempty"`
+	Reason    string     `json:"reason,omitempty"`
 	Nodes     []NodeView `json:"nodes"`
 
 	// CompatOverride marks a rollout that the compatibility gate
@@ -171,6 +191,11 @@ type View struct {
 	// CompatWarnings lists what the gate found.
 	CompatOverride bool     `json:"compat_override,omitempty"`
 	CompatWarnings []string `json:"compat_warnings,omitempty"`
+
+	// SigDiff is the channel-signature diff between this version and
+	// what the peers ran when the rollout started — what the upgrade
+	// changes, surfaced in GET /deployments before (and after) it ships.
+	SigDiff []string `json:"signature_diff,omitempty"`
 }
 
 // View snapshots the deployment under its lock.
@@ -180,8 +205,10 @@ func (d *Deployment) View() View {
 	v := View{
 		ID: d.ID, Version: d.Version, State: d.state,
 		SourceSHA: d.SourceSHA, Engine: d.Engine, Verify: d.Verify, Error: d.err,
+		Kind: d.Kind, Reason: d.Reason,
 		CompatOverride: d.compatOverride,
 		CompatWarnings: append([]string(nil), d.compatWarnings...),
+		SigDiff:        append([]string(nil), d.sigDiff...),
 	}
 	for _, n := range d.nodes {
 		v.Nodes = append(v.Nodes, NodeView{
@@ -468,6 +495,7 @@ func (c *Controller) newDeployment(spec *Spec, targets []Target) *Deployment {
 		ID: id, Version: spec.Version,
 		SourceSHA: hex.EncodeToString(sum[:]),
 		Engine:    spec.Engine, Verify: spec.Verify,
+		Kind: spec.Kind, Reason: spec.Reason,
 		state: StatePending, started: time.Now(),
 	}
 	for _, t := range targets {
@@ -602,6 +630,15 @@ func (c *Controller) Deploy(ctx context.Context, spec Spec, targets []Target) (*
 	if err := firstErr(errs); err != nil {
 		return d, c.fail(d, fmt.Errorf("fleet: health probe failed on [%s]: %w", failedNames(d, errs), err))
 	}
+
+	// Record what this upgrade changes: the channel-signature diff
+	// against each running peer version, surfaced in GET /deployments
+	// so operators see the interface shift before it ships (and, in the
+	// history, what each past rollout shifted). Recorded even when the
+	// rollout is later rejected — the diff explains the rejection.
+	d.mu.Lock()
+	d.sigDiff = signatureDiff(prog.Signature(), peers)
+	d.mu.Unlock()
 
 	// Compatibility gate: before anything is staged, check the new
 	// version's channel signature against what every peer currently

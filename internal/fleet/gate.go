@@ -56,6 +56,42 @@ type peerSig struct {
 	sig     *typecheck.Signature
 }
 
+// signatureDiff renders what the staged signature changes relative to
+// what the peers run (typecheck.Diff), deduplicated across peers on the
+// same version: a homogeneous fleet yields one plain diff, a
+// mixed-version fleet prefixes each block with the version it compares
+// against. Bare peers (no signature) are skipped — there is no
+// interface to diff against.
+func signatureDiff(staged *typecheck.Signature, peers map[string]peerSig) []string {
+	if staged == nil {
+		return nil
+	}
+	// One representative signature per distinct running version.
+	byVersion := map[string]*typecheck.Signature{}
+	for _, p := range peers {
+		if p.sig != nil {
+			byVersion[p.version] = p.sig
+		}
+	}
+	versions := make([]string, 0, len(byVersion))
+	for v := range byVersion {
+		versions = append(versions, v)
+	}
+	sort.Strings(versions)
+
+	var out []string
+	for _, v := range versions {
+		lines := typecheck.Diff(byVersion[v], staged)
+		if len(versions) == 1 {
+			return lines
+		}
+		for _, line := range lines {
+			out = append(out, fmt.Sprintf("vs %s: %s", v, line))
+		}
+	}
+	return out
+}
+
 // compatGate checks the staged signature against every peer's active
 // signature, as collected during the health phase. Peers without a
 // signature have no interface to break and are skipped. On mismatch it

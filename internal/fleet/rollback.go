@@ -1,0 +1,71 @@
+// Post-deployment rollback: undoing a rollout that already converged.
+//
+// The rollback paths inside Deploy handle rollouts that fail while in
+// flight. A canary rollout fails differently: the deployment converged
+// — every canary node activated — and only later, after windows of
+// guard metrics, does the adaptation controller decide the new version
+// must go. RollbackDeployment drives every Active node of a finished
+// deployment back to its previous version and records the decision as
+// its own history entry (kind "rollback"), so GET /deployments shows
+// the full canary story: the canary deploy, then the rollback that
+// revoked it, each with its reason.
+package fleet
+
+import (
+	"context"
+	"fmt"
+
+	"planp.dev/planp/internal/obs"
+)
+
+// RollbackDeployment returns every node that deployment d activated to
+// its previously active version (POST /asp/rollback — idempotent on the
+// node, so retries and replays are safe). It appends a new record of
+// kind "rollback" to the controller history, carrying reason, and
+// returns it. Nodes that cannot be rolled back are marked Failed on the
+// record and an error is returned; the remaining nodes still converge.
+func (c *Controller) RollbackDeployment(ctx context.Context, d *Deployment, reason string) (*Deployment, error) {
+	if d == nil {
+		return nil, fmt.Errorf("fleet: rollback of a nil deployment")
+	}
+	targets := make([]Target, 0, len(d.nodes))
+	d.mu.Lock()
+	version := d.Version
+	for _, n := range d.nodes {
+		targets = append(targets, Target{Name: n.Name, URL: n.URL})
+	}
+	d.mu.Unlock()
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("fleet: deployment %d has no nodes to roll back", d.ID)
+	}
+
+	spec := Spec{Version: version, Kind: "rollback", Reason: reason}
+	rb := c.newDeployment(&spec, targets)
+	c.logf("fleet: rollback %d: revoking version %s from deployment %d (%s)", rb.ID, version, d.ID, reason)
+
+	errs := c.forEach(rb, func(nc *nodeClient) error {
+		restored, err := nc.rollback(ctx, version)
+		if err != nil {
+			rb.setNodeError(nc.n, NodeFailed, fmt.Errorf("rollback: %w", err))
+			c.publish(obs.KindRollback, nc.n.Name, "failed")
+			return err
+		}
+		rb.setStatus(nc.n, NodeRolledBack)
+		rb.setPrev(nc.n, restored)
+		c.ctNodeRollbacks.Inc()
+		c.publish(obs.KindRollback, nc.n.Name, "restored:"+restored)
+		return nil
+	})
+	if err := firstErr(errs); err != nil {
+		rbErr := fmt.Errorf("fleet: rollback of version %s failed on [%s]: %w", version, failedNames(rb, errs), err)
+		rb.finish(StateFailed, rbErr)
+		c.persist(rb)
+		c.ctFailed.Inc()
+		return rb, rbErr
+	}
+	rb.finish(StateRolledBack, nil)
+	c.persist(rb)
+	c.ctRolledBack.Inc()
+	c.logf("fleet: rollback %d: version %s revoked on all %d node(s)", rb.ID, version, len(targets))
+	return rb, nil
+}

@@ -1,0 +1,179 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestRollbackDeploymentRevokes: RollbackDeployment undoes a rollout
+// that already converged — the adaptation controller's primitive for
+// revoking a canary after its guards trip. The revocation is its own
+// history record, kind and reason intact, and the node protocol is
+// idempotent so a replay converges too.
+func TestRollbackDeploymentRevokes(t *testing.T) {
+	tf := newTestFleet(t, 2)
+	c := tf.controller(Config{})
+	ctx := context.Background()
+
+	if _, err := c.Deploy(ctx, Spec{Version: "v1", Source: forwarder}, tf.targets); err != nil {
+		t.Fatalf("v1: %v", err)
+	}
+	d2, err := c.Deploy(ctx, Spec{
+		Version: "v2", Source: forwarderV2,
+		Kind: "canary", Reason: "canary on 2 nodes",
+	}, tf.targets)
+	if err != nil {
+		t.Fatalf("v2: %v", err)
+	}
+
+	rb, err := c.RollbackDeployment(ctx, d2, "guard violated in window 1")
+	if err != nil {
+		t.Fatalf("rollback: %v", err)
+	}
+	if got := rb.State(); got != StateRolledBack {
+		t.Fatalf("rollback record state = %s, want RolledBack", got)
+	}
+	for name, st := range statuses(rb.View()) {
+		if st != NodeRolledBack {
+			t.Errorf("node %s: status %s on rollback record, want RolledBack", name, st)
+		}
+	}
+	for _, tgt := range tf.targets {
+		if active, _ := tf.nodeState(t, tgt.Name); active != "v1" {
+			t.Errorf("node %s runs %q after revocation, want v1", tgt.Name, active)
+		}
+	}
+
+	// The history is the whole story: plain deploy, canary, rollback —
+	// kinds and reasons round-tripped.
+	views := c.Deployments()
+	if len(views) != 3 {
+		t.Fatalf("history has %d records, want 3", len(views))
+	}
+	if views[1].Kind != "canary" || views[1].Reason != "canary on 2 nodes" {
+		t.Errorf("canary record = kind %q reason %q", views[1].Kind, views[1].Reason)
+	}
+	if views[2].Kind != "rollback" || views[2].Reason != "guard violated in window 1" {
+		t.Errorf("rollback record = kind %q reason %q", views[2].Kind, views[2].Reason)
+	}
+	if views[2].Version != "v2" {
+		t.Errorf("rollback record names version %q, want the revoked v2", views[2].Version)
+	}
+
+	// Replaying the revocation is safe: the node-side rollback of an
+	// already-revoked version is a no-op that reports success.
+	if _, err := c.RollbackDeployment(ctx, d2, "replay after ambiguous failure"); err != nil {
+		t.Fatalf("replayed rollback: %v", err)
+	}
+	if active, _ := tf.nodeState(t, "alpha"); active != "v1" {
+		t.Errorf("alpha runs %q after replay, want v1", active)
+	}
+
+	if _, err := c.RollbackDeployment(ctx, nil, "nothing"); err == nil {
+		t.Error("rollback of a nil deployment must error")
+	}
+}
+
+// TestRollbackDeploymentPartialFailure: a canary node that died before
+// its revocation leaves the rollback record Failed (the controller
+// cannot know the node converged), while the reachable nodes still
+// converge.
+func TestRollbackDeploymentPartialFailure(t *testing.T) {
+	tf := newTestFleet(t, 2)
+	c := tf.controller(Config{})
+	ctx := context.Background()
+
+	if _, err := c.Deploy(ctx, Spec{Version: "v1", Source: forwarder}, tf.targets); err != nil {
+		t.Fatalf("v1: %v", err)
+	}
+	d2, err := c.Deploy(ctx, Spec{Version: "v2", Source: forwarderV2}, tf.targets)
+	if err != nil {
+		t.Fatalf("v2: %v", err)
+	}
+
+	tf.inj.Kill(tf.host("beta"))
+	rb, err := c.RollbackDeployment(ctx, d2, "revoking with beta dark")
+	if err == nil {
+		t.Fatal("rollback with a dead node must error")
+	}
+	if got := rb.State(); got != StateFailed {
+		t.Fatalf("rollback record state = %s, want Failed", got)
+	}
+	st := statuses(rb.View())
+	if st["alpha"] != NodeRolledBack || st["beta"] != NodeFailed {
+		t.Errorf("node statuses = %v, want alpha RolledBack, beta Failed", st)
+	}
+	if active, _ := tf.nodeState(t, "alpha"); active != "v1" {
+		t.Errorf("alpha runs %q, want v1 (healthy nodes converge regardless)", active)
+	}
+}
+
+// sigDiffV2 extends the forwarder with a receive-only admin channel — a
+// compatible upgrade whose interface nonetheless changed, which is
+// exactly what the signature diff should surface.
+const sigDiffV2 = `
+channel network(ps : int, ss : unit, p : ip*udp*blob) is
+  (OnRemote(network, p); (ps + 1, ss))
+
+channel admin(ps : int, ss : unit, p : ip*udp*int) is
+  (deliver(p); (ps, ss))
+`
+
+// TestDeploymentsSigDiff: an interface-changing upgrade's deployment
+// record carries the channel-signature diff, and GET /deployments
+// serves it.
+func TestDeploymentsSigDiff(t *testing.T) {
+	tf := newTestFleet(t, 2)
+	c := tf.controller(Config{})
+	ctx := context.Background()
+
+	if _, err := c.Deploy(ctx, Spec{Version: "v1", Source: forwarder}, tf.targets); err != nil {
+		t.Fatalf("v1: %v", err)
+	}
+	if _, err := c.Deploy(ctx, Spec{Version: "v2", Source: sigDiffV2}, tf.targets); err != nil {
+		t.Fatalf("v2: %v", err)
+	}
+
+	views := c.Deployments()
+	if len(views[0].SigDiff) != 0 {
+		t.Errorf("first rollout (bare peers) diff = %v, want none recorded", views[0].SigDiff)
+	}
+	want := "+ receive admin(ip*udp*int)"
+	var found bool
+	for _, line := range views[1].SigDiff {
+		if line == want {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("upgrade SigDiff = %v, want it to include %q", views[1].SigDiff, want)
+	}
+
+	// And over the wire: the JSON the operator actually reads.
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/deployments")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Deployments []struct {
+			Version string   `json:"version"`
+			SigDiff []string `json:"signature_diff"`
+		} `json:"deployments"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Deployments) != 2 {
+		t.Fatalf("GET /deployments returned %d records, want 2", len(body.Deployments))
+	}
+	if got := strings.Join(body.Deployments[1].SigDiff, "\n"); !strings.Contains(got, want) {
+		t.Errorf("served signature_diff = %q, want it to include %q", got, want)
+	}
+}

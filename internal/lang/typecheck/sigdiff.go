@@ -1,0 +1,97 @@
+// Channel-signature diffs.
+//
+// CompatibleWith (signature.go) answers the yes/no question — can two
+// versions coexist during a rollout window. Diff answers the operator's
+// question next to it: *what does this upgrade change*, compatible or
+// not. The fleet controller records the diff on every deployment so
+// GET /deployments shows what each version shift added, dropped, or
+// rewired before (and after) it shipped.
+
+package typecheck
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Diff describes how the staged signature differs from the running one,
+// as sorted human-readable lines. Receive entries cover channel
+// definitions (what the program can accept); send entries cover the
+// packets its bodies emit. An empty result means the external interface
+// is textually unchanged (bodies may still differ).
+func Diff(running, staged *Signature) []string {
+	var out []string
+	if running == nil && staged == nil {
+		return nil
+	}
+	// A bare peer (no signature) gains or loses the whole interface.
+	if running == nil {
+		running = &Signature{}
+	}
+	if staged == nil {
+		staged = &Signature{}
+	}
+	if running.ProtoState != staged.ProtoState {
+		switch {
+		case running.ProtoState == "":
+			out = append(out, fmt.Sprintf("protocol state added: %s", staged.ProtoState))
+		case staged.ProtoState == "":
+			out = append(out, fmt.Sprintf("protocol state dropped (was %s)", running.ProtoState))
+		default:
+			out = append(out, fmt.Sprintf("protocol state: %s -> %s", running.ProtoState, staged.ProtoState))
+		}
+	}
+
+	recvSet := func(sig *Signature) map[string]bool {
+		m := map[string]bool{}
+		for _, ch := range sig.Channels {
+			m[ch.Name+"("+ch.Packet+")"] = true
+		}
+		return m
+	}
+	sendSet := func(sig *Signature) map[string]bool {
+		m := map[string]bool{}
+		for _, ch := range sig.Channels {
+			for _, snd := range ch.Sends {
+				key := snd.Channel + "(" + snd.Packet + ")"
+				if snd.Flood {
+					key += " [flood]"
+				}
+				m[key] = true
+			}
+		}
+		return m
+	}
+
+	oldRecv, newRecv := recvSet(running), recvSet(staged)
+	oldSend, newSend := sendSet(running), sendSet(staged)
+	out = append(out, setDiff("receive", oldRecv, newRecv)...)
+	out = append(out, setDiff("send", oldSend, newSend)...)
+	return out
+}
+
+// setDiff renders the adds and removals between two keyed sets, sorted
+// so the diff is deterministic.
+func setDiff(kind string, old, new map[string]bool) []string {
+	var added, removed []string
+	for k := range new {
+		if !old[k] {
+			added = append(added, k)
+		}
+	}
+	for k := range old {
+		if !new[k] {
+			removed = append(removed, k)
+		}
+	}
+	sort.Strings(added)
+	sort.Strings(removed)
+	out := make([]string, 0, len(added)+len(removed))
+	for _, k := range added {
+		out = append(out, fmt.Sprintf("+ %s %s", kind, k))
+	}
+	for _, k := range removed {
+		out = append(out, fmt.Sprintf("- %s %s", kind, k))
+	}
+	return out
+}

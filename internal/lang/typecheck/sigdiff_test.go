@@ -1,0 +1,109 @@
+package typecheck
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestDiffNilSides(t *testing.T) {
+	if got := Diff(nil, nil); got != nil {
+		t.Errorf("Diff(nil, nil) = %v, want nil", got)
+	}
+	sig := &Signature{
+		ProtoState: "int",
+		Channels: []ChannelSig{{
+			Name: "network", Packet: "ip*udp*blob",
+			Sends: []SendSig{{Channel: "network", Packet: "ip*udp*blob"}},
+		}},
+	}
+	// A bare peer gaining the interface: everything is an addition.
+	want := []string{
+		"protocol state added: int",
+		"+ receive network(ip*udp*blob)",
+		"+ send network(ip*udp*blob)",
+	}
+	if got := Diff(nil, sig); !reflect.DeepEqual(got, want) {
+		t.Errorf("Diff(nil, sig) = %v, want %v", got, want)
+	}
+	// And dropping it: everything is a removal.
+	want = []string{
+		"protocol state dropped (was int)",
+		"- receive network(ip*udp*blob)",
+		"- send network(ip*udp*blob)",
+	}
+	if got := Diff(sig, nil); !reflect.DeepEqual(got, want) {
+		t.Errorf("Diff(sig, nil) = %v, want %v", got, want)
+	}
+}
+
+func TestDiffIdenticalIsEmpty(t *testing.T) {
+	sig := func() *Signature {
+		return &Signature{
+			ProtoState: "int*unit",
+			Channels: []ChannelSig{
+				{Name: "network", Packet: "ip*udp*blob"},
+				{Name: "admin", Packet: "ip*udp*int"},
+			},
+		}
+	}
+	if got := Diff(sig(), sig()); len(got) != 0 {
+		t.Errorf("identical signatures diff = %v, want empty", got)
+	}
+}
+
+func TestDiffChangesAndOrdering(t *testing.T) {
+	running := &Signature{
+		ProtoState: "int",
+		Channels: []ChannelSig{
+			{Name: "network", Packet: "ip*udp*blob",
+				Sends: []SendSig{{Channel: "network", Packet: "ip*udp*blob"}}},
+			{Name: "legacy", Packet: "ip*udp*int"},
+		},
+	}
+	staged := &Signature{
+		ProtoState: "int*int",
+		Channels: []ChannelSig{
+			{Name: "network", Packet: "ip*udp*blob",
+				Sends: []SendSig{
+					{Channel: "network", Packet: "ip*udp*blob"},
+					{Channel: "probe", Packet: "ip*udp*unit", Flood: true},
+				}},
+			{Name: "admin", Packet: "ip*udp*int"},
+		},
+	}
+	want := []string{
+		"protocol state: int -> int*int",
+		"+ receive admin(ip*udp*int)",
+		"- receive legacy(ip*udp*int)",
+		"+ send probe(ip*udp*unit) [flood]",
+	}
+	got := Diff(running, staged)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Diff = %v, want %v", got, want)
+	}
+	// Determinism: the sets behind the diff are maps; replays must not
+	// reorder.
+	for i := 0; i < 50; i++ {
+		if again := Diff(running, staged); !reflect.DeepEqual(got, again) {
+			t.Fatalf("replay %d reordered: %v vs %v", i, got, again)
+		}
+	}
+}
+
+// TestDiffSendFloodDistinct: the same send with and without flood is an
+// interface change — OnNeighbor reaches every neighbor, OnRemote one.
+func TestDiffSendFloodDistinct(t *testing.T) {
+	mk := func(flood bool) *Signature {
+		return &Signature{Channels: []ChannelSig{{
+			Name: "network", Packet: "ip*udp*blob",
+			Sends: []SendSig{{Channel: "network", Packet: "ip*udp*blob", Flood: flood}},
+		}}}
+	}
+	want := []string{
+		"+ send network(ip*udp*blob) [flood]",
+		"- send network(ip*udp*blob)",
+	}
+	if got := Diff(mk(false), mk(true)); !reflect.DeepEqual(got, want) {
+		t.Errorf("Diff = %v, want %v", got, want)
+	}
+}

@@ -64,6 +64,15 @@ const (
 	// KindHeal: the chaos engine restored what a KindFault degraded
 	// (Detail "link-up", "restart", "clear").
 	KindHeal
+	// KindCanary: the adaptation controller moved a canary rollout
+	// through its lifecycle (Node is the deployment's version label;
+	// Detail is "active", "window:<n>:ok", "window:<n>:violation",
+	// "promoted", "rolled-back", "unobservable").
+	KindCanary
+	// KindAdapt: the adaptation policy engine made a protocol-selection
+	// decision (Detail is "switch:<from>-><to>" on a redeploy, or
+	// "hold:<candidate>" when hysteresis/cooldown suppressed one).
+	KindAdapt
 
 	numKinds
 )
@@ -73,7 +82,7 @@ const NumKinds = int(numKinds)
 
 var kindNames = [numKinds]string{
 	"enqueue", "drop", "forward", "deliver", "asp-invoke", "verify-reject",
-	"deploy", "rollback", "fault", "heal",
+	"deploy", "rollback", "fault", "heal", "canary", "adapt",
 }
 
 // String names the kind.

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 
 	"planp.dev/planp/internal/apps/httpd"
+	"planp.dev/planp/internal/chaos"
 	"planp.dev/planp/internal/rtnet"
 	"planp.dev/planp/internal/substrate"
 )
@@ -34,6 +35,11 @@ type Cluster struct {
 	Gateway *rtnet.Node
 	Servers [2]*rtnet.Node
 
+	// links retains each duplex link's two directional fault ports,
+	// keyed by the chaos-scenario link name, so WireChaos can expose
+	// the live cluster to fault timelines.
+	links map[string][]substrate.FaultPort
+
 	served      [2]atomic.Int64
 	responses   atomic.Int64
 	fromVirtual atomic.Int64
@@ -51,29 +57,37 @@ func NewCluster(udp bool) (*Cluster, error) {
 	c.Servers[0] = rtnet.NewNode(nw, "server0", httpd.Server0Addr)
 	c.Servers[1] = rtnet.NewNode(nw, "server1", httpd.Server1Addr)
 
-	connect := func(a, b *rtnet.Node) (substrate.Iface, substrate.Iface, error) {
+	c.links = map[string][]substrate.FaultPort{}
+	connect := func(name string, a, b *rtnet.Node) (substrate.Iface, substrate.Iface, error) {
+		var ab, ba substrate.Iface
 		if udp {
-			ab, ba, err := rtnet.NewUDPLink(nw, a, b, 100_000_000)
+			var err error
+			ab, ba, err = rtnet.NewUDPLink(nw, a, b, 100_000_000)
 			if err != nil {
 				return nil, nil, err
 			}
-			return ab, ba, nil
+		} else {
+			ab, ba = rtnet.NewLink(nw, a, b, 100_000_000)
 		}
-		ab, ba := rtnet.NewLink(nw, a, b, 100_000_000)
+		// Both rtnet interface kinds are fault ports; retain them under
+		// the link's chaos name so WireChaos can degrade the link.
+		c.links[name] = []substrate.FaultPort{
+			ab.(substrate.FaultPort), ba.(substrate.FaultPort),
+		}
 		return ab, ba, nil
 	}
 
-	clIf, gwCl, err := connect(c.Client, c.Gateway)
+	clIf, gwCl, err := connect("client-gateway", c.Client, c.Gateway)
 	if err != nil {
 		nw.Close()
 		return nil, fmt.Errorf("planpd: client link: %w", err)
 	}
-	gwS0, s0If, err := connect(c.Gateway, c.Servers[0])
+	gwS0, s0If, err := connect("gateway-server0", c.Gateway, c.Servers[0])
 	if err != nil {
 		nw.Close()
 		return nil, fmt.Errorf("planpd: server0 link: %w", err)
 	}
-	gwS1, s1If, err := connect(c.Gateway, c.Servers[1])
+	gwS1, s1If, err := connect("gateway-server1", c.Gateway, c.Servers[1])
 	if err != nil {
 		nw.Close()
 		return nil, fmt.Errorf("planpd: server1 link: %w", err)
@@ -114,6 +128,21 @@ func NewCluster(udp bool) (*Cluster, error) {
 		}
 	})
 	return c, nil
+}
+
+// WireChaos attaches a chaos engine to the live cluster: every duplex
+// link is wired under its topology name ("client-gateway",
+// "gateway-server0", "gateway-server1" — both directions share fault
+// state) and every node is adopted for crash/restart. Fault timelines
+// can then degrade the cluster while it serves traffic, which is what
+// the adaptation demo uses to shift load between gateway variants.
+func (c *Cluster) WireChaos(eng *chaos.Engine) {
+	for name, ports := range c.links {
+		eng.Wire(name, ports...)
+	}
+	for _, node := range []*rtnet.Node{c.Client, c.Gateway, c.Servers[0], c.Servers[1]} {
+		eng.Adopt(node)
+	}
 }
 
 // Start launches the cluster's node goroutines.

@@ -26,6 +26,7 @@ import (
 	"io"
 	"net/http"
 	"sync"
+	"time"
 
 	"planp.dev/planp/internal/lang/diag"
 	"planp.dev/planp/internal/planprt"
@@ -49,8 +50,9 @@ type installed struct {
 
 // Server is the control-plane HTTP API for one node.
 type Server struct {
-	node substrate.Node
-	out  io.Writer // ASP print/println destination
+	node  substrate.Node
+	out   io.Writer // ASP print/println destination
+	start time.Time // monotonic anchor for /stats snapshot timestamps
 
 	mu     sync.Mutex
 	active *installed // currently intercepting packets, or nil
@@ -64,7 +66,7 @@ func NewServer(node substrate.Node, out io.Writer) *Server {
 	if out == nil {
 		out = io.Discard
 	}
-	return &Server{node: node, out: out}
+	return &Server{node: node, out: out, start: time.Now()}
 }
 
 // Handler returns the control API:
@@ -82,7 +84,9 @@ func NewServer(node substrate.Node, out io.Writer) *Server {
 //	                      retaining the previous version for rollback
 //	POST   /asp/rollback  undo an activation of ?version=, restoring
 //	                      the previously active version (or bare node)
-//	GET    /stats         metrics registry snapshot (JSON, name -> value)
+//	GET    /stats         metrics registry snapshot: {"node", "mono_ns"
+//	                      (monotonic ns since daemon start), "stats":
+//	                      {name -> value}}
 //	GET    /healthz       liveness, installed protocol, active version
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -232,12 +236,22 @@ func versionOf(in *installed) string {
 	return in.version
 }
 
+// handleStats serves a registry snapshot stamped with a monotonic
+// timestamp (nanoseconds since this daemon started, from Go's monotonic
+// clock — immune to wall-clock steps). Pollers computing windowed rates
+// divide counter deltas by mono_ns deltas from the same response, so a
+// pair of snapshots is always internally consistent: the rate never
+// mixes one poll's counters with another poll's guess at elapsed time.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
-	writeJSON(w, http.StatusOK, s.node.Env().Metrics().Snapshot())
+	writeJSON(w, http.StatusOK, map[string]any{
+		"node":    s.node.Hostname(),
+		"mono_ns": time.Since(s.start).Nanoseconds(),
+		"stats":   s.node.Env().Metrics().Snapshot(),
+	})
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {

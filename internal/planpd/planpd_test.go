@@ -88,11 +88,19 @@ func driveE2E(t *testing.T, udp bool) {
 		t.Fatalf("client saw %d responses, only %d from the virtual server", total, fromVirtual)
 	}
 
-	// The stats endpoint reflects the traffic.
-	var stats map[string]int64
+	// The stats endpoint reflects the traffic and stamps the snapshot
+	// with a monotonic timestamp for windowed-rate pollers.
+	var stats struct {
+		Node   string           `json:"node"`
+		MonoNS int64            `json:"mono_ns"`
+		Stats  map[string]int64 `json:"stats"`
+	}
 	getJSON(t, ctl.URL+"/stats", &stats)
-	if stats["node.gateway.received_pkts"] == 0 {
-		t.Fatalf("stats show no gateway traffic: %v", stats)
+	if stats.Stats["node.gateway.received_pkts"] == 0 {
+		t.Fatalf("stats show no gateway traffic: %v", stats.Stats)
+	}
+	if stats.MonoNS <= 0 {
+		t.Fatalf("stats snapshot missing monotonic timestamp: %d", stats.MonoNS)
 	}
 
 	// Withdraw the protocol: the cluster falls back to dumb forwarding,
