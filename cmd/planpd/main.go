@@ -46,10 +46,12 @@ import (
 	"time"
 
 	"planp.dev/planp/internal/adapt"
+	"planp.dev/planp/internal/chaos"
 	"planp.dev/planp/internal/fleet"
 	"planp.dev/planp/internal/lang/diag"
 	"planp.dev/planp/internal/planpd"
 	"planp.dev/planp/internal/substrate"
+	"planp.dev/planp/internal/testbed"
 )
 
 func main() {
@@ -59,6 +61,10 @@ func main() {
 			os.Exit(runDeploy(os.Args[2:]))
 		case "adapt":
 			os.Exit(runAdapt(os.Args[2:]))
+		case "up":
+			os.Exit(runUp(os.Args[2:]))
+		case "chaos":
+			os.Exit(runChaos(os.Args[2:]))
 		}
 	}
 	os.Exit(runServe(os.Args[1:]))
@@ -101,6 +107,13 @@ func runServe(args []string) int {
 	// rollback records all land in one history); GET /adapt watches it.
 	adaptCtl := adapt.New(adapt.Config{Fleet: ctl, Logf: log.Printf})
 	mux.Handle("/adapt", adaptCtl.Handler())
+
+	// The remote chaos control plane over the demo cluster: stage and
+	// play fault timelines (partitions, per-direction faults, clock
+	// skew) against the live links from another host.
+	chaosEng := chaos.New(cluster.Net, 1)
+	cluster.WireChaos(chaosEng)
+	mux.Handle("/chaos/", planpd.NewChaosServer(chaosEng).Handler())
 	mux.HandleFunc("/deploy", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
@@ -192,6 +205,11 @@ func runServe(args []string) int {
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil {
 		log.Printf("planpd: HTTP shutdown: %v", err)
+	}
+	// In-flight canary runs finish (or are cut short at the deadline and
+	// roll back) before the substrate goes away beneath them.
+	if !adaptCtl.Drain(shutCtx) {
+		log.Printf("planpd: adaptation runs cut short")
 	}
 	if !cluster.Net.Quiesce(5 * time.Second) {
 		log.Printf("planpd: cluster did not quiesce; closing anyway")
@@ -337,6 +355,181 @@ func runAdapt(args []string) int {
 		return 1
 	}
 	if out.Verdict != adapt.VerdictPromoted {
+		return 1
+	}
+	return 0
+}
+
+// runUp boots a distributed testbed from a topology file. By default
+// every daemon in the file runs in this one process (the
+// single-machine stand-in for the multi-host testbed: separate rtnet
+// networks, real UDP between them); -daemon selects one daemon for the
+// one-process-per-host deployment, where each host runs
+//
+//	planpd up -topo testbed.json -daemon <its-name>
+//
+// and the cross-daemon links handshake over the wire.
+func runUp(args []string) int {
+	fs := flag.NewFlagSet("planpd up", flag.ExitOnError)
+	topoPath := fs.String("topo", "", "testbed topology file (JSON)")
+	daemonName := fs.String("daemon", "", "run only the named daemon (default: all, in one process)")
+	history := fs.String("history", "", "deployment history file prefix; each daemon appends .<name>")
+	probe := fs.Duration("probe", 0, "cross-daemon link liveness probe interval (default 500ms)")
+	fs.Parse(args)
+
+	if *topoPath == "" {
+		fmt.Fprintln(os.Stderr, "planpd up: -topo is required")
+		return 2
+	}
+	topo, err := testbed.LoadTopology(*topoPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	var names []string
+	if *daemonName != "" {
+		names = []string{*daemonName}
+	} else {
+		for _, d := range topo.Daemons {
+			names = append(names, d.Name)
+		}
+	}
+
+	var daemons []*testbed.Daemon
+	var servers []*http.Server
+	errc := make(chan error, len(names))
+	for _, name := range names {
+		opts := testbed.Options{Out: os.Stdout, Logf: log.Printf, ProbeInterval: *probe}
+		if *history != "" {
+			opts.HistoryPath = *history + "." + name
+		}
+		d, err := testbed.NewDaemon(topo, name, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			for _, prev := range daemons {
+				prev.Close()
+			}
+			return 1
+		}
+		daemons = append(daemons, d)
+		d.Start()
+		srv := &http.Server{Addr: d.Spec.Control, Handler: d.Handler()}
+		servers = append(servers, srv)
+		go func() { errc <- srv.ListenAndServe() }()
+		log.Printf("planpd up: daemon %s on http://%s (%d nodes)",
+			d.Spec.Name, d.Spec.Control, len(topo.Nodes))
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	ret := 0
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, err)
+		ret = 1
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown, same sequence per daemon as the single-cluster
+	// server: drain HTTP, drain adaptation runs, close the substrate
+	// (remote links BYE their peers on the way out).
+	log.Printf("planpd up: shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for _, srv := range servers {
+		srv.Shutdown(shutCtx)
+	}
+	for _, d := range daemons {
+		if !d.Drain(shutCtx) {
+			log.Printf("planpd up: daemon %s: adaptation runs cut short", d.Spec.Name)
+		}
+		d.Close()
+	}
+	return ret
+}
+
+// runChaos drives a daemon's remote chaos control plane from the
+// command line:
+//
+//	planpd chaos stage  -daemon http://host:port -f timeline.json
+//	planpd chaos start  -daemon http://host:port [-f timeline.json | -name NAME]
+//	planpd chaos stop   -daemon http://host:port [-name NAME] [-clear]
+//	planpd chaos status -daemon http://host:port
+func runChaos(args []string) int {
+	if len(args) < 1 {
+		fmt.Fprintln(os.Stderr, "planpd chaos: need a verb: stage, start, stop, status")
+		return 2
+	}
+	verb := args[0]
+	fs := flag.NewFlagSet("planpd chaos "+verb, flag.ExitOnError)
+	daemon := fs.String("daemon", "http://127.0.0.1:8377", "planpd daemon base URL")
+	file := fs.String("f", "", "timeline file (JSON)")
+	name := fs.String("name", "", "timeline name (staged timelines, runs)")
+	clear := fs.Bool("clear", false, "with stop: also heal every injected fault")
+	timeout := fs.Duration("timeout", 10*time.Second, "request deadline")
+	fs.Parse(args[1:])
+
+	base := strings.TrimRight(*daemon, "/")
+	var method, url string
+	var body io.Reader
+	switch verb {
+	case "stage", "start":
+		method, url = http.MethodPost, base+"/chaos/"+verb
+		if *file != "" {
+			b, err := os.ReadFile(*file)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+			body = strings.NewReader(string(b))
+		} else if verb == "start" && *name != "" {
+			url += "?name=" + *name
+		} else {
+			fmt.Fprintf(os.Stderr, "planpd chaos %s: -f is required%s\n", verb,
+				map[bool]string{true: " (or -name for a staged timeline)", false: ""}[verb == "start"])
+			return 2
+		}
+	case "stop":
+		method, url = http.MethodPost, base+"/chaos/stop"
+		sep := "?"
+		if *name != "" {
+			url += sep + "name=" + *name
+			sep = "&"
+		}
+		if *clear {
+			url += sep + "clear=1"
+		}
+	case "status":
+		method, url = http.MethodGet, base+"/chaos/status"
+	default:
+		fmt.Fprintf(os.Stderr, "planpd chaos: unknown verb %q (stage, start, stop, status)\n", verb)
+		return 2
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, method, url, body)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	defer resp.Body.Close()
+	out, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	// Responses are already JSON; re-indent for the terminal.
+	var pretty json.RawMessage
+	if json.Unmarshal(out, &pretty) == nil {
+		if enc, err := json.MarshalIndent(pretty, "", "  "); err == nil {
+			out = append(enc, '\n')
+		}
+	}
+	os.Stdout.Write(out)
+	if resp.StatusCode >= 300 {
+		fmt.Fprintf(os.Stderr, "planpd chaos %s: HTTP %d\n", verb, resp.StatusCode)
 		return 1
 	}
 	return 0

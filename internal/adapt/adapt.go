@@ -74,6 +74,15 @@ type Controller struct {
 	mu     sync.Mutex
 	runs   []*Run
 	nextID int
+
+	// Background-run bookkeeping for graceful shutdown: every detached
+	// HTTP-started run registers here so Drain can wait for (or cancel)
+	// it. Guarded by bgMu, not mu — Drain must not contend with the
+	// run-record lock.
+	bgMu      sync.Mutex
+	bgWG      sync.WaitGroup
+	bgCancels map[int]context.CancelFunc
+	bgNext    int
 }
 
 // New returns a Controller driving cfg.Fleet.
@@ -124,6 +133,53 @@ func sleepCtx(ctx context.Context, d time.Duration) {
 
 // sleep routes through the controller's hook (tests replace it).
 func (c *Controller) sleep(ctx context.Context, d time.Duration) { c.sleepFn(ctx, d) }
+
+// trackBackground registers a detached run's cancel for Drain and
+// returns its deregistration. The HTTP handler wraps each background
+// canary in this so shutdown can account for it.
+func (c *Controller) trackBackground(cancel context.CancelFunc) (done func()) {
+	c.bgMu.Lock()
+	if c.bgCancels == nil {
+		c.bgCancels = map[int]context.CancelFunc{}
+	}
+	c.bgNext++
+	id := c.bgNext
+	c.bgCancels[id] = cancel
+	c.bgWG.Add(1)
+	c.bgMu.Unlock()
+	return func() {
+		c.bgMu.Lock()
+		delete(c.bgCancels, id)
+		c.bgMu.Unlock()
+		c.bgWG.Done()
+	}
+}
+
+// Drain waits for every background canary run to finish. When ctx
+// expires first, the remaining runs are canceled (their own rollback
+// paths run under their detached contexts) and Drain waits for them to
+// exit. It reports whether every run completed without being cut short
+// — the graceful-shutdown path: stop accepting requests, Drain, then
+// close the substrate.
+func (c *Controller) Drain(ctx context.Context) bool {
+	done := make(chan struct{})
+	go func() {
+		c.bgWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return true
+	case <-ctx.Done():
+	}
+	c.bgMu.Lock()
+	for _, cancel := range c.bgCancels {
+		cancel()
+	}
+	c.bgMu.Unlock()
+	<-done
+	return false
+}
 
 // publish serializes adaptation events onto the bus (obs.Bus is not
 // internally synchronized).

@@ -130,7 +130,9 @@ func (c *Controller) startRun(w http.ResponseWriter, r *http.Request) {
 	// context and bounded by its own deadline instead.
 	ctx, cancel := context.WithTimeout(context.WithoutCancel(r.Context()), req.timeout(plan))
 	idc := make(chan int, 1)
+	untrack := c.trackBackground(cancel)
 	go func() {
+		defer untrack()
 		defer cancel()
 		out, err := c.CanaryWithID(ctx, plan, idc)
 		if err != nil {

@@ -129,3 +129,29 @@ func TestChaosScenarioWallClock(t *testing.T) {
 		t.Error("link_down counter wrong")
 	}
 }
+
+// TestClockSkewOnRTNet injects clock skew through the chaos engine and
+// asserts the node's Env clock steps by it — and that zero heals.
+func TestClockSkewOnRTNet(t *testing.T) {
+	nw := rtnet.New(1)
+	defer nw.Close()
+	n := rtnet.NewNode(nw, "host", substrate.MustAddr("10.2.0.1"))
+	eng := chaos.New(nw, 7)
+	h := eng.Adopt(n)
+	if !h.CanSkew() {
+		t.Fatalf("rtnet nodes must support clock skew")
+	}
+
+	base := nw.Now()
+	h.SetClockSkew(10 * time.Second)
+	if d := nw.Now() - base; d < 10*time.Second {
+		t.Fatalf("clock advanced only %s after +10s skew", d)
+	}
+	h.SetClockSkew(0)
+	if d := nw.Now() - base; d >= 10*time.Second {
+		t.Fatalf("clock still skewed (%s) after heal", d)
+	}
+	if nw.Metrics().Snapshot()["chaos.clock_skews"] != 2 {
+		t.Fatalf("chaos.clock_skews not counted")
+	}
+}

@@ -15,6 +15,7 @@ package chaos
 
 import (
 	"fmt"
+	"sync"
 	"time"
 )
 
@@ -109,6 +110,83 @@ func Clear(link string) Action {
 	return Action{Desc: "clear " + link, run: func(e *Engine) { e.link(link).Clear() }}
 }
 
+// ---------------------------------------------------------------------------
+// Per-direction actions (links wired with WireDuplex; dir is "fwd" or
+// "rev", "" for the whole link)
+
+func dirDesc(verb, link, dir string) string {
+	if dir == "" {
+		return verb + " " + link
+	}
+	return verb + " " + link + ":" + dir
+}
+
+// DownDir cuts one direction of a duplex link — the half-broken-link
+// fault; the opposite direction still carries traffic.
+func DownDir(link, dir string) Action {
+	return Action{Desc: dirDesc("down", link, dir), run: func(e *Engine) {
+		e.surface(link, dir).Down()
+	}}
+}
+
+// UpDir restores one direction of a duplex link.
+func UpDir(link, dir string) Action {
+	return Action{Desc: dirDesc("up", link, dir), run: func(e *Engine) {
+		e.surface(link, dir).Up()
+	}}
+}
+
+// LossDir sets one direction's per-packet drop probability — the
+// asymmetric-loss fault (requests arrive, responses drown).
+func LossDir(link, dir string, p float64) Action {
+	return Action{Desc: fmt.Sprintf("%s %.2f", dirDesc("loss", link, dir), p), run: func(e *Engine) {
+		e.surface(link, dir).SetLoss(p)
+	}}
+}
+
+// CorruptDir sets one direction's per-packet bit-flip probability.
+func CorruptDir(link, dir string, p float64) Action {
+	return Action{Desc: fmt.Sprintf("%s %.2f", dirDesc("corrupt", link, dir), p), run: func(e *Engine) {
+		e.surface(link, dir).SetCorrupt(p)
+	}}
+}
+
+// DuplicateDir sets one direction's per-packet duplication probability.
+func DuplicateDir(link, dir string, p float64) Action {
+	return Action{Desc: fmt.Sprintf("%s %.2f", dirDesc("duplicate", link, dir), p), run: func(e *Engine) {
+		e.surface(link, dir).SetDup(p)
+	}}
+}
+
+// DelayDir adds fixed latency to one direction of a duplex link.
+func DelayDir(link, dir string, d time.Duration) Action {
+	return Action{Desc: fmt.Sprintf("%s %s", dirDesc("delay", link, dir), d), run: func(e *Engine) {
+		e.surface(link, dir).SetDelay(d)
+	}}
+}
+
+// JitterDir adds reordering jitter to one direction of a duplex link.
+func JitterDir(link, dir string, d time.Duration) Action {
+	return Action{Desc: fmt.Sprintf("%s %s", dirDesc("jitter", link, dir), d), run: func(e *Engine) {
+		e.surface(link, dir).SetJitter(d)
+	}}
+}
+
+// ClearDir resets every fault on one direction of a duplex link.
+func ClearDir(link, dir string) Action {
+	return Action{Desc: dirDesc("clear", link, dir), run: func(e *Engine) {
+		e.surface(link, dir).Clear()
+	}}
+}
+
+// ClockSkew shifts a node's host clock by d (0 heals) — rtnet only;
+// see NodeHandle.SetClockSkew.
+func ClockSkew(node string, d time.Duration) Action {
+	return Action{Desc: fmt.Sprintf("clockskew %s %s", node, d), run: func(e *Engine) {
+		e.node(node).SetClockSkew(d)
+	}}
+}
+
 // Crash takes a node down with ASP state loss.
 func Crash(node string) Action {
 	return Action{Desc: "crash " + node, run: func(e *Engine) { e.node(node).Crash() }}
@@ -173,9 +251,60 @@ func (s *Scenario) Steps() int { return len(s.steps) }
 // Play schedules every step through the environment's timer, offsets
 // relative to now. It returns immediately; on netsim the actions fire
 // as the simulation runs, on rtnet as wall-clock time passes.
-func (e *Engine) Play(s *Scenario) {
+func (e *Engine) Play(s *Scenario) { e.PlayRun(s) }
+
+// PlayRun is Play returning a handle: the run tracks how many steps
+// have fired and can be stopped, suppressing every step that has not —
+// the remote /chaos control plane's stop semantics. Faults already
+// injected are NOT reverted by Stop (pair with Engine.ClearAll for a
+// full heal).
+func (e *Engine) PlayRun(s *Scenario) *Run {
+	r := &Run{total: len(s.steps)}
 	for _, st := range s.steps {
 		action := st.action
-		e.env.After(st.at, func() { action.run(e) })
+		e.env.After(st.at, func() {
+			r.mu.Lock()
+			if r.stopped {
+				r.mu.Unlock()
+				return
+			}
+			r.fired++
+			r.mu.Unlock()
+			action.run(e)
+		})
 	}
+	return r
+}
+
+// Run is one playing scenario: a countdown of pending steps with a
+// stop switch.
+type Run struct {
+	total int
+
+	mu      sync.Mutex
+	fired   int
+	stopped bool
+}
+
+// Stop suppresses every step that has not fired yet. Idempotent; steps
+// already applied stay applied.
+func (r *Run) Stop() {
+	r.mu.Lock()
+	r.stopped = true
+	r.mu.Unlock()
+}
+
+// Status reports how many steps have fired, the total scheduled, and
+// whether the run was stopped.
+func (r *Run) Status() (fired, total int, stopped bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.fired, r.total, r.stopped
+}
+
+// Done reports whether the run will fire no further steps — every step
+// ran or the run was stopped.
+func (r *Run) Done() bool {
+	fired, total, stopped := r.Status()
+	return stopped || fired == total
 }

@@ -73,6 +73,11 @@ const (
 	// decision (Detail is "switch:<from>-><to>" on a redeploy, or
 	// "hold:<candidate>" when hysteresis/cooldown suppressed one).
 	KindAdapt
+	// KindLink: a cross-host rtnet link changed state (Node is the
+	// "<local>:<peer>" link name; Detail is "up", "up:reconnect",
+	// "down:<reason>" — goodbye, probe-timeout — or
+	// "rejected:<reason>" when the handshake refused the peer).
+	KindLink
 
 	numKinds
 )
@@ -82,7 +87,7 @@ const NumKinds = int(numKinds)
 
 var kindNames = [numKinds]string{
 	"enqueue", "drop", "forward", "deliver", "asp-invoke", "verify-reject",
-	"deploy", "rollback", "fault", "heal", "canary", "adapt",
+	"deploy", "rollback", "fault", "heal", "canary", "adapt", "link",
 }
 
 // String names the kind.

@@ -1,0 +1,230 @@
+// The remote chaos control plane: an HTTP surface over one daemon's
+// chaos.Engine, so fault timelines can be staged and driven from
+// ANOTHER host — the distributed-testbed shape, where the operator's
+// machine injects a partition into a cluster of planpd daemons and
+// watches the adaptation loop route around it.
+//
+// A timeline arrives as JSON (chaos.Timeline), is validated against
+// the daemon's actual topology at staging time (unknown links, bad
+// directions, and unsupported primitives are structured 422s, never
+// mid-run panics), and plays as a cancelable run. Stopping a run
+// suppresses its pending steps; `clear` additionally heals every fault
+// already injected.
+package planpd
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+
+	"planp.dev/planp/internal/chaos"
+)
+
+// maxTimeline bounds an uploaded timeline; far above any real schedule.
+const maxTimeline = 1 << 20
+
+// ChaosServer is the /chaos control API over one chaos engine.
+type ChaosServer struct {
+	eng *chaos.Engine
+
+	mu     sync.Mutex
+	staged map[string]*chaos.Timeline
+	runs   map[string]*chaos.Run
+}
+
+// NewChaosServer returns a control server driving eng. The engine's
+// links and nodes must be wired before requests arrive (timelines are
+// validated against them).
+func NewChaosServer(eng *chaos.Engine) *ChaosServer {
+	return &ChaosServer{
+		eng:    eng,
+		staged: map[string]*chaos.Timeline{},
+		runs:   map[string]*chaos.Run{},
+	}
+}
+
+// Handler returns the chaos control API:
+//
+//	POST /chaos/stage   validate the timeline JSON in the body against
+//	                    this daemon's topology and hold it for start
+//	POST /chaos/start   play a timeline: ?name= starts a staged one, a
+//	                    request body stages and starts in one shot
+//	POST /chaos/stop    stop a run (?name=, or every run when omitted),
+//	                    suppressing pending steps; ?clear=1 also heals
+//	                    every injected fault (links + clock skew)
+//	GET  /chaos/status  wired links, adopted nodes, staged timelines,
+//	                    and each run's fired/total/stopped state
+func (cs *ChaosServer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/chaos/stage", cs.handleStage)
+	mux.HandleFunc("/chaos/start", cs.handleStart)
+	mux.HandleFunc("/chaos/stop", cs.handleStop)
+	mux.HandleFunc("/chaos/status", cs.handleStatus)
+	return mux
+}
+
+// readTimeline reads, parses, and compiles a timeline from the request
+// body, answering the HTTP error itself on failure. Compiling at
+// staging time is the contract: a timeline that stages is a timeline
+// that will not blow up mid-run.
+func (cs *ChaosServer) readTimeline(w http.ResponseWriter, r *http.Request) (*chaos.Timeline, *chaos.Scenario, bool) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxTimeline+1))
+	if err != nil {
+		http.Error(w, fmt.Sprintf("reading body: %v", err), http.StatusBadRequest)
+		return nil, nil, false
+	}
+	if len(body) > maxTimeline {
+		http.Error(w, "timeline too large", http.StatusRequestEntityTooLarge)
+		return nil, nil, false
+	}
+	tl, err := chaos.ParseTimeline(body)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
+		return nil, nil, false
+	}
+	if tl.Name == "" {
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": "timeline needs a name"})
+		return nil, nil, false
+	}
+	sc, err := cs.eng.Compile(tl)
+	if err != nil {
+		writeJSON(w, http.StatusUnprocessableEntity, map[string]any{"error": err.Error()})
+		return nil, nil, false
+	}
+	return tl, sc, true
+}
+
+func (cs *ChaosServer) handleStage(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	tl, sc, ok := cs.readTimeline(w, r)
+	if !ok {
+		return
+	}
+	cs.mu.Lock()
+	cs.staged[tl.Name] = tl
+	cs.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"staged": tl.Name,
+		"steps":  sc.Steps(),
+	})
+}
+
+func (cs *ChaosServer) handleStart(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var tl *chaos.Timeline
+	var sc *chaos.Scenario
+	if name := r.URL.Query().Get("name"); name != "" {
+		cs.mu.Lock()
+		tl = cs.staged[name]
+		cs.mu.Unlock()
+		if tl == nil {
+			writeJSON(w, http.StatusNotFound, map[string]any{"error": fmt.Sprintf("no staged timeline %q", name)})
+			return
+		}
+		// Recompile: the topology is fixed but a stage-then-start pair
+		// must behave identically to a one-shot start.
+		var err error
+		if sc, err = cs.eng.Compile(tl); err != nil {
+			writeJSON(w, http.StatusUnprocessableEntity, map[string]any{"error": err.Error()})
+			return
+		}
+	} else {
+		var ok bool
+		if tl, sc, ok = cs.readTimeline(w, r); !ok {
+			return
+		}
+	}
+
+	cs.mu.Lock()
+	if prev := cs.runs[tl.Name]; prev != nil && !prev.Done() {
+		cs.mu.Unlock()
+		writeJSON(w, http.StatusConflict, map[string]any{
+			"error": fmt.Sprintf("timeline %q is already running (stop it first)", tl.Name),
+		})
+		return
+	}
+	cs.runs[tl.Name] = cs.eng.PlayRun(sc)
+	cs.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"started": tl.Name,
+		"steps":   sc.Steps(),
+	})
+}
+
+func (cs *ChaosServer) handleStop(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	name := r.URL.Query().Get("name")
+	cs.mu.Lock()
+	var stopped []string
+	if name == "" {
+		for n, run := range cs.runs {
+			run.Stop()
+			stopped = append(stopped, n)
+		}
+	} else if run := cs.runs[name]; run != nil {
+		run.Stop()
+		stopped = append(stopped, name)
+	} else {
+		cs.mu.Unlock()
+		writeJSON(w, http.StatusNotFound, map[string]any{"error": fmt.Sprintf("no run %q", name)})
+		return
+	}
+	cs.mu.Unlock()
+	sort.Strings(stopped)
+
+	cleared := r.URL.Query().Get("clear") == "1"
+	if cleared {
+		cs.eng.ClearAll()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"stopped": stopped,
+		"cleared": cleared,
+	})
+}
+
+func (cs *ChaosServer) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	links := cs.eng.LinkNames()
+	nodes := cs.eng.NodeNames()
+	sort.Strings(links)
+	sort.Strings(nodes)
+
+	cs.mu.Lock()
+	staged := make([]string, 0, len(cs.staged))
+	for name := range cs.staged {
+		staged = append(staged, name)
+	}
+	runs := map[string]any{}
+	for name, run := range cs.runs {
+		fired, total, wasStopped := run.Status()
+		runs[name] = map[string]any{
+			"fired":   fired,
+			"total":   total,
+			"stopped": wasStopped,
+			"done":    run.Done(),
+		}
+	}
+	cs.mu.Unlock()
+	sort.Strings(staged)
+
+	writeJSON(w, http.StatusOK, map[string]any{
+		"links":  links,
+		"nodes":  nodes,
+		"staged": staged,
+		"runs":   runs,
+	})
+}

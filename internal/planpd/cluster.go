@@ -132,13 +132,16 @@ func NewCluster(udp bool) (*Cluster, error) {
 
 // WireChaos attaches a chaos engine to the live cluster: every duplex
 // link is wired under its topology name ("client-gateway",
-// "gateway-server0", "gateway-server1" — both directions share fault
-// state) and every node is adopted for crash/restart. Fault timelines
-// can then degrade the cluster while it serves traffic, which is what
-// the adaptation demo uses to shift load between gateway variants.
+// "gateway-server0", "gateway-server1") with per-direction fault state
+// — whole-link timeline ops still degrade both directions at once, and
+// dir:"fwd"/"rev" addresses one (fwd is the first-named node's
+// outbound) — and every node is adopted for crash/restart and clock
+// skew. Fault timelines can then degrade the cluster while it serves
+// traffic, which is what the adaptation demo uses to shift load
+// between gateway variants.
 func (c *Cluster) WireChaos(eng *chaos.Engine) {
 	for name, ports := range c.links {
-		eng.Wire(name, ports...)
+		eng.WireDuplex(name, ports[:1], ports[1:])
 	}
 	for _, node := range []*rtnet.Node{c.Client, c.Gateway, c.Servers[0], c.Servers[1]} {
 		eng.Adopt(node)

@@ -26,7 +26,6 @@ import (
 	"io"
 	"net/http"
 	"sync"
-	"time"
 
 	"planp.dev/planp/internal/lang/diag"
 	"planp.dev/planp/internal/planprt"
@@ -50,9 +49,8 @@ type installed struct {
 
 // Server is the control-plane HTTP API for one node.
 type Server struct {
-	node  substrate.Node
-	out   io.Writer // ASP print/println destination
-	start time.Time // monotonic anchor for /stats snapshot timestamps
+	node substrate.Node
+	out  io.Writer // ASP print/println destination
 
 	mu     sync.Mutex
 	active *installed // currently intercepting packets, or nil
@@ -66,7 +64,7 @@ func NewServer(node substrate.Node, out io.Writer) *Server {
 	if out == nil {
 		out = io.Discard
 	}
-	return &Server{node: node, out: out, start: time.Now()}
+	return &Server{node: node, out: out}
 }
 
 // Handler returns the control API:
@@ -85,8 +83,8 @@ func NewServer(node substrate.Node, out io.Writer) *Server {
 //	POST   /asp/rollback  undo an activation of ?version=, restoring
 //	                      the previously active version (or bare node)
 //	GET    /stats         metrics registry snapshot: {"node", "mono_ns"
-//	                      (monotonic ns since daemon start), "stats":
-//	                      {name -> value}}
+//	                      (ns on the node's substrate clock — carries
+//	                      chaos-injected skew), "stats": {name -> value}}
 //	GET    /healthz       liveness, installed protocol, active version
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -237,11 +235,17 @@ func versionOf(in *installed) string {
 }
 
 // handleStats serves a registry snapshot stamped with a monotonic
-// timestamp (nanoseconds since this daemon started, from Go's monotonic
-// clock — immune to wall-clock steps). Pollers computing windowed rates
-// divide counter deltas by mono_ns deltas from the same response, so a
-// pair of snapshots is always internally consistent: the rate never
-// mixes one poll's counters with another poll's guess at elapsed time.
+// timestamp (nanoseconds on the node's substrate clock). Pollers
+// computing windowed rates divide counter deltas by mono_ns deltas
+// from the same response, so a pair of snapshots is always internally
+// consistent: the rate never mixes one poll's counters with another
+// poll's guess at elapsed time.
+//
+// The stamp is the SUBSTRATE's clock (substrate.Env.Now), not Go's
+// process clock, deliberately: on rtnet that clock carries any
+// chaos-injected skew, so a skewed host's distorted rate windows are
+// observable through this endpoint — the distributed-testbed failure
+// mode the clock-skew primitive exists to reproduce.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
@@ -249,7 +253,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"node":    s.node.Hostname(),
-		"mono_ns": time.Since(s.start).Nanoseconds(),
+		"mono_ns": s.node.Env().Now().Nanoseconds(),
 		"stats":   s.node.Env().Metrics().Snapshot(),
 	})
 }

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"planp.dev/planp/internal/obs"
 	"planp.dev/planp/internal/substrate"
@@ -402,8 +403,17 @@ func (n *Node) CurrentProcessor() substrate.Processor {
 // Env returns the owning network (substrate.Node).
 func (n *Node) Env() substrate.Env { return n.net }
 
+// SetClockSkew shifts the node's clock (substrate.ClockSkewer). On
+// rtnet a node's clock IS its network's clock — one daemon, one host,
+// one drifting oscillator — so the skew applies network-wide.
+func (n *Node) SetClockSkew(d time.Duration) { n.net.SetClockSkew(d) }
+
+// ClockSkew returns the injected clock skew (substrate.ClockSkewer).
+func (n *Node) ClockSkew() time.Duration { return n.net.ClockSkew() }
+
 // Interface satisfaction.
 var (
-	_ substrate.Node    = (*Node)(nil)
-	_ substrate.Crasher = (*Node)(nil)
+	_ substrate.Node        = (*Node)(nil)
+	_ substrate.Crasher     = (*Node)(nil)
+	_ substrate.ClockSkewer = (*Node)(nil)
 )

@@ -1,0 +1,382 @@
+package rtnet
+
+import (
+	"encoding/binary"
+	"net"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"planp.dev/planp/internal/substrate"
+)
+
+// reservePorts grabs n distinct loopback UDP ports and releases them,
+// returning addresses a test can hand to RemoteSpec. The usual tiny
+// rebind race is acceptable in tests.
+func reservePorts(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, 0, n)
+	conns := make([]*net.UDPConn, 0, n)
+	for len(addrs) < n {
+		c, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+		if err != nil {
+			t.Fatalf("reserve port: %v", err)
+		}
+		conns = append(conns, c)
+		addrs = append(addrs, c.LocalAddr().String())
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	return addrs
+}
+
+// remotePair builds two single-node networks joined by a cross-host
+// link and returns both endpoints. Mutate specs via adjust before the
+// links are created (nil for the happy path).
+func remotePair(t *testing.T, adjust func(a, b *RemoteSpec)) (na, nb *Net, ia, ib *RemoteIface) {
+	t.Helper()
+	ports := reservePorts(t, 2)
+	na, nb = New(1), New(2)
+	left := NewNode(na, "left", 1)
+	right := NewNode(nb, "right", 2)
+	sa := RemoteSpec{
+		LinkName: "left-right", Listen: ports[0], Peer: ports[1],
+		PeerNode: "right", PeerAddr: 2, BandwidthBps: 10e6,
+		ProbeInterval: 20 * time.Millisecond,
+	}
+	sb := RemoteSpec{
+		LinkName: "left-right", Listen: ports[1], Peer: ports[0],
+		PeerNode: "left", PeerAddr: 1, BandwidthBps: 10e6,
+		ProbeInterval: 20 * time.Millisecond,
+	}
+	if adjust != nil {
+		adjust(&sa, &sb)
+	}
+	var err error
+	if ia, err = NewRemoteLink(na, left, sa); err != nil {
+		t.Fatalf("link a: %v", err)
+	}
+	if ib, err = NewRemoteLink(nb, right, sb); err != nil {
+		t.Fatalf("link b: %v", err)
+	}
+	left.AddRoute(2, ia)
+	right.AddRoute(1, ib)
+	t.Cleanup(na.Close)
+	t.Cleanup(nb.Close)
+	return na, nb, ia, ib
+}
+
+func waitState(t *testing.T, i *RemoteIface, want string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if i.State() == want {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("link %s: state %q, want %q", i.Label(), i.State(), want)
+}
+
+func TestRemoteLinkHandshakeAndData(t *testing.T) {
+	na, nb, ia, ib := remotePair(t, nil)
+	var got atomic.Int64
+	nb.NodeByName("right").BindUDP(7, func(pkt *substrate.Packet) {
+		got.Add(1)
+	})
+	na.Start()
+	nb.Start()
+	waitState(t, ia, LinkUp)
+	waitState(t, ib, LinkUp)
+	if na.Metrics().Snapshot()["link.left:right.up"] != 1 {
+		t.Fatalf("link.left:right.up gauge not set")
+	}
+
+	for k := 0; k < 10; k++ {
+		na.NodeByName("left").Send(substrate.NewUDP(1, 2, 9, 7, []byte("ping")))
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for got.Load() < 10 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got.Load() != 10 {
+		t.Fatalf("delivered %d/10 packets across the remote link", got.Load())
+	}
+
+	// Garbage data frames from the legitimate peer endpoint are counted
+	// as codec rejections, not silently dropped.
+	before := na.Metrics().Snapshot()["rtnet.codec_rejected"]
+	ib.writeFrame([]byte{frameData, 0xde, 0xad, 0xbe, 0xef})
+	waitCounter(t, func() int64 { return na.Metrics().Snapshot()["rtnet.codec_rejected"] }, before+1)
+}
+
+func waitCounter(t *testing.T, get func() int64, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if get() >= want {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("counter stuck at %d, want >= %d", get(), want)
+}
+
+// TestRemoteHandshakeMismatchMatrix drives each misconfiguration
+// through two real endpoints and asserts neither comes up and the
+// refused side records the structured rejection.
+func TestRemoteHandshakeMismatchMatrix(t *testing.T) {
+	cases := []struct {
+		name   string
+		adjust func(a, b *RemoteSpec)
+		code   byte
+	}{
+		{"peer-node", func(a, b *RemoteSpec) { a.PeerNode = "middle" }, RejectIdentity},
+		{"peer-addr", func(a, b *RemoteSpec) { a.PeerAddr = 42 }, RejectIdentity},
+		{"link-name", func(a, b *RemoteSpec) { a.LinkName = "left-middle" }, RejectLink},
+		{"bandwidth", func(a, b *RemoteSpec) { a.BandwidthBps = 20e6 }, RejectParams},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			na, _, ia, ib := remotePair(t, tc.adjust)
+			na.Start()
+			// b's HELLO is refused by a's stricter expectations; b must
+			// surface the structured rejection.
+			deadline := time.Now().Add(5 * time.Second)
+			for ib.LastReject() == nil && time.Now().Before(deadline) {
+				time.Sleep(5 * time.Millisecond)
+			}
+			rej := ib.LastReject()
+			if rej == nil {
+				t.Fatalf("peer never received a structured rejection")
+			}
+			if rej.Code != tc.code {
+				t.Fatalf("reject code %d, want %d (%s)", rej.Code, tc.code, rej.Msg)
+			}
+			if rej.PeerVersion != RemoteProtoVersion {
+				t.Fatalf("reject peer version %d, want %d", rej.PeerVersion, RemoteProtoVersion)
+			}
+			if ia.Up() || ib.Up() {
+				t.Fatalf("mismatched link came up (a=%s b=%s)", ia.State(), ib.State())
+			}
+		})
+	}
+}
+
+// rawPeer is a hand-rolled UDP endpoint standing in for a foreign (or
+// version-skewed) daemon in handshake tests.
+type rawPeer struct {
+	t    *testing.T
+	conn *net.UDPConn
+	to   *net.UDPAddr
+}
+
+func newRawPeer(t *testing.T, listen, to string) *rawPeer {
+	t.Helper()
+	laddr, err := net.ResolveUDPAddr("udp", listen)
+	if err != nil {
+		t.Fatalf("raw peer listen: %v", err)
+	}
+	taddr, err := net.ResolveUDPAddr("udp", to)
+	if err != nil {
+		t.Fatalf("raw peer target: %v", err)
+	}
+	conn, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		t.Fatalf("raw peer bind: %v", err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return &rawPeer{t: t, conn: conn, to: taddr}
+}
+
+func (p *rawPeer) send(frame []byte) {
+	if _, err := p.conn.WriteToUDP(frame, p.to); err != nil {
+		p.t.Fatalf("raw peer send: %v", err)
+	}
+}
+
+// recvReject reads frames until a REJECT arrives (HELLO probes from
+// the endpoint under test are skipped).
+func (p *rawPeer) recvReject() RejectError {
+	p.t.Helper()
+	buf := make([]byte, 2048)
+	p.conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	for {
+		n, _, err := p.conn.ReadFromUDP(buf)
+		if err != nil {
+			p.t.Fatalf("raw peer read: %v", err)
+		}
+		f, err := parseRemoteFrame(append([]byte(nil), buf[:n]...))
+		if err != nil {
+			p.t.Fatalf("raw peer got unparseable frame: %v", err)
+		}
+		if f.typ == frameReject {
+			return f.reject
+		}
+	}
+}
+
+// helloFrame builds a HELLO with an arbitrary protocol version.
+func helloFrame(version uint16, session uint64, node string, addr substrate.Addr, link string, bw int64) []byte {
+	b := appendPeerFrame(nil, frameHello, session, node, addr, link, bw)
+	binary.BigEndian.PutUint16(b[1:3], version)
+	return b
+}
+
+// TestRemoteHandshakeVersionMismatch plays a future-versioned daemon
+// against a current endpoint: the endpoint must answer with a
+// structured REJECT naming both versions, and must not come up.
+func TestRemoteHandshakeVersionMismatch(t *testing.T) {
+	ports := reservePorts(t, 2)
+	nw := New(1)
+	node := NewNode(nw, "left", 1)
+	ifc, err := NewRemoteLink(nw, node, RemoteSpec{
+		LinkName: "left-right", Listen: ports[0], Peer: ports[1],
+		PeerNode: "right", PeerAddr: 2, BandwidthBps: 10e6,
+		ProbeInterval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(nw.Close)
+
+	peer := newRawPeer(t, ports[1], ports[0])
+	peer.send(helloFrame(RemoteProtoVersion+1, 99, "right", 2, "left-right", 10e6))
+	rej := peer.recvReject()
+	if rej.Code != RejectVersion {
+		t.Fatalf("reject code %d, want %d (%s)", rej.Code, RejectVersion, rej.Msg)
+	}
+	if !strings.Contains(rej.Msg, "version") {
+		t.Fatalf("reject message %q does not name the version conflict", rej.Msg)
+	}
+	if ifc.Up() {
+		t.Fatalf("link came up despite version mismatch")
+	}
+	if nw.Metrics().Snapshot()["rtnet.handshake_rejected"] == 0 {
+		t.Fatalf("rtnet.handshake_rejected not counted")
+	}
+}
+
+// TestRemoteHandshakeDuplicateIdentity plays a peer claiming the
+// endpoint's OWN node identity; it must be refused as an identity
+// conflict, never welcomed.
+func TestRemoteHandshakeDuplicateIdentity(t *testing.T) {
+	ports := reservePorts(t, 2)
+	nw := New(1)
+	node := NewNode(nw, "left", 1)
+	ifc, err := NewRemoteLink(nw, node, RemoteSpec{
+		LinkName: "left-right", Listen: ports[0], Peer: ports[1],
+		PeerNode: "right", PeerAddr: 2, BandwidthBps: 10e6,
+		ProbeInterval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(nw.Close)
+
+	peer := newRawPeer(t, ports[1], ports[0])
+	peer.send(helloFrame(RemoteProtoVersion, 99, "left", 1, "left-right", 10e6))
+	rej := peer.recvReject()
+	if rej.Code != RejectIdentity {
+		t.Fatalf("reject code %d, want %d (%s)", rej.Code, RejectIdentity, rej.Msg)
+	}
+	if !strings.Contains(rej.Msg, "duplicate") {
+		t.Fatalf("reject message %q does not flag the duplicate identity", rej.Msg)
+	}
+	if ifc.Up() {
+		t.Fatalf("link came up despite duplicate identity")
+	}
+}
+
+// TestRemoteHandshakeUnknownEndpoint sends a HELLO from an endpoint
+// the link is not configured to talk to; it must be refused with a
+// structured REJECT rather than ignored.
+func TestRemoteHandshakeUnknownEndpoint(t *testing.T) {
+	ports := reservePorts(t, 3)
+	nw := New(1)
+	node := NewNode(nw, "left", 1)
+	_, err := NewRemoteLink(nw, node, RemoteSpec{
+		LinkName: "left-right", Listen: ports[0], Peer: ports[1],
+		PeerNode: "right", PeerAddr: 2, BandwidthBps: 10e6,
+		ProbeInterval: time.Hour, // quiet: no HELLO probes at the stranger
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(nw.Close)
+
+	stranger := newRawPeer(t, ports[2], ports[0])
+	stranger.send(helloFrame(RemoteProtoVersion, 7, "right", 2, "left-right", 10e6))
+	rej := stranger.recvReject()
+	if rej.Code != RejectIdentity {
+		t.Fatalf("reject code %d, want %d (%s)", rej.Code, RejectIdentity, rej.Msg)
+	}
+}
+
+// TestRemoteGoodbyeAndReconnect closes one side's network (graceful
+// shutdown) and asserts the peer logs the goodbye instead of waiting
+// out a probe timeout, then brings a NEW incarnation up on the same
+// endpoint and asserts the link recovers with a reconnect marker.
+func TestRemoteGoodbyeAndReconnect(t *testing.T) {
+	_, nb, ia, _ := remotePair(t, nil)
+	waitState(t, ia, LinkUp)
+
+	reg := ia.node.net.reg
+	nb.Close() // sends BYE
+	waitState(t, ia, LinkDown)
+	if reg.Snapshot()["rtnet.goodbyes"] == 0 {
+		t.Fatalf("peer shutdown not observed as a goodbye")
+	}
+
+	// A new daemon incarnation takes over the same identity and
+	// endpoint: fresh Net, fresh session nonce, same node/addr/port.
+	nb2 := New(3)
+	right := NewNode(nb2, "right", 2)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, err := NewRemoteLink(nb2, right, RemoteSpec{
+			LinkName: "left-right", Listen: ia.spec.Peer, Peer: ia.spec.Listen,
+			PeerNode: "left", PeerAddr: 1, BandwidthBps: 10e6,
+			ProbeInterval: 20 * time.Millisecond,
+		})
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("rebind after restart: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond) // old socket may still be closing
+	}
+	t.Cleanup(nb2.Close)
+
+	waitState(t, ia, LinkUp)
+	if reg.Snapshot()["rtnet.reconnects"] == 0 {
+		t.Fatalf("peer restart not observed as a reconnect")
+	}
+}
+
+// TestRemoteProbeTimeout kills the peer ungracefully (socket closed
+// without BYE — the raw peer just stops answering) and asserts the
+// liveness prober marks the link down.
+func TestRemoteProbeTimeout(t *testing.T) {
+	ports := reservePorts(t, 2)
+	nw := New(1)
+	node := NewNode(nw, "left", 1)
+	ifc, err := NewRemoteLink(nw, node, RemoteSpec{
+		LinkName: "left-right", Listen: ports[0], Peer: ports[1],
+		PeerNode: "right", PeerAddr: 2, BandwidthBps: 10e6,
+		ProbeInterval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(nw.Close)
+
+	// One valid WELCOME brings the link up; then silence.
+	peer := newRawPeer(t, ports[1], ports[0])
+	peer.send(appendPeerFrame(nil, frameWelcome, 99, "right", 2, "left-right", 10e6))
+	waitState(t, ifc, LinkUp)
+	waitState(t, ifc, LinkDown) // probe timeout: 4 × 20ms of silence
+}

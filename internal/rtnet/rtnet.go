@@ -53,6 +53,11 @@ type Net struct {
 	bus   *obs.Bus
 	reg   *obs.Registry
 
+	// skew shifts Now() by a signed offset (nanoseconds) — the chaos
+	// clock-skew primitive. One network is one host's clock, so the
+	// skew is network-wide; see substrate.ClockSkewer.
+	skew atomic.Int64
+
 	rngMu sync.Mutex
 	rng   *rand.Rand
 
@@ -92,8 +97,21 @@ func New(seed int64) *Net {
 }
 
 // Now returns the wall-clock time elapsed since the network was
-// created (substrate.Env). Monotonic by construction.
-func (n *Net) Now() time.Duration { return time.Since(n.start) }
+// created, shifted by the injected clock skew (substrate.Env).
+// Monotonic by construction while the skew holds still; a skew change
+// steps the clock, which is the point of the fault.
+func (n *Net) Now() time.Duration {
+	return time.Since(n.start) + time.Duration(n.skew.Load())
+}
+
+// SetClockSkew shifts every Now reading by d — the chaos clock-skew
+// primitive (substrate.ClockSkewer, reached through any of the
+// network's nodes). Timers are unaffected: only observations drift,
+// not scheduling.
+func (n *Net) SetClockSkew(d time.Duration) { n.skew.Store(int64(d)) }
+
+// ClockSkew returns the injected clock skew.
+func (n *Net) ClockSkew() time.Duration { return time.Duration(n.skew.Load()) }
 
 // After schedules fn on a real timer (substrate.Env). The callback runs
 // on the timer goroutine — PLAN-P runtimes do not use timers, and other

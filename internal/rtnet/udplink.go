@@ -35,8 +35,9 @@ type UDPIface struct {
 	buf   []byte
 	fault substrate.FaultFunc
 
-	drops      *obs.Counter
-	faultDrops *obs.Counter
+	drops        *obs.Counter
+	faultDrops   *obs.Counter
+	codecRejects *obs.Counter
 }
 
 // NewUDPLink connects a and b with a duplex link over a pair of
@@ -56,14 +57,16 @@ func NewUDPLink(nw *Net, a, b *Node, bandwidthBps int64) (*UDPIface, *UDPIface, 
 	ab := &UDPIface{
 		node: a, peer: b, conn: connA, peerAddr: connB.LocalAddr().(*net.UDPAddr),
 		bw: bandwidthBps, meter: substrate.NewRateMeter(0),
-		drops:      nw.reg.Counter("link." + a.name + ":" + b.name + ".dropped_pkts"),
-		faultDrops: nw.reg.Counter("link." + a.name + ":" + b.name + ".fault_dropped_pkts"),
+		drops:        nw.reg.Counter("link." + a.name + ":" + b.name + ".dropped_pkts"),
+		faultDrops:   nw.reg.Counter("link." + a.name + ":" + b.name + ".fault_dropped_pkts"),
+		codecRejects: nw.reg.Counter("rtnet.codec_rejected"),
 	}
 	ba := &UDPIface{
 		node: b, peer: a, conn: connB, peerAddr: connA.LocalAddr().(*net.UDPAddr),
 		bw: bandwidthBps, meter: substrate.NewRateMeter(0),
-		drops:      nw.reg.Counter("link." + b.name + ":" + a.name + ".dropped_pkts"),
-		faultDrops: nw.reg.Counter("link." + b.name + ":" + a.name + ".fault_dropped_pkts"),
+		drops:        nw.reg.Counter("link." + b.name + ":" + a.name + ".dropped_pkts"),
+		faultDrops:   nw.reg.Counter("link." + b.name + ":" + a.name + ".fault_dropped_pkts"),
+		codecRejects: nw.reg.Counter("rtnet.codec_rejected"),
 	}
 	a.addIface(ab)
 	b.addIface(ba)
@@ -86,9 +89,19 @@ func (i *UDPIface) read(nw *Net) {
 		if err != nil {
 			return // socket closed
 		}
+		if n > maxDatagram {
+			// Larger than anything we transmit: garbage, not ours.
+			i.codecRejects.Inc()
+			i.drop(nil, "codec-reject")
+			continue
+		}
 		pkt, err := substrate.ParseWire(buf[:n])
 		if err != nil {
-			i.drop(nil, "malformed")
+			// Truncated or garbage frame: counted under its own metric
+			// (rtnet.codec_rejected) so wire-format trouble is
+			// distinguishable from congestion drops.
+			i.codecRejects.Inc()
+			i.drop(nil, "codec-reject")
 			continue
 		}
 		// The parse built a fresh private packet: this goroutine holds

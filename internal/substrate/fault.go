@@ -60,6 +60,23 @@ type FaultPort interface {
 	SetFault(f FaultFunc)
 }
 
+// ClockSkewer is a node whose clock the chaos engine can skew: after
+// SetClockSkew(d), every Env.Now reading the node's host makes is
+// shifted by d. On rtnet each daemon owns its network, so skewing a
+// node skews its whole host's clock — exactly the distributed-testbed
+// failure mode (drifting mono_ns stamps distort windowed rates, event
+// timestamps disagree across hosts). The deterministic simulator's one
+// shared virtual clock cannot drift per node, so netsim nodes do not
+// implement this; clock-skew scenarios are rtnet-only and fail fast
+// elsewhere.
+type ClockSkewer interface {
+	// SetClockSkew shifts the node's clock by d (negative skews run it
+	// behind). Idempotent set, not cumulative. Safe while traffic flows.
+	SetClockSkew(d time.Duration)
+	// ClockSkew returns the current skew.
+	ClockSkew() time.Duration
+}
+
 // Crasher is a node that supports chaos crash/restart. Both backend
 // node types implement it.
 type Crasher interface {
